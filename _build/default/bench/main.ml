@@ -1,0 +1,206 @@
+(* The benchmark harness, in two parts:
+
+   1. Regenerate every table and figure of the paper's evaluation on
+      the synthetic Internet (scale with SBGP_N; default 500) —
+      rows/series in paper order, recorded against the paper in
+      EXPERIMENTS.md.
+
+   2. Bechamel microbenchmarks: one [Test.make] per table/figure,
+      timing that artifact's computational kernel at a small fixed
+      scale so regressions in the routing/engine hot paths are
+      visible.
+
+   Flags: --bench-only skips part 1, --no-bench skips part 2. *)
+
+let flag name = Array.exists (String.equal name) Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures. *)
+
+let run_experiments () =
+  let n = Experiments.Scenario.default_n () in
+  Printf.printf
+    "=== Reproducing the paper's evaluation (synthetic Internet, N = %d; set SBGP_N to \
+     rescale) ===\n\n%!"
+    n;
+  let scenario = Experiments.Scenario.create ~n () in
+  Experiments.Registry.run_streaming scenario (fun e table dt ->
+      Printf.printf "== %s: %s  [%.1fs]\n%s\n%!" e.id e.title dt
+        (Nsutil.Table.to_string table))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel kernels. *)
+
+let kernels () =
+  let open Bechamel in
+  (* Small fixed-scale setup shared by the kernels (prepared outside
+     the staged functions; per-destination caches are primed so the
+     kernels measure steady-state work). *)
+  let scenario = Experiments.Scenario.create ~n:120 ~seed:3 () in
+  let g = Experiments.Scenario.graph scenario in
+  let statics = scenario.statics in
+  let n = Asgraph.Graph.n g in
+  for d = 0 to n - 1 do
+    ignore (Bgp.Route_static.get statics d)
+  done;
+  let aug_statics = Lazy.force scenario.statics_aug in
+  for d = 0 to n - 1 do
+    ignore (Bgp.Route_static.get aug_statics d)
+  done;
+  let early = Experiments.Scenario.case_study_adopters scenario in
+  let cfg_case = Core.Config.default in
+  let weight = Experiments.Scenario.weights scenario cfg_case in
+  let engine_run ?(augmented = false) cfg early =
+    let stats = if augmented then aug_statics else statics in
+    let graph = Bgp.Route_static.graph stats in
+    let state =
+      Core.State.create graph ~early ~simplex:(not cfg.Core.Config.disable_simplex)
+        ~secp:(not cfg.Core.Config.disable_secp)
+    in
+    Core.Engine.run cfg stats ~weight ~state
+  in
+  let remorse = Gadgets.Remorse.build () in
+  let remorse_statics = Bgp.Route_static.create remorse.graph in
+  let chicken = Gadgets.Chicken.build () in
+  let chicken_statics = Bgp.Route_static.create chicken.graph in
+  let setcover =
+    Gadgets.Setcover.build
+      Gadgets.Setcover.
+        { universe = 6; subsets = [ [| 0; 1; 2 |]; [| 2; 3 |]; [| 3; 4; 5 |] ] }
+  in
+  let scratch = Bgp.Forest.make_scratch n in
+  let zeros = Bytes.make n '\000' in
+  [
+    Test.make ~name:"table1/diamond-scan"
+      (Staged.stage (fun () -> Core.Analyses.diamonds statics ~early));
+    Test.make ~name:"table2/graph-summary"
+      (Staged.stage (fun () -> Asgraph.Metrics.summary g));
+    Test.make ~name:"table3/cp-path-lengths"
+      (Staged.stage (fun () ->
+           List.map
+             (fun cp -> Bgp.Route_static.mean_path_length statics ~from:cp)
+             (Experiments.Scenario.cps scenario)));
+    Test.make ~name:"table4/degrees"
+      (Staged.stage (fun () -> Asgraph.Metrics.degree_array g));
+    Test.make ~name:"fig3-7/case-study-run"
+      (Staged.stage (fun () -> engine_run cfg_case early));
+    Test.make ~name:"fig8/theta-30pc-run"
+      (Staged.stage (fun () ->
+           engine_run { cfg_case with theta = 0.3; theta_off = 0.3 } early));
+    Test.make ~name:"fig9/secure-path-count"
+      (Staged.stage (fun () ->
+           let state = Core.State.create g ~early in
+           Core.Analyses.secure_path_stats cfg_case statics state ~weight));
+    Test.make ~name:"fig10/tiebreak-distribution"
+      (Staged.stage (fun () ->
+           Core.Analyses.tiebreak_distribution statics ~among:(fun _ -> true)));
+    Test.make ~name:"fig11/no-stub-tiebreak-run"
+      (Staged.stage (fun () -> engine_run { cfg_case with stub_tiebreak = false } early));
+    Test.make ~name:"fig12/augmented-graph-run"
+      (Staged.stage (fun () -> engine_run ~augmented:true cfg_case early));
+    Test.make ~name:"fig13/remorse-dynamics"
+      (Staged.stage (fun () ->
+           let state = Gadgets.Remorse.initial_state remorse in
+           Core.Engine.run Gadgets.Remorse.config remorse_statics ~weight:remorse.weight
+             ~state));
+    Test.make ~name:"fig14/theta-0-run"
+      (Staged.stage (fun () -> engine_run { cfg_case with theta = 0.0 } early));
+    Test.make ~name:"oscillation/chicken-dynamics"
+      (Staged.stage (fun () ->
+           let state =
+             Core.State.create chicken.graph ~early:chicken.early ~frozen:chicken.frozen
+           in
+           Core.Engine.run Gadgets.Chicken.config chicken_statics ~weight:chicken.weight
+             ~state));
+    Test.make ~name:"setcover/reduction-run"
+      (Staged.stage (fun () ->
+           Gadgets.Setcover.secure_after setcover ~early:[ setcover.s1.(0) ]));
+    Test.make ~name:"attacks/appendix-b"
+      (Staged.stage (fun () ->
+           ( Bgpsec.Attack.appendix_b ~prefer_partial:false,
+             Bgpsec.Attack.appendix_b ~prefer_partial:true )));
+    Test.make ~name:"ablations/no-secp-run"
+      (Staged.stage (fun () -> engine_run { cfg_case with disable_secp = true } early));
+    Test.make ~name:"resilience/one-hijack"
+      (Staged.stage (fun () ->
+           let state = Core.State.create g ~early in
+           Core.Resilience.simulate_attack statics state ~stub_tiebreak:true
+             ~tiebreak:cfg_case.tiebreak ~attacker:0 ~victim:(n - 1)));
+    Test.make ~name:"secpriority/security-first-hijack"
+      (Staged.stage (fun () ->
+           let state = Core.State.create g ~early in
+           Core.Resilience.simulate_attack_ranked statics state ~stub_tiebreak:true
+             ~tiebreak:cfg_case.tiebreak ~position:Bgp.Flexsim.Before_lp ~attacker:0
+             ~victim:(n - 1)));
+    Test.make ~name:"pricing/customer-volumes"
+      (Staged.stage (fun () ->
+           let state = Core.State.create g ~early in
+           Core.Utility.customer_volumes
+             { cfg_case with model = Core.Config.Incoming }
+             statics state ~weight));
+    Test.make ~name:"jitter/jittered-run"
+      (Staged.stage (fun () -> engine_run { cfg_case with theta_jitter = 1.0 } early));
+    Test.make ~name:"evolution/grow-15pc"
+      (Staged.stage (fun () ->
+           Topology.Evolve.grow g ~new_stubs:(n / 7) ~secure_bias:2.0
+             ~is_secure:(fun i -> i mod 2 = 0)
+             ~seed:3));
+    Test.make ~name:"selector/k3-single-on"
+      (Staged.stage
+         (let sel = Gadgets.Selector.build ~k:3 () in
+          fun () -> Gadgets.Selector.run_from sel ~on:[ 0 ]));
+    (* Kernel primitives under everything above. *)
+    Test.make ~name:"kernel/route-static-one-dest"
+      (Staged.stage (fun () -> Bgp.Route_static.compute g (n - 1)));
+    Test.make ~name:"kernel/forest-one-dest"
+      (Staged.stage (fun () ->
+           Bgp.Forest.compute
+             (Bgp.Route_static.get statics (n - 1))
+             ~tiebreak:cfg_case.tiebreak ~secure:zeros ~use_secp:zeros ~weight scratch));
+    Test.make ~name:"kernel/sha256-1KiB"
+      (Staged.stage
+         (let buf = String.make 1024 'x' in
+          fun () -> Scrypto.Sha256.digest_string buf));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Printf.printf "=== Bechamel kernels (one per table/figure; N = 120) ===\n\n%!";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let table = Nsutil.Table.create ~header:[ "kernel"; "time/run"; "r^2" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          let time_ns =
+            match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+          in
+          let pretty =
+            if Float.is_nan time_ns then "-"
+            else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+            else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+            else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+            else Printf.sprintf "%.0f ns" time_ns
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "-"
+          in
+          Nsutil.Table.add_row table [ name; pretty; r2 ])
+        ols)
+    (kernels ());
+  Nsutil.Table.print table
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  if not (flag "--bench-only") then run_experiments ();
+  if not (flag "--no-bench") then run_bechamel ();
+  Printf.printf "\ntotal wall clock: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,362 @@
+(* Command-line driver: generate topologies, run deployment
+   simulations, and regenerate the paper's tables and figures. *)
+
+open Cmdliner
+
+(* Uniform error surface: user mistakes (bad parameters, malformed
+   files) print one line instead of a backtrace. *)
+let guard f =
+  try f () with
+  | Invalid_argument m | Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+  | Asgraph.Graph.Malformed m ->
+      Printf.eprintf "error: malformed graph: %s\n" m;
+      exit 2
+  | Asgraph.Graph_io.Parse_error { line; message } ->
+      Printf.eprintf "error: parse error at line %d: %s\n" line message;
+      exit 2
+  | Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+
+let n_arg =
+  let doc = "Number of ASes in the synthetic topology." in
+  Arg.(value & opt int (Experiments.Scenario.default_n ()) & info [ "n" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (topologies and simulations are deterministic given it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+(* gen: write a synthetic topology to a file. *)
+let gen_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "topology.asrel"
+      & info [ "o"; "output" ] ~doc:"Output path (CAIDA-style format).")
+  in
+  let augmented =
+    Arg.(value & flag & info [ "augmented" ] ~doc:"Apply the IXP/CP-peering augmentation.")
+  in
+  let run n seed out augmented =
+    let params = { (Topology.Params.with_n Topology.Params.default n) with seed } in
+    let built = Topology.Gen.generate params in
+    let built =
+      if augmented then Topology.Augment.augment_built built ~fraction:0.8 ~seed:(seed + 1)
+      else built
+    in
+    Asgraph.Graph_io.save built.graph out;
+    let report = Asgraph.Validate.run built.graph in
+    Format.printf "wrote %s: %a@." out Asgraph.Metrics.pp_summary
+      (Asgraph.Metrics.summary built.graph);
+    if not (report.gr1_acyclic && report.connected) then begin
+      Format.eprintf "warning: graph fails validation (gr1=%b connected=%b)@."
+        report.gr1_acyclic report.connected;
+      exit 1
+    end
+  in
+  let doc = "Generate a synthetic Internet-like AS topology." in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const (fun a b c d -> guard (fun () -> run a b c d)) $ n_arg $ seed_arg $ out $ augmented)
+
+(* run: a deployment simulation with explicit parameters. *)
+let run_cmd =
+  let theta =
+    Arg.(value & opt float 0.05 & info [ "theta" ] ~doc:"Deployment threshold (Eq. 3).")
+  in
+  let x =
+    Arg.(
+      value & opt float 0.10
+      & info [ "x"; "cp-fraction" ] ~doc:"Fraction of traffic originated by the CPs.")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("outgoing", Core.Config.Outgoing); ("incoming", Core.Config.Incoming) ])
+          Core.Config.Outgoing
+      & info [ "model" ] ~doc:"Utility model: outgoing (Eq. 1) or incoming (Eq. 2).")
+  in
+  let adopters =
+    Arg.(
+      value & opt string "cps+top5"
+      & info [ "adopters" ]
+          ~doc:
+            "Early adopters: none, top<k>, 5cps, cps+top<k>, random<k>, or a \
+             comma-separated node list.")
+  in
+  let no_stub_tiebreak =
+    Arg.(value & flag & info [ "no-stub-tiebreak" ] ~doc:"Stubs ignore security (Sec. 6.7).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write per-round CSV here.")
+  in
+  let caida =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "caida" ]
+          ~doc:
+            "Run on a real AS graph in CAIDA as-rel format instead of the synthetic \
+             topology. The paper's five content providers (15169, 32934, 8075, 20940, \
+             22822) are marked as CPs when present.")
+  in
+  let parse_adopters g spec =
+    let prefix p s =
+      if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
+        int_of_string_opt (String.sub s (String.length p) (String.length s - String.length p))
+      else None
+    in
+    match spec with
+    | "none" -> Adopters.Strategy.select g Adopters.Strategy.None_
+    | "5cps" -> Adopters.Strategy.select g Adopters.Strategy.Content_providers
+    | s -> begin
+        match (prefix "top" s, prefix "cps+top" s, prefix "random" s) with
+        | _, Some k, _ -> Adopters.Strategy.select g (Adopters.Strategy.Cps_and_top k)
+        | Some k, _, _ -> Adopters.Strategy.select g (Adopters.Strategy.Top_degree k)
+        | _, _, Some k -> Adopters.Strategy.select g (Adopters.Strategy.Random_isps (k, 7))
+        | None, None, None ->
+            Adopters.Strategy.select g
+              (Adopters.Strategy.Explicit
+                 (List.filter_map int_of_string_opt (String.split_on_char ',' s)))
+      end
+  in
+  let run n seed theta x model adopters_spec no_stub_tiebreak csv caida =
+    let g =
+      match caida with
+      | None -> Experiments.Scenario.graph (Experiments.Scenario.create ~n ~seed ())
+      | Some path ->
+          let imp =
+            Asgraph.Graph_io.load_caida ~cps:[ 15169; 32934; 8075; 20940; 22822 ] path
+          in
+          Printf.printf "loaded %s: %d ASes (%d records skipped)\n%!" path
+            (Asgraph.Graph.n imp.graph) imp.skipped;
+          if not (Asgraph.Validate.gr1_acyclic imp.graph) then begin
+            Printf.eprintf "graph has a customer-provider cycle; refusing\n";
+            exit 1
+          end;
+          imp.graph
+    in
+    let early = parse_adopters g adopters_spec in
+    let cfg =
+      {
+        Core.Config.default with
+        theta;
+        theta_off = theta;
+        cp_fraction = x;
+        model;
+        stub_tiebreak = not no_stub_tiebreak;
+        allow_turn_off = model = Core.Config.Incoming;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let statics = Bgp.Route_static.create g in
+    let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
+    let state = Core.State.create g ~early in
+    let result = Core.Engine.run cfg statics ~weight ~state in
+    let dt = Unix.gettimeofday () -. t0 in
+    let table =
+      Nsutil.Table.create
+        ~header:[ "round"; "turned on"; "turned off"; "secure ASes"; "secure ISPs" ]
+    in
+    List.iter
+      (fun (r : Core.Engine.round_record) ->
+        Nsutil.Table.add_row table
+          [
+            string_of_int r.round;
+            string_of_int (List.length r.turned_on);
+            string_of_int (List.length r.turned_off);
+            string_of_int r.secure_as;
+            string_of_int r.secure_isp;
+          ])
+      result.rounds;
+    Nsutil.Table.print table;
+    Option.iter (Nsutil.Table.save_csv table) csv;
+    Printf.printf
+      "termination: %s after %d rounds (%.1fs); secure: %.1f%% of ASes, %.1f%% of ISPs\n"
+      (match result.termination with
+      | Core.Engine.Stable -> "stable"
+      | Core.Engine.Oscillation { first_round } ->
+          Printf.sprintf "oscillation (back to round %d)" first_round
+      | Core.Engine.Max_rounds -> "round cap")
+      (Core.Engine.rounds_run result)
+      dt
+      (100.0 *. Core.Engine.secure_fraction result `As)
+      (100.0 *. Core.Engine.secure_fraction result `Isp)
+  in
+  let doc = "Run one S*BGP deployment simulation." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (fun a b c d e f g h i -> guard (fun () -> run a b c d e f g h i))
+      $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida)
+
+(* exp: regenerate a table/figure. *)
+let exp_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let csv_dir =
+    Arg.(
+      value & opt (some string) None & info [ "csv-dir" ] ~doc:"Also write one CSV per table.")
+  in
+  let run n seed ids csv_dir =
+    let scenario = Experiments.Scenario.create ~n ~seed () in
+    let only = if ids = [] then None else Some ids in
+    let unknown =
+      List.filter (fun id -> Experiments.Registry.find id = None) ids
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+        (String.concat ", " unknown)
+        (String.concat ", " (Experiments.Registry.ids ()));
+      exit 2
+    end;
+    Experiments.Registry.run_streaming ?only scenario (fun e table dt ->
+        Printf.printf "== %s: %s  [%.1fs]\n%s\n%!" e.id e.title dt
+          (Nsutil.Table.to_string table);
+        Option.iter
+          (fun dir -> Nsutil.Table.save_csv table (Filename.concat dir (e.id ^ ".csv")))
+          csv_dir)
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const (fun a b c d -> guard (fun () -> run a b c d)) $ n_arg $ seed_arg $ ids $ csv_dir)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.experiment) -> Printf.printf "%-12s %s\n" e.id e.title)
+      Experiments.Registry.all
+  in
+  let doc = "List available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* analyze: structural analyses of a topology. *)
+let analyze_cmd =
+  let run n seed =
+    let scenario = Experiments.Scenario.create ~n ~seed () in
+    let g = Experiments.Scenario.graph scenario in
+    Format.printf "%a@." Asgraph.Metrics.pp_summary (Asgraph.Metrics.summary g);
+    let report = Asgraph.Validate.run g in
+    Printf.printf "gr1-acyclic=%b connected=%b tier1=%d orphans=%d\n" report.gr1_acyclic
+      report.connected report.tier1_count report.orphan_count;
+    Printf.printf "mean tiebreak set (all sources): %.3f; ISPs: %.3f; stubs: %.3f\n"
+      (Bgp.Route_static.mean_tiebreak_size scenario.statics ~among:(fun _ -> true))
+      (Bgp.Route_static.mean_tiebreak_size scenario.statics ~among:(Asgraph.Graph.is_isp g))
+      (Bgp.Route_static.mean_tiebreak_size scenario.statics ~among:(Asgraph.Graph.is_stub g));
+    List.iter
+      (fun cp ->
+        Printf.printf "CP %d mean path length: %.2f\n" cp
+          (Bgp.Route_static.mean_path_length scenario.statics ~from:cp))
+      (Experiments.Scenario.cps scenario)
+  in
+  let doc = "Structural analyses of the synthetic topology." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const (fun a b -> guard (fun () -> run a b)) $ n_arg $ seed_arg)
+
+(* attack: simulate a prefix hijack against a deployment state. *)
+let attack_cmd =
+  let theta =
+    Arg.(value & opt float 0.05 & info [ "theta" ] ~doc:"Deployment threshold for the state.")
+  in
+  let attacker =
+    Arg.(value & opt (some int) None & info [ "attacker" ] ~doc:"Attacker AS (default: random sweep).")
+  in
+  let victim =
+    Arg.(value & opt (some int) None & info [ "victim" ] ~doc:"Victim AS (default: random sweep).")
+  in
+  let position =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("tiebreak", Bgp.Flexsim.Tiebreak_only);
+               ("before-length", Bgp.Flexsim.Before_length);
+               ("first", Bgp.Flexsim.Before_lp);
+             ])
+          Bgp.Flexsim.Tiebreak_only
+      & info [ "secp-position" ] ~doc:"Rank of the security criterion.")
+  in
+  let samples =
+    Arg.(value & opt int 100 & info [ "samples" ] ~doc:"Random pairs for the sweep.")
+  in
+  let run n seed theta attacker victim position samples =
+    let scenario = Experiments.Scenario.create ~n ~seed () in
+    let cfg = { Core.Config.default with theta; theta_off = theta } in
+    let result = Experiments.Scenario.run scenario cfg in
+    Printf.printf "deployment state: %.1f%% of ASes secure (theta = %.0f%%)\n"
+      (100.0 *. Core.Engine.secure_fraction result `As)
+      (100.0 *. theta);
+    match (attacker, victim) with
+    | Some a, Some v ->
+        let o =
+          Core.Resilience.simulate_attack_ranked scenario.statics result.final
+            ~stub_tiebreak:cfg.stub_tiebreak ~tiebreak:cfg.tiebreak ~position ~attacker:a
+            ~victim:v
+        in
+        Printf.printf "AS %d hijacking AS %d's prefix deceives %d of %d ASes (%.1f%%)\n"
+          a v o.deceived o.total
+          (100.0 *. float_of_int o.deceived /. float_of_int (max 1 o.total))
+    | _ ->
+        let f =
+          Core.Resilience.mean_deceived_fraction_ranked scenario.statics result.final
+            ~stub_tiebreak:cfg.stub_tiebreak ~tiebreak:cfg.tiebreak ~position ~samples
+            ~seed:(seed + 1)
+        in
+        Printf.printf
+          "mean deceived fraction over %d random (attacker, victim) pairs: %.1f%% \n\
+           (SecP position: %s)\n"
+          samples (100.0 *. f)
+          (Bgp.Flexsim.position_to_string position)
+  in
+  let doc = "Simulate prefix hijacks against a deployment state." in
+  Cmd.v (Cmd.info "attack" ~doc)
+    Term.(const (fun a b c d e f g -> guard (fun () -> run a b c d e f g)) $ n_arg $ seed_arg $ theta $ attacker $ victim $ position $ samples)
+
+(* tree: show the routing tree towards one destination. *)
+let tree_cmd =
+  let dest = Arg.(required & pos 0 (some int) None & info [] ~docv:"DEST") in
+  let limit =
+    Arg.(value & opt int 25 & info [ "limit" ] ~doc:"Max sources to print.")
+  in
+  let run n seed dest limit =
+    let scenario = Experiments.Scenario.create ~n ~seed () in
+    let g = Experiments.Scenario.graph scenario in
+    if dest < 0 || dest >= Asgraph.Graph.n g then begin
+      Printf.eprintf "destination %d out of range\n" dest;
+      exit 2
+    end;
+    let cfg = Core.Config.default in
+    let result = Experiments.Scenario.run scenario cfg in
+    let info = Bgp.Route_static.get scenario.statics dest in
+    let scratch = Bgp.Forest.make_scratch (Asgraph.Graph.n g) in
+    let weight = Experiments.Scenario.weights scenario cfg in
+    Bgp.Forest.compute info ~tiebreak:cfg.tiebreak
+      ~secure:(Core.State.secure_bytes result.final)
+      ~use_secp:(Core.State.use_secp_bytes result.final ~stub_tiebreak:cfg.stub_tiebreak)
+      ~weight scratch;
+    Printf.printf "routes to AS %d (%s) after the case-study deployment:\n" dest
+      (Asgraph.As_class.to_string (Asgraph.Graph.klass g dest));
+    let printed = ref 0 in
+    for src = 0 to Asgraph.Graph.n g - 1 do
+      if src <> dest && !printed < limit && Bgp.Route_static.reachable info src then begin
+        incr printed;
+        let path = Bgp.Forest.path_to_dest info scratch src in
+        let secure_mark =
+          if Bytes.get scratch.Bgp.Forest.sec_path src = '\001' then " [secure]" else ""
+        in
+        Printf.printf "  %s%s\n"
+          (String.concat " -> " (List.map string_of_int path))
+          secure_mark
+      end
+    done
+  in
+  let doc = "Print the (post-deployment) routing tree towards a destination." in
+  Cmd.v (Cmd.info "tree" ~doc) Term.(const (fun a b c d -> guard (fun () -> run a b c d)) $ n_arg $ seed_arg $ dest $ limit)
+
+let () =
+  let doc = "Market-driven S*BGP deployment simulator (Gill-Schapira-Goldberg, SIGCOMM'11)" in
+  let info = Cmd.info "sbgp_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; run_cmd; exp_cmd; list_cmd; analyze_cmd; attack_cmd; tree_cmd ]))

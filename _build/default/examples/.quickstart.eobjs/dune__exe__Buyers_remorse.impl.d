@@ -1,0 +1,1 @@
+examples/buyers_remorse.ml: Array Bgp Core Gadgets List Printf String

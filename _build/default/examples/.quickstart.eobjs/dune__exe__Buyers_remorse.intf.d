@@ -1,0 +1,1 @@
+examples/buyers_remorse.mli:

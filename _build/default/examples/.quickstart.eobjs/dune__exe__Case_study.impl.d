@@ -1,0 +1,1 @@
+examples/case_study.ml: Array Asgraph Bgp Core Experiments Gadgets List Nsutil Printf

@@ -1,0 +1,1 @@
+examples/custom_topology.ml: Asgraph Bgp Core Filename Format List Nsutil Printf String Sys Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asgraph Bgp Core Format List Printf String Topology Traffic

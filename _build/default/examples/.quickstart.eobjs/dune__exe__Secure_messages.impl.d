@@ -1,0 +1,1 @@
+examples/secure_messages.ml: Array Asgraph Bgpsec Printf Result Rpki Topology

@@ -1,0 +1,1 @@
+examples/wire_sessions.ml: Array Asgraph Bgp Bgpsec Core Experiments List Netaddr Printf String Topology

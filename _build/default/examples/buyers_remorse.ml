@@ -1,0 +1,59 @@
+(* The dark side of the incoming-utility model (Section 7): an ISP
+   with an incentive to switch S*BGP off, and two ISPs that oscillate
+   forever.
+
+   Run with: dune exec examples/buyers_remorse.exe *)
+
+let () =
+  Printf.printf "== Buyer's remorse (Figure 13) ==\n";
+  let r = Gadgets.Remorse.build () in
+  Printf.printf
+    "  A content provider (weight %.0f) reaches ISP %d's %d stub customers either\n\
+    \  through the ISP's provider %d (fully secure while the ISP runs S*BGP) or\n\
+    \  through the ISP's customer %d (tie-break preferred, insecure).\n"
+    r.weight.(r.cp) r.isp (List.length r.stubs) r.upstream r.downstream;
+  let statics = Bgp.Route_static.create r.graph in
+  let state = Gadgets.Remorse.initial_state r in
+  let u0 =
+    Core.Utility.all Gadgets.Remorse.config statics state ~weight:r.weight
+  in
+  let result = Core.Engine.run Gadgets.Remorse.config statics ~weight:r.weight ~state in
+  let proj =
+    match result.rounds with first :: _ -> first.projected.(r.isp) | [] -> 0.0
+  in
+  Printf.printf
+    "  While secure, the CP's traffic arrives over a provider edge and earns the\n\
+    \  ISP %.0f. Disabling S*BGP reroutes it over a customer edge: projected %.0f.\n"
+    u0.(r.isp) proj;
+  Printf.printf "  => the ISP turns S*BGP off; secure at termination: %b\n\n"
+    (Core.State.secure result.final r.isp);
+
+  Printf.printf "== Oscillation (Section 7.2, CHICKEN gadget) ==\n";
+  let c = Gadgets.Chicken.build () in
+  let statics = Bgp.Route_static.create c.graph in
+  let state = Core.State.create c.graph ~early:c.early ~frozen:c.frozen in
+  let result = Core.Engine.run Gadgets.Chicken.config statics ~weight:c.weight ~state in
+  List.iter
+    (fun (rr : Core.Engine.round_record) ->
+      Printf.printf "  round %d: turned on {%s}, turned off {%s}\n" rr.round
+        (String.concat "," (List.map string_of_int rr.turned_on))
+        (String.concat "," (List.map string_of_int rr.turned_off)))
+    result.rounds;
+  (match result.termination with
+  | Core.Engine.Oscillation { first_round } ->
+      Printf.printf
+        "  => the deployment state of round %d recurs: ISPs %d and %d flip forever.\n"
+        first_round c.player10 c.player20
+  | _ -> Printf.printf "  => unexpected termination\n");
+  Printf.printf
+    "  Deciding whether such dynamics ever stabilize is PSPACE-complete\n\
+    \  (Theorem 7.1); the game below is why — the only stable outcomes are\n\
+    \  the asymmetric ones, which simultaneous best response never reaches:\n";
+  List.iter
+    (fun (on10, on20) ->
+      let u10, u20 = Gadgets.Chicken.payoff c ~on10 ~on20 in
+      Printf.printf "    10=%-3s 20=%-3s -> utilities (%.0f, %.0f)\n"
+        (if on10 then "ON" else "OFF")
+        (if on20 then "ON" else "OFF")
+        u10 u20)
+    [ (true, true); (true, false); (false, true); (false, false) ]

@@ -1,0 +1,1 @@
+lib/adopters/strategy.ml: Array Asgraph Bgp Core Hashtbl List Nsutil Printf

@@ -1,0 +1,1 @@
+lib/adopters/strategy.mli: Asgraph Bgp Core

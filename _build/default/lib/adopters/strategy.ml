@@ -1,0 +1,105 @@
+module Graph = Asgraph.Graph
+module Metrics = Asgraph.Metrics
+module Prng = Nsutil.Prng
+
+type t =
+  | None_
+  | Top_degree of int
+  | Content_providers
+  | Cps_and_top of int
+  | Random_isps of int * int
+  | Explicit of int list
+
+let dedup l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let select g = function
+  | None_ -> []
+  | Top_degree k -> Metrics.top_by_degree g k
+  | Content_providers -> Graph.nodes_of_class g Asgraph.As_class.Cp
+  | Cps_and_top k ->
+      dedup (Graph.nodes_of_class g Asgraph.As_class.Cp @ Metrics.top_by_degree g k)
+  | Random_isps (k, seed) ->
+      let isps = Array.of_list (Graph.nodes_of_class g Asgraph.As_class.Isp) in
+      let rng = Prng.create ~seed in
+      Prng.shuffle rng isps;
+      Array.to_list (Array.sub isps 0 (min k (Array.length isps)))
+  | Explicit l -> dedup l
+
+let to_string = function
+  | None_ -> "none"
+  | Top_degree k -> Printf.sprintf "top%d" k
+  | Content_providers -> "5cps"
+  | Cps_and_top k -> Printf.sprintf "cps+top%d" k
+  | Random_isps (k, _) -> Printf.sprintf "random%d" k
+  | Explicit l -> Printf.sprintf "explicit(%d)" (List.length l)
+
+let all_paper_sets g =
+  (* The paper's top-100 / top-200 sets are ~1.7% / ~3.3% of its 6K
+     ISPs; scale by ISP count so small graphs keep the same relative
+     coverage. *)
+  let isps = Graph.count_class g Asgraph.As_class.Isp in
+  let scale pct = max 5 (isps * pct / 100) in
+  let sets =
+    [
+      ("none", None_);
+      ("top5", Top_degree 5);
+      ("top10", Top_degree 10);
+      (* The paper's top-100 / top-200 analogues. *)
+      (Printf.sprintf "top10%%(%d)" (scale 10), Top_degree (scale 10));
+      (Printf.sprintf "top20%%(%d)" (scale 20), Top_degree (scale 20));
+      ("5cps", Content_providers);
+      ("cps+top5", Cps_and_top 5);
+      (Printf.sprintf "random(%d)" (scale 20), Random_isps (scale 20, 7));
+    ]
+  in
+  List.map (fun (name, s) -> (name, select g s)) sets
+
+let run_once cfg statics ~weight ~early =
+  let g = Bgp.Route_static.graph statics in
+  let state = Core.State.create g ~early in
+  let result = Core.Engine.run cfg statics ~weight ~state in
+  Core.State.secure_count result.final
+
+(* All k-subsets of a list, lazily folded. *)
+let rec subsets k l =
+  if k = 0 then [ [] ]
+  else begin
+    match l with
+    | [] -> []
+    | x :: rest -> List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+  end
+
+let brute_force_optimum cfg statics ~weight ~k ~candidates =
+  let best = ref ([], -1) in
+  List.iter
+    (fun early ->
+      let count = run_once cfg statics ~weight ~early in
+      if count > snd !best then best := (early, count))
+    (subsets k candidates);
+  !best
+
+let greedy cfg statics ~weight ~k ~candidates =
+  let chosen = ref [] in
+  for _ = 1 to k do
+    let best = ref None in
+    List.iter
+      (fun c ->
+        if not (List.mem c !chosen) then begin
+          let count = run_once cfg statics ~weight ~early:(c :: !chosen) in
+          match !best with
+          | Some (_, b) when b >= count -> ()
+          | _ -> best := Some (c, count)
+        end)
+      candidates;
+    match !best with Some (c, _) -> chosen := c :: !chosen | None -> ()
+  done;
+  List.rev !chosen

@@ -1,0 +1,47 @@
+(** Early-adopter selection (Section 6).
+
+    Theorem 6.1 shows choosing the optimal set is NP-hard (even to
+    approximate), so the paper evaluates heuristics; this module
+    implements them plus a brute-force optimum for tiny graphs. *)
+
+type t =
+  | None_
+  | Top_degree of int  (** the k highest-degree ISPs (paper: "top-k") *)
+  | Content_providers  (** all CPs *)
+  | Cps_and_top of int  (** the five CPs plus top-k ISPs (case study: k = 5) *)
+  | Random_isps of int * int  (** (k, seed) *)
+  | Explicit of int list
+
+val select : Asgraph.Graph.t -> t -> int list
+(** The early-adopter node set; deduplicated, stable order. *)
+
+val to_string : t -> string
+
+val all_paper_sets : Asgraph.Graph.t -> (string * int list) list
+(** The sets compared in Figure 8, scaled for graph size: none, top-5,
+    top-10, top-N/10 and top-N/5 by degree, the CPs, CPs+top-5, and
+    N/5 random ISPs. *)
+
+val brute_force_optimum :
+  Core.Config.t ->
+  Bgp.Route_static.t ->
+  weight:float array ->
+  k:int ->
+  candidates:int list ->
+  int list * int
+(** Exhaustively try every k-subset of [candidates] as early adopters
+    and return the one maximizing the number of secure ASes at
+    termination (ties by first found), with that count. Exponential;
+    for unit-test-sized graphs only. *)
+
+val greedy :
+  Core.Config.t ->
+  Bgp.Route_static.t ->
+  weight:float array ->
+  k:int ->
+  candidates:int list ->
+  int list
+(** Greedy heuristic: repeatedly add the candidate whose addition
+    maximizes secure ASes at termination. The set-cover analogy
+    suggests this is a reasonable (if unprovable, per Thm 6.1)
+    heuristic. *)

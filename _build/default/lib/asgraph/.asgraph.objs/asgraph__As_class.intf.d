@@ -1,0 +1,1 @@
+lib/asgraph/as_class.mli: Format

@@ -1,0 +1,1 @@
+lib/asgraph/graph.ml: Array As_class Hashtbl List Nsutil Printf

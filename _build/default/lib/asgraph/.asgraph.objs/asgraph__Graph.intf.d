@@ -1,0 +1,1 @@
+lib/asgraph/graph.mli: As_class Nsutil

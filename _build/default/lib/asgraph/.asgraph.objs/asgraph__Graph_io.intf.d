@@ -1,0 +1,1 @@
+lib/asgraph/graph_io.mli: Graph Hashtbl

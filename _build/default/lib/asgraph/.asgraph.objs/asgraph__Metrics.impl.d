@@ -1,0 +1,1 @@
+lib/asgraph/metrics.ml: Array As_class Format Graph List

@@ -1,0 +1,1 @@
+lib/asgraph/metrics.mli: Format Graph

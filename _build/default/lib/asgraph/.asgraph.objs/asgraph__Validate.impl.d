@@ -1,0 +1,1 @@
+lib/asgraph/validate.ml: Array Bytes Graph Nsutil Queue

@@ -1,0 +1,1 @@
+lib/asgraph/validate.mli: Graph

@@ -1,0 +1,16 @@
+type t = Stub | Isp | Cp
+
+let to_string = function Stub -> "stub" | Isp -> "isp" | Cp -> "cp"
+
+let of_string = function
+  | "stub" -> Some Stub
+  | "isp" -> Some Isp
+  | "cp" -> Some Cp
+  | _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Stub, Stub | Isp, Isp | Cp, Cp -> true
+  | (Stub | Isp | Cp), _ -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

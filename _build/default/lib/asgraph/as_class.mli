@@ -1,0 +1,11 @@
+(** AS classes used throughout the paper's model (Section 3.1). *)
+
+type t =
+  | Stub  (** No customers and not a content provider; 85% of ASes. *)
+  | Isp  (** Earns revenue by transiting customer traffic. *)
+  | Cp  (** Content provider; originates a large traffic share. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

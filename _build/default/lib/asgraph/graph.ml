@@ -1,0 +1,125 @@
+module Csr = Nsutil.Csr
+
+type rel = Customer | Peer | Provider
+
+type t = {
+  n : int;
+  customers : Csr.t;
+  providers : Csr.t;
+  peers : Csr.t;
+  klass : As_class.t array;
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let build ~n ~cp_edges ~peer_edges ~cps =
+  let check_node v =
+    if v < 0 || v >= n then malformed "node %d out of range [0, %d)" v n
+  in
+  (* Deduplicate and detect conflicting annotations using a set of
+     canonical (min, max, kind) keys and a map over unordered pairs. *)
+  let seen = Hashtbl.create (4 * (List.length cp_edges + List.length peer_edges)) in
+  let key a b = if a < b then (a, b) else (b, a) in
+  let record a b tag =
+    check_node a;
+    check_node b;
+    if a = b then malformed "self-loop at node %d" a;
+    let k = key a b in
+    match Hashtbl.find_opt seen k with
+    | None ->
+        Hashtbl.add seen k tag;
+        true
+    | Some prev when prev = tag -> false (* duplicate, drop *)
+    | Some _ -> malformed "edge (%d, %d) has conflicting annotations" a b
+  in
+  let customers_acc = Array.make n [] in
+  let providers_acc = Array.make n [] in
+  let peers_acc = Array.make n [] in
+  List.iter
+    (fun (prov, cust) ->
+      (* Tag customer-provider edges by direction so that an edge
+         declared in both directions is flagged as conflicting. *)
+      let tag = if prov < cust then `Cp_lo_provider else `Cp_hi_provider in
+      if record prov cust tag then begin
+        customers_acc.(prov) <- cust :: customers_acc.(prov);
+        providers_acc.(cust) <- prov :: providers_acc.(cust)
+      end)
+    cp_edges;
+  List.iter
+    (fun (a, b) ->
+      if record a b `Peer then begin
+        peers_acc.(a) <- b :: peers_acc.(a);
+        peers_acc.(b) <- a :: peers_acc.(b)
+      end)
+    peer_edges;
+  let klass = Array.make n As_class.Stub in
+  List.iter
+    (fun cp ->
+      check_node cp;
+      if customers_acc.(cp) <> [] then
+        malformed "content provider %d must not have customers" cp;
+      klass.(cp) <- As_class.Cp)
+    cps;
+  for i = 0 to n - 1 do
+    if klass.(i) <> As_class.Cp && customers_acc.(i) <> [] then
+      klass.(i) <- As_class.Isp
+  done;
+  {
+    n;
+    customers = Csr.of_rev_lists customers_acc;
+    providers = Csr.of_rev_lists providers_acc;
+    peers = Csr.of_rev_lists peers_acc;
+    klass;
+  }
+
+let n t = t.n
+let klass t i = t.klass.(i)
+let is_stub t i = t.klass.(i) = As_class.Stub
+let is_isp t i = t.klass.(i) = As_class.Isp
+let is_cp t i = t.klass.(i) = As_class.Cp
+
+let rel t a b =
+  if Csr.mem_row t.customers a b then Some Customer
+  else if Csr.mem_row t.providers a b then Some Provider
+  else if Csr.mem_row t.peers a b then Some Peer
+  else None
+
+let customer_degree t i = Csr.row_length t.customers i
+let provider_degree t i = Csr.row_length t.providers i
+let peer_degree t i = Csr.row_length t.peers i
+let degree t i = customer_degree t i + provider_degree t i + peer_degree t i
+
+let iter_customers t i f = Csr.iter_row t.customers i f
+let iter_providers t i f = Csr.iter_row t.providers i f
+let iter_peers t i f = Csr.iter_row t.peers i f
+let customers_list t i = Csr.row_to_list t.customers i
+let providers_list t i = Csr.row_to_list t.providers i
+let peers_list t i = Csr.row_to_list t.peers i
+
+let cp_edge_count t = Csr.total t.customers
+let peer_edge_count t = Csr.total t.peers / 2
+
+let nodes_of_class t c =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if As_class.equal t.klass.(i) c then acc := i :: !acc
+  done;
+  !acc
+
+let count_class t c =
+  Array.fold_left (fun acc k -> if As_class.equal k c then acc + 1 else acc) 0 t.klass
+
+let edges t =
+  let acc = ref [] in
+  for i = 0 to t.n - 1 do
+    iter_customers t i (fun c -> acc := ((i, c), Customer) :: !acc);
+    iter_peers t i (fun p -> if i < p then acc := ((i, p), Peer) :: !acc)
+  done;
+  List.rev !acc
+
+let rel_to_string = function
+  | Customer -> "customer"
+  | Peer -> "peer"
+  | Provider -> "provider"

@@ -1,0 +1,148 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# AS relationship graph\n";
+  Buffer.add_string buf (Printf.sprintf "!n %d\n" (Graph.n g));
+  List.iter
+    (fun cp -> Buffer.add_string buf (Printf.sprintf "!cp %d\n" cp))
+    (Graph.nodes_of_class g As_class.Cp);
+  List.iter
+    (fun ((a, b), rel) ->
+      match rel with
+      | Graph.Customer -> Buffer.add_string buf (Printf.sprintf "%d|%d|-1\n" a b)
+      | Graph.Peer -> Buffer.add_string buf (Printf.sprintf "%d|%d|0\n" a b)
+      | Graph.Provider -> assert false)
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_string s =
+  let n = ref (-1) in
+  let cps = ref [] in
+  let cp_edges = ref [] in
+  let peer_edges = ref [] in
+  let parse_line idx line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else if String.length line > 3 && String.sub line 0 3 = "!n " then begin
+      match int_of_string_opt (String.sub line 3 (String.length line - 3)) with
+      | Some v when v >= 0 -> n := v
+      | _ -> fail idx "bad !n directive: %s" line
+    end
+    else if String.length line > 4 && String.sub line 0 4 = "!cp " then begin
+      match int_of_string_opt (String.sub line 4 (String.length line - 4)) with
+      | Some v -> cps := v :: !cps
+      | None -> fail idx "bad !cp directive: %s" line
+    end
+    else begin
+      match String.split_on_char '|' line with
+      | [ a; b; r ] -> begin
+          match (int_of_string_opt a, int_of_string_opt b, String.trim r) with
+          | Some a, Some b, "-1" -> cp_edges := (a, b) :: !cp_edges
+          | Some a, Some b, "0" -> peer_edges := (a, b) :: !peer_edges
+          | _ -> fail idx "bad edge record: %s" line
+        end
+      | _ -> fail idx "unrecognized line: %s" line
+    end
+  in
+  List.iteri (fun i l -> parse_line (i + 1) l) (String.split_on_char '\n' s);
+  if !n < 0 then fail 0 "missing !n directive";
+  try Graph.build ~n:!n ~cp_edges:!cp_edges ~peer_edges:!peer_edges ~cps:!cps
+  with Graph.Malformed m -> fail 0 "malformed graph: %s" m
+
+let save g path =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s
+
+type caida_import = {
+  graph : Graph.t;
+  asn_of_node : int array;
+  node_of_asn : (int, int) Hashtbl.t;
+  skipped : int;
+}
+
+let of_caida ?(cps = []) s =
+  let node_of_asn = Hashtbl.create 4096 in
+  let rev = ref [] in
+  let count = ref 0 in
+  let intern asn =
+    match Hashtbl.find_opt node_of_asn asn with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.add node_of_asn asn id;
+        rev := asn :: !rev;
+        id
+  in
+  let seen = Hashtbl.create 4096 in
+  let key a b = if a < b then (a, b) else (b, a) in
+  let cp_edges = ref [] in
+  let peer_edges = ref [] in
+  let skipped = ref 0 in
+  let record a b tag add =
+    if a = b then incr skipped
+    else begin
+      let k = key a b in
+      match Hashtbl.find_opt seen k with
+      | Some prev when prev = tag -> () (* duplicate *)
+      | Some _ -> incr skipped (* conflicting annotation *)
+      | None ->
+          Hashtbl.add seen k tag;
+          add ()
+    end
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        match String.split_on_char '|' line with
+        | a :: b :: rel :: _ -> begin
+            match (int_of_string_opt a, int_of_string_opt b, String.trim rel) with
+            | Some a, Some b, "-1" ->
+                let a = intern a and b = intern b in
+                record a b (if a < b then `Cp_lo else `Cp_hi) (fun () ->
+                    cp_edges := (a, b) :: !cp_edges)
+            | Some a, Some b, "0" ->
+                let a = intern a and b = intern b in
+                record a b `Peer (fun () -> peer_edges := (a, b) :: !peer_edges)
+            | _ -> incr skipped
+          end
+        | _ -> incr skipped
+      end)
+    (String.split_on_char '\n' s);
+  let asn_of_node = Array.of_list (List.rev !rev) in
+  (* CPs must have no customers in this model; drop the marker (not
+     the node) otherwise, like the paper removes the CPs'
+     acquisition customers (Appendix D). *)
+  let has_customer = Hashtbl.create 1024 in
+  List.iter (fun (p, _) -> Hashtbl.replace has_customer p ()) !cp_edges;
+  let cp_nodes =
+    List.filter_map
+      (fun asn ->
+        match Hashtbl.find_opt node_of_asn asn with
+        | Some id when not (Hashtbl.mem has_customer id) -> Some id
+        | Some _ | None -> None)
+      cps
+  in
+  let graph =
+    Graph.build ~n:!count ~cp_edges:!cp_edges ~peer_edges:!peer_edges ~cps:cp_nodes
+  in
+  { graph; asn_of_node; node_of_asn; skipped = !skipped }
+
+let load_caida ?cps path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_caida ?cps s

@@ -1,0 +1,43 @@
+(** Serialization of AS graphs in a CAIDA-style relationship format.
+
+    Line grammar (one record per line):
+    - [# ...] comment
+    - [!n <count>] node-count header (first non-comment line)
+    - [!cp <node>] declares a content provider
+    - [<provider>|<customer>|-1] customer-provider edge
+    - [<a>|<b>|0] peer-to-peer edge
+
+    This mirrors the public CAIDA/Cyclops "as-rel" format closely
+    enough that a real Internet snapshot can be converted by adding
+    the two header directives. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+
+val save : Graph.t -> string -> unit
+val load : string -> Graph.t
+
+(** {2 Importing real CAIDA / Cyclops snapshots} *)
+
+type caida_import = {
+  graph : Graph.t;
+  asn_of_node : int array;  (** dense node id -> original ASN *)
+  node_of_asn : (int, int) Hashtbl.t;
+  skipped : int;  (** malformed / conflicting records dropped *)
+}
+
+val of_caida : ?cps:int list -> string -> caida_import
+(** Parse the standard CAIDA "as-rel" serialization
+    ([<a>|<b>|-1] provider-to-customer, [<a>|<b>|0] peer, [#] comments)
+    with arbitrary AS numbers, remapping them to dense node ids.
+    [cps] lists original ASNs to mark as content providers (e.g. the
+    paper's 15169, 32934, 8075, 20940, 22822); ASNs not present in the
+    file are ignored. Records that are self-loops or conflict with an
+    earlier annotation are counted in [skipped] rather than fatal —
+    real snapshots contain a few. Cycles in the customer-provider
+    relation are not checked here; run {!Validate.gr1_acyclic}. *)
+
+val load_caida : ?cps:int list -> string -> caida_import
+(** [of_caida] on a file's contents. *)

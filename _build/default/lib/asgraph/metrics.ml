@@ -1,0 +1,63 @@
+type summary = {
+  nodes : int;
+  stubs : int;
+  isps : int;
+  cps : int;
+  cp_edges : int;
+  peer_edges : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+let degree_array g = Array.init (Graph.n g) (fun i -> Graph.degree g i)
+
+let summary g =
+  let n = Graph.n g in
+  let deg = degree_array g in
+  let max_degree = Array.fold_left max 0 deg in
+  let total_degree = Array.fold_left ( + ) 0 deg in
+  {
+    nodes = n;
+    stubs = Graph.count_class g As_class.Stub;
+    isps = Graph.count_class g As_class.Isp;
+    cps = Graph.count_class g As_class.Cp;
+    cp_edges = Graph.cp_edge_count g;
+    peer_edges = Graph.peer_edge_count g;
+    max_degree;
+    mean_degree = (if n = 0 then 0.0 else float_of_int total_degree /. float_of_int n);
+  }
+
+let top_by_degree g ?among k =
+  let among = match among with Some f -> f | None -> Graph.is_isp g in
+  let candidates = ref [] in
+  for i = Graph.n g - 1 downto 0 do
+    if among i then candidates := (Graph.degree g i, i) :: !candidates
+  done;
+  let sorted =
+    List.sort (fun (da, ia) (db, ib) -> if da <> db then compare db da else compare ia ib)
+      !candidates
+  in
+  List.filteri (fun idx _ -> idx < k) sorted |> List.map snd
+
+let stub_fraction g =
+  let n = Graph.n g in
+  if n = 0 then 0.0
+  else float_of_int (Graph.count_class g As_class.Stub) /. float_of_int n
+
+let single_homed_stub_customers g isp =
+  let count = ref 0 in
+  Graph.iter_customers g isp (fun c ->
+      if Graph.is_stub g c && Graph.provider_degree g c = 1 then incr count);
+  !count
+
+let multi_homed_stubs g =
+  let acc = ref [] in
+  for i = Graph.n g - 1 downto 0 do
+    if Graph.is_stub g i && Graph.provider_degree g i >= 2 then acc := i :: !acc
+  done;
+  !acc
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "nodes=%d stubs=%d isps=%d cps=%d cp-edges=%d peer-edges=%d maxdeg=%d meandeg=%.2f"
+    s.nodes s.stubs s.isps s.cps s.cp_edges s.peer_edges s.max_degree s.mean_degree

@@ -1,0 +1,33 @@
+(** Degree and composition metrics over AS graphs. *)
+
+type summary = {
+  nodes : int;
+  stubs : int;
+  isps : int;
+  cps : int;
+  cp_edges : int;
+  peer_edges : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+val summary : Graph.t -> summary
+
+val top_by_degree : Graph.t -> ?among:(int -> bool) -> int -> int list
+(** [top_by_degree g ~among k] returns the [k] highest-degree nodes
+    satisfying [among] (default: ISPs only, matching the paper's
+    "top-5 Tier 1s in terms of degree"), ties by lower id. *)
+
+val degree_array : Graph.t -> int array
+
+val stub_fraction : Graph.t -> float
+
+val single_homed_stub_customers : Graph.t -> int -> int
+(** Number of the given ISP's stub customers with exactly one
+    provider. *)
+
+val multi_homed_stubs : Graph.t -> int list
+(** All stubs with at least two providers — the locus of competition
+    (Section 5.1). *)
+
+val pp_summary : Format.formatter -> summary -> unit

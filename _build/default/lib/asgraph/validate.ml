@@ -1,0 +1,78 @@
+type report = {
+  gr1_acyclic : bool;
+  connected : bool;
+  tier1_count : int;
+  orphan_count : int;
+}
+
+(* Iterative three-color DFS over provider->customer edges. *)
+let find_cp_cycle g =
+  let n = Graph.n g in
+  let color = Bytes.make n '\000' in
+  (* '\000' white, '\001' on stack, '\002' done *)
+  let parent = Array.make n (-1) in
+  let cycle = ref None in
+  let rec dfs v =
+    Bytes.set color v '\001';
+    Graph.iter_customers g v (fun c ->
+        if !cycle = None then begin
+          match Bytes.get color c with
+          | '\000' ->
+              parent.(c) <- v;
+              dfs c
+          | '\001' ->
+              (* Back edge v -> c closes a cycle c .. v. *)
+              let rec collect u acc = if u = c then c :: acc else collect parent.(u) (u :: acc) in
+              cycle := Some (collect v [])
+          | _ -> ()
+        end);
+    Bytes.set color v '\002'
+  in
+  let v = ref 0 in
+  while !cycle = None && !v < n do
+    if Bytes.get color !v = '\000' then dfs !v;
+    incr v
+  done;
+  !cycle
+
+let gr1_acyclic g = find_cp_cycle g = None
+
+let connected g =
+  let n = Graph.n g in
+  if n = 0 then true
+  else begin
+    let seen = Nsutil.Bitset.create n in
+    let queue = Queue.create () in
+    Nsutil.Bitset.set seen 0;
+    Queue.add 0 queue;
+    let count = ref 1 in
+    let visit u =
+      if not (Nsutil.Bitset.mem seen u) then begin
+        Nsutil.Bitset.set seen u;
+        incr count;
+        Queue.add u queue
+      end
+    in
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      Graph.iter_customers g v visit;
+      Graph.iter_providers g v visit;
+      Graph.iter_peers g v visit
+    done;
+    !count = n
+  end
+
+let run g =
+  let n = Graph.n g in
+  let tier1 = ref 0 in
+  let orphans = ref 0 in
+  for i = 0 to n - 1 do
+    if Graph.provider_degree g i = 0 && Graph.is_isp g i then incr tier1;
+    if Graph.degree g i = 0 then incr orphans
+  done;
+  {
+    gr1_acyclic = gr1_acyclic g;
+    connected = connected g;
+    tier1_count = !tier1;
+    orphan_count = !orphans;
+  }

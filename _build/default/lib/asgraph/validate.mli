@@ -1,0 +1,21 @@
+(** Structural sanity checks on AS graphs.
+
+    GR1 of the Gao-Rexford conditions requires the customer-provider
+    relation to be acyclic (nobody is their own transitive provider);
+    our routing substrate and the gadget constructions of Appendix K
+    both rely on it. *)
+
+type report = {
+  gr1_acyclic : bool;  (** no customer-provider cycle *)
+  connected : bool;  (** underlying undirected graph is connected *)
+  tier1_count : int;  (** provider-free ISPs *)
+  orphan_count : int;  (** degree-0 nodes *)
+}
+
+val run : Graph.t -> report
+
+val gr1_acyclic : Graph.t -> bool
+val connected : Graph.t -> bool
+
+val find_cp_cycle : Graph.t -> int list option
+(** A witness customer-provider cycle (as a node list), if any. *)

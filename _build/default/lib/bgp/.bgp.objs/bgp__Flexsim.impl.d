@@ -1,0 +1,1 @@
+lib/bgp/flexsim.ml: Array Asgraph Bytes List Policy

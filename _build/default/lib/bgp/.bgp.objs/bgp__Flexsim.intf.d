@@ -1,0 +1,1 @@
+lib/bgp/flexsim.mli: Asgraph Bytes Policy

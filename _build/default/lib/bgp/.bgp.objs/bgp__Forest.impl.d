@@ -1,0 +1,1 @@
+lib/bgp/forest.ml: Array Bytes List Nsutil Policy Route_static

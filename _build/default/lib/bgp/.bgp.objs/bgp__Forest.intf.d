@@ -1,0 +1,1 @@
+lib/bgp/forest.mli: Bytes Policy Route_static

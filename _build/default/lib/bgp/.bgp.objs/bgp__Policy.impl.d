@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Char Hashtbl Nsutil Printf

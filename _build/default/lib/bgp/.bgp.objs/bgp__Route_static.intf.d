@@ -1,0 +1,1 @@
+lib/bgp/route_static.mli: Asgraph Bytes Nsutil Policy

@@ -1,0 +1,100 @@
+module Graph = Asgraph.Graph
+
+type secp_position = Tiebreak_only | Before_length | Before_lp
+
+let position_to_string = function
+  | Tiebreak_only -> "tiebreak-only"
+  | Before_length -> "before-length"
+  | Before_lp -> "security-first"
+
+type outcome = {
+  next : int array;
+  secure : bool array;
+  converged : bool;
+  iterations : int;
+}
+
+type route = { next_hop : int; path : int list; lp : int; sec : bool }
+
+let route_to g ~dest ~secure ~use_secp ~tiebreak ~position =
+  let n = Graph.n g in
+  let rib : route option array = Array.make n None in
+  let sec_of i = Bytes.get secure i = '\001' in
+  let exports v ~v_is_provider_of_u =
+    v = dest
+    || v_is_provider_of_u
+    || match rib.(v) with Some r -> r.lp = 0 | None -> false
+  in
+  (* The learned route's security excludes the receiver itself. *)
+  let key u (r : route) =
+    let learned_secure =
+      match r.path with _ :: rest -> List.for_all sec_of rest | [] -> true
+    in
+    let s =
+      if Bytes.get use_secp u = '\001' && learned_secure then 0
+      else if Bytes.get use_secp u = '\001' then 1
+      else 0
+    in
+    let len = List.length r.path in
+    let tb = Policy.tiebreak_key tiebreak u r.next_hop in
+    match position with
+    | Tiebreak_only -> (r.lp, len, s, tb)
+    | Before_length -> (r.lp, s, len, tb)
+    | Before_lp -> (s, r.lp, len, tb)
+  in
+  let candidate u v lp =
+    if v = dest then
+      Some { next_hop = v; path = [ u; dest ]; lp; sec = sec_of u && sec_of dest }
+    else begin
+      match rib.(v) with
+      | None -> None
+      | Some r ->
+          if List.mem u r.path then None
+          else Some { next_hop = v; path = u :: r.path; lp; sec = sec_of u && r.sec }
+    end
+  in
+  let changed = ref true in
+  let iterations = ref 0 in
+  let cap = (2 * n) + 8 in
+  while !changed && !iterations < cap do
+    incr iterations;
+    changed := false;
+    for u = 0 to n - 1 do
+      if u <> dest then begin
+        let best = ref None in
+        let consider v lp provider =
+          if exports v ~v_is_provider_of_u:provider then begin
+            match candidate u v lp with
+            | Some c ->
+                let beats =
+                  match !best with None -> true | Some b -> key u c < key u b
+                in
+                if beats then best := Some c
+            | None -> ()
+          end
+        in
+        Graph.iter_customers g u (fun v -> consider v 0 false);
+        Graph.iter_peers g u (fun v -> consider v 1 false);
+        Graph.iter_providers g u (fun v -> consider v 2 true);
+        if !best <> rib.(u) then begin
+          rib.(u) <- !best;
+          changed := true
+        end
+      end
+    done
+  done;
+  {
+    next =
+      Array.mapi
+        (fun u r ->
+          if u = dest then -1 else match r with Some r -> r.next_hop | None -> -1)
+        rib;
+    secure =
+      Array.mapi
+        (fun u r ->
+          if u = dest then sec_of dest
+          else match r with Some r -> r.sec | None -> false)
+        rib;
+    converged = not !changed;
+    iterations = !iterations;
+  }

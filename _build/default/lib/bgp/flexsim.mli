@@ -1,0 +1,43 @@
+(** Route computation with a configurable position for the security
+    criterion.
+
+    Section 2.2.2 notes that an AS "might even modify its ranking on
+    outgoing paths so that security is its highest priority" before
+    settling on the tie-break-only rule. Moving SecP up the ranking
+    breaks Observation C.1 (path class/length become state-dependent),
+    so the fast {!Route_static}/{!Forest} pipeline no longer applies;
+    this module is a straightforward fixed-point computation used by
+    the security-priority ablations. It is O(iterations * E) per
+    destination — fine for analysis, not for the engine's inner loop.
+
+    Convergence: with [Tiebreak_only] the policies are the Appendix-A
+    ones and convergence is guaranteed (Appendix G). With the higher
+    positions the ranking is no longer aligned with the Gao-Rexford
+    economics and convergence is *not* guaranteed in general; the
+    computation caps its iterations and reports whether it reached a
+    fixed point. *)
+
+type secp_position =
+  | Tiebreak_only  (** the paper's rule: LP > SP > SecP > TB *)
+  | Before_length  (** LP > SecP > SP > TB *)
+  | Before_lp  (** SecP > LP > SP > TB: security first *)
+
+val position_to_string : secp_position -> string
+
+type outcome = {
+  next : int array;  (** chosen next hop; -1 for the destination / unreachable *)
+  secure : bool array;  (** the chosen route is fully secure (including self) *)
+  converged : bool;
+  iterations : int;
+}
+
+val route_to :
+  Asgraph.Graph.t ->
+  dest:int ->
+  secure:Bytes.t ->
+  use_secp:Bytes.t ->
+  tiebreak:Policy.tiebreak ->
+  position:secp_position ->
+  outcome
+(** Nodes that do not apply SecP ([use_secp] = 0) rank without the
+    security criterion at every position. *)

@@ -1,0 +1,66 @@
+module Csr = Nsutil.Csr
+
+type scratch = { next : int array; sec_path : Bytes.t; sub : float array; size : int }
+
+let make_scratch n =
+  { next = Array.make n (-1); sec_path = Bytes.make n '\000'; sub = Array.make n 0.0; size = n }
+
+let compute (info : Route_static.dest_info) ~tiebreak ~secure ~use_secp ~weight scratch =
+  let { next; sec_path; sub; size = n } = scratch in
+  ignore n;
+  let order = info.order in
+  let tie = info.tie in
+  let d = info.dest in
+  (* Reset only the nodes we will touch (the reachable ones). *)
+  Array.iter
+    (fun i ->
+      next.(i) <- -1;
+      Bytes.unsafe_set sec_path i '\000';
+      sub.(i) <- weight.(i))
+    order;
+  Bytes.unsafe_set sec_path d (Bytes.unsafe_get secure d);
+  (* Pass 1, ascending path length: choose next hops and propagate
+     secure-route availability. A node has a fully secure route iff it
+     is itself secure and some tiebreak-set member has one; a node
+     applying SecP restricts its choice to such members when any
+     exist. *)
+  let nreach = Array.length order in
+  for k = 1 to nreach - 1 do
+    let i = Array.unsafe_get order k in
+    let secure_exists = Csr.exists_row tie i (fun j -> Bytes.unsafe_get sec_path j = '\001') in
+    if secure_exists && Bytes.unsafe_get secure i = '\001' then
+      Bytes.unsafe_set sec_path i '\001';
+    let restrict = secure_exists && Bytes.unsafe_get use_secp i = '\001' in
+    let best = ref (-1) in
+    let best_key = ref max_int in
+    Csr.iter_row tie i (fun j ->
+        if (not restrict) || Bytes.unsafe_get sec_path j = '\001' then begin
+          let key = Policy.tiebreak_key tiebreak i j in
+          if !best < 0 || key < !best_key then begin
+            best := j;
+            best_key := key
+          end
+        end);
+    next.(i) <- !best
+  done;
+  (* Pass 2, descending path length: accumulate subtree weights. *)
+  for k = nreach - 1 downto 1 do
+    let i = Array.unsafe_get order k in
+    let nh = next.(i) in
+    if nh >= 0 then sub.(nh) <- sub.(nh) +. sub.(i)
+  done
+
+let path_to_dest (info : Route_static.dest_info) scratch src =
+  if not (Route_static.reachable info src) then []
+  else begin
+    let rec walk v acc =
+      if v = info.dest then List.rev (v :: acc)
+      else begin
+        let nh = scratch.next.(v) in
+        if nh < 0 then [] else walk nh (v :: acc)
+      end
+    in
+    walk src []
+  end
+
+let transit_weight scratch ~weight i = scratch.sub.(i) -. weight.(i)

@@ -1,0 +1,39 @@
+(** The fast routing tree algorithm (Appendix C.2).
+
+    Given one destination's static info and a deployment state, this
+    computes every node's chosen next hop (applying the SecP and TB
+    steps), whether each node holds a fully secure route, and the
+    traffic weight transiting each node — all in O(t * N) with zero
+    allocation when reusing a scratch buffer. *)
+
+type scratch = private {
+  next : int array;  (** chosen next hop; [-1] for the destination / unreachable *)
+  sec_path : Bytes.t;  (** 1 iff the node's best routes include a fully secure one *)
+  sub : float array;  (** subtree weight: own weight + all traffic routed through *)
+  size : int;
+}
+
+val make_scratch : int -> scratch
+(** Scratch for graphs of [n] nodes; reusable across calls. *)
+
+val compute :
+  Route_static.dest_info ->
+  tiebreak:Policy.tiebreak ->
+  secure:Bytes.t ->
+  use_secp:Bytes.t ->
+  weight:float array ->
+  scratch ->
+  unit
+(** Fill [scratch] for this destination and state. [secure.(i) = 1]
+    iff AS [i] participates in S*BGP (full or simplex): it signs, so
+    paths through it can be fully secure. [use_secp.(i) = 1] iff [i]
+    applies the SecP tie-break (secure ISPs/CPs always; secure stubs
+    only when the stubs-break-ties assumption is on). A path is secure
+    iff every AS on it is secure, including both endpoints. *)
+
+val path_to_dest : Route_static.dest_info -> scratch -> int -> int list
+(** The chosen AS path [src; ...; dest], empty if unreachable. *)
+
+val transit_weight : scratch -> weight:float array -> int -> float
+(** Traffic from other ASes that the node forwards towards this
+    destination: [sub - own weight]. *)

@@ -1,0 +1,40 @@
+type route_class = Self | Via_customer | Via_peer | Via_provider | Unreachable
+
+let class_to_char = function
+  | Self -> '\000'
+  | Via_customer -> '\001'
+  | Via_peer -> '\002'
+  | Via_provider -> '\003'
+  | Unreachable -> '\004'
+
+let class_of_char = function
+  | '\000' -> Self
+  | '\001' -> Via_customer
+  | '\002' -> Via_peer
+  | '\003' -> Via_provider
+  | '\004' -> Unreachable
+  | c -> invalid_arg (Printf.sprintf "Policy.class_of_char: %d" (Char.code c))
+
+let class_to_string = function
+  | Self -> "self"
+  | Via_customer -> "customer"
+  | Via_peer -> "peer"
+  | Via_provider -> "provider"
+  | Unreachable -> "unreachable"
+
+type ranking = (int * int, int) Hashtbl.t
+
+type tiebreak = Lowest_id | Hashed of int | Ranked of ranking
+
+let ranking_create () : ranking = Hashtbl.create 64
+
+let set_rank (r : ranking) ~node ~next_hop rank = Hashtbl.replace r (node, next_hop) rank
+
+let tiebreak_key tb a b =
+  match tb with
+  | Lowest_id -> b
+  | Hashed seed -> Nsutil.Prng.mix2 (seed lxor a) b
+  | Ranked r -> ( match Hashtbl.find_opt r (a, b) with Some rank -> rank | None -> b)
+
+let preferred tb a ~current ~candidate =
+  current < 0 || tiebreak_key tb a candidate < tiebreak_key tb a current

@@ -1,0 +1,49 @@
+(** The routing-policy model of Appendix A.
+
+    Ranking, applied per destination:
+    + LP: prefer routes whose next hop is a customer over peer over
+      provider (Gao-Rexford local preference);
+    + SP: among those, prefer shortest AS paths;
+    + SecP: a *secure* AS prefers fully-secure routes among
+      equally-good ones (the paper's proposed tie-break step);
+    + TB: finally, a deterministic intradomain tie break.
+
+    Export (GR2): an AS announces a route to a neighbor iff the
+    neighbor or the route's next hop is its customer; own prefixes are
+    announced to everyone. *)
+
+(** Route class = local-preference class = relationship of the chosen
+    next hop. The numeric encodings are part of the wire/scratch
+    representation used by {!Route_static} and {!Forest}. *)
+type route_class =
+  | Self  (** the destination itself; encoded 0 *)
+  | Via_customer  (** encoded 1 *)
+  | Via_peer  (** encoded 2 *)
+  | Via_provider  (** encoded 3 *)
+  | Unreachable  (** encoded 4 *)
+
+val class_to_char : route_class -> char
+val class_of_char : char -> route_class
+val class_to_string : route_class -> string
+
+(** The TB step. [Lowest_id] matches the gadget constructions of the
+    appendices ("break ties in favor of the lowest AS number");
+    [Hashed seed] is the paper's [H(a,b)] hash tie break; [Ranked]
+    consults an explicit per-(node, next hop) rank table (used by the
+    Appendix-K constructions, whose correctness rests on specific
+    tie-break preferences), falling back to lowest-id. *)
+type ranking
+
+type tiebreak = Lowest_id | Hashed of int | Ranked of ranking
+
+val ranking_create : unit -> ranking
+val set_rank : ranking -> node:int -> next_hop:int -> int -> unit
+(** Lower rank wins. Unranked pairs fall back to the next hop's id. *)
+
+val tiebreak_key : tiebreak -> int -> int -> int
+(** [tiebreak_key tb a b] is the rank of next-hop [b] as seen by [a];
+    the neighbor with the smallest key wins. *)
+
+val preferred : tiebreak -> int -> current:int -> candidate:int -> bool
+(** [preferred tb a ~current ~candidate] is true when [candidate]
+    beats [current] ([current = -1] means no choice yet). *)

@@ -1,0 +1,175 @@
+module Csr = Nsutil.Csr
+module Graph = Asgraph.Graph
+
+type dest_info = {
+  dest : int;
+  cls : Bytes.t;
+  len : Bytes.t;
+  tie : Csr.t;
+  order : int array;
+  max_len : int;
+}
+
+let inf = max_int
+let max_path_len = 254
+
+let c_self = Policy.class_to_char Policy.Self
+let c_cust = Policy.class_to_char Policy.Via_customer
+let c_peer = Policy.class_to_char Policy.Via_peer
+let c_prov = Policy.class_to_char Policy.Via_provider
+let c_unreach = Policy.class_to_char Policy.Unreachable
+
+(* Three-stage Gao-Rexford route computation (Appendix A / [15]):
+   customer routes climb provider links from d; peer routes add one
+   peering hop onto a customer route; provider routes descend customer
+   links from any already-routed node, in ascending length order. *)
+let compute g d =
+  let n = Graph.n g in
+  let l1 = Array.make n inf in
+  let bl = Array.make n inf in
+  let cls = Bytes.make n c_unreach in
+  (* Stage 1: customer-route lengths. *)
+  l1.(d) <- 0;
+  let queue = Queue.create () in
+  Queue.add d queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    Graph.iter_providers g x (fun p ->
+        if l1.(p) = inf then begin
+          l1.(p) <- l1.(x) + 1;
+          Queue.add p queue
+        end)
+  done;
+  Bytes.set cls d c_self;
+  bl.(d) <- 0;
+  for i = 0 to n - 1 do
+    if i <> d && l1.(i) < inf then begin
+      bl.(i) <- l1.(i);
+      Bytes.set cls i c_cust
+    end
+  done;
+  (* Stage 2: peer routes for nodes without a customer route. *)
+  for i = 0 to n - 1 do
+    if bl.(i) = inf then begin
+      let best = ref inf in
+      Graph.iter_peers g i (fun p -> if l1.(p) < !best then best := l1.(p));
+      if !best < inf then begin
+        bl.(i) <- !best + 1;
+        Bytes.set cls i c_peer
+      end
+    end
+  done;
+  (* Stage 3: provider routes, in ascending final length. *)
+  let bq = Nsutil.Bucketq.create ~max_key:(max_path_len + 1) in
+  let done_ = Bytes.make n '\000' in
+  for i = 0 to n - 1 do
+    if bl.(i) < inf then Nsutil.Bucketq.push bq ~key:bl.(i) i
+  done;
+  let rec drain () =
+    match Nsutil.Bucketq.pop bq with
+    | None -> ()
+    | Some (key, x) ->
+        if Bytes.get done_ x = '\000' then begin
+          Bytes.set done_ x '\001';
+          if bl.(x) = inf then begin
+            bl.(x) <- key;
+            Bytes.set cls x c_prov
+          end;
+          let next_key = key + 1 in
+          if next_key <= max_path_len then
+            Graph.iter_customers g x (fun c ->
+                if Bytes.get done_ c = '\000' && bl.(c) = inf then
+                  Nsutil.Bucketq.push bq ~key:next_key c)
+        end;
+        drain ()
+  in
+  drain ();
+  (* Tiebreak sets. *)
+  let exports_customer_route j = Bytes.get cls j = c_self || Bytes.get cls j = c_cust in
+  let tie_acc = Array.make n [] in
+  for i = 0 to n - 1 do
+    if i <> d && bl.(i) < inf then begin
+      let want = bl.(i) - 1 in
+      let cl = Bytes.get cls i in
+      if cl = c_cust then
+        Graph.iter_customers g i (fun c ->
+            if bl.(c) = want && exports_customer_route c then
+              tie_acc.(i) <- c :: tie_acc.(i))
+      else if cl = c_peer then
+        Graph.iter_peers g i (fun p ->
+            if bl.(p) = want && exports_customer_route p then
+              tie_acc.(i) <- p :: tie_acc.(i))
+      else
+        Graph.iter_providers g i (fun p ->
+            if bl.(p) = want then tie_acc.(i) <- p :: tie_acc.(i))
+    end
+  done;
+  let order =
+    Nsutil.Order.by_small_key
+      ~key:(fun i -> if bl.(i) = inf then -1 else bl.(i))
+      ~max_key:max_path_len n
+  in
+  (* Trim unreachable nodes (sorted last) off the order. *)
+  let reachable_count =
+    Array.fold_left (fun acc v -> if v < inf then acc + 1 else acc) 0 bl
+  in
+  let order = Array.sub order 0 reachable_count in
+  let max_len = Array.fold_left (fun acc v -> if v < inf then max acc v else acc) 0 bl in
+  let len = Bytes.make n '\000' in
+  for i = 0 to n - 1 do
+    if bl.(i) < inf then Bytes.set len i (Char.chr bl.(i))
+  done;
+  { dest = d; cls; len; tie = Csr.of_rev_lists tie_acc; order; max_len }
+
+let class_of info i = Policy.class_of_char (Bytes.get info.cls i)
+
+let reachable info i = Bytes.get info.cls i <> c_unreach
+
+let length_of info i =
+  if not (reachable info i) then
+    invalid_arg (Printf.sprintf "Route_static.length_of: %d unreachable" i)
+  else Char.code (Bytes.get info.len i)
+
+type t = { g : Graph.t; cache : dest_info option array }
+
+let create g = { g; cache = Array.make (Graph.n g) None }
+let graph t = t.g
+
+let get t d =
+  match t.cache.(d) with
+  | Some info -> info
+  | None ->
+      let info = compute t.g d in
+      t.cache.(d) <- Some info;
+      info
+
+let mean_tiebreak_size t ~among =
+  let n = Graph.n t.g in
+  let total = ref 0 in
+  let count = ref 0 in
+  for d = 0 to n - 1 do
+    let info = get t d in
+    Array.iter
+      (fun i ->
+        if i <> d && among i then begin
+          total := !total + Csr.row_length info.tie i;
+          incr count
+        end)
+      info.order
+  done;
+  if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count
+
+let mean_path_length t ~from =
+  let n = Graph.n t.g in
+  let total = ref 0 in
+  let count = ref 0 in
+  for d = 0 to n - 1 do
+    if d <> from then begin
+      let info = get t d in
+      if reachable info from then begin
+        total := !total + length_of info from;
+        incr count
+      end
+    end
+  done;
+  if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count

@@ -1,0 +1,45 @@
+(** Per-destination *static* routing information.
+
+    Observation C.1: under the Appendix-A policies, the class and
+    length of every node's best route to a destination do not depend
+    on the deployment state. This module computes, once per
+    destination, each node's route class, path length and *tiebreak
+    set* (the equally-good next hops among which SecP and TB choose).
+    The per-state routing tree is then derived by {!Forest} in
+    O(t * N) per destination. *)
+
+type dest_info = private {
+  dest : int;
+  cls : Bytes.t;  (** route class per node, {!Policy.class_to_char} encoding *)
+  len : Bytes.t;  (** path length per node, valid when reachable; capped at 254 *)
+  tie : Nsutil.Csr.t;  (** tiebreak set per node *)
+  order : int array;  (** reachable nodes in ascending path length; [order.(0) = dest] *)
+  max_len : int;
+}
+
+val compute : Asgraph.Graph.t -> int -> dest_info
+(** Static info for one destination; O(V + E). *)
+
+val class_of : dest_info -> int -> Policy.route_class
+val length_of : dest_info -> int -> int
+(** Path length of the node's best route; raises if unreachable. *)
+
+val reachable : dest_info -> int -> bool
+
+type t
+(** Whole-graph cache of per-destination info, filled lazily. *)
+
+val create : Asgraph.Graph.t -> t
+val graph : t -> Asgraph.Graph.t
+val get : t -> int -> dest_info
+(** [get t d] computes (once) and returns the info for destination
+    [d]. *)
+
+val mean_tiebreak_size : t -> among:(int -> bool) -> float
+(** Mean tiebreak-set size over all (source satisfying [among],
+    destination) pairs with a reachable route (Section 6.6). Forces
+    every destination. *)
+
+val mean_path_length : t -> from:int -> float
+(** Mean best-path length from [from] to all other reachable
+    destinations (Table 3). *)

@@ -1,0 +1,1 @@
+lib/bgpsec/attack.ml: List Netaddr Netsim_prefix Result Rpki Sbgp

@@ -1,0 +1,1 @@
+lib/bgpsec/mode.mli:

@@ -1,0 +1,1 @@
+lib/bgpsec/netsim.ml: Array Asgraph Bgp List Mode Netaddr Netsim_prefix Option Result Rpki Sbgp Sobgp

@@ -1,0 +1,1 @@
+lib/bgpsec/netsim.mli: Asgraph Bgp Mode Netaddr Rpki Sbgp Sobgp

@@ -1,0 +1,1 @@
+lib/bgpsec/netsim_prefix.mli: Netaddr

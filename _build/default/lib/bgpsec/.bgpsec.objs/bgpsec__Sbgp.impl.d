@@ -1,0 +1,1 @@
+lib/bgpsec/sbgp.ml: List Netaddr Printf Rpki Scrypto String

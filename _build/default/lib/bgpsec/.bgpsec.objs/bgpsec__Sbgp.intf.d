@@ -1,0 +1,1 @@
+lib/bgpsec/sbgp.mli: Netaddr Rpki Scrypto

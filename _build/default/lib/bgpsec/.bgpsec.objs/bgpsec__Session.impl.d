@@ -1,0 +1,1 @@
+lib/bgpsec/session.ml: Array Asgraph Bgp Hashtbl List Mode Netaddr Netsim Netsim_prefix Option Queue Sbgp String Wire

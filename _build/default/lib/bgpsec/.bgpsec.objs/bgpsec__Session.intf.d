@@ -1,0 +1,1 @@
+lib/bgpsec/session.mli: Asgraph Bgp Mode Netsim Sbgp

@@ -1,0 +1,1 @@
+lib/bgpsec/sobgp.ml: Hashtbl Printf Rpki Scrypto

@@ -1,0 +1,1 @@
+lib/bgpsec/sobgp.mli: Rpki Scrypto

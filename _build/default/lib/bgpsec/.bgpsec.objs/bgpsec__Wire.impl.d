@@ -1,0 +1,1 @@
+lib/bgpsec/wire.ml: Buffer Char List Netaddr Printf Result Sbgp Scrypto String

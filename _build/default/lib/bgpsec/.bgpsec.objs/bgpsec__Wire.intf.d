@@ -1,0 +1,1 @@
+lib/bgpsec/wire.mli: Netaddr Sbgp

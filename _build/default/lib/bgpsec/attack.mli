@@ -1,0 +1,38 @@
+(** Attack demonstrations on the message layer.
+
+    These back the paper's security arguments: RPKI origin validation
+    stops prefix hijacks, S-BGP path validation stops path forgery,
+    and — Appendix B — preferring *partially* secure paths over
+    insecure ones introduces an attack that does not exist without
+    S*BGP at all. *)
+
+val origin_hijack_detected : unit -> bool
+(** Attacker originates a victim's prefix as its own; the ROA check
+    flags it. *)
+
+val path_forgery_detected : unit -> bool
+(** Attacker splices itself into a signed path / shortens it; path
+    validation flags it. *)
+
+val replay_to_wrong_neighbor_detected : unit -> bool
+(** A signed announcement sent to neighbor A is replayed verbatim to
+    neighbor B; the per-target attestation flags it. *)
+
+val delegation_risk : unit -> bool * bool
+(** The Section 2.2.1 footnote: a stub that delegates its signing key
+    to its provider cedes security. Returns
+    [(forgery_validates_with_delegation,
+      forgery_validates_without_delegation)] — expected [(true,
+    false)]: with the stub's key a malicious provider fabricates
+    perfectly-valid announcements in the stub's name; without it the
+    forgery is caught. *)
+
+type appendix_b_outcome = { chose_false_path : bool; next_hop : int }
+
+val appendix_b : prefer_partial:bool -> appendix_b_outcome
+(** The Appendix-B network: victim [v], honest chain [r, s], secure
+    ASes [p, q], attacker [m] forging the link (m, v). With
+    [prefer_partial:false] (the paper's rule: only *fully* secure
+    paths are preferred) [p] keeps the true route through [r]; with
+    [prefer_partial:true] the forged route through [q] looks "more
+    secure" and [p] is fooled. *)

@@ -1,0 +1,11 @@
+type t = Off | Simplex | Full
+
+let signs_origination = function Off -> false | Simplex | Full -> true
+let signs_transit = function Off | Simplex -> false | Full -> true
+let validates = function Off | Simplex -> false | Full -> true
+let to_string = function Off -> "off" | Simplex -> "simplex" | Full -> "full"
+
+let equal a b =
+  match (a, b) with
+  | Off, Off | Simplex, Simplex | Full, Full -> true
+  | (Off | Simplex | Full), _ -> false

@@ -1,0 +1,14 @@
+(** Per-AS S*BGP participation modes (Section 2.2.1). *)
+
+type t =
+  | Off  (** plain BGP *)
+  | Simplex
+      (** signs outgoing announcements for its own prefixes only and
+          validates nothing — the lightweight stub deployment *)
+  | Full  (** signs everything it propagates and validates everything *)
+
+val signs_origination : t -> bool
+val signs_transit : t -> bool
+val validates : t -> bool
+val to_string : t -> string
+val equal : t -> t -> bool

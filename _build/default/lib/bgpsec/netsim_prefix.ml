@@ -1,0 +1,3 @@
+let of_as asn =
+  let b = (asn lsr 8) land 0xff and c = asn land 0xff in
+  Netaddr.Prefix.make (Netaddr.Ipv4.of_octets 10 b c 0) 24

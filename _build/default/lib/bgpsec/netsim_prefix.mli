@@ -1,0 +1,5 @@
+(** Deterministic per-AS prefixes used across the message-level
+    simulations and attack demos. *)
+
+val of_as : int -> Netaddr.Prefix.t
+(** [10.(asn lsr 8 land 0xff).(asn land 0xff).0/24]. *)

@@ -1,0 +1,122 @@
+module Prefix = Netaddr.Prefix
+module Sig_scheme = Scrypto.Sig_scheme
+
+type announcement = {
+  prefix : Prefix.t;
+  path : int list;  (* sender first, origin last *)
+  target : int;
+  sigs : Sig_scheme.signature list;  (* origin first *)
+}
+
+type error =
+  | Not_enrolled of int
+  | Unsigned_hop of int
+  | Bad_signature of int
+  | Wrong_target of { signer : int; expected : int }
+  | Misdirected of { target : int; receiver : int }
+  | Origin_invalid of Rpki.Roa.validity
+  | Empty_path
+
+let error_to_string = function
+  | Not_enrolled asn -> Printf.sprintf "AS %d not enrolled in the RPKI" asn
+  | Unsigned_hop asn -> Printf.sprintf "hop AS %d carries no attestation" asn
+  | Bad_signature asn -> Printf.sprintf "attestation of AS %d does not verify" asn
+  | Wrong_target { signer; expected } ->
+      Printf.sprintf "attestation of AS %d was made for AS %d" signer expected
+  | Misdirected { target; receiver } ->
+      Printf.sprintf "announcement addressed to AS %d received by AS %d" target receiver
+  | Origin_invalid v ->
+      Printf.sprintf "origin validation failed: %s" (Rpki.Roa.validity_to_string v)
+  | Empty_path -> "empty AS path"
+
+(* Byte string covered by hop j's attestation: the prefix, the path
+   from the origin up to and including the signer, and the AS the
+   announcement is being sent to. *)
+let to_be_signed ~prefix ~path_from_origin ~target =
+  Printf.sprintf "sbgp|%s|%s|%d" (Prefix.to_string prefix)
+    (String.concat "," (List.map string_of_int path_from_origin))
+    target
+
+let fully_signed ann = List.length ann.sigs = List.length ann.path
+
+let originate registry ~origin ~prefix ~target ~signed =
+  if not signed then Ok { prefix; path = [ origin ]; target; sigs = [] }
+  else begin
+    match Rpki.Registry.keypair_of registry ~asn:origin with
+    | None -> Error (Not_enrolled origin)
+    | Some keypair ->
+        let tbs = to_be_signed ~prefix ~path_from_origin:[ origin ] ~target in
+        Ok { prefix; path = [ origin ]; target; sigs = [ Sig_scheme.sign keypair tbs ] }
+  end
+
+let forward registry ~sender ~target ~signed ann =
+  let path = sender :: ann.path in
+  let base = { ann with path; target } in
+  if not (signed && fully_signed ann) then Ok base
+  else begin
+    match Rpki.Registry.keypair_of registry ~asn:sender with
+    | None -> Error (Not_enrolled sender)
+    | Some keypair ->
+        let path_from_origin = List.rev path in
+        let tbs = to_be_signed ~prefix:ann.prefix ~path_from_origin ~target in
+        Ok { base with sigs = ann.sigs @ [ Sig_scheme.sign keypair tbs ] }
+  end
+
+let validate registry ~receiver ann =
+  if ann.target <> receiver then
+    Error (Misdirected { target = ann.target; receiver })
+  else begin
+  let vs = List.rev ann.path in
+  (* origin first *)
+  match vs with
+  | [] -> Error Empty_path
+  | origin :: _ -> begin
+      match Rpki.Registry.origin_validity registry ~prefix:ann.prefix ~origin_asn:origin with
+      | (Rpki.Roa.Invalid_origin | Rpki.Roa.Invalid_length | Rpki.Roa.Unknown) as v ->
+          Error (Origin_invalid v)
+      | Rpki.Roa.Valid ->
+          let rec check prefix_path vs sigs =
+            match (vs, sigs) with
+            | [], [] -> Ok ()
+            | v :: _, [] -> Error (Unsigned_hop v)
+            | [], _ :: _ -> Error Empty_path (* more sigs than hops: malformed *)
+            | v :: vrest, s :: srest -> begin
+                match Rpki.Registry.keypair_of registry ~asn:v with
+                | None -> Error (Not_enrolled v)
+                | Some verification_key ->
+                    let prefix_path = prefix_path @ [ v ] in
+                    let t = match vrest with next :: _ -> next | [] -> receiver in
+                    let tbs =
+                      to_be_signed ~prefix:ann.prefix ~path_from_origin:prefix_path
+                        ~target:t
+                    in
+                    if Sig_scheme.verify ~verification_key ~msg:tbs s then
+                      check prefix_path vrest srest
+                    else begin
+                      (* Distinguish a wrong-target replay from a
+                         generally bad signature for diagnostics. *)
+                      let replayed other =
+                        let tbs' =
+                          to_be_signed ~prefix:ann.prefix ~path_from_origin:prefix_path
+                            ~target:other
+                        in
+                        Sig_scheme.verify ~verification_key ~msg:tbs' s
+                      in
+                      if t <> receiver && replayed receiver then
+                        Error (Wrong_target { signer = v; expected = t })
+                      else Error (Bad_signature v)
+                    end
+              end
+          in
+          check [] vs ann.sigs
+    end
+  end
+
+let forge ~prefix ~path ~target = { prefix; path; target; sigs = [] }
+
+let of_wire_parts ~prefix ~path ~target ~sigs = { prefix; path; target; sigs }
+
+let enrolled_hops registry ann =
+  List.fold_left
+    (fun acc v -> if Rpki.Registry.enrolled registry ~asn:v then acc + 1 else acc)
+    0 ann.path

@@ -1,0 +1,166 @@
+module Graph = Asgraph.Graph
+module Prefix = Netaddr.Prefix
+
+type selection = { ann : Sbgp.announcement; from : int; lp : int }
+
+type t = {
+  setup : Netsim.setup;
+  (* Adj-RIB-In: per (node, peer, prefix) the last announcement
+     received on that session (replacement = implicit withdrawal). *)
+  adj_in : (int * int * Prefix.t, Sbgp.announcement) Hashtbl.t;
+  (* Loc-RIB: per (node, prefix) the selected route. *)
+  loc : (int * Prefix.t, selection) Hashtbl.t;
+  queue : (int * int * string) Queue.t;  (* (from, to, wire bytes) *)
+  announced : (int, unit) Hashtbl.t;
+  mutable processed : int;
+  mutable bytes : int;
+}
+
+let create ?protocol ?tiebreak ?seed g ~modes =
+  {
+    setup = Netsim.prepare ?protocol ?tiebreak ?seed g ~modes;
+    adj_in = Hashtbl.create 1024;
+    loc = Hashtbl.create 256;
+    queue = Queue.create ();
+    announced = Hashtbl.create 16;
+    processed = 0;
+    bytes = 0;
+  }
+
+let lp_of g u v =
+  match Graph.rel g u v with
+  | Some Graph.Customer -> 0
+  | Some Graph.Peer -> 1
+  | Some Graph.Provider -> 2
+  | None -> invalid_arg "Session: not adjacent"
+
+(* GR2: may [u] export its selection for [prefix] to neighbor [v]? *)
+let may_export t u v prefix ~is_origin =
+  is_origin
+  ||
+  match Hashtbl.find_opt t.loc (u, prefix) with
+  | None -> false
+  | Some sel -> lp_of t.setup.Netsim.graph u v = 0 (* v is u's customer *) || sel.lp = 0
+
+let send t ~sender ~target ann ~signed =
+  match Sbgp.forward t.setup.Netsim.registry ~sender ~target ~signed ann with
+  | Error _ -> ()
+  | Ok fwd ->
+      let bytes = Wire.encode fwd in
+      t.bytes <- t.bytes + String.length bytes;
+      Queue.add (sender, target, bytes) t.queue
+
+let originate_to t ~origin ~target prefix =
+  let signed = Mode.signs_origination t.setup.Netsim.modes.(origin) in
+  match Sbgp.originate t.setup.Netsim.registry ~origin ~prefix ~target ~signed with
+  | Error _ -> begin
+      match
+        Sbgp.originate t.setup.Netsim.registry ~origin ~prefix ~target ~signed:false
+      with
+      | Ok ann ->
+          let bytes = Wire.encode ann in
+          t.bytes <- t.bytes + String.length bytes;
+          Queue.add (origin, target, bytes) t.queue
+      | Error _ -> ()
+    end
+  | Ok ann ->
+      let bytes = Wire.encode ann in
+      t.bytes <- t.bytes + String.length bytes;
+      Queue.add (origin, target, bytes) t.queue
+
+let iter_neighbors g u f =
+  Graph.iter_customers g u (fun v -> f v);
+  Graph.iter_peers g u (fun v -> f v);
+  Graph.iter_providers g u (fun v -> f v)
+
+(* Re-run best-route selection at [u] for [prefix] from its
+   Adj-RIB-Ins; returns the new selection. *)
+let select t u prefix =
+  let g = t.setup.Netsim.graph in
+  let best = ref None in
+  let consider v =
+    match Hashtbl.find_opt t.adj_in (u, v, prefix) with
+    | None -> ()
+    | Some ann ->
+        if not (List.mem u ann.Sbgp.path) then begin
+          let lp = lp_of g u v in
+          let len = List.length ann.Sbgp.path in
+          let sec =
+            Mode.validates t.setup.Netsim.modes.(u)
+            && Netsim.validated t.setup ~receiver:u ann
+          in
+          let key =
+            ( lp,
+              len,
+              (if sec then 0 else 1),
+              Bgp.Policy.tiebreak_key t.setup.Netsim.tiebreak u v )
+          in
+          match !best with
+          | Some (bkey, _) when bkey <= key -> ()
+          | _ -> best := Some (key, { ann; from = v; lp })
+        end
+  in
+  iter_neighbors g u consider;
+  Option.map snd !best
+
+let drain t =
+  let g = t.setup.Netsim.graph in
+  while not (Queue.is_empty t.queue) do
+    let sender, receiver, bytes = Queue.take t.queue in
+    t.processed <- t.processed + 1;
+    match Wire.decode bytes with
+    | Error _ -> ()
+    | Ok ann ->
+        Hashtbl.replace t.adj_in (receiver, sender, ann.Sbgp.prefix) ann;
+        let prefix = ann.Sbgp.prefix in
+        let before = Hashtbl.find_opt t.loc (receiver, prefix) in
+        let after = select t receiver prefix in
+        let changed =
+          match (before, after) with
+          | None, None -> false
+          | Some a, Some b -> a.from <> b.from || a.ann.Sbgp.path <> b.ann.Sbgp.path
+          | None, Some _ | Some _, None -> true
+        in
+        if changed then begin
+          (match after with
+          | Some sel -> Hashtbl.replace t.loc (receiver, prefix) sel
+          | None -> Hashtbl.remove t.loc (receiver, prefix));
+          match after with
+          | None -> ()
+          | Some sel ->
+              let signed = Mode.signs_transit t.setup.Netsim.modes.(receiver) in
+              iter_neighbors g receiver (fun v ->
+                  if v <> sel.from && may_export t receiver v prefix ~is_origin:false
+                  then send t ~sender:receiver ~target:v sel.ann ~signed)
+        end
+  done
+
+let announce t ~origin =
+  let g = t.setup.Netsim.graph in
+  if origin < 0 || origin >= Graph.n g then invalid_arg "Session.announce";
+  if not (Hashtbl.mem t.announced origin) then begin
+    Hashtbl.replace t.announced origin ();
+    let prefix = Netsim_prefix.of_as origin in
+    iter_neighbors g origin (fun v -> originate_to t ~origin ~target:v prefix);
+    drain t
+  end
+
+let selected t ~node ~origin =
+  Option.map
+    (fun sel -> sel.ann)
+    (Hashtbl.find_opt t.loc (node, Netsim_prefix.of_as origin))
+
+let selected_path t ~node ~origin =
+  match selected t ~node ~origin with
+  | None -> []
+  | Some ann -> node :: ann.Sbgp.path
+
+let route_validated t ~node ~origin =
+  match selected t ~node ~origin with
+  | None -> false
+  | Some ann ->
+      (not (Mode.equal t.setup.Netsim.modes.(node) Mode.Off))
+      && Netsim.validated t.setup ~receiver:node ann
+
+let messages_processed t = t.processed
+let bytes_on_wire t = t.bytes

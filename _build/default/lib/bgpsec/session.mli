@@ -1,0 +1,48 @@
+(** Event-driven BGP sessions over the wire format.
+
+    Where {!Netsim} computes the routing fixed point by synchronous
+    sweeps, this module actually runs the protocol: every adjacency is
+    a pair of unidirectional byte channels carrying {!Wire}-encoded
+    announcements; each router keeps an Adj-RIB-In per (peer, prefix)
+    and re-runs best-route selection (LP > SP > SecP > TB, GR2 export)
+    whenever an update arrives, emitting further updates on change.
+    Processing continues until all channels drain.
+
+    Tests cross-validate the converged routes against {!Netsim} (and
+    hence, transitively, against the abstract {!Bgp.Forest} model).
+    Multiple prefixes may be announced on the same network; their
+    state is independent, as in BGP. *)
+
+type t
+
+val create :
+  ?protocol:Netsim.protocol ->
+  ?tiebreak:Bgp.Policy.tiebreak ->
+  ?seed:int ->
+  Asgraph.Graph.t ->
+  modes:Mode.t array ->
+  t
+(** Enrolls participants exactly like {!Netsim.prepare}. *)
+
+val announce : t -> origin:int -> unit
+(** The origin announces its deterministic prefix
+    ({!Netsim_prefix.of_as}) to its neighbors and the event loop runs
+    to quiescence. Announcing the same origin twice is idempotent.
+    Raises [Invalid_argument] if the node is out of range. *)
+
+val selected : t -> node:int -> origin:int -> Sbgp.announcement option
+(** The node's current best route to the origin's prefix (as the
+    announcement it accepted), or [None]. *)
+
+val selected_path : t -> node:int -> origin:int -> int list
+(** Convenience: [node :: path] of the selected route, or [[]]. *)
+
+val route_validated : t -> node:int -> origin:int -> bool
+(** The selected route validates end-to-end and the node
+    participates. *)
+
+val messages_processed : t -> int
+(** Total wire messages decoded so far (diagnostics). *)
+
+val bytes_on_wire : t -> int
+(** Total encoded bytes transported so far. *)

@@ -1,0 +1,56 @@
+module Sig_scheme = Scrypto.Sig_scheme
+
+type link_cert = {
+  a : int;
+  b : int;
+  sig_a : Sig_scheme.signature;
+  sig_b : Sig_scheme.signature;
+}
+
+type db = (int * int, link_cert) Hashtbl.t
+
+let create_db () : db = Hashtbl.create 256
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let to_be_signed a b = Printf.sprintf "sobgp-link|%d|%d" a b
+
+let certify_link registry db x y =
+  let a, b = key x y in
+  match Hashtbl.find_opt db (a, b) with
+  | Some cert -> Ok cert
+  | None -> begin
+      match
+        (Rpki.Registry.keypair_of registry ~asn:a, Rpki.Registry.keypair_of registry ~asn:b)
+      with
+      | None, _ -> Error (Printf.sprintf "AS %d not enrolled" a)
+      | _, None -> Error (Printf.sprintf "AS %d not enrolled" b)
+      | Some ka, Some kb ->
+          let tbs = to_be_signed a b in
+          let cert =
+            { a; b; sig_a = Sig_scheme.sign ka tbs; sig_b = Sig_scheme.sign kb tbs }
+          in
+          Hashtbl.replace db (a, b) cert;
+          Ok cert
+    end
+
+let link_certified registry db x y =
+  let a, b = key x y in
+  match Hashtbl.find_opt db (a, b) with
+  | None -> false
+  | Some cert -> begin
+      match
+        (Rpki.Registry.keypair_of registry ~asn:a, Rpki.Registry.keypair_of registry ~asn:b)
+      with
+      | Some ka, Some kb ->
+          let tbs = to_be_signed a b in
+          Sig_scheme.verify ~verification_key:ka ~msg:tbs cert.sig_a
+          && Sig_scheme.verify ~verification_key:kb ~msg:tbs cert.sig_b
+      | _ -> false
+    end
+
+let rec path_valid registry db = function
+  | [] | [ _ ] -> true
+  | x :: (y :: _ as rest) -> link_certified registry db x y && path_valid registry db rest
+
+let cert_count db = Hashtbl.length db

@@ -1,0 +1,33 @@
+(** Secure Origin BGP (soBGP, [43]): topology validation.
+
+    Neighboring ASes jointly certify the existence of the link between
+    them; a validating AS checks that every consecutive pair on a
+    received path has a certified link. Certification happens offline,
+    which is why simplex soBGP needs no router upgrade at stubs
+    (Section 2.2.1). *)
+
+type link_cert = private {
+  a : int;
+  b : int;  (** invariant a < b *)
+  sig_a : Scrypto.Sig_scheme.signature;
+  sig_b : Scrypto.Sig_scheme.signature;
+}
+
+type db
+(** The shared certificate database. *)
+
+val create_db : unit -> db
+
+val certify_link : Rpki.Registry.t -> db -> int -> int -> (link_cert, string) result
+(** Both endpoints must be enrolled; idempotent. *)
+
+val link_certified : Rpki.Registry.t -> db -> int -> int -> bool
+(** True iff a cert exists for the (unordered) pair *and* both
+    endpoint signatures verify against the registry. *)
+
+val path_valid : Rpki.Registry.t -> db -> int list -> bool
+(** Topology validation of an AS path (any direction): every
+    consecutive pair certified. Single-hop paths are vacuously
+    valid. *)
+
+val cert_count : db -> int

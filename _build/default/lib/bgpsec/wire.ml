@@ -1,0 +1,110 @@
+module Prefix = Netaddr.Prefix
+module Sig_scheme = Scrypto.Sig_scheme
+
+type error = Truncated | Bad_magic | Bad_prefix | Too_long of string
+
+let error_to_string = function
+  | Truncated -> "truncated message"
+  | Bad_magic -> "bad magic"
+  | Bad_prefix -> "malformed prefix"
+  | Too_long field -> Printf.sprintf "field %s exceeds its width" field
+
+let magic = "SBG1"
+let digest_len = 32
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  if v < 0 || v > 0xffff then invalid_arg "Wire: u16 overflow";
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire: u32 overflow";
+  put_u8 buf (v lsr 24);
+  put_u8 buf (v lsr 16);
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let encode (ann : Sbgp.announcement) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic;
+  put_u32 buf (Netaddr.Ipv4.to_int ann.prefix.Prefix.network);
+  put_u8 buf ann.prefix.Prefix.length;
+  put_u32 buf ann.target;
+  put_u16 buf (List.length ann.path);
+  List.iter (fun asn -> put_u32 buf asn) ann.path;
+  put_u16 buf (List.length ann.sigs);
+  List.iter
+    (fun (s : Sig_scheme.signature) ->
+      if String.length s.key_id <> digest_len || String.length s.tag <> digest_len then
+        invalid_arg "Wire: signature fields must be 32 bytes";
+      Buffer.add_string buf s.key_id;
+      Buffer.add_string buf s.tag)
+    ann.sigs;
+  Buffer.contents buf
+
+(* Decoding: a cursor over the string with explicit bounds checks. *)
+let ( let* ) = Result.bind
+
+let need s pos len = if pos + len > String.length s then Error Truncated else Ok ()
+
+let get_u8 s pos =
+  let* () = need s pos 1 in
+  Ok (Char.code s.[pos], pos + 1)
+
+let get_u16 s pos =
+  let* () = need s pos 2 in
+  Ok ((Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1], pos + 2)
+
+let get_u32 s pos =
+  let* () = need s pos 4 in
+  Ok
+    ( (Char.code s.[pos] lsl 24)
+      lor (Char.code s.[pos + 1] lsl 16)
+      lor (Char.code s.[pos + 2] lsl 8)
+      lor Char.code s.[pos + 3],
+      pos + 4 )
+
+let get_bytes s pos len =
+  let* () = need s pos len in
+  Ok (String.sub s pos len, pos + len)
+
+let decode_prefix s ~pos =
+  let* addr, pos = get_u32 s pos in
+  let* len, pos = get_u8 s pos in
+  if len > 32 then Error Bad_prefix
+  else begin
+    let network = Netaddr.Ipv4.of_int addr in
+    let prefix = Prefix.make network len in
+    (* Reject prefixes with host bits set: the sender was confused or
+       malicious either way. *)
+    if Netaddr.Ipv4.to_int prefix.Prefix.network <> addr then Error Bad_prefix
+    else Ok (prefix, pos)
+  end
+
+let rec get_list s pos count get acc =
+  if count = 0 then Ok (List.rev acc, pos)
+  else begin
+    let* v, pos = get s pos in
+    get_list s pos (count - 1) get (v :: acc)
+  end
+
+let decode s =
+  let* m, pos = get_bytes s 0 4 in
+  if m <> magic then Error Bad_magic
+  else begin
+    let* prefix, pos = decode_prefix s ~pos in
+    let* target, pos = get_u32 s pos in
+    let* path_count, pos = get_u16 s pos in
+    let* path, pos = get_list s pos path_count get_u32 [] in
+    let* sig_count, pos = get_u16 s pos in
+    let get_sig s pos =
+      let* key_id, pos = get_bytes s pos digest_len in
+      let* tag, pos = get_bytes s pos digest_len in
+      Ok (Sig_scheme.of_raw_signature ~key_id ~tag, pos)
+    in
+    let* sigs, pos = get_list s pos sig_count get_sig [] in
+    if pos <> String.length s then Error Truncated
+    else Ok (Sbgp.of_wire_parts ~prefix ~path ~target ~sigs)
+  end

@@ -1,0 +1,32 @@
+(** Wire encoding of S-BGP announcements.
+
+    A compact big-endian binary format (the flavour of encoding a
+    router implementation would put in an UPDATE attribute):
+
+    {v
+      magic   "SBG1"                      (4 bytes)
+      prefix  network (u32), length (u8)
+      target  u32
+      path    count (u16), count * asn (u32)   -- sender first
+      sigs    count (u16), count * (key_id (32 bytes), tag (32 bytes))
+    v} *)
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_prefix
+  | Too_long of string  (** which field exceeded its width *)
+
+val error_to_string : error -> string
+
+val encode : Sbgp.announcement -> string
+(** Raises [Invalid_argument] when a count exceeds the u16 field or an
+    ASN exceeds 32 bits. *)
+
+val decode : string -> (Sbgp.announcement, error) result
+(** Strict: trailing bytes are an error ([Truncated] is also returned
+    for any short read). *)
+
+val decode_prefix : string -> pos:int -> (Netaddr.Prefix.t * int, error) result
+(** Decode one prefix field at [pos]; returns the value and the next
+    position (exposed for tests and future message types). *)

@@ -1,0 +1,1 @@
+lib/core/analyses.ml: Array Asgraph Bgp Bytes Config Engine Hashtbl List Nsutil Option State Utility

@@ -1,0 +1,1 @@
+lib/core/analyses.mli: Asgraph Bgp Config Engine State

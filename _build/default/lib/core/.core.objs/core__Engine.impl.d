@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Asgraph Bgp Bytes Config Float Hashtbl List Nsutil Option State Utility

@@ -1,0 +1,1 @@
+lib/core/resilience.ml: Array Asgraph Bgp Bytes List Nsutil State

@@ -1,0 +1,1 @@
+lib/core/resilience.mli: Bgp State

@@ -1,0 +1,1 @@
+lib/core/state.ml: Asgraph Bytes List Nsutil Printf

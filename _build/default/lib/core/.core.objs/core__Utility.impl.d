@@ -1,0 +1,1 @@
+lib/core/utility.ml: Array Asgraph Bgp Bytes Config Hashtbl List Option State

@@ -1,0 +1,1 @@
+lib/core/utility.mli: Asgraph Bgp Config State

@@ -1,0 +1,194 @@
+module Graph = Asgraph.Graph
+module Csr = Nsutil.Csr
+module Route_static = Bgp.Route_static
+module Forest = Bgp.Forest
+
+type secure_path_stats = {
+  secure_pairs : int;
+  reachable_pairs : int;
+  fraction : float;
+  f_squared : float;
+}
+
+let secure_path_stats (cfg : Config.t) statics state ~weight =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let scratch = Forest.make_scratch n in
+  let secure = State.secure_bytes state in
+  let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
+  let chosen_sec = Bytes.make n '\000' in
+  let secure_pairs = ref 0 in
+  let reachable_pairs = ref 0 in
+  for d = 0 to n - 1 do
+    let info = Route_static.get statics d in
+    Forest.compute info ~tiebreak:cfg.tiebreak ~secure ~use_secp ~weight scratch;
+    (* Security of the *chosen* route, following actual next hops in
+       ascending length order. *)
+    Bytes.set chosen_sec d (Bytes.get secure d);
+    let order = info.order in
+    for k = 1 to Array.length order - 1 do
+      let i = order.(k) in
+      let nh = scratch.next.(i) in
+      let ok =
+        nh >= 0 && Bytes.get secure i = '\001' && Bytes.get chosen_sec nh = '\001'
+      in
+      Bytes.set chosen_sec i (if ok then '\001' else '\000')
+    done;
+    reachable_pairs := !reachable_pairs + (Array.length order - 1);
+    for k = 1 to Array.length order - 1 do
+      if Bytes.get chosen_sec order.(k) = '\001' then incr secure_pairs
+    done
+  done;
+  let all_pairs = n * (n - 1) in
+  let f = float_of_int (State.secure_count state) /. float_of_int (max 1 n) in
+  {
+    secure_pairs = !secure_pairs;
+    reachable_pairs = !reachable_pairs;
+    fraction = float_of_int !secure_pairs /. float_of_int (max 1 all_pairs);
+    f_squared = f *. f;
+  }
+
+let tiebreak_distribution statics ~among =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let counts = Hashtbl.create 16 in
+  let bump size = Hashtbl.replace counts size (1 + Option.value ~default:0 (Hashtbl.find_opt counts size)) in
+  for d = 0 to n - 1 do
+    let info = Route_static.get statics d in
+    Array.iter
+      (fun i -> if i <> d && among i then bump (Csr.row_length info.tie i))
+      info.order
+  done;
+  Hashtbl.fold (fun size count acc -> (size, count) :: acc) counts []
+  |> List.sort compare
+
+let diamonds statics ~early =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let per_adopter = List.map (fun a -> (a, ref 0)) early in
+  for d = 0 to n - 1 do
+    if Graph.is_stub g d then begin
+      let info = Route_static.get statics d in
+      List.iter
+        (fun (a, count) ->
+          if a <> d && Route_static.reachable info a then begin
+            let isps = Csr.fold_row info.tie a (fun acc j -> if Graph.is_isp g j then acc + 1 else acc) 0 in
+            if isps >= 2 then count := !count + (isps * (isps - 1) / 2)
+          end)
+        per_adopter
+    end
+  done;
+  List.map (fun (a, count) -> (a, !count)) per_adopter
+
+let turnoff_incentives (cfg : Config.t) statics state ~weight =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let base = Forest.make_scratch n in
+  let flip = Forest.make_scratch n in
+  let secure = State.secure_bytes state in
+  let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
+  let model = Config.Incoming in
+  let counts = Array.make n 0 in
+  let candidates = ref [] in
+  for i = n - 1 downto 0 do
+    if Graph.is_isp g i && State.full state i && not (State.pinned state i) then
+      candidates := i :: !candidates
+  done;
+  for d = 0 to n - 1 do
+    if Bytes.get secure d = '\001' then begin
+      let info = Route_static.get statics d in
+      Forest.compute info ~tiebreak:cfg.tiebreak ~secure ~use_secp ~weight base;
+      List.iter
+        (fun nc ->
+          (* Turning off can only matter if nc currently holds or
+             offers a secure route to d. *)
+          if Bytes.get base.Forest.sec_path nc = '\001' then begin
+            let cur = Utility.contribution model g info base ~weight nc in
+            State.set_full state nc false;
+            Forest.compute info ~tiebreak:cfg.tiebreak ~secure ~use_secp ~weight flip;
+            let alt = Utility.contribution model g info flip ~weight nc in
+            State.set_full state nc true;
+            if alt > cur +. 1e-9 then counts.(nc) <- counts.(nc) + 1
+          end)
+        !candidates
+    end
+  done;
+  List.filter_map
+    (fun nc -> if counts.(nc) > 0 then Some (nc, counts.(nc)) else None)
+    !candidates
+
+let turnoff_incentive_search (cfg : Config.t) statics ~weight =
+  (* For every ISP n, test the Figure-13 witness state: the content
+     providers, n itself and n's (transitive) providers secure,
+     everything else insecure. This is exactly the sparse state of the
+     paper's example (Akamai + NTT + AS 4755). *)
+  let g = Route_static.graph statics in
+  let cps = Graph.nodes_of_class g Asgraph.As_class.Cp in
+  let found = ref [] in
+  let examined = ref 0 in
+  List.iter
+    (fun n ->
+      incr examined;
+      (* Collect n's transitive providers (they play NTT's role). *)
+      let ancestors = Hashtbl.create 16 in
+      let rec climb v =
+        Graph.iter_providers g v (fun p ->
+            if not (Hashtbl.mem ancestors p) then begin
+              Hashtbl.replace ancestors p ();
+              climb p
+            end)
+      in
+      climb n;
+      let pinned = cps @ Hashtbl.fold (fun k () acc -> k :: acc) ancestors [] in
+      let pinned = List.filter (fun v -> v <> n) pinned in
+      let state = State.create g ~early:pinned in
+      if not (State.pinned state n) then begin
+        State.set_full state n true;
+        match turnoff_incentives cfg statics state ~weight with
+        | [] -> ()
+        | incentives ->
+            if List.exists (fun (isp, _) -> isp = n) incentives then
+              found := n :: !found
+      end)
+    (Graph.nodes_of_class g Asgraph.As_class.Isp);
+  (!examined, !found)
+
+let chain_reactions (result : Engine.result) g =
+  let rec walk acc = function
+    | (r1 : Engine.round_record) :: (r2 : Engine.round_record) :: rest ->
+        let pairs =
+          List.concat_map
+            (fun n ->
+              List.filter_map
+                (fun m -> if Graph.rel g n m <> None then Some (n, m) else None)
+                r2.turned_on)
+            r1.turned_on
+        in
+        walk (List.rev_append pairs acc) (r2 :: rest)
+    | _ -> List.rev acc
+  in
+  walk [] result.rounds
+
+let never_secure_isps (result : Engine.result) =
+  let state = result.final in
+  let g = State.graph state in
+  let acc = ref [] in
+  for i = Graph.n g - 1 downto 0 do
+    if Graph.is_isp g i && not (State.secure state i) then acc := i :: !acc
+  done;
+  !acc
+
+let mean_utility_change (result : Engine.result) ~among =
+  match List.rev result.rounds with
+  | [] -> 1.0
+  | last :: _ ->
+      let total = ref 0.0 in
+      let count = ref 0 in
+      Array.iteri
+        (fun i u0 ->
+          if among i && u0 > 0.0 then begin
+            total := !total +. (last.utilities.(i) /. u0);
+            incr count
+          end)
+        result.baseline;
+      if !count = 0 then 1.0 else !total /. float_of_int !count

@@ -1,0 +1,57 @@
+(** Analyses behind the paper's tables and figures. *)
+
+type secure_path_stats = {
+  secure_pairs : int;  (** ordered (src, dst) pairs whose chosen route is fully secure *)
+  reachable_pairs : int;
+  fraction : float;  (** secure / all ordered pairs, self-pairs excluded *)
+  f_squared : float;  (** the paper's back-of-envelope prediction: (secure ASes / ASes)^2 *)
+}
+
+val secure_path_stats :
+  Config.t -> Bgp.Route_static.t -> State.t -> weight:float array -> secure_path_stats
+(** Section 6.4 / Figure 9: walk every destination's routing forest
+    under the given state and count fully secure chosen paths. *)
+
+val tiebreak_distribution :
+  Bgp.Route_static.t -> among:(int -> bool) -> (int * int) list
+(** Section 6.6 / Figure 10: histogram of tiebreak-set sizes over all
+    (source satisfying [among], destination) reachable pairs, as
+    [(size, count)] ascending. *)
+
+val diamonds : Bgp.Route_static.t -> early:int list -> (int * int) list
+(** Table 1: per early adopter, the number of DIAMOND scenarios — a
+    stub destination for which the adopter's tiebreak set contains two
+    competing ISPs (counted per unordered ISP pair). *)
+
+val turnoff_incentives :
+  Config.t ->
+  Bgp.Route_static.t ->
+  State.t ->
+  weight:float array ->
+  (int * int) list
+(** Section 7.3: for each fully-secure unpinned ISP, the number of
+    destinations for which unilaterally turning S*BGP off strictly
+    increases its (incoming-model) utility contribution; only ISPs
+    with at least one such destination are listed. *)
+
+val turnoff_incentive_search :
+  Config.t -> Bgp.Route_static.t -> weight:float array -> int * int list
+(** Section 7.3's search: for each ISP, probe the Figure-13 witness
+    state — the content providers, the ISP and its transitive
+    providers secure, everything else insecure — and test whether the
+    ISP then has a per-destination incentive to turn off. Returns
+    (ISPs examined, ISPs with an incentive). *)
+
+val chain_reactions : Engine.result -> Asgraph.Graph.t -> (int * int) list
+(** Figure 7: pairs [(n, m)] where [n] deployed in some round r, [m]
+    deployed in round r+1, and [n] and [m] are adjacent — the "longer
+    secure paths sustain deployment" mechanism. *)
+
+val never_secure_isps : Engine.result -> int list
+(** The ISPs that remain insecure at termination (Section 5.3). *)
+
+val mean_utility_change :
+  Engine.result -> among:(int -> bool) -> float
+(** Mean final-utility / baseline-utility ratio over nodes selected by
+    [among] with nonzero baseline (Section 5.6). Uses the last round's
+    utility vector. *)

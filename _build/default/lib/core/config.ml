@@ -1,0 +1,38 @@
+type utility_model = Outgoing | Incoming
+
+type t = {
+  theta : float;
+  theta_off : float;
+  model : utility_model;
+  stub_tiebreak : bool;
+  tiebreak : Bgp.Policy.tiebreak;
+  cp_fraction : float;
+  max_rounds : int;
+  allow_turn_off : bool;
+  disable_secp : bool;
+  disable_simplex : bool;
+  theta_jitter : float;
+  jitter_seed : int;
+}
+
+let default =
+  {
+    theta = 0.05;
+    theta_off = 0.05;
+    model = Outgoing;
+    stub_tiebreak = true;
+    tiebreak = Bgp.Policy.Hashed 0x5b9d;
+    cp_fraction = 0.10;
+    max_rounds = 100;
+    allow_turn_off = false;
+    disable_secp = false;
+    disable_simplex = false;
+    theta_jitter = 0.0;
+    jitter_seed = 1;
+  }
+
+let incoming = { default with model = Incoming; allow_turn_off = true }
+
+let utility_model_to_string = function
+  | Outgoing -> "outgoing"
+  | Incoming -> "incoming"

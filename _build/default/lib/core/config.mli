@@ -1,0 +1,41 @@
+(** Simulation parameters (Sections 3.2-3.3, 6.2). *)
+
+type utility_model =
+  | Outgoing  (** Eq. 1: traffic forwarded *to* customers *)
+  | Incoming  (** Eq. 2: traffic received *from* customers *)
+
+type t = {
+  theta : float;  (** deployment threshold of Eq. 3, e.g. 0.05 *)
+  theta_off : float;  (** threshold for disabling (same rule, flip down) *)
+  model : utility_model;
+  stub_tiebreak : bool;  (** do simplex stubs apply the SecP step (§6.7) *)
+  tiebreak : Bgp.Policy.tiebreak;
+  cp_fraction : float;  (** x: share of traffic originated by the CPs *)
+  max_rounds : int;
+  allow_turn_off : bool;
+      (** consider disabling S*BGP; pointless under [Outgoing]
+          (Theorem 6.2) and on by default under [Incoming] *)
+  disable_secp : bool;
+      (** ablation: security never influences route selection
+          (removes the Section 2.2.2 requirement) *)
+  disable_simplex : bool;
+      (** ablation: secure ISPs do not upgrade their stub customers
+          (removes simplex S*BGP, Section 2.2.1) *)
+  theta_jitter : float;
+      (** Section 8.2 extension: per-ISP heterogeneity in the
+          deployment threshold. Each ISP i uses
+          theta_i = theta * (1 + theta_jitter * u_i) with
+          u_i ~ U[-1, 1] drawn from [jitter_seed]; 0 recovers the
+          paper's uniform-theta sweeps. *)
+  jitter_seed : int;
+}
+
+val default : t
+(** The Section 5 case-study parameters: θ = 5%, outgoing utility,
+    stubs break ties, hashed tie break, x = 10%. *)
+
+val incoming : t
+(** [default] switched to the incoming-utility model with turn-off
+    enabled. *)
+
+val utility_model_to_string : utility_model -> string

@@ -1,0 +1,224 @@
+module Graph = Asgraph.Graph
+module Csr = Nsutil.Csr
+module Route_static = Bgp.Route_static
+module Forest = Bgp.Forest
+
+type round_record = {
+  round : int;
+  utilities : float array;
+  projected : float array;
+  turned_on : int list;
+  turned_off : int list;
+  secure_as : int;
+  secure_isp : int;
+  secure_stub : int;
+}
+
+type termination = Stable | Oscillation of { first_round : int } | Max_rounds
+
+type result = {
+  baseline : float array;
+  initial_secure_as : int;
+  initial_secure_isp : int;
+  rounds : round_record list;
+  final : State.t;
+  termination : termination;
+}
+
+let sec_of bytes i = Bytes.unsafe_get bytes i = '\001'
+
+(* Would flipping candidate [nc] change the routing tree of
+   destination [d]? Conservative (may say yes needlessly), never
+   wrongly says no; see the C.4 discussion in the interface. *)
+let flip_changes_dest ~cfg ~g ~state ~secure ~(info : Route_static.dest_info)
+    ~(base : Forest.scratch) ~stubs_of nc =
+  let d = info.dest in
+  let turning_on = not (State.full state nc) in
+  if turning_on then begin
+    let stub_reroutes s =
+      Route_static.reachable info s
+      && Csr.exists_row info.tie s (fun j -> sec_of base.sec_path j)
+    in
+    let d_gets_secured =
+      d = nc || (Graph.is_stub g d && (not (sec_of secure d)) && Csr.mem_row g.providers d nc)
+    in
+    if not (sec_of secure d || d_gets_secured) then false
+    else if d_gets_secured then true
+    else if Csr.exists_row info.tie nc (fun j -> sec_of base.sec_path j) then true
+    else
+      cfg.Config.stub_tiebreak
+      && List.exists (fun s -> (not (sec_of secure s)) && stub_reroutes s) stubs_of.(nc)
+  end
+  else begin
+    (* Turning off removes only nc's own participation (stub upgrades
+       are sticky): routing can change only where nc currently holds
+       or offers a fully secure route — including d = nc itself, for
+       which sec_path nc = secure nc = 1. *)
+    sec_of secure d && sec_of base.Forest.sec_path nc
+  end
+
+let run (cfg : Config.t) statics ~weight ~state =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let tiebreak = cfg.tiebreak in
+  let base = Forest.make_scratch n in
+  let flip = Forest.make_scratch n in
+  (* Stub customers per ISP, for projection filters. *)
+  let stubs_of = Array.make n [] in
+  for i = 0 to n - 1 do
+    if Graph.is_isp g i then begin
+      let acc = ref [] in
+      Graph.iter_customers g i (fun c -> if Graph.is_stub g c then acc := c :: !acc);
+      stubs_of.(i) <- !acc
+    end
+  done;
+  (* Baseline: utilities before deployment began (empty state). *)
+  let baseline =
+    let zeros = Bytes.make n '\000' in
+    let into = Array.make n 0.0 in
+    for d = 0 to n - 1 do
+      let info = Route_static.get statics d in
+      Forest.compute info ~tiebreak ~secure:zeros ~use_secp:zeros ~weight base;
+      Utility.accumulate cfg.model g info base ~weight ~into
+    done;
+    into
+  in
+  (* Per-ISP threshold heterogeneity (Section 8.2 extension). *)
+  let theta_factor =
+    let rng = Nsutil.Prng.create ~seed:cfg.jitter_seed in
+    Array.init n (fun _ ->
+        if cfg.theta_jitter = 0.0 then 1.0
+        else
+          Float.max 0.0
+            (1.0 +. (cfg.theta_jitter *. ((2.0 *. Nsutil.Prng.float rng 1.0) -. 1.0))))
+  in
+  let initial_secure_as = State.secure_count state in
+  let initial_secure_isp = State.secure_isp_count state in
+  (* Oscillation detection: hash-bucketed copies of every visited
+     deployment state, with exact comparison on hash hits. *)
+  let seen_states : (int, (int * State.t) list) Hashtbl.t = Hashtbl.create 64 in
+  let remember round =
+    let signature = State.signature state in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
+    match List.find_opt (fun (_, old) -> State.equal_full old state) bucket with
+    | Some (first_round, _) -> Some first_round
+    | None ->
+        Hashtbl.replace seen_states signature ((round, State.copy state) :: bucket);
+        None
+  in
+  ignore (remember 0);
+  let rounds = ref [] in
+  let termination = ref Max_rounds in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue && !round < cfg.max_rounds do
+    incr round;
+    let secure = State.secure_bytes state in
+    let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
+    (* Candidates: insecure ISPs may turn on; under the incoming
+       model with turn-off allowed, secure ISPs may turn off. *)
+    let candidates = ref [] in
+    for i = n - 1 downto 0 do
+      if Graph.is_isp g i && not (State.pinned state i) then begin
+        if State.full state i then begin
+          if cfg.allow_turn_off && cfg.model = Config.Incoming then
+            candidates := i :: !candidates
+        end
+        else candidates := i :: !candidates
+      end
+    done;
+    let candidates = !candidates in
+    let is_candidate = Array.make n false in
+    List.iter (fun nc -> is_candidate.(nc) <- true) candidates;
+    let utilities = Array.make n 0.0 in
+    let projected = Array.make n 0.0 in
+    for d = 0 to n - 1 do
+      let info = Route_static.get statics d in
+      Forest.compute info ~tiebreak ~secure ~use_secp ~weight base;
+      Utility.accumulate cfg.model g info base ~weight ~into:utilities;
+      List.iter
+        (fun nc ->
+          let changes =
+            flip_changes_dest ~cfg ~g ~state ~secure ~info ~base ~stubs_of nc
+          in
+          let contrib =
+            if changes then begin
+              let was_on = State.full state nc in
+              let added = if was_on then [] else State.enable state nc in
+              if was_on then State.disable state nc;
+              Forest.compute info ~tiebreak ~secure ~use_secp ~weight flip;
+              let c = Utility.contribution cfg.model g info flip ~weight nc in
+              if was_on then ignore (State.enable state nc)
+              else State.undo_enable state nc ~added;
+              c
+            end
+            else Utility.contribution cfg.model g info base ~weight nc
+          in
+          projected.(nc) <- projected.(nc) +. contrib)
+        candidates
+    done;
+    (* Non-candidates project their current utility. *)
+    for i = 0 to n - 1 do
+      if not is_candidate.(i) then projected.(i) <- utilities.(i)
+    done;
+    (* Simultaneous flips per Eq. 3. *)
+    let turned_on = ref [] in
+    let turned_off = ref [] in
+    List.iter
+      (fun nc ->
+        let threshold =
+          theta_factor.(nc)
+          *. (if State.full state nc then cfg.theta_off else cfg.theta)
+        in
+        if projected.(nc) > (1.0 +. threshold) *. utilities.(nc) then begin
+          if State.full state nc then turned_off := nc :: !turned_off
+          else turned_on := nc :: !turned_on
+        end)
+      candidates;
+    List.iter (fun nc -> ignore (State.enable state nc)) !turned_on;
+    List.iter (fun nc -> State.disable state nc) !turned_off;
+    let record =
+      {
+        round = !round;
+        utilities;
+        projected;
+        turned_on = List.rev !turned_on;
+        turned_off = List.rev !turned_off;
+        secure_as = State.secure_count state;
+        secure_isp = State.secure_isp_count state;
+        secure_stub = State.secure_stub_count state;
+      }
+    in
+    rounds := record :: !rounds;
+    if !turned_on = [] && !turned_off = [] then begin
+      termination := Stable;
+      continue := false
+    end
+    else begin
+      match remember !round with
+      | Some first_round ->
+          termination := Oscillation { first_round };
+          continue := false
+      | None -> ()
+    end
+  done;
+  {
+    baseline;
+    initial_secure_as;
+    initial_secure_isp;
+    rounds = List.rev !rounds;
+    final = state;
+    termination = !termination;
+  }
+
+let secure_fraction result kind =
+  let state = result.final in
+  let g = State.graph state in
+  let n = Graph.n g in
+  match kind with
+  | `As -> float_of_int (State.secure_count state) /. float_of_int (max 1 n)
+  | `Isp ->
+      let isps = Graph.count_class g Asgraph.As_class.Isp in
+      float_of_int (State.secure_isp_count state) /. float_of_int (max 1 isps)
+
+let rounds_run result = List.length result.rounds

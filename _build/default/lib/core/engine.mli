@@ -1,0 +1,54 @@
+(** The deployment process (Sections 3.2-3.3).
+
+    Rounds of simultaneous myopic best response: in each round every
+    unpinned ISP computes its utility in the current state S and its
+    projected utility in (~S_n, S_{-n}) — the state where only it
+    flips — and flips iff the projection exceeds (1 + θ) times its
+    current utility (Eq. 3). Newly secure ISPs upgrade their stub
+    customers to simplex S*BGP. The process ends at a stable state, on
+    a detected oscillation (a repeated deployment state), or at the
+    round cap.
+
+    Projection uses the Appendix C.4 optimizations: destinations that
+    are insecure even after the candidate's flip are skipped; under
+    the outgoing model secure ISPs are never candidates (Theorem 6.2);
+    and a (candidate, destination) pair is only recomputed when the
+    flip can actually alter that destination's routing tree. *)
+
+type round_record = {
+  round : int;  (** 1-based *)
+  utilities : float array;  (** every node's utility in the state at round start *)
+  projected : float array;
+      (** projected utility per node; equals [utilities] for
+          non-candidates *)
+  turned_on : int list;  (** ISPs that deployed at the end of this round *)
+  turned_off : int list;
+  secure_as : int;  (** counts after the round's flips *)
+  secure_isp : int;
+  secure_stub : int;
+}
+
+type termination = Stable | Oscillation of { first_round : int } | Max_rounds
+
+type result = {
+  baseline : float array;
+      (** per-node utility before deployment began (nobody secure) *)
+  initial_secure_as : int;
+  initial_secure_isp : int;
+  rounds : round_record list;  (** chronological *)
+  final : State.t;
+  termination : termination;
+}
+
+val run :
+  Config.t ->
+  Bgp.Route_static.t ->
+  weight:float array ->
+  state:State.t ->
+  result
+(** Run to termination, mutating and returning [state] as [final]. *)
+
+val secure_fraction : result -> [ `As | `Isp ] -> float
+(** Fraction of ASes (resp. ISPs) secure at termination. *)
+
+val rounds_run : result -> int

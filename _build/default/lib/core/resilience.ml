@@ -1,0 +1,167 @@
+module Graph = Asgraph.Graph
+module Route_static = Bgp.Route_static
+module Forest = Bgp.Forest
+
+type attack_outcome = { attacker : int; victim : int; deceived : int; total : int }
+
+(* The merged legitimate-vs-bogus routing is ordinary single-prefix
+   routing to a virtual prefix node [d] that hangs (via one
+   intermediate each) under both the victim and the attacker:
+
+     victim --- t --- d --- f --- attacker
+
+   [t] participates in S*BGP, [f] never does, so a route through the
+   attacker can never be fully secure (the attacker cannot produce the
+   victim's origination signature / ROA), while path lengths stay
+   symmetric: dist + 2 on both sides. *)
+(* Shared virtual-prefix construction (see the comment above). *)
+let attack_graph statics state ~stub_tiebreak ~attacker ~victim =
+  if attacker = victim then invalid_arg "Resilience.simulate_attack";
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let t = n and f = n + 1 and d = n + 2 in
+  let cp_edges = ref [ (victim, t); (t, d); (attacker, f); (f, d) ] in
+  let peer_edges = ref [] in
+  List.iter
+    (fun ((a, b), rel) ->
+      match rel with
+      | Graph.Customer -> cp_edges := (a, b) :: !cp_edges
+      | Graph.Peer -> peer_edges := (a, b) :: !peer_edges
+      | Graph.Provider -> assert false)
+    (Graph.edges g);
+  (* CP markers are irrelevant for this computation (they only label
+     classes); drop them since the victim might be a CP and may not
+     gain customers under Graph.build's invariant. *)
+  let g' = Graph.build ~n:(n + 3) ~cp_edges:!cp_edges ~peer_edges:!peer_edges ~cps:[] in
+  let secure = Bytes.make (n + 3) '\000' in
+  Bytes.blit (State.secure_bytes state) 0 secure 0 n;
+  Bytes.set secure t '\001';
+  Bytes.set secure d '\001';
+  let use_secp = Bytes.make (n + 3) '\000' in
+  Bytes.blit (State.use_secp_bytes state ~stub_tiebreak) 0 use_secp 0 n;
+  (g', t, f, d, secure, use_secp)
+
+let fresh_sides ~n ~t ~f ~d =
+  let side = Bytes.make (n + 3) '?' in
+  Bytes.set side d 'd';
+  Bytes.set side t 'v';
+  Bytes.set side f 'm';
+  side
+
+(* Tally the original nodes by which side of the virtual prefix their
+   chosen route drains to. *)
+let tally ~n ~attacker side =
+  let deceived = ref 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    if i <> attacker then begin
+      match Bytes.get side i with
+      | 'v' -> incr total
+      | 'm' ->
+          incr total;
+          incr deceived
+      | _ -> ()
+    end
+  done;
+  (!deceived, !total)
+
+let simulate_attack statics state ~stub_tiebreak ~tiebreak ~attacker ~victim =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let g', t, f, d, secure, use_secp =
+    attack_graph statics state ~stub_tiebreak ~attacker ~victim
+  in
+  let info = Route_static.compute g' d in
+  let weight = Array.make (n + 3) 1.0 in
+  let scratch = Forest.make_scratch (n + 3) in
+  Forest.compute info ~tiebreak ~secure ~use_secp ~weight scratch;
+  (* Which side does each node drain to? Walk in ascending length, so
+     a node's next hop is already classified. *)
+  let side = fresh_sides ~n ~t ~f ~d in
+  Array.iter
+    (fun i ->
+      if i <> d && i <> t && i <> f then begin
+        let nh = scratch.next.(i) in
+        if nh >= 0 then Bytes.set side i (Bytes.get side nh)
+      end)
+    info.order;
+  let deceived, total = tally ~n ~attacker side in
+  { attacker; victim; deceived; total }
+
+let simulate_attack_ranked statics state ~stub_tiebreak ~tiebreak ~position ~attacker
+    ~victim =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let g', t, f, d, secure, use_secp =
+    attack_graph statics state ~stub_tiebreak ~attacker ~victim
+  in
+  let outcome = Bgp.Flexsim.route_to g' ~dest:d ~secure ~use_secp ~tiebreak ~position in
+  (* Classify sides by walking next pointers with a cycle guard (the
+     fixed point may not have converged at aggressive positions). *)
+  let side = fresh_sides ~n ~t ~f ~d in
+  let rec classify i steps =
+    if steps > n + 3 then '?'
+    else begin
+      match Bytes.get side i with
+      | '?' ->
+          let nh = outcome.next.(i) in
+          if nh < 0 then '?'
+          else begin
+            let s = classify nh (steps + 1) in
+            if s <> '?' then Bytes.set side i s;
+            s
+          end
+      | s -> s
+    end
+  in
+  for i = 0 to n + 2 do
+    ignore (classify i 0)
+  done;
+  let deceived, total = tally ~n ~attacker side in
+  { attacker; victim; deceived; total }
+
+let mean_with simulate statics ~samples ~seed =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let rng = Nsutil.Prng.create ~seed in
+  let acc = ref 0.0 in
+  let counted = ref 0 in
+  for _ = 1 to samples do
+    let attacker = Nsutil.Prng.int rng n in
+    let victim = Nsutil.Prng.int rng n in
+    if attacker <> victim then begin
+      let o : attack_outcome = simulate ~attacker ~victim in
+      if o.total > 0 then begin
+        acc := !acc +. (float_of_int o.deceived /. float_of_int o.total);
+        incr counted
+      end
+    end
+  done;
+  if !counted = 0 then 0.0 else !acc /. float_of_int !counted
+
+let mean_deceived_fraction_ranked statics state ~stub_tiebreak ~tiebreak ~position
+    ~samples ~seed =
+  mean_with
+    (fun ~attacker ~victim ->
+      simulate_attack_ranked statics state ~stub_tiebreak ~tiebreak ~position ~attacker
+        ~victim)
+    statics ~samples ~seed
+
+let mean_deceived_fraction statics state ~stub_tiebreak ~tiebreak ~samples ~seed =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let rng = Nsutil.Prng.create ~seed in
+  let acc = ref 0.0 in
+  let counted = ref 0 in
+  for _ = 1 to samples do
+    let attacker = Nsutil.Prng.int rng n in
+    let victim = Nsutil.Prng.int rng n in
+    if attacker <> victim then begin
+      let o = simulate_attack statics state ~stub_tiebreak ~tiebreak ~attacker ~victim in
+      if o.total > 0 then begin
+        acc := !acc +. (float_of_int o.deceived /. float_of_int o.total);
+        incr counted
+      end
+    end
+  done;
+  if !counted = 0 then 0.0 else !acc /. float_of_int !counted

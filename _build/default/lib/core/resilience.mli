@@ -1,0 +1,71 @@
+(** Attack resilience under partial deployment (Sections 2.2.1, 6.4
+    and insight 5: "minimize attacks during partial deployment").
+
+    The paper quantifies the insecure status quo by the [15]-style
+    statistic: "an arbitrary misbehaving AS can impact about half of
+    the ASes in the Internet on average". This module reproduces that
+    measurement and tracks how it shrinks as S*BGP deployment
+    progresses: a malicious AS [m] announces a bogus one-hop route to
+    a victim prefix; every AS then chooses between the legitimate
+    route and the bogus one under the usual LP/SP/SecP/TB policy,
+    where the bogus route can never be fully secure (m cannot produce
+    the victim's signature), so any AS whose chosen legitimate route
+    is fully secure and who applies SecP is immune.
+
+    Deceived = the set of ASes whose chosen route leads to [m]. *)
+
+type attack_outcome = {
+  attacker : int;
+  victim : int;
+  deceived : int;  (** ASes routing to the attacker (excluding m itself) *)
+  total : int;  (** ASes that had a route to the victim *)
+}
+
+val simulate_attack :
+  Bgp.Route_static.t ->
+  State.t ->
+  stub_tiebreak:bool ->
+  tiebreak:Bgp.Policy.tiebreak ->
+  attacker:int ->
+  victim:int ->
+  attack_outcome
+(** One prefix-hijack attempt. The attacker claims a direct (1-hop)
+    route to the victim's prefix and exports it to everyone like an
+    origination of its own; ASes rank it against their real route.
+    Requires [attacker <> victim]. *)
+
+val simulate_attack_ranked :
+  Bgp.Route_static.t ->
+  State.t ->
+  stub_tiebreak:bool ->
+  tiebreak:Bgp.Policy.tiebreak ->
+  position:Bgp.Flexsim.secp_position ->
+  attacker:int ->
+  victim:int ->
+  attack_outcome
+(** Like {!simulate_attack} but routing with the security criterion at
+    an arbitrary rank position ({!Bgp.Flexsim}): the Section 2.2.2
+    "security first" ablation. With [Tiebreak_only] it agrees with
+    {!simulate_attack}. *)
+
+val mean_deceived_fraction_ranked :
+  Bgp.Route_static.t ->
+  State.t ->
+  stub_tiebreak:bool ->
+  tiebreak:Bgp.Policy.tiebreak ->
+  position:Bgp.Flexsim.secp_position ->
+  samples:int ->
+  seed:int ->
+  float
+
+val mean_deceived_fraction :
+  Bgp.Route_static.t ->
+  State.t ->
+  stub_tiebreak:bool ->
+  tiebreak:Bgp.Policy.tiebreak ->
+  samples:int ->
+  seed:int ->
+  float
+(** Average deceived fraction over random (attacker, victim) pairs —
+    the paper's "~half the Internet" statistic when nobody is secure,
+    and the security dividend curve as deployment progresses. *)

@@ -1,0 +1,164 @@
+module Graph = Asgraph.Graph
+module Bitset = Nsutil.Bitset
+
+type t = {
+  g : Graph.t;
+  full_set : Bitset.t;
+  simplex_set : Bitset.t;  (* sticky: stubs that were ever upgraded *)
+  pinned_set : Bitset.t;
+  secure : Bytes.t;  (* full || simplex *)
+  use_secp : Bytes.t;
+  mutable stub_tiebreak : bool;
+  simplex_enabled : bool;
+  secp_enabled : bool;
+}
+
+let graph t = t.g
+let full t i = Bitset.mem t.full_set i
+let pinned t i = Bitset.mem t.pinned_set i
+let secure t i = Bytes.get t.secure i = '\001'
+let simplex t i = Bitset.mem t.simplex_set i && not (full t i)
+
+let applies_secp t i =
+  t.secp_enabled && secure t i
+  && ((not (Graph.is_stub t.g i)) || t.stub_tiebreak || full t i)
+
+(* Re-derive the participation and SecP bytes of a single node. The
+   order matters: [applies_secp] reads the secure byte we just set. *)
+let refresh t i =
+  let is_secure = full t i || Bitset.mem t.simplex_set i in
+  Bytes.set t.secure i (if is_secure then '\001' else '\000');
+  Bytes.set t.use_secp i (if is_secure && applies_secp t i then '\001' else '\000')
+
+let check_unpinned t i ~op =
+  if Bitset.mem t.pinned_set i then
+    invalid_arg (Printf.sprintf "State.%s: pinned node %d" op i)
+
+(* Simplex S*BGP at a stub is a *deployment*: once a secure ISP
+   upgrades its stubs they keep signing even if the ISP later turns
+   off (cf. Figure 13, where AS 4755's stubs stay simplex). *)
+let upgrade_stubs t i =
+  let added = ref [] in
+  if t.simplex_enabled then
+    Graph.iter_customers t.g i (fun c ->
+        if Graph.is_stub t.g c && not (Bitset.mem t.simplex_set c) then begin
+          Bitset.set t.simplex_set c;
+          refresh t c;
+          added := c :: !added
+        end);
+  !added
+
+let enable t i =
+  check_unpinned t i ~op:"enable";
+  Bitset.set t.full_set i;
+  refresh t i;
+  upgrade_stubs t i
+
+let undo_enable t i ~added =
+  check_unpinned t i ~op:"undo_enable";
+  Bitset.clear t.full_set i;
+  refresh t i;
+  List.iter
+    (fun c ->
+      Bitset.clear t.simplex_set c;
+      refresh t c)
+    added
+
+let disable t i =
+  check_unpinned t i ~op:"disable";
+  Bitset.clear t.full_set i;
+  refresh t i
+
+let set_full t i v =
+  if v then ignore (enable t i)
+  else begin
+    disable t i;
+    (* Legacy semantics for symmetric flips in tests: stubs stay
+       simplex (sticky), nothing else to do. *)
+    ()
+  end
+
+let create ?(frozen = []) ?(simplex = true) ?(secp = true) g ~early =
+  let n = Graph.n g in
+  let t =
+    {
+      g;
+      full_set = Bitset.create n;
+      simplex_set = Bitset.create n;
+      pinned_set = Bitset.create n;
+      secure = Bytes.make n '\000';
+      use_secp = Bytes.make n '\000';
+      stub_tiebreak = true;
+      simplex_enabled = simplex;
+      secp_enabled = secp;
+    }
+  in
+  List.iter
+    (fun i ->
+      Bitset.set t.full_set i;
+      Bitset.set t.pinned_set i)
+    early;
+  List.iter (fun i -> Bitset.set t.pinned_set i) frozen;
+  (* Early-adopter ISPs upgrade their stubs in the initial state. *)
+  List.iter
+    (fun i ->
+      if simplex && Graph.is_isp g i then
+        Graph.iter_customers g i (fun c ->
+            if Graph.is_stub g c then Bitset.set t.simplex_set c))
+    early;
+  for i = 0 to n - 1 do
+    refresh t i
+  done;
+  t
+
+let secure_count t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr acc) t.secure;
+  !acc
+
+let count_if t p =
+  let acc = ref 0 in
+  for i = 0 to Graph.n t.g - 1 do
+    if p i then incr acc
+  done;
+  !acc
+
+let secure_isp_count t = count_if t (fun i -> secure t i && Graph.is_isp t.g i)
+let secure_stub_count t = count_if t (fun i -> secure t i && Graph.is_stub t.g i)
+
+let copy t =
+  {
+    g = t.g;
+    full_set = Bitset.copy t.full_set;
+    simplex_set = Bitset.copy t.simplex_set;
+    pinned_set = Bitset.copy t.pinned_set;
+    secure = Bytes.copy t.secure;
+    use_secp = Bytes.copy t.use_secp;
+    stub_tiebreak = t.stub_tiebreak;
+    simplex_enabled = t.simplex_enabled;
+    secp_enabled = t.secp_enabled;
+  }
+
+let signature t =
+  (Bitset.hash t.full_set * 31) + Bitset.hash t.simplex_set
+
+let equal_full a b =
+  Bitset.equal a.full_set b.full_set && Bitset.equal a.simplex_set b.simplex_set
+
+let secure_bytes t = t.secure
+
+let use_secp_bytes t ~stub_tiebreak =
+  if t.stub_tiebreak <> stub_tiebreak then begin
+    t.stub_tiebreak <- stub_tiebreak;
+    for i = 0 to Graph.n t.g - 1 do
+      refresh t i
+    done
+  end;
+  t.use_secp
+
+let secure_list t =
+  let acc = ref [] in
+  for i = Graph.n t.g - 1 downto 0 do
+    if secure t i then acc := i :: !acc
+  done;
+  !acc

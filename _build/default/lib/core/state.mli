@@ -1,0 +1,74 @@
+(** Deployment state S (Section 3.2): which ASes run S*BGP.
+
+    Full deployment is the ISPs'/early adopters' action. Simplex
+    deployment at stubs is *sticky*: when an ISP becomes secure it
+    upgrades all its stub customers, and they keep signing even if the
+    ISP later turns S*BGP off (in Figure 13 AS 4755's stubs stay
+    simplex; only paths through 4755 lose their security). *)
+
+type t
+
+val create :
+  ?frozen:int list -> ?simplex:bool -> ?secp:bool -> Asgraph.Graph.t -> early:int list -> t
+(** Initial state: exactly the early adopters run full S*BGP; the stub
+    customers of early-adopter ISPs run simplex (Section 3.2).
+    [frozen] nodes are pinned to their initial (insecure) action —
+    used by the gadget constructions of the appendices, whose "fixed
+    nodes" never flip. [simplex:false] disables stub upgrades and
+    [secp:false] makes {!use_secp_bytes} all-zero — the ablation
+    switches of {!Config}. *)
+
+val graph : t -> Asgraph.Graph.t
+val full : t -> int -> bool
+(** Runs full S*BGP. *)
+
+val simplex : t -> int -> bool
+(** Stub running simplex S*BGP (and not full). *)
+
+val secure : t -> int -> bool
+(** Participates at all: [full || simplex]. Paths through the node
+    can be fully secure. *)
+
+val pinned : t -> int -> bool
+(** Early adopters and frozen nodes never flip. *)
+
+val enable : t -> int -> int list
+(** Deploy full S*BGP at a node and simplex S*BGP at its stub
+    customers; returns the stubs newly upgraded (for {!undo_enable}).
+    Raises [Invalid_argument] on a pinned node. *)
+
+val undo_enable : t -> int -> added:int list -> unit
+(** Exactly reverse a prior {!enable} (used when projecting
+    (~S_n, S_{-n}) in the engine). *)
+
+val disable : t -> int -> unit
+(** Turn full S*BGP off. Stub upgrades are sticky and remain. *)
+
+val set_full : t -> int -> bool -> unit
+(** [set_full t i true] = [ignore (enable t i)];
+    [set_full t i false] = [disable t i]. *)
+
+val secure_count : t -> int
+(** Number of secure ASes (full + simplex). *)
+
+val secure_isp_count : t -> int
+val secure_stub_count : t -> int
+
+val copy : t -> t
+val signature : t -> int
+(** Hash of the deployment sets, for oscillation detection. *)
+
+val equal_full : t -> t -> bool
+
+val secure_bytes : t -> Bytes.t
+(** Per-node participation flags in the {!Bgp.Forest} encoding. The
+    returned buffer is owned by the state and mutated by
+    {!enable}/{!disable}. *)
+
+val use_secp_bytes : t -> stub_tiebreak:bool -> Bytes.t
+(** Per-node "applies the SecP step" flags: secure ISPs and CPs
+    always; secure stubs only when [stub_tiebreak]. Owned by the
+    state and kept in sync (the [stub_tiebreak] value of the most
+    recent call is used). *)
+
+val secure_list : t -> int list

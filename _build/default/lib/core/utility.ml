@@ -1,0 +1,76 @@
+module Graph = Asgraph.Graph
+module Route_static = Bgp.Route_static
+module Forest = Bgp.Forest
+
+let c_cust = Bgp.Policy.class_to_char Bgp.Policy.Via_customer
+let c_prov = Bgp.Policy.class_to_char Bgp.Policy.Via_provider
+
+let contribution model g (info : Route_static.dest_info) (scratch : Forest.scratch)
+    ~weight n =
+  match model with
+  | Config.Outgoing ->
+      if Bytes.get info.cls n = c_cust then scratch.sub.(n) -. weight.(n) else 0.0
+  | Config.Incoming ->
+      let acc = ref 0.0 in
+      Graph.iter_customers g n (fun c ->
+          if scratch.next.(c) = n && Bytes.get info.cls c = c_prov then
+            acc := !acc +. scratch.sub.(c));
+      !acc
+
+let accumulate model _g (info : Route_static.dest_info) (scratch : Forest.scratch)
+    ~weight ~into =
+  match model with
+  | Config.Outgoing ->
+      Array.iter
+        (fun i ->
+          if Bytes.unsafe_get info.cls i = c_cust then
+            into.(i) <- into.(i) +. scratch.sub.(i) -. weight.(i))
+        info.order
+  | Config.Incoming ->
+      Array.iter
+        (fun i ->
+          if Bytes.unsafe_get info.cls i = c_prov then begin
+            let p = scratch.next.(i) in
+            if p >= 0 then into.(p) <- into.(p) +. scratch.sub.(i)
+          end)
+        info.order
+
+let customer_volumes config statics state ~weight =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let scratch = Forest.make_scratch n in
+  let secure = State.secure_bytes state in
+  let use_secp = State.use_secp_bytes state ~stub_tiebreak:config.Config.stub_tiebreak in
+  let volumes = Hashtbl.create 256 in
+  for d = 0 to n - 1 do
+    let info = Route_static.get statics d in
+    Forest.compute info ~tiebreak:config.Config.tiebreak ~secure ~use_secp ~weight scratch;
+    Array.iter
+      (fun c ->
+        if Bytes.unsafe_get info.cls c = c_prov then begin
+          let p = scratch.next.(c) in
+          if p >= 0 then begin
+            let key = (p, c) in
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt volumes key) in
+            Hashtbl.replace volumes key (prev +. scratch.sub.(c))
+          end
+        end)
+      info.order
+  done;
+  let out = Array.make n [] in
+  Hashtbl.iter (fun (p, c) v -> out.(p) <- (c, v) :: out.(p)) volumes;
+  Array.map (List.sort compare) out
+
+let all config statics state ~weight =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let scratch = Forest.make_scratch n in
+  let into = Array.make n 0.0 in
+  let secure = State.secure_bytes state in
+  let use_secp = State.use_secp_bytes state ~stub_tiebreak:config.Config.stub_tiebreak in
+  for d = 0 to n - 1 do
+    let info = Route_static.get statics d in
+    Forest.compute info ~tiebreak:config.Config.tiebreak ~secure ~use_secp ~weight scratch;
+    accumulate config.Config.model g info scratch ~weight ~into
+  done;
+  into

@@ -1,0 +1,51 @@
+(** ISP utility (Section 3.3).
+
+    Outgoing utility (Eq. 1): total weight of traffic an ISP forwards
+    towards destinations reached over one of its customer edges.
+    Incoming utility (Eq. 2): total weight of traffic entering the ISP
+    over customer edges, across all destinations. *)
+
+val contribution :
+  Config.utility_model ->
+  Asgraph.Graph.t ->
+  Bgp.Route_static.dest_info ->
+  Bgp.Forest.scratch ->
+  weight:float array ->
+  int ->
+  float
+(** Utility the given node derives from this one destination under the
+    already-computed routing forest. O(1) for [Outgoing],
+    O(#customers) for [Incoming]. *)
+
+val accumulate :
+  Config.utility_model ->
+  Asgraph.Graph.t ->
+  Bgp.Route_static.dest_info ->
+  Bgp.Forest.scratch ->
+  weight:float array ->
+  into:float array ->
+  unit
+(** Add every node's contribution for this destination into [into];
+    one O(N) pass. *)
+
+val all :
+  Config.t ->
+  Bgp.Route_static.t ->
+  State.t ->
+  weight:float array ->
+  float array
+(** Full utility vector over all destinations for the given state.
+    Allocates its own scratch; intended for analyses rather than the
+    inner loop of {!Engine}. *)
+
+val customer_volumes :
+  Config.t ->
+  Bgp.Route_static.t ->
+  State.t ->
+  weight:float array ->
+  (int * float) list array
+(** Per node, the traffic volume entering over each customer edge
+    (summed across all destinations), as [(customer, volume)] pairs.
+    The incoming utility (Eq. 2) is the sum of the volumes; the
+    Section 8.4 pricing schemes ({!Traffic.Pricing}) map the
+    per-customer split to revenue instead. *)

@@ -1,0 +1,1 @@
+lib/crypto/sig_scheme.ml: Buffer Bytes Char Hmac Nsutil Sha256 String

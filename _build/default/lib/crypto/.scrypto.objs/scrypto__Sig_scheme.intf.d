@@ -1,0 +1,1 @@
+lib/crypto/sig_scheme.mli: Nsutil

@@ -1,0 +1,25 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest_string key else key in
+  key ^ String.make (block_size - String.length key) '\000'
+
+let xor_pad key byte = String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_string (xor_pad key 0x36 ^ msg) in
+  Sha256.digest_string (xor_pad key 0x5c ^ inner)
+
+let mac_hex ~key msg = Sha256.hex (mac ~key msg)
+
+let verify ~key ~msg ~tag =
+  let expected = mac ~key msg in
+  if String.length tag <> String.length expected then false
+  else begin
+    let diff = ref 0 in
+    String.iteri
+      (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+      tag;
+    !diff = 0
+  end

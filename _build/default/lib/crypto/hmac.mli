@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val mac_hex : key:string -> string -> string
+(** Hexadecimal rendering of [mac]. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag comparison. *)

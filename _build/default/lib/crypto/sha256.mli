@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used by the S*BGP message layer ([bgpsec]) for digests, by the
+    simulated signature scheme and for content-addressed certificate
+    identifiers in [rpki]. *)
+
+type digest = string
+(** 32 raw bytes. *)
+
+val digest_string : string -> digest
+val digest_bytes : bytes -> digest
+
+val hex : digest -> string
+(** Lowercase hexadecimal rendering (64 chars). *)
+
+val digest_hex : string -> string
+(** [hex (digest_string s)]. *)
+
+(** Incremental interface. *)
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> digest
+(** The context must not be reused after [finalize]. *)

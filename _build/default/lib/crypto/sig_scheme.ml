@@ -1,0 +1,54 @@
+type keypair = { secret : string; key_id : string }
+type signature = { key_id : string; tag : string }
+
+let of_secret secret = { secret; key_id = Sha256.digest_string secret }
+
+let generate rng =
+  let buf = Buffer.create 32 in
+  for _ = 1 to 4 do
+    Buffer.add_int64_be buf (Nsutil.Prng.int64 rng)
+  done;
+  of_secret (Buffer.contents buf)
+
+let sign (kp : keypair) msg =
+  { key_id = kp.key_id; tag = Hmac.mac ~key:kp.secret msg }
+
+let verify ~(verification_key : keypair) ~msg (s : signature) =
+  String.equal s.key_id verification_key.key_id
+  && Hmac.verify ~key:verification_key.secret ~msg ~tag:s.tag
+
+let of_raw_signature ~key_id ~tag = { key_id; tag }
+
+let signature_to_string s = Sha256.hex s.key_id ^ ":" ^ Sha256.hex s.tag
+
+let unhex str =
+  let len = String.length str in
+  if len mod 2 <> 0 then None
+  else begin
+    let value c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let out = Bytes.create (len / 2) in
+    let ok = ref true in
+    for i = 0 to (len / 2) - 1 do
+      match (value str.[2 * i], value str.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string out) else None
+  end
+
+let signature_of_string str =
+  match String.index_opt str ':' with
+  | None -> None
+  | Some i -> begin
+      let key_hex = String.sub str 0 i in
+      let tag_hex = String.sub str (i + 1) (String.length str - i - 1) in
+      match (unhex key_hex, unhex tag_hex) with
+      | Some key_id, Some tag -> Some { key_id; tag }
+      | _ -> None
+    end

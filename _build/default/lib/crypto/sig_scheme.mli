@@ -1,0 +1,42 @@
+(** Simulated signature scheme for the S*BGP message layer.
+
+    The deployment study is indifferent to the concrete cipher, so we
+    do not implement RSA. Instead each principal holds a secret MAC
+    key; "signing" is HMAC-SHA256 and "verification keys" are the same
+    MAC keys distributed by a trusted registry that stands in for the
+    RPKI's key-distribution role (a symmetric-key simulation in the
+    spirit of TESLA). This exercises exactly the code paths the paper
+    cares about — who signs what, what can be validated when, and
+    tamper detection — without a bignum dependency.
+
+    Limitation (documented, accepted): because verification keys equal
+    signing keys, a verifier could forge; the simulation therefore
+    models *honest-verifier* security only, which suffices for every
+    experiment and attack demo in this repository. *)
+
+type keypair = private { secret : string; key_id : string }
+(** [key_id] is the SHA-256 of the secret and acts as the public
+    identifier published in certificates. *)
+
+type signature = private { key_id : string; tag : string }
+
+val generate : Nsutil.Prng.t -> keypair
+(** Fresh random keypair. *)
+
+val of_secret : string -> keypair
+(** Deterministic keypair from explicit secret material (tests). *)
+
+val sign : keypair -> string -> signature
+
+val verify : verification_key:keypair -> msg:string -> signature -> bool
+(** True iff the signature was produced over [msg] by the keypair with
+    the same [key_id]. *)
+
+val of_raw_signature : key_id:string -> tag:string -> signature
+(** Reassemble a signature parsed off the wire; no validation beyond
+    structure (verification happens in {!verify}). *)
+
+val signature_to_string : signature -> string
+(** Stable wire rendering (hex fields, ':'-separated). *)
+
+val signature_of_string : string -> signature option

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Core List Nsutil Scenario

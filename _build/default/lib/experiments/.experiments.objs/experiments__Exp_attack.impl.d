@@ -1,0 +1,1 @@
+lib/experiments/exp_attack.ml: Bgpsec Nsutil Printf Scenario

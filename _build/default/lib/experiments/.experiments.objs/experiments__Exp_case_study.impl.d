@@ -1,0 +1,1 @@
+lib/experiments/exp_case_study.ml: Array Asgraph Core Hashtbl List Nsutil Option Printf Scenario

@@ -1,0 +1,1 @@
+lib/experiments/exp_cps.ml: Adopters Core List Nsutil Scenario

@@ -1,0 +1,1 @@
+lib/experiments/exp_evolution.ml: Asgraph Bgp Core List Nsutil Printf Scenario Topology Traffic

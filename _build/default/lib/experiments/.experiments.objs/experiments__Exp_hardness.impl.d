@@ -1,0 +1,1 @@
+lib/experiments/exp_hardness.ml: Adopters Array Bgp Gadgets List Nsutil Scenario String

@@ -1,0 +1,1 @@
+lib/experiments/exp_incoming.ml: Array Asgraph Bgp Core Gadgets List Nsutil Printf Scenario String

@@ -1,0 +1,1 @@
+lib/experiments/exp_jitter.ml: Core List Nsutil Scenario

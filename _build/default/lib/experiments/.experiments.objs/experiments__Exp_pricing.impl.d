@@ -1,0 +1,1 @@
+lib/experiments/exp_pricing.ml: Array Asgraph Core List Nsutil Printf Scenario String Traffic

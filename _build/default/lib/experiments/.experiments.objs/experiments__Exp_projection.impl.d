@@ -1,0 +1,1 @@
+lib/experiments/exp_projection.ml: Adopters Array Core List Nsutil Printf Scenario

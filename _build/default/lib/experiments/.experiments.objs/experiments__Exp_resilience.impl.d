@@ -1,0 +1,1 @@
+lib/experiments/exp_resilience.ml: Core List Nsutil Scenario

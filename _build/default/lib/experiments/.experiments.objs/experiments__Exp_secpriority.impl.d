@@ -1,0 +1,1 @@
+lib/experiments/exp_secpriority.ml: Bgp Core List Nsutil Scenario

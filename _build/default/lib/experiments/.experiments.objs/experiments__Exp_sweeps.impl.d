@@ -1,0 +1,1 @@
+lib/experiments/exp_sweeps.ml: Adopters Asgraph Bgp Core List Nsutil Printf Scenario

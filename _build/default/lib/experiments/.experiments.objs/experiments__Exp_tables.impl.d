@@ -1,0 +1,1 @@
+lib/experiments/exp_tables.ml: Asgraph Bgp Core Lazy List Nsutil Printf Scenario

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Array Asgraph Bgp Core Lazy Parallel Sys Topology Traffic

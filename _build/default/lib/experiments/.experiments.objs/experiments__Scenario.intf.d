@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Asgraph Bgp Core Lazy Topology

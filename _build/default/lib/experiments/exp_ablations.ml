@@ -1,0 +1,42 @@
+(* Ablations of the proposal's two mechanisms (DESIGN.md): remove the
+   SecP tie-break or remove simplex S*BGP and watch deployment
+   collapse. *)
+
+module Table = Nsutil.Table
+
+module Ablations = struct
+  let id = "ablations"
+  let title = "Ablations: remove SecP or simplex S*BGP (case-study parameters)"
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:[ "variant"; "theta"; "secure ASes"; "secure ISPs"; "rounds" ]
+    in
+    let variants =
+      [
+        ("full proposal", Core.Config.default);
+        ("no SecP (security never affects routing)",
+         { Core.Config.default with disable_secp = true });
+        ("no simplex (stubs never upgraded)",
+         { Core.Config.default with disable_simplex = true });
+        ("no simplex, high cost",
+         { Core.Config.default with disable_simplex = true; theta = 0.3; theta_off = 0.3 });
+        ("full proposal, high cost",
+         { Core.Config.default with theta = 0.3; theta_off = 0.3 });
+      ]
+    in
+    List.iter
+      (fun (name, cfg) ->
+        let r = Scenario.run s cfg in
+        Table.add_row t
+          [
+            name;
+            Table.cell_pct cfg.theta;
+            Table.cell_pct (Core.Engine.secure_fraction r `As);
+            Table.cell_pct (Core.Engine.secure_fraction r `Isp);
+            string_of_int (Core.Engine.rounds_run r);
+          ])
+      variants;
+    t
+end

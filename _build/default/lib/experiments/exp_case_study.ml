@@ -1,0 +1,246 @@
+(* The Section 5 case study: figures 3-7 share the same single run
+   (five CPs + top-5 ISPs as early adopters, theta = 5%, x = 10%). *)
+
+module Table = Nsutil.Table
+module Graph = Asgraph.Graph
+module Engine = Core.Engine
+
+let config = Core.Config.default
+
+(* One engine run per scenario, shared by the five figures. *)
+let cache : (int * int, Engine.result) Hashtbl.t = Hashtbl.create 4
+
+let result (s : Scenario.t) =
+  let key = (s.n, s.seed) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = Scenario.run s config in
+      Hashtbl.replace cache key r;
+      r
+
+module Fig3 = struct
+  let id = "fig3"
+  let title = "Figure 3: number of ASes / ISPs newly secure per round (case study)"
+
+  let run (s : Scenario.t) =
+    let r = result s in
+    let t =
+      Table.create
+        ~header:
+          [ "round"; "new secure ASes"; "new secure ISPs"; "secure ASes"; "secure ISPs" ]
+    in
+    let prev_as = ref r.initial_secure_as in
+    let prev_isp = ref r.initial_secure_isp in
+    List.iter
+      (fun (rr : Engine.round_record) ->
+        Table.add_row t
+          [
+            string_of_int rr.round;
+            string_of_int (rr.secure_as - !prev_as);
+            string_of_int (rr.secure_isp - !prev_isp);
+            string_of_int rr.secure_as;
+            string_of_int rr.secure_isp;
+          ];
+        prev_as := rr.secure_as;
+        prev_isp := rr.secure_isp)
+      r.rounds;
+    t
+end
+
+(* Reconstruct the set of ISPs secure after each round. *)
+let secure_by_round (s : Scenario.t) (r : Engine.result) =
+  let g = Scenario.graph s in
+  let early = Scenario.case_study_adopters s in
+  let current = Hashtbl.create 64 in
+  List.iter (fun a -> if Graph.is_isp g a then Hashtbl.replace current a ()) early;
+  List.map
+    (fun (rr : Engine.round_record) ->
+      List.iter (fun n -> Hashtbl.replace current n ()) rr.turned_on;
+      List.iter (fun n -> Hashtbl.remove current n) rr.turned_off;
+      (rr.round, Hashtbl.fold (fun k () acc -> k :: acc) current []))
+    r.rounds
+
+module Fig4 = struct
+  let id = "fig4"
+  let title = "Figure 4: normalized utility of exemplar competing ISPs per round"
+
+  (* Exemplars: the first-mover (deployed round 1), a catch-up ISP
+     (deployed later after losing utility), and a holdout that never
+     deploys (Section 5.6: holdouts lose). *)
+  let pick (s : Scenario.t) (r : Engine.result) =
+    let g = Scenario.graph s in
+    let baseline = r.baseline in
+    let deployed_round =
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (rr : Engine.round_record) ->
+          List.iter (fun n -> Hashtbl.replace tbl n rr.round) rr.turned_on)
+        r.rounds;
+      tbl
+    in
+    let first_mover =
+      Hashtbl.fold
+        (fun n rd acc -> if rd = 1 && baseline.(n) > 0.0 then Some n else acc)
+        deployed_round None
+    in
+    let catch_up =
+      Hashtbl.fold
+        (fun n rd acc ->
+          match acc with
+          | Some (_, best) when best >= rd -> acc
+          | _ -> if rd >= 2 && baseline.(n) > 0.0 then Some (n, rd) else acc)
+        deployed_round None
+      |> Option.map fst
+    in
+    let holdout =
+      let found = ref None in
+      for i = 0 to Graph.n g - 1 do
+        if
+          !found = None && Graph.is_isp g i
+          && (not (Hashtbl.mem deployed_round i))
+          && (not (Core.State.secure r.final i))
+          && baseline.(i) > 0.0
+        then found := Some i
+      done;
+      !found
+    in
+    (first_mover, catch_up, holdout)
+
+  let run (s : Scenario.t) =
+    let r = result s in
+    let first_mover, catch_up, holdout = pick s r in
+    let name = function None -> "-" | Some n -> string_of_int n in
+    let t =
+      Table.create
+        ~header:
+          [
+            "round";
+            "first-mover AS " ^ name first_mover;
+            "catch-up AS " ^ name catch_up;
+            "holdout AS " ^ name holdout;
+          ]
+    in
+    let cell (rr : Engine.round_record) = function
+      | None -> "-"
+      | Some n -> Printf.sprintf "%.3f" (rr.utilities.(n) /. r.baseline.(n))
+    in
+    List.iter
+      (fun (rr : Engine.round_record) ->
+        Table.add_row t
+          [
+            string_of_int rr.round;
+            cell rr first_mover;
+            cell rr catch_up;
+            cell rr holdout;
+          ])
+      r.rounds;
+    t
+end
+
+module Fig5 = struct
+  let id = "fig5"
+  let title =
+    "Figure 5: median utility and projected utility (normalized by starting utility) of \
+     ISPs in the round they decide to deploy"
+
+  let run (s : Scenario.t) =
+    let r = result s in
+    let t =
+      Table.create
+        ~header:[ "round"; "deployers"; "median u / u0"; "median proj / u0" ]
+    in
+    List.iter
+      (fun (rr : Engine.round_record) ->
+        let with_baseline = List.filter (fun n -> r.baseline.(n) > 0.0) rr.turned_on in
+        if with_baseline <> [] then begin
+          let us =
+            Array.of_list
+              (List.map (fun n -> rr.utilities.(n) /. r.baseline.(n)) with_baseline)
+          in
+          let ps =
+            Array.of_list
+              (List.map (fun n -> rr.projected.(n) /. r.baseline.(n)) with_baseline)
+          in
+          Table.add_row t
+            [
+              string_of_int rr.round;
+              string_of_int (List.length with_baseline);
+              Printf.sprintf "%.3f" (Nsutil.Stats.median us);
+              Printf.sprintf "%.3f" (Nsutil.Stats.median ps);
+            ]
+        end)
+      r.rounds;
+    t
+end
+
+module Fig6 = struct
+  let id = "fig6"
+  let title = "Figure 6: cumulative fraction of ISPs secure per round, by degree"
+
+  let buckets = [ (1, 10); (11, 25); (26, 100); (101, max_int) ]
+
+  let bucket_name (lo, hi) =
+    if hi = max_int then Printf.sprintf "deg %d+" lo else Printf.sprintf "deg %d-%d" lo hi
+
+  let run (s : Scenario.t) =
+    let r = result s in
+    let g = Scenario.graph s in
+    let isps_in (lo, hi) =
+      let acc = ref [] in
+      for i = 0 to Graph.n g - 1 do
+        let d = Graph.degree g i in
+        if Graph.is_isp g i && d >= lo && d <= hi then acc := i :: !acc
+      done;
+      !acc
+    in
+    let per_bucket = List.map (fun b -> (b, isps_in b)) buckets in
+    let t =
+      Table.create
+        ~header:("round" :: List.map (fun (b, _) -> bucket_name b) per_bucket)
+    in
+    List.iter
+      (fun (round, secure_isps) ->
+        let cells =
+          List.map
+            (fun (_, members) ->
+              let total = List.length members in
+              if total = 0 then "-"
+              else begin
+                let sec =
+                  List.length (List.filter (fun i -> List.mem i secure_isps) members)
+                in
+                Printf.sprintf "%.3f" (float_of_int sec /. float_of_int total)
+              end)
+            per_bucket
+        in
+        Table.add_row t (string_of_int round :: cells))
+      (secure_by_round s (result s));
+    ignore r;
+    t
+end
+
+module Fig7 = struct
+  let id = "fig7"
+  let title = "Figure 7: chain reactions (adjacent deployments in consecutive rounds)"
+
+  let run (s : Scenario.t) =
+    let r = result s in
+    let g = Scenario.graph s in
+    let pairs = Core.Analyses.chain_reactions r g in
+    let t = Table.create ~header:[ "earlier AS"; "later AS"; "relationship" ] in
+    List.iteri
+      (fun i (n, m) ->
+        if i < 20 then
+          Table.add_row t
+            [
+              string_of_int n;
+              string_of_int m;
+              (match Graph.rel g n m with
+              | Some rel -> Graph.rel_to_string rel
+              | None -> "?");
+            ])
+      pairs;
+    Table.add_row t [ "total"; string_of_int (List.length pairs); "" ];
+    t
+end

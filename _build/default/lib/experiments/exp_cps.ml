@@ -1,0 +1,56 @@
+(* Figure 12: content providers vs Tier 1s as early adopters, across
+   traffic shares x and on the augmented graph (Section 6.8). *)
+
+module Table = Nsutil.Table
+
+module Fig12 = struct
+  let id = "fig12"
+  let title =
+    "Figure 12: CPs vs top-5 Tier 1s as early adopters (traffic share x, base vs \
+     augmented graph)"
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:
+          [ "graph"; "early adopters"; "x"; "theta"; "secure ASes"; "secure ISPs" ]
+    in
+    let sets augmented =
+      let g = if augmented then Scenario.graph_aug s else Scenario.graph s in
+      [
+        ("5cps", Adopters.Strategy.select g Adopters.Strategy.Content_providers);
+        ("top5", Adopters.Strategy.select g (Adopters.Strategy.Top_degree 5));
+      ]
+    in
+    List.iter
+      (fun augmented ->
+        List.iter
+          (fun (name, early) ->
+            List.iter
+              (fun x ->
+                List.iter
+                  (fun theta ->
+                    let cfg =
+                      {
+                        Core.Config.default with
+                        theta;
+                        theta_off = theta;
+                        cp_fraction = x;
+                      }
+                    in
+                    let r = Scenario.run ~augmented ~early s cfg in
+                    Table.add_row t
+                      [
+                        (if augmented then "augmented" else "base");
+                        name;
+                        Table.cell_pct x;
+                        Table.cell_pct theta;
+                        Table.cell_pct (Core.Engine.secure_fraction r `As);
+                        Table.cell_pct (Core.Engine.secure_fraction r `Isp);
+                      ])
+                  [ 0.05; 0.3 ])
+              [ 0.10; 0.20; 0.33; 0.50 ])
+          (sets augmented))
+      [ false; true ];
+    t
+end

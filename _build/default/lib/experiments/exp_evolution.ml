@@ -1,0 +1,91 @@
+(* Section 8.4 extension: deployment on an evolving AS graph. After
+   the case-study dynamics stabilize, the graph grows (new stubs
+   multihome, preferentially to secure ISPs when the market rewards
+   security), routing state is rebuilt, and the dynamics continue —
+   epoch after epoch. *)
+
+module Table = Nsutil.Table
+module Graph = Asgraph.Graph
+
+module Evolution = struct
+  let id = "evolution"
+  let title =
+    "Section 8.4: deployment across graph-growth epochs (new stubs prefer secure ISPs)"
+
+  let epochs = 3
+  let growth_fraction = 0.15
+  let secure_bias = 2.0
+
+  let run (s : Scenario.t) =
+    let cfg = Core.Config.default in
+    let t =
+      Table.create
+        ~header:
+          [
+            "epoch";
+            "ASes";
+            "secure ASes";
+            "secure ISPs";
+            "new stubs on secure ISPs";
+            "rounds";
+          ]
+    in
+    let early = Scenario.case_study_adopters s in
+    let rec epoch k g full_isps =
+      let statics = Bgp.Route_static.create g in
+      let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
+      let state = Core.State.create g ~early in
+      List.iter
+        (fun i ->
+          if (not (Core.State.pinned state i)) && i < Graph.n g && Graph.is_isp g i then
+            ignore (Core.State.enable state i))
+        full_isps;
+      let result = Core.Engine.run cfg statics ~weight ~state in
+      let n = Graph.n g in
+      (* How many of this epoch's newly added stubs landed on a secure
+         provider? (Epoch 0 has none.) *)
+      let base_n = s.n in
+      ignore base_n;
+      let secure_frac_row new_on_secure =
+        Table.add_row t
+          [
+            string_of_int k;
+            string_of_int n;
+            Table.cell_pct (Core.Engine.secure_fraction result `As);
+            Table.cell_pct (Core.Engine.secure_fraction result `Isp);
+            new_on_secure;
+            string_of_int (Core.Engine.rounds_run result);
+          ]
+      in
+      if k >= epochs then secure_frac_row "-"
+      else begin
+        let full_after = ref [] in
+        for i = 0 to n - 1 do
+          if Graph.is_isp g i && Core.State.full result.final i then
+            full_after := i :: !full_after
+        done;
+        let grown =
+          Topology.Evolve.grow g
+            ~new_stubs:(max 1 (int_of_float (growth_fraction *. float_of_int n)))
+            ~secure_bias
+            ~is_secure:(fun i -> Core.State.secure result.final i)
+            ~seed:(100 + k)
+        in
+        (* Count new stubs with at least one secure provider. *)
+        let on_secure = ref 0 in
+        let added = Graph.n grown - n in
+        for stub = n to Graph.n grown - 1 do
+          let hit = ref false in
+          Graph.iter_providers grown stub (fun p ->
+              if (not !hit) && Core.State.secure result.final p then hit := true);
+          if !hit then incr on_secure
+        done;
+        secure_frac_row
+          (Printf.sprintf "%d/%d (%s)" !on_secure added
+             (Table.cell_pct (float_of_int !on_secure /. float_of_int (max 1 added))));
+        epoch (k + 1) grown !full_after
+      end
+    in
+    epoch 0 (Scenario.graph s) [];
+    t
+end

@@ -1,0 +1,130 @@
+(* Figure 13 / Section 7: the incoming-utility pathologies — buyer's
+   remorse, per-destination turn-off incentives, and the oscillation
+   demonstration. *)
+
+module Table = Nsutil.Table
+module Graph = Asgraph.Graph
+
+module Fig13 = struct
+  let id = "fig13"
+  let title =
+    "Figure 13 / 7.3: buyer's remorse — incentives to disable S*BGP (incoming utility)"
+
+  let run (s : Scenario.t) =
+    let t = Table.create ~header:[ "quantity"; "value" ] in
+    (* Part 1: the constructed Figure-13 gadget. *)
+    let r = Gadgets.Remorse.build () in
+    let statics = Bgp.Route_static.create r.graph in
+    let state = Gadgets.Remorse.initial_state r in
+    let u_on = Core.Utility.all Gadgets.Remorse.config statics state ~weight:r.weight in
+    let result =
+      Core.Engine.run Gadgets.Remorse.config statics ~weight:r.weight ~state
+    in
+    let u_off =
+      match result.rounds with
+      | first :: _ -> first.projected.(r.isp)
+      | [] -> u_on.(r.isp)
+    in
+    Table.add_row t [ "gadget: ISP utility while secure"; Table.cell_f u_on.(r.isp) ];
+    Table.add_row t [ "gadget: ISP projected utility after disabling"; Table.cell_f u_off ];
+    Table.add_row t
+      [ "gadget: ISP secure at termination"; string_of_bool (Core.State.secure result.final r.isp) ];
+    (* Part 2: scan the synthetic Internet for per-destination
+       turn-off incentives (the paper: >= 10% of ISPs can find
+       themselves in such a state). Sparse deployment states are where
+       the Figure-13 pattern lives, so scan partially-deployed states
+       at several thetas; each secure ISP is additionally examined
+       with every currently-insecure ISP hypothetically secured one at
+       a time being too expensive, we follow the paper and scan the
+       states the dynamics actually visit. *)
+    let cfg = { Core.Config.default with stub_tiebreak = false; cp_fraction = 0.2 } in
+    let weight = Scenario.weights s cfg in
+    let examined, found =
+      Core.Analyses.turnoff_incentive_search cfg s.statics ~weight
+    in
+    Table.add_row t [ "search: ISPs probed in Figure-13 witness states"; string_of_int examined ];
+    Table.add_row t
+      [
+        "search: ISPs with a per-destination turn-off incentive in some state";
+        Printf.sprintf "%d (%s)" (List.length found)
+          (Table.cell_pct (float_of_int (List.length found) /. float_of_int (max 1 examined)));
+      ];
+    t
+end
+
+module Oscillation = struct
+  let id = "oscillation"
+  let title = "Section 7.2: deployment oscillation (CHICKEN gadget, incoming utility)"
+
+  let run (_ : Scenario.t) =
+    let t = Table.create ~header:[ "quantity"; "value" ] in
+    let c = Gadgets.Chicken.build () in
+    let pp_pair (a, b) = Printf.sprintf "(%.0f, %.0f)" a b in
+    Table.add_row t
+      [ "payoff (ON, ON)"; pp_pair (Gadgets.Chicken.payoff c ~on10:true ~on20:true) ];
+    Table.add_row t
+      [ "payoff (ON, OFF)"; pp_pair (Gadgets.Chicken.payoff c ~on10:true ~on20:false) ];
+    Table.add_row t
+      [ "payoff (OFF, ON)"; pp_pair (Gadgets.Chicken.payoff c ~on10:false ~on20:true) ];
+    Table.add_row t
+      [ "payoff (OFF, OFF)"; pp_pair (Gadgets.Chicken.payoff c ~on10:false ~on20:false) ];
+    let statics = Bgp.Route_static.create c.graph in
+    let state = Core.State.create c.graph ~early:c.early ~frozen:c.frozen in
+    let result =
+      Core.Engine.run Gadgets.Chicken.config statics ~weight:c.weight ~state
+    in
+    Table.add_row t
+      [
+        "dynamics";
+        (match result.termination with
+        | Core.Engine.Oscillation { first_round } ->
+            Printf.sprintf "oscillation (state of round %d revisited after %d rounds)"
+              first_round
+              (Core.Engine.rounds_run result)
+        | Core.Engine.Stable -> "stable (unexpected)"
+        | Core.Engine.Max_rounds -> "round cap (unexpected)");
+      ];
+    List.iter
+      (fun (rr : Core.Engine.round_record) ->
+        Table.add_row t
+          [
+            Printf.sprintf "round %d" rr.round;
+            Printf.sprintf "on=[%s] off=[%s]"
+              (String.concat "," (List.map string_of_int rr.turned_on))
+              (String.concat "," (List.map string_of_int rr.turned_off));
+          ])
+      result.rounds;
+    t
+end
+
+module Selector = struct
+  let id = "selector"
+  let title =
+    "Appendix K.6 / Lemma K.5: the k-selector's stable states are exactly the \
+     single-ON states (k = 3)"
+
+  let run (_ : Scenario.t) =
+    let t = Table.create ~header:[ "initial ON set"; "round-1 best responses"; "verdict" ] in
+    let sel = Gadgets.Selector.build ~k:3 () in
+    List.iter
+      (fun on ->
+        let r = Gadgets.Selector.run_from sel ~on in
+        let rr = List.hd r.rounds in
+        let moves =
+          Printf.sprintf "on={%s} off={%s}"
+            (String.concat "," (List.map string_of_int rr.turned_on))
+            (String.concat "," (List.map string_of_int rr.turned_off))
+        in
+        let verdict =
+          match (on, rr.turned_on, rr.turned_off) with
+          | [ _ ], [], [] -> "stable (as Lemma K.5 predicts)"
+          | [], _ :: _, [] -> "all enter (unstable, as predicted)"
+          | _ :: _ :: _, [], off when List.sort compare off = List.sort compare on ->
+              "all flee (unstable, as predicted)"
+          | _ -> "UNEXPECTED"
+        in
+        Table.add_row t
+          [ "{" ^ String.concat "," (List.map string_of_int on) ^ "}"; moves; verdict ])
+      [ [ 0 ]; [ 1 ]; [ 2 ]; []; [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ]; [ 0; 1; 2 ] ];
+    t
+end

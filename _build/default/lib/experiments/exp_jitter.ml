@@ -1,0 +1,44 @@
+(* Section 8.2 extension: heterogeneous deployment thresholds.
+   ISPs do not share one theta in reality (cost structures and
+   projection errors differ); the sweep checks that the deployment
+   outcome is robust to randomizing theta per ISP. *)
+
+module Table = Nsutil.Table
+
+module Jitter = struct
+  let id = "jitter"
+  let title =
+    "Section 8.2: robustness to per-ISP threshold heterogeneity (theta_i = theta * (1 \
+     +/- jitter))"
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:[ "theta"; "jitter"; "secure ASes"; "secure ISPs"; "rounds" ]
+    in
+    let early = Scenario.case_study_adopters s in
+    let jobs =
+      List.concat_map
+        (fun theta ->
+          List.map
+            (fun theta_jitter ->
+              ( (theta, theta_jitter),
+                ({ Core.Config.default with theta; theta_off = theta; theta_jitter },
+                 early) ))
+            [ 0.0; 0.5; 1.0 ])
+        [ 0.05; 0.10; 0.30 ]
+    in
+    List.iter2
+      (fun ((theta, theta_jitter), _) r ->
+        Table.add_row t
+          [
+            Table.cell_pct theta;
+            Table.cell_pct theta_jitter;
+            Table.cell_pct (Core.Engine.secure_fraction r `As);
+            Table.cell_pct (Core.Engine.secure_fraction r `Isp);
+            string_of_int (Core.Engine.rounds_run r);
+          ])
+      jobs
+      (Scenario.run_many s (List.map snd jobs));
+    t
+end

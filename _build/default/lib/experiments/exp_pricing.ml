@@ -1,0 +1,68 @@
+(* Section 8.4 extension: does the deployment story survive realistic
+   pricing? Map the final case-study state's per-customer volumes to
+   revenue under linear / tiered / concave billing and compare ISP
+   rankings — if the rankings agree, the paper's linear-utility
+   simplification is benign. *)
+
+module Table = Nsutil.Table
+module Graph = Asgraph.Graph
+module Pricing = Traffic.Pricing
+
+module Pricing_exp = struct
+  let id = "pricing"
+  let title =
+    "Section 8.4: ISP revenue under linear vs tiered vs concave pricing (final \
+     case-study state)"
+
+  let schemes =
+    [ Pricing.Linear; Pricing.Tiered { step = 25.0 }; Pricing.Concave { exponent = 0.7 } ]
+
+  let run (s : Scenario.t) =
+    let g = Scenario.graph s in
+    let cfg = { Core.Config.default with model = Core.Config.Incoming } in
+    let result = Scenario.run s cfg in
+    let weight = Scenario.weights s cfg in
+    let volumes = Core.Utility.customer_volumes cfg s.statics result.final ~weight in
+    let isps =
+      List.filter
+        (fun i -> volumes.(i) <> [])
+        (Graph.nodes_of_class g Asgraph.As_class.Isp)
+    in
+    let revenue_under scheme =
+      Array.of_list
+        (List.map (fun i -> Pricing.revenue scheme (List.map snd volumes.(i))) isps)
+    in
+    let linear = revenue_under Pricing.Linear in
+    let t =
+      Table.create
+        ~header:[ "pricing scheme"; "total revenue"; "rank agreement vs linear" ]
+    in
+    List.iter
+      (fun scheme ->
+        let r = revenue_under scheme in
+        Table.add_row t
+          [
+            Pricing.scheme_to_string scheme;
+            Table.cell_f (Array.fold_left ( +. ) 0.0 r);
+            Printf.sprintf "%.3f" (Pricing.rank_agreement linear r);
+          ])
+      schemes;
+    (* The top transit earners, under each scheme. *)
+    let top k scores =
+      let order = List.mapi (fun idx isp -> (scores.(idx), isp)) isps in
+      List.sort (fun a b -> compare (fst b) (fst a)) order
+      |> List.filteri (fun i _ -> i < k)
+      |> List.map (fun (_, isp) -> string_of_int isp)
+      |> String.concat ","
+    in
+    List.iter
+      (fun scheme ->
+        Table.add_row t
+          [
+            "top-5 ISPs under " ^ Pricing.scheme_to_string scheme;
+            top 5 (revenue_under scheme);
+            "";
+          ])
+      schemes;
+    t
+end

@@ -1,0 +1,62 @@
+(* Figure 14: projection accuracy — myopic projected utility vs the
+   utility actually observed in the next round (Section 8.1). *)
+
+module Table = Nsutil.Table
+
+module Fig14 = struct
+  let id = "fig14"
+  let title = "Figure 14: projected / realized utility of deploying ISPs (theta = 0)"
+
+  let ratios (r : Core.Engine.result) =
+    (* For each ISP that deployed in round i, compare its projection
+       (computed in round i) with its utility in round i + 1. *)
+    let rec walk acc = function
+      | (r1 : Core.Engine.round_record) :: (r2 : Core.Engine.round_record) :: rest ->
+          let acc =
+            List.fold_left
+              (fun acc n ->
+                if r2.utilities.(n) > 0.0 then
+                  (r1.projected.(n) /. r2.utilities.(n)) :: acc
+                else acc)
+              acc r1.turned_on
+          in
+          walk acc (r2 :: rest)
+      | _ -> acc
+    in
+    Array.of_list (walk [] r.rounds)
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:
+          [ "early adopters"; "deployers"; "p10"; "median"; "p90"; "within 10%" ]
+    in
+    let g = Scenario.graph s in
+    let sets =
+      [
+        ("cps+top5", Adopters.Strategy.select g (Adopters.Strategy.Cps_and_top 5));
+        ("top5", Adopters.Strategy.select g (Adopters.Strategy.Top_degree 5));
+        ( Printf.sprintf "top10%%(%d)" (max 5 (s.n / 10)),
+          Adopters.Strategy.select g (Adopters.Strategy.Top_degree (max 5 (s.n / 10))) );
+      ]
+    in
+    List.iter
+      (fun (name, early) ->
+        let cfg = { Core.Config.default with theta = 0.0; theta_off = 0.0 } in
+        let r = Scenario.run ~early s cfg in
+        let rs = ratios r in
+        if Array.length rs = 0 then Table.add_row t [ name; "0"; "-"; "-"; "-"; "-" ]
+        else
+          Table.add_row t
+            [
+              name;
+              string_of_int (Array.length rs);
+              Printf.sprintf "%.3f" (Nsutil.Stats.percentile rs 10.0);
+              Printf.sprintf "%.3f" (Nsutil.Stats.median rs);
+              Printf.sprintf "%.3f" (Nsutil.Stats.percentile rs 90.0);
+              Table.cell_pct
+                (Nsutil.Stats.fraction (fun x -> x >= 0.9 && x <= 1.1) rs);
+            ])
+      sets;
+    t
+end

@@ -1,0 +1,47 @@
+(* Section 2.2.2's road not taken: "an AS might even modify its
+   ranking on outgoing paths so that security is its highest
+   priority. Fortunately, we need not go to such lengths." — but how
+   much security does each rank position actually buy? Compare the
+   hijacker's reach under tie-break-only (the paper's rule), SecP
+   before path length, and security-first, on the same deployment
+   states. *)
+
+module Table = Nsutil.Table
+
+module Secpriority = struct
+  let id = "secpriority"
+  let title =
+    "Section 2.2.2 ablation: hijacker's reach when the security criterion ranks \
+     tie-break-only vs before-length vs first"
+
+  let samples = 80
+
+  let run (s : Scenario.t) =
+    let cfg = Core.Config.default in
+    let t =
+      Table.create
+        ~header:[ "deployment state"; "SecP position"; "deceived fraction" ]
+    in
+    let states =
+      [
+        ("nobody secure", Core.State.create (Scenario.graph s) ~early:[]);
+        ("early adopters only",
+         Core.State.create (Scenario.graph s) ~early:(Scenario.case_study_adopters s));
+        ("case-study final", (Scenario.run s cfg).final);
+      ]
+    in
+    List.iter
+      (fun (name, state) ->
+        List.iter
+          (fun position ->
+            let f =
+              Core.Resilience.mean_deceived_fraction_ranked s.statics state
+                ~stub_tiebreak:cfg.stub_tiebreak ~tiebreak:cfg.tiebreak ~position
+                ~samples ~seed:23
+            in
+            Table.add_row t
+              [ name; Bgp.Flexsim.position_to_string position; Table.cell_pct f ])
+          [ Bgp.Flexsim.Tiebreak_only; Bgp.Flexsim.Before_length; Bgp.Flexsim.Before_lp ])
+      states;
+    t
+end

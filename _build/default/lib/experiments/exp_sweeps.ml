@@ -1,0 +1,148 @@
+(* Figures 8, 9, 10, 11: theta sweeps, secure-path fractions, tiebreak
+   distribution, and the stub-tiebreak sensitivity check. *)
+
+module Table = Nsutil.Table
+module Graph = Asgraph.Graph
+
+let thetas = [ 0.0; 0.05; 0.1; 0.3; 0.5 ]
+
+let adopter_sets (s : Scenario.t) = Adopters.Strategy.all_paper_sets (Scenario.graph s)
+
+module Fig8 = struct
+  let id = "fig8"
+  let title =
+    "Figure 8: fraction of ASes (a) and ISPs (b) secure at termination, per theta and \
+     early-adopter set"
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:[ "early adopters"; "theta"; "secure ASes"; "secure ISPs"; "rounds" ]
+    in
+    (* The whole grid runs as one parallel sweep (Appendix C.3 style). *)
+    let jobs =
+      List.concat_map
+        (fun (name, early) ->
+          List.map
+            (fun theta ->
+              ((name, theta), ({ Core.Config.default with theta; theta_off = theta }, early)))
+            thetas)
+        (adopter_sets s)
+    in
+    let results = Scenario.run_many s (List.map snd jobs) in
+    List.iter2
+      (fun ((name, theta), _) r ->
+        Table.add_row t
+          [
+            name;
+            Table.cell_pct theta;
+            Table.cell_pct (Core.Engine.secure_fraction r `As);
+            Table.cell_pct (Core.Engine.secure_fraction r `Isp);
+            string_of_int (Core.Engine.rounds_run r);
+          ])
+      jobs results;
+    t
+end
+
+module Fig9 = struct
+  let id = "fig9"
+  let title = "Figure 9: fraction of secure source-destination paths (vs the f^2 bound)"
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:
+          [ "early adopters"; "theta"; "secure paths"; "f^2"; "secure ASes (f)" ]
+    in
+    let sets =
+      List.filter
+        (fun (name, _) -> List.mem name [ "top5"; "5cps"; "cps+top5" ])
+        (adopter_sets s)
+    in
+    List.iter
+      (fun (name, early) ->
+        List.iter
+          (fun theta ->
+            let cfg = { Core.Config.default with theta; theta_off = theta } in
+            let r = Scenario.run ~early s cfg in
+            let weight = Scenario.weights s cfg in
+            let stats =
+              Core.Analyses.secure_path_stats cfg s.statics r.final ~weight
+            in
+            Table.add_row t
+              [
+                name;
+                Table.cell_pct theta;
+                Table.cell_pct stats.fraction;
+                Table.cell_pct stats.f_squared;
+                Table.cell_pct (Core.Engine.secure_fraction r `As);
+              ])
+          [ 0.05; 0.3 ])
+      sets;
+    t
+end
+
+module Fig10 = struct
+  let id = "fig10"
+  let title = "Figure 10: distribution of tiebreak-set sizes (all source-dest pairs)"
+
+  let run (s : Scenario.t) =
+    let g = Scenario.graph s in
+    let t =
+      Table.create ~header:[ "population"; "size"; "pairs"; "fraction" ] in
+    let emit name among =
+      let dist = Core.Analyses.tiebreak_distribution s.statics ~among in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 dist in
+      List.iter
+        (fun (size, count) ->
+          if size >= 1 then
+            Table.add_row t
+              [
+                name;
+                string_of_int size;
+                string_of_int count;
+                Printf.sprintf "%.4f" (float_of_int count /. float_of_int (max 1 total));
+              ])
+        dist;
+      let mean = Bgp.Route_static.mean_tiebreak_size s.statics ~among in
+      Table.add_row t [ name; "mean"; ""; Printf.sprintf "%.3f" mean ]
+    in
+    emit "isps" (Graph.is_isp g);
+    emit "stubs" (Graph.is_stub g);
+    t
+end
+
+module Fig11 = struct
+  let id = "fig11"
+  let title = "Figure 11: deployment is insensitive to stubs breaking ties on security"
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:[ "stub tiebreak"; "theta"; "secure ASes"; "secure ISPs" ]
+    in
+    let early = Scenario.case_study_adopters s in
+    let jobs =
+      List.concat_map
+        (fun stub_tiebreak ->
+          List.map
+            (fun theta ->
+              ( (stub_tiebreak, theta),
+                ({ Core.Config.default with theta; theta_off = theta; stub_tiebreak },
+                 early) ))
+            [ 0.0; 0.05; 0.2 ])
+        [ true; false ]
+    in
+    List.iter2
+      (fun ((stub_tiebreak, theta), _) r ->
+        Table.add_row t
+          [
+            string_of_bool stub_tiebreak;
+            Table.cell_pct theta;
+            Table.cell_pct (Core.Engine.secure_fraction r `As);
+            Table.cell_pct (Core.Engine.secure_fraction r `Isp);
+          ])
+      jobs
+      (Scenario.run_many s (List.map snd jobs));
+    t
+end

@@ -1,0 +1,96 @@
+(* Tables 1-4 of the paper. *)
+
+module Table = Nsutil.Table
+module Graph = Asgraph.Graph
+module Metrics = Asgraph.Metrics
+
+(* Table 1: DIAMOND counts per early adopter (Section 5.1). *)
+module Table1 = struct
+  let id = "table1"
+  let title = "Table 1: diamonds per early adopter (two ISPs, a stub, one adopter)"
+
+  let run (s : Scenario.t) =
+    let t = Table.create ~header:[ "early adopter"; "kind"; "degree"; "diamonds" ] in
+    let g = Scenario.graph s in
+    let early = Scenario.case_study_adopters s in
+    let counts = Core.Analyses.diamonds s.statics ~early in
+    List.iter
+      (fun (a, count) ->
+        Table.add_row t
+          [
+            string_of_int a;
+            Asgraph.As_class.to_string (Graph.klass g a);
+            string_of_int (Graph.degree g a);
+            string_of_int count;
+          ])
+      counts;
+    t
+end
+
+(* Table 2: AS graph summary, base vs augmented (Appendix D). *)
+module Table2 = struct
+  let id = "table2"
+  let title = "Table 2: AS graph summary (base vs augmented)"
+
+  let row name g =
+    let s = Metrics.summary g in
+    [
+      name;
+      string_of_int s.nodes;
+      string_of_int s.peer_edges;
+      string_of_int s.cp_edges;
+      Table.cell_pct (Metrics.stub_fraction g);
+      string_of_int s.max_degree;
+    ]
+
+  let run (s : Scenario.t) =
+    let t =
+      Table.create
+        ~header:[ "graph"; "ASes"; "peering"; "customer-provider"; "stubs"; "max degree" ]
+    in
+    Table.add_row t (row "synthetic (Cyclops+IXP analogue)" (Scenario.graph s));
+    Table.add_row t (row "augmented" (Scenario.graph_aug s));
+    t
+end
+
+(* Table 3: mean path length from each CP, base vs augmented. *)
+module Table3 = struct
+  let id = "table3"
+  let title = "Table 3: mean CP path length (base vs augmented graph)"
+
+  let run (s : Scenario.t) =
+    let t = Table.create ~header:[ "content provider"; "base"; "augmented" ] in
+    List.iter
+      (fun cp ->
+        let base = Bgp.Route_static.mean_path_length s.statics ~from:cp in
+        let aug =
+          Bgp.Route_static.mean_path_length (Lazy.force s.statics_aug) ~from:cp
+        in
+        Table.add_row t
+          [ string_of_int cp; Printf.sprintf "%.2f" base; Printf.sprintf "%.2f" aug ])
+      (Scenario.cps s);
+    t
+end
+
+(* Table 4: CP vs Tier-1 degrees, base vs augmented. *)
+module Table4 = struct
+  let id = "table4"
+  let title = "Table 4: degrees of CPs and Tier 1s (base vs augmented graph)"
+
+  let run (s : Scenario.t) =
+    let t = Table.create ~header:[ "AS"; "kind"; "degree (base)"; "degree (augmented)" ] in
+    let base = Scenario.graph s in
+    let aug = Scenario.graph_aug s in
+    let add kind node =
+      Table.add_row t
+        [
+          string_of_int node;
+          kind;
+          string_of_int (Graph.degree base node);
+          string_of_int (Graph.degree aug node);
+        ]
+    in
+    List.iter (add "cp") (Scenario.cps s);
+    List.iter (add "tier1") s.built.tier1;
+    t
+end

@@ -1,0 +1,67 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Scenario.t -> Nsutil.Table.t;
+}
+
+let make id title run = { id; title; run }
+
+let all =
+  [
+    make Exp_tables.Table1.id Exp_tables.Table1.title Exp_tables.Table1.run;
+    make Exp_tables.Table2.id Exp_tables.Table2.title Exp_tables.Table2.run;
+    make Exp_tables.Table3.id Exp_tables.Table3.title Exp_tables.Table3.run;
+    make Exp_tables.Table4.id Exp_tables.Table4.title Exp_tables.Table4.run;
+    make Exp_case_study.Fig3.id Exp_case_study.Fig3.title Exp_case_study.Fig3.run;
+    make Exp_case_study.Fig4.id Exp_case_study.Fig4.title Exp_case_study.Fig4.run;
+    make Exp_case_study.Fig5.id Exp_case_study.Fig5.title Exp_case_study.Fig5.run;
+    make Exp_case_study.Fig6.id Exp_case_study.Fig6.title Exp_case_study.Fig6.run;
+    make Exp_case_study.Fig7.id Exp_case_study.Fig7.title Exp_case_study.Fig7.run;
+    make Exp_sweeps.Fig8.id Exp_sweeps.Fig8.title Exp_sweeps.Fig8.run;
+    make Exp_sweeps.Fig9.id Exp_sweeps.Fig9.title Exp_sweeps.Fig9.run;
+    make Exp_sweeps.Fig10.id Exp_sweeps.Fig10.title Exp_sweeps.Fig10.run;
+    make Exp_sweeps.Fig11.id Exp_sweeps.Fig11.title Exp_sweeps.Fig11.run;
+    make Exp_cps.Fig12.id Exp_cps.Fig12.title Exp_cps.Fig12.run;
+    make Exp_incoming.Fig13.id Exp_incoming.Fig13.title Exp_incoming.Fig13.run;
+    make Exp_projection.Fig14.id Exp_projection.Fig14.title Exp_projection.Fig14.run;
+    make Exp_incoming.Oscillation.id Exp_incoming.Oscillation.title
+      Exp_incoming.Oscillation.run;
+    make Exp_incoming.Selector.id Exp_incoming.Selector.title Exp_incoming.Selector.run;
+    make Exp_hardness.Setcover.id Exp_hardness.Setcover.title Exp_hardness.Setcover.run;
+    make Exp_attack.Attacks.id Exp_attack.Attacks.title Exp_attack.Attacks.run;
+    make Exp_resilience.Resilience.id Exp_resilience.Resilience.title
+      Exp_resilience.Resilience.run;
+    make Exp_secpriority.Secpriority.id Exp_secpriority.Secpriority.title
+      Exp_secpriority.Secpriority.run;
+    make Exp_ablations.Ablations.id Exp_ablations.Ablations.title
+      Exp_ablations.Ablations.run;
+    make Exp_pricing.Pricing_exp.id Exp_pricing.Pricing_exp.title
+      Exp_pricing.Pricing_exp.run;
+    make Exp_jitter.Jitter.id Exp_jitter.Jitter.title Exp_jitter.Jitter.run;
+    make Exp_evolution.Evolution.id Exp_evolution.Evolution.title
+      Exp_evolution.Evolution.run;
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all
+
+let selected_of only =
+  match only with
+  | None -> all
+  | Some ids -> List.filter (fun e -> List.mem e.id ids) all
+
+let run_all ?only scenario =
+  List.map
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.run scenario in
+      (e, table, Unix.gettimeofday () -. t0))
+    (selected_of only)
+
+let run_streaming ?only scenario emit =
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.run scenario in
+      emit e table (Unix.gettimeofday () -. t0))
+    (selected_of only)

@@ -1,0 +1,29 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, addressable by id (see DESIGN.md's experiment
+    index). *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : Scenario.t -> Nsutil.Table.t;
+}
+
+val all : experiment list
+(** In paper order. Ids: table1-table4, fig3-fig14, oscillation,
+    setcover, attacks, ablations. *)
+
+val find : string -> experiment option
+val ids : unit -> string list
+
+val run_all :
+  ?only:string list -> Scenario.t -> (experiment * Nsutil.Table.t * float) list
+(** Run experiments (all, or the given ids) and return each with its
+    result table and wall-clock seconds. *)
+
+val run_streaming :
+  ?only:string list ->
+  Scenario.t ->
+  (experiment -> Nsutil.Table.t -> float -> unit) ->
+  unit
+(** Like {!run_all} but invokes the callback as each experiment
+    completes (long sweeps print incrementally). *)

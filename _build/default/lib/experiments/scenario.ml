@@ -1,0 +1,69 @@
+type t = {
+  n : int;
+  seed : int;
+  built : Topology.Gen.built;
+  statics : Bgp.Route_static.t;
+  built_aug : Topology.Gen.built Lazy.t;
+  statics_aug : Bgp.Route_static.t Lazy.t;
+}
+
+let default_n () =
+  match Sys.getenv_opt "SBGP_N" with
+  | Some s -> ( match int_of_string_opt s with Some v when v >= 50 -> v | _ -> 500)
+  | None -> 500
+
+let create ?n ?(seed = 42) () =
+  let n = match n with Some v -> v | None -> default_n () in
+  let params = { (Topology.Params.with_n Topology.Params.default n) with seed } in
+  let built = Topology.Gen.generate params in
+  let built_aug =
+    lazy (Topology.Augment.augment_built built ~fraction:0.8 ~seed:(seed + 1))
+  in
+  {
+    n;
+    seed;
+    built;
+    statics = Bgp.Route_static.create built.graph;
+    built_aug;
+    statics_aug = lazy (Bgp.Route_static.create (Lazy.force built_aug).graph);
+  }
+
+let graph t = t.built.graph
+let graph_aug t = (Lazy.force t.built_aug).graph
+let cps t = t.built.cps
+let top_isps t k = Asgraph.Metrics.top_by_degree (graph t) k
+let case_study_adopters t = cps t @ top_isps t 5
+
+let weights ?(augmented = false) t (cfg : Core.Config.t) =
+  let g = if augmented then graph_aug t else graph t in
+  Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction
+
+let run_many ?(augmented = false) t jobs =
+  let statics = if augmented then Lazy.force t.statics_aug else t.statics in
+  let g = Bgp.Route_static.graph statics in
+  (* Prime the shared per-destination cache: workers then only read. *)
+  for d = 0 to Asgraph.Graph.n g - 1 do
+    ignore (Bgp.Route_static.get statics d)
+  done;
+  let jobs = Array.of_list jobs in
+  let workers = min (Parallel.Pool.recommended_workers ()) (Array.length jobs) in
+  Parallel.Pool.map_array ~workers ~tasks:(Array.length jobs) (fun i ->
+      let cfg, early = jobs.(i) in
+      let weight = Traffic.Weights.assign g ~cp_fraction:cfg.Core.Config.cp_fraction in
+      let state =
+        Core.State.create g ~early ~simplex:(not cfg.disable_simplex)
+          ~secp:(not cfg.disable_secp)
+      in
+      Core.Engine.run cfg statics ~weight ~state)
+  |> Array.to_list
+
+let run ?(augmented = false) ?early t (cfg : Core.Config.t) =
+  let g = if augmented then graph_aug t else graph t in
+  let statics = if augmented then Lazy.force t.statics_aug else t.statics in
+  let early = match early with Some e -> e | None -> case_study_adopters t in
+  let weight = weights ~augmented t cfg in
+  let state =
+    Core.State.create g ~early ~simplex:(not cfg.disable_simplex)
+      ~secp:(not cfg.disable_secp)
+  in
+  Core.Engine.run cfg statics ~weight ~state

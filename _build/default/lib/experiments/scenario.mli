@@ -1,0 +1,54 @@
+(** Shared experimental setup: the synthetic Internet (base and
+    augmented), cached per-destination routing info, and a one-call
+    deployment run.
+
+    Scale: the paper simulates N = 36K on a 200-node cluster; we
+    default to N = 500 (override with the [SBGP_N] environment
+    variable) — every statistic the dynamics depend on is
+    shape-preserved (see DESIGN.md). The per-destination cache is
+    shared across runs, so parameter sweeps only pay for engine
+    rounds. *)
+
+type t = {
+  n : int;
+  seed : int;
+  built : Topology.Gen.built;
+  statics : Bgp.Route_static.t;
+  built_aug : Topology.Gen.built Lazy.t;
+  statics_aug : Bgp.Route_static.t Lazy.t;
+}
+
+val default_n : unit -> int
+(** [SBGP_N] env var, else 500. *)
+
+val create : ?n:int -> ?seed:int -> unit -> t
+
+val graph : t -> Asgraph.Graph.t
+val graph_aug : t -> Asgraph.Graph.t
+val cps : t -> int list
+val top_isps : t -> int -> int list
+val case_study_adopters : t -> int list
+(** The Section 5 set: the five CPs plus the top-5 ISPs by degree. *)
+
+val run :
+  ?augmented:bool ->
+  ?early:int list ->
+  t ->
+  Core.Config.t ->
+  Core.Engine.result
+(** Build weights from [cfg.cp_fraction], create the initial state
+    (honouring the ablation switches), run the engine. [early]
+    defaults to {!case_study_adopters}. *)
+
+val weights : ?augmented:bool -> t -> Core.Config.t -> float array
+
+val run_many :
+  ?augmented:bool ->
+  t ->
+  (Core.Config.t * int list) list ->
+  Core.Engine.result list
+(** Run several (config, early-adopter) simulations, fanning out over
+    domains ({!Parallel.Pool}) when cores are available — the
+    DryadLINQ-style sweep of Appendix C.3. The per-destination cache
+    is primed first so workers only read it; results are identical to
+    sequential runs. *)

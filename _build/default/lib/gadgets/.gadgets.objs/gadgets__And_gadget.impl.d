@@ -1,0 +1,1 @@
+lib/gadgets/and_gadget.ml: Array Asgraph Bgp Core

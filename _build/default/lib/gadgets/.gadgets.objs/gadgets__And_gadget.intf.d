@@ -1,0 +1,1 @@
+lib/gadgets/and_gadget.mli: Asgraph Core

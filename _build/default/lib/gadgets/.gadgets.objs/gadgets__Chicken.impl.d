@@ -1,0 +1,1 @@
+lib/gadgets/chicken.ml: Array Asgraph Bgp Core

@@ -1,0 +1,1 @@
+lib/gadgets/chicken.mli: Asgraph Core

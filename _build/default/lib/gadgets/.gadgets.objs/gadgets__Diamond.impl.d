@@ -1,0 +1,1 @@
+lib/gadgets/diamond.ml: Array Asgraph Bgp Core

@@ -1,0 +1,1 @@
+lib/gadgets/diamond.mli: Asgraph Core

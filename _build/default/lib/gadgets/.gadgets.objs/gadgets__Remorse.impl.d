@@ -1,0 +1,1 @@
+lib/gadgets/remorse.ml: Array Asgraph Bgp Core List

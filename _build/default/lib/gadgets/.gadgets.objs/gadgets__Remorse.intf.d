@@ -1,0 +1,1 @@
+lib/gadgets/remorse.mli: Asgraph Core

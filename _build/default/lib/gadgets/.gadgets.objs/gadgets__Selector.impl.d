@@ -1,0 +1,1 @@
+lib/gadgets/selector.ml: Array Asgraph Bgp Core List

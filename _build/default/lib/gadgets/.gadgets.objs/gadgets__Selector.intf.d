@@ -1,0 +1,1 @@
+lib/gadgets/selector.mli: Asgraph Bgp Core

@@ -1,0 +1,1 @@
+lib/gadgets/setcover.ml: Array Asgraph Bgp Core List

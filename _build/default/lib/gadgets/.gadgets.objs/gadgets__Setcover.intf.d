@@ -1,0 +1,1 @@
+lib/gadgets/setcover.mli: Asgraph Core

@@ -1,0 +1,90 @@
+module Graph = Asgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  output : int;
+  inputs : int array;
+  weight : float array;
+  early : int list;
+  frozen : int list;
+}
+
+(* Ids. Tie-break constraints: input_i < q_i (secure input route wins
+   the final tie break) and x < y (insecure hold route is the
+   default). *)
+let inputs = [| 0; 1; 2 |]
+let x = 3
+let q = [| 4; 5; 6 |]
+let y = 7
+let b = [| 8; 9; 10 |]
+let output = 11
+let a_src = [| 12; 13; 14 |]
+let hold = 15
+let da = [| 16; 17; 18 |]
+let dh = 19
+let count = 20
+
+let build ?(m = 100.0) ?(h = 250.0) () =
+  let cp_edges = ref [] in
+  let add prov cust = cp_edges := (prov, cust) :: !cp_edges in
+  Array.iter (fun i -> add output i) inputs;
+  add output x;
+  add output dh;
+  Array.iter (fun d -> add output d) da;
+  add y output;
+  add y hold;
+  add x hold;
+  Array.iteri
+    (fun i input ->
+      add input a_src.(i);
+      add q.(i) a_src.(i);
+      add b.(i) da.(i))
+    inputs;
+  let peer_edges = ref [] in
+  Array.iteri (fun i _ -> peer_edges := (q.(i), b.(i)) :: !peer_edges) inputs;
+  (* The paper's non-designated-traffic trick (Appendix K.3): peer the
+     hold source directly with every destination whose route would
+     otherwise flip with the players' state (a peer route is
+     LP-preferred and constant). Peering with [output] itself would
+     also shortcut the designated hold flow, so the flows to the
+     destinations [dh] and [output] both stay in the gadget — the
+     hold weight is halved to compensate. *)
+  Array.iter (fun d -> peer_edges := (hold, d) :: !peer_edges) da;
+  Array.iter (fun i -> peer_edges := (hold, i) :: !peer_edges) inputs;
+  Array.iter (fun s -> peer_edges := (hold, s) :: !peer_edges) a_src;
+  let graph = Graph.build ~n:count ~cp_edges:!cp_edges ~peer_edges:!peer_edges ~cps:[] in
+  let weight = Array.make count 0.0 in
+  Array.iter (fun s -> weight.(s) <- m) a_src;
+  weight.(hold) <- h /. 2.0;
+  {
+    graph;
+    output;
+    inputs;
+    weight;
+    early = [ y ] @ Array.to_list q @ Array.to_list b;
+    frozen = [ x ];
+  }
+
+let config =
+  {
+    Core.Config.incoming with
+    tiebreak = Bgp.Policy.Lowest_id;
+    theta = 0.0;
+    theta_off = 0.0;
+    stub_tiebreak = true;
+  }
+
+let run t ~inputs_on =
+  if Array.length inputs_on <> Array.length t.inputs then
+    invalid_arg "And_gadget.run: inputs_on length";
+  let early = ref t.early in
+  let frozen = ref t.frozen in
+  Array.iteri
+    (fun i on ->
+      if on then early := t.inputs.(i) :: !early
+      else frozen := t.inputs.(i) :: !frozen)
+    inputs_on;
+  let state = Core.State.create t.graph ~early:!early ~frozen:!frozen in
+  let statics = Bgp.Route_static.create t.graph in
+  let result = Core.Engine.run config statics ~weight:t.weight ~state in
+  Core.State.secure result.final t.output

@@ -1,0 +1,40 @@
+(** An AND gadget in the spirit of Appendix K.4: an output ISP that
+    deploys S*BGP iff all of its input ISPs have.
+
+    (The paper's Figure 20 is not fully recoverable from the text, so
+    this is an independently designed construction with the same
+    contract, verified by tests.)
+
+    Mechanism, all under incoming utility:
+    - {e Hold traffic}: a secure source reaches a stub of the output
+      over two equal routes — through a frozen customer of the output
+      (tie-break preferred) or through a pinned-secure provider of the
+      output. While the output is OFF the customer route carries
+      weight [h] into it; turning ON makes the provider route fully
+      secure and the traffic leaves the customer edge.
+    - {e Input traffic} (one per input): a secure source reaches a
+      doubly-homed stub either through (input, output) — fully secure
+      iff both are ON — or through an always-secure pinned detour that
+      loses the final tie break. The output earns [m] over a customer
+      edge iff input AND output are ON.
+
+    With [2m < h < 3m] (three inputs), the output's best response is
+    ON exactly when all three inputs are ON. *)
+
+type t = {
+  graph : Asgraph.Graph.t;
+  output : int;
+  inputs : int array;  (** three input ISPs (pinned by the caller) *)
+  weight : float array;
+  early : int list;  (** pinned-ON infrastructure *)
+  frozen : int list;  (** pinned-OFF infrastructure *)
+}
+
+val build : ?m:float -> ?h:float -> unit -> t
+(** Defaults: [m = 100], [h = 250]. *)
+
+val config : Core.Config.t
+
+val run : t -> inputs_on:bool array -> bool
+(** Pin the inputs to the given actions, run the deployment process
+    from all-OFF, and report whether the output ends up secure. *)

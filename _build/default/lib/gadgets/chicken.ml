@@ -1,0 +1,88 @@
+module Graph = Asgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  player10 : int;
+  player20 : int;
+  weight : float array;
+  early : int list;
+  frozen : int list;
+}
+
+(* Node ids. Tie-break constraints (Policy.Lowest_id):
+   - Cross1's set {f1, p10}: f1 < p10 (insecure default via f1);
+   - Cross2's set {f2, f3}: f2 < f3;
+   - Local1's set {p10, k1000}: p10 < k1000;
+   - Local2's set {p20, k2000}: p20 < k2000. *)
+let d1 = 0
+let f1 = 1
+let f2 = 2
+let f3 = 3
+let f4 = 4
+let f5 = 5
+let f6 = 6
+let p10 = 7
+let p20 = 8
+let d2 = 9
+let cover1 = 10 (* pinned-ON provider keeping Cross1 simplex-secure *)
+let cover2 = 11
+let local1 = 12
+let local2 = 13
+let k1000 = 14
+let k2000 = 15
+let cross1 = 16
+let cross2 = 17
+let count = 18
+
+let build ?(m = 100.0) ?(eps = 1.0) () =
+  let cp_edges =
+    [
+      (* The two destinations, multihomed so they stay simplex-secure
+         regardless of the players' actions. *)
+      (p10, d1); (k1000, d1);
+      (p20, d2); (k2000, d2);
+      (* Player hierarchy: 20 is a provider of 10; 6 a provider of 20. *)
+      (p20, p10); (f6, p20);
+      (* Cross1's insecure alternative: 1 under 4 under 20. *)
+      (p20, f4); (f4, f1);
+      (* Cross2's insecure alternative: 2 under 5 under 10. *)
+      (p10, f5); (f5, f2);
+      (* Customer trees (modeled as weighted stubs). *)
+      (p10, local1); (k1000, local1);
+      (p20, local2); (k2000, local2);
+      (p10, cross1); (f1, cross1); (cover1, cross1);
+      (f3, cross2); (f2, cross2); (cover2, cross2);
+    ]
+  in
+  let peer_edges = [ (p10, f6); (p20, f3) ] in
+  let graph = Graph.build ~n:count ~cp_edges ~peer_edges ~cps:[] in
+  let weight = Array.make count 0.0 in
+  weight.(local1) <- eps;
+  weight.(local2) <- eps;
+  weight.(cross1) <- m;
+  weight.(cross2) <- 2.0 *. m;
+  {
+    graph;
+    player10 = p10;
+    player20 = p20;
+    weight;
+    early = [ f3; f6; k1000; k2000; cover1; cover2 ];
+    frozen = [ f1; f2; f4; f5 ];
+  }
+
+let config =
+  {
+    Core.Config.incoming with
+    tiebreak = Bgp.Policy.Lowest_id;
+    theta = 0.0;
+    theta_off = 0.0;
+    stub_tiebreak = true;
+  }
+
+let payoff t ~on10 ~on20 =
+  let state = Core.State.create t.graph ~early:t.early ~frozen:t.frozen in
+  if on10 then Core.State.set_full state t.player10 true;
+  if on20 then Core.State.set_full state t.player20 true;
+  let statics = Bgp.Route_static.create t.graph in
+  let u = Core.Utility.all config statics state ~weight:t.weight in
+  (u.(t.player10), u.(t.player20))

@@ -1,0 +1,35 @@
+(** The CHICKEN gadget (Appendix K.5, Figure 21 / Table 5).
+
+    Two ISPs play an asymmetric game of chicken: the stable outcomes
+    are exactly (ON, OFF) and (OFF, ON); from (ON, ON) both want to
+    switch off and from (OFF, OFF) both want to switch on. Under the
+    paper's simultaneous best-response dynamics this yields a
+    *deployment oscillation* (Section 7.2): (OFF, OFF) -> (ON, ON) ->
+    (OFF, OFF) -> ... — the incoming-utility pathology behind
+    Theorem 7.1.
+
+    The construction realizes the best-response structure of the
+    paper's Table 5 (non-designated flows add state-dependent offsets,
+    so exact entries differ, but the game shape is verified by tests):
+    both players strictly prefer to flip in (ON, ON) and in
+    (OFF, OFF), and strictly prefer to stay in (ON, OFF) and
+    (OFF, ON). *)
+
+type t = {
+  graph : Asgraph.Graph.t;
+  player10 : int;
+  player20 : int;
+  weight : float array;
+  early : int list;  (** the fixed-ON nodes *)
+  frozen : int list;  (** the fixed-OFF nodes *)
+}
+
+val build : ?m:float -> ?eps:float -> unit -> t
+
+val config : Core.Config.t
+(** Incoming utility, θ = 0, stubs break ties, lowest-id TB. *)
+
+val payoff : t -> on10:bool -> on20:bool -> float * float
+(** Directly computed incoming utilities of the two players in the
+    given joint state (constant offsets included) — used to verify the
+    bimatrix shape. *)

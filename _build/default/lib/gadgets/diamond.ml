@@ -1,0 +1,31 @@
+module Graph = Asgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  src : int;
+  isp_a : int;
+  isp_b : int;
+  stub : int;
+  weight : float array;
+  early : int list;
+}
+
+let build ?(src_weight = 100.0) () =
+  let isp_a = 0 and isp_b = 1 and src = 2 and stub = 3 in
+  let n = 4 in
+  let graph =
+    Graph.build ~n
+      ~cp_edges:[ (src, isp_a); (src, isp_b); (isp_a, stub); (isp_b, stub) ]
+      ~peer_edges:[] ~cps:[]
+  in
+  let weight = Array.make n 1.0 in
+  weight.(src) <- src_weight;
+  { graph; src; isp_a; isp_b; stub; weight; early = [ src ] }
+
+let config =
+  {
+    Core.Config.default with
+    tiebreak = Bgp.Policy.Lowest_id;
+    theta = 0.05;
+    stub_tiebreak = true;
+  }

@@ -1,0 +1,26 @@
+(** The DIAMOND scenario of Figure 2: two ISPs competing for a
+    traffic source's route to a multi-homed stub.
+
+    A secure high-weight source [src] (think Sprint) reaches [stub]
+    via either [isp_a] or [isp_b] — equally good routes, with the
+    plain tie break favoring [isp_a]. Round 1: [isp_b] deploys (it
+    projects stealing the traffic, since deploying also secures the
+    stub by simplex and [src]'s SecP step then prefers the only
+    fully-secure route). Round 2: [isp_a] deploys to win the traffic
+    back (with both routes secure, the original tie break applies
+    again). This is the competition dynamic of Section 5.1/5.5. *)
+
+type t = {
+  graph : Asgraph.Graph.t;
+  src : int;  (** high-weight secure source (early adopter, pinned) *)
+  isp_a : int;  (** lower id: initial carrier, deploys second *)
+  isp_b : int;  (** competitor, deploys first *)
+  stub : int;  (** the contested multi-homed stub *)
+  weight : float array;
+  early : int list;
+}
+
+val build : ?src_weight:float -> unit -> t
+
+val config : Core.Config.t
+(** Outgoing utility, θ = 5%, stubs break ties, lowest-id TB. *)

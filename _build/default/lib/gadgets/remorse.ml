@@ -1,0 +1,52 @@
+module Graph = Asgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  cp : int;
+  upstream : int;
+  isp : int;
+  downstream : int;
+  stubs : int list;
+  weight : float array;
+  early : int list;
+  frozen : int list;
+}
+
+let build ?(stub_count = 24) ?(cp_weight = 821.0) () =
+  (* The customer route (via [downstream]) must win the plain tie
+     break, hence the id order. *)
+  let downstream = 0 and upstream = 1 and isp = 2 and cp = 3 in
+  let stubs = List.init stub_count (fun i -> 4 + i) in
+  let n = 4 + stub_count in
+  let cp_edges =
+    ((upstream, isp) :: (isp, downstream) :: (upstream, cp) :: (downstream, cp)
+    :: List.map (fun s -> (isp, s)) stubs)
+  in
+  let graph = Graph.build ~n ~cp_edges ~peer_edges:[] ~cps:[ cp ] in
+  let weight = Array.make n 1.0 in
+  weight.(cp) <- cp_weight;
+  {
+    graph;
+    cp;
+    upstream;
+    isp;
+    downstream;
+    stubs;
+    weight;
+    early = [ cp; upstream ];
+    frozen = [ downstream ];
+  }
+
+let config =
+  {
+    Core.Config.incoming with
+    tiebreak = Bgp.Policy.Lowest_id;
+    theta = 0.0;
+    theta_off = 0.0;
+    stub_tiebreak = false;
+  }
+
+let initial_state t =
+  let state = Core.State.create t.graph ~early:t.early ~frozen:t.frozen in
+  Core.State.set_full state t.isp true;
+  state

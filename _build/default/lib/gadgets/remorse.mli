@@ -1,0 +1,34 @@
+(** Buyer's remorse (Figure 13): an ISP with an incentive to turn
+    S*BGP *off* under the incoming-utility model.
+
+    The India-Telecom scenario: content provider [cp] (Akamai) reaches
+    [isp]'s (AS 4755) stub customers either through [isp]'s provider
+    [upstream] (NTT 2914) — a fully secure route while [isp] is on —
+    or through [isp]'s customer [downstream] (AS 9498), which the
+    plain tie break prefers. While [isp] runs S*BGP, the CP's traffic
+    arrives over a provider edge and earns [isp] nothing; switching
+    off kills the secure route, the tie break reasserts itself, and
+    the same traffic arrives over a customer edge. *)
+
+type t = {
+  graph : Asgraph.Graph.t;
+  cp : int;  (** Akamai: early adopter *)
+  upstream : int;  (** NTT: early adopter, [isp]'s provider *)
+  isp : int;  (** AS 4755: starts secure but unpinned *)
+  downstream : int;  (** AS 9498: [isp]'s customer, never deploys *)
+  stubs : int list;  (** [isp]'s stub customers (the 24 destinations) *)
+  weight : float array;
+  early : int list;
+  frozen : int list;
+}
+
+val build : ?stub_count:int -> ?cp_weight:float -> unit -> t
+(** [downstream] gets a lower id than [upstream] so the tie break
+    favors the customer route, as in the paper's simulation. *)
+
+val config : Core.Config.t
+(** Incoming utility, θ = 0 for disabling, stubs do not break ties
+    (as assumed in Section 7.1), lowest-id TB. *)
+
+val initial_state : t -> Core.State.t
+(** [cp], [upstream] pinned secure; [isp] secure but free to flip. *)

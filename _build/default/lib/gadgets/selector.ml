@@ -1,0 +1,159 @@
+module Graph = Asgraph.Graph
+module Policy = Bgp.Policy
+
+type t = {
+  graph : Graph.t;
+  players : int array;
+  weight : float array;
+  early : int list;
+  frozen : int list;
+  tiebreak : Policy.tiebreak;
+}
+
+(* Mutable construction state: nodes are allocated on demand, edges
+   and role lists accumulate, and the rank table encodes the
+   per-instance tie-break preferences. *)
+type builder = {
+  mutable count : int;
+  mutable cp_edges : (int * int) list;
+  mutable peer_edges : (int * int) list;
+  mutable weights : (int * float) list;
+  mutable early : int list;
+  mutable frozen : int list;
+  ranking : Policy.ranking;
+}
+
+let fresh b =
+  let id = b.count in
+  b.count <- id + 1;
+  id
+
+let cp b ~provider ~customer = b.cp_edges <- (provider, customer) :: b.cp_edges
+let peer b a c = b.peer_edges <- (a, c) :: b.peer_edges
+let prefer b ~node ~over:(lo, hi) =
+  (* [node] breaks the tie between next hops [lo] (preferred) and
+     [hi]. *)
+  Policy.set_rank b.ranking ~node ~next_hop:lo 0;
+  Policy.set_rank b.ranking ~node ~next_hop:hi 1
+
+(* One CHICKEN instance between players [a] (the "10" role) and [b']
+   (the "20" role, provider of [a]); see Chicken for the standalone,
+   commented version of the same construction. Returns the instance's
+   own nodes, with the traffic sources listed first. *)
+let attach_chicken b ~m ~eps a b' =
+  let f1 = fresh b and f2 = fresh b and f3 = fresh b and f4 = fresh b in
+  let f4b = fresh b and f5 = fresh b and f6 = fresh b and f6g = fresh b in
+  let d1 = fresh b and d2 = fresh b in
+  let cover1 = fresh b and cover2 = fresh b in
+  let local1 = fresh b and local2 = fresh b in
+  let k1 = fresh b and k2 = fresh b in
+  let cross1 = fresh b and cross2 = fresh b in
+  cp b ~provider:b' ~customer:a;
+  (* The "10 - 6 - 20" peering arm, lengthened by one hop (f6g above
+     f6): with symmetric two-hop arms, a shared player's route to the
+     arm's own nodes would tie between its providers and flip with the
+     deployment state; the extra hop keeps all such distances
+     distinct. The opposing f1-f4 arm grows by one hop (f4b) so the
+     designated Cross1 tie stays length-balanced. *)
+  cp b ~provider:f6 ~customer:b';
+  cp b ~provider:f6g ~customer:f6;
+  cp b ~provider:b' ~customer:f4b;
+  cp b ~provider:f4b ~customer:f4;
+  cp b ~provider:f4 ~customer:f1;
+  cp b ~provider:a ~customer:f5;
+  cp b ~provider:f5 ~customer:f2;
+  cp b ~provider:a ~customer:d1;
+  cp b ~provider:k1 ~customer:d1;
+  cp b ~provider:b' ~customer:d2;
+  cp b ~provider:k2 ~customer:d2;
+  cp b ~provider:a ~customer:local1;
+  cp b ~provider:k1 ~customer:local1;
+  cp b ~provider:b' ~customer:local2;
+  cp b ~provider:k2 ~customer:local2;
+  cp b ~provider:a ~customer:cross1;
+  cp b ~provider:f1 ~customer:cross1;
+  cp b ~provider:cover1 ~customer:cross1;
+  cp b ~provider:f3 ~customer:cross2;
+  cp b ~provider:f2 ~customer:cross2;
+  cp b ~provider:cover2 ~customer:cross2;
+  peer b a f6g;
+  peer b b' f3;
+  (* Tie-break preferences (cf. Chicken's id-ordering constraints). *)
+  prefer b ~node:cross1 ~over:(f1, a);
+  prefer b ~node:local1 ~over:(a, k1);
+  prefer b ~node:cross2 ~over:(f2, f3);
+  prefer b ~node:local2 ~over:(b', k2);
+  b.weights <- (local1, eps) :: (local2, eps) :: (cross1, m) :: (cross2, 2.0 *. m) :: b.weights;
+  b.early <- f3 :: f6 :: f6g :: k1 :: k2 :: cover1 :: cover2 :: b.early;
+  b.frozen <- f1 :: f2 :: f4 :: f4b :: f5 :: b.frozen;
+  let sources = [ local1; local2; cross1; cross2 ] in
+  (* Nodes of this instance that other instances' trees may safely
+     peer with. Players and f6 (a provider of a player) are excluded:
+     they hold customer chains into other instances, and a direct peer
+     edge to them would open an LP-preferred route that hijacks those
+     instances' designated flows. *)
+  let peerable = sources @ [ f1; f2; f3; f4; f4b; f5; d1; d2; cover1; cover2; k1; k2 ] in
+  (sources, peerable)
+
+let build ?(m = 100.0) ?(eps = 1.0) ~k () =
+  if k < 2 then invalid_arg "Selector.build: k >= 2";
+  let b =
+    {
+      count = k;
+      cp_edges = [];
+      peer_edges = [];
+      weights = [];
+      early = [];
+      frozen = [];
+      ranking = Policy.ranking_create ();
+    }
+  in
+  let players = Array.init k (fun i -> i) in
+  let instances = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let sources, peerable = attach_chicken b ~m ~eps i j in
+      instances := (sources, peerable) :: !instances
+    done
+  done;
+  (* The non-designated-traffic trick: every source tree of one
+     instance peers directly with every peerable node of every other
+     instance, so cross-instance flows are constant one-hop peer
+     routes. *)
+  let instances = List.rev !instances in
+  List.iteri
+    (fun pi (sources, _) ->
+      List.iteri
+        (fun qi (_, theirs) ->
+          if pi <> qi then
+            List.iter (fun s -> List.iter (fun v -> peer b s v) theirs) sources)
+        instances)
+    instances;
+  let weight = Array.make b.count 0.0 in
+  List.iter (fun (node, w) -> weight.(node) <- weight.(node) +. w) b.weights;
+  let graph =
+    Graph.build ~n:b.count ~cp_edges:b.cp_edges ~peer_edges:b.peer_edges ~cps:[]
+  in
+  {
+    graph;
+    players;
+    weight;
+    early = List.sort_uniq compare b.early;
+    frozen = List.sort_uniq compare b.frozen;
+    tiebreak = Policy.Ranked b.ranking;
+  }
+
+let config t =
+  {
+    Core.Config.incoming with
+    tiebreak = t.tiebreak;
+    theta = 0.0;
+    theta_off = 0.0;
+    stub_tiebreak = true;
+  }
+
+let run_from t ~on =
+  let statics = Bgp.Route_static.create t.graph in
+  let state = Core.State.create t.graph ~early:t.early ~frozen:t.frozen in
+  List.iter (fun p -> ignore (Core.State.enable state p)) on;
+  Core.Engine.run (config t) statics ~weight:t.weight ~state

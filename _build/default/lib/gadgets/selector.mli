@@ -1,0 +1,35 @@
+(** The k-SELECTOR gadget (Appendix K.6): a clique of CHICKEN games.
+
+    [k] player ISPs are pairwise connected through CHICKEN gadgets
+    (lower-indexed player in the "10" role). Lemma K.5: the stable
+    states are exactly those with a single player ON; in any state
+    with two or more players ON every ON player wants OFF, and in the
+    all-OFF state every player wants ON. This is the building block of
+    the PSPACE-hardness construction (the transition gadgets of K.7+
+    then steer the selector between its k stable states).
+
+    Every CHICKEN instance gets fresh infrastructure; cross-instance
+    traffic is short-circuited with direct peer edges (the paper's
+    non-designated-traffic trick, Appendix K.3 footnote), and the
+    instance-specific tie-break preferences are encoded with a
+    {!Bgp.Policy.Ranked} table. *)
+
+type t = {
+  graph : Asgraph.Graph.t;
+  players : int array;  (** ids 0..k-1 *)
+  weight : float array;
+  early : int list;
+  frozen : int list;
+  tiebreak : Bgp.Policy.tiebreak;
+}
+
+val build : ?m:float -> ?eps:float -> k:int -> unit -> t
+(** Requires [k >= 2]. *)
+
+val config : t -> Core.Config.t
+(** Incoming utility, θ = 0, stubs break ties, the gadget's rank
+    table. *)
+
+val run_from : t -> on:int list -> Core.Engine.result
+(** Run the dynamics with the given players initially (unpinned) ON,
+    everyone else OFF. *)

@@ -1,0 +1,68 @@
+module Graph = Asgraph.Graph
+
+type instance = { universe : int; subsets : int array list }
+
+type t = {
+  graph : Graph.t;
+  d : int;
+  s1 : int array;
+  s2 : int array;
+  element : int array;
+  weight : float array;
+  frozen : int list;
+}
+
+(* Id layout: per-element alternative ISPs first (they must win the
+   plain tie break against every s_i2), then the subset gadgets, then
+   the element stubs and the destination. *)
+let build inst =
+  let u = inst.universe in
+  let m = List.length inst.subsets in
+  let alt_a e = e in
+  let alt_b e = u + e in
+  let s1 = Array.init m (fun i -> (2 * u) + i) in
+  let s2 = Array.init m (fun i -> (2 * u) + m + i) in
+  let element = Array.init u (fun e -> (2 * u) + (2 * m) + e) in
+  let d = (2 * u) + (2 * m) + u in
+  let n = d + 1 in
+  let cp_edges = ref [] in
+  let add prov cust = cp_edges := (prov, cust) :: !cp_edges in
+  for e = 0 to u - 1 do
+    add (alt_a e) element.(e);
+    add (alt_b e) (alt_a e);
+    add (alt_b e) d
+  done;
+  List.iteri
+    (fun i subset ->
+      add s1.(i) d;
+      add s2.(i) s1.(i);
+      Array.iter (fun e -> add s2.(i) element.(e)) subset)
+    inst.subsets;
+  let graph = Graph.build ~n ~cp_edges:!cp_edges ~peer_edges:[] ~cps:[] in
+  let weight = Array.make n 1.0 in
+  let frozen =
+    List.concat (List.init u (fun e -> [ alt_a e; alt_b e ]))
+  in
+  { graph; d; s1; s2; element; weight; frozen }
+
+let config =
+  {
+    Core.Config.default with
+    tiebreak = Bgp.Policy.Lowest_id;
+    theta = 0.0;
+    stub_tiebreak = true;
+  }
+
+let secure_after t ~early =
+  let statics = Bgp.Route_static.create t.graph in
+  let state = Core.State.create t.graph ~early ~frozen:t.frozen in
+  let result = Core.Engine.run config statics ~weight:t.weight ~state in
+  Core.State.secure_count result.final
+
+let covered inst ~chosen =
+  let seen = Array.make inst.universe false in
+  List.iteri
+    (fun i subset ->
+      if List.mem i chosen then Array.iter (fun e -> seen.(e) <- true) subset)
+    inst.subsets;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen

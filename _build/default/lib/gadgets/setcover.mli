@@ -1,0 +1,42 @@
+(** The SET-COVER reduction of Theorem 6.1 (Appendix E, Figure 16).
+
+    Given a SET-COVER instance (universe elements, subsets), builds
+    the AS graph of the reduction: a stub destination [d] that is a
+    customer of every [s_i1]; each [s_i1] a customer of its [s_i2];
+    each [s_i2] a provider of the element-stubs of its subset; and per
+    element a disjoint, tie-break-preferred alternative route to [d]
+    through two frozen ISPs.
+
+    Choosing the [s_i1] of a cover as early adopters makes every
+    corresponding [s_i2] deploy in round 1 (it projects attracting its
+    element-stubs' traffic onto the newly secure route through
+    [s_i1]), which upgrades exactly the covered element stubs to
+    simplex. Secure-AS count at termination therefore tracks coverage,
+    so the optimal early-adopter set solves SET-COVER — the crux of
+    the NP-hardness proof, verified in tests against brute force. *)
+
+type instance = { universe : int; subsets : int array list }
+(** Elements are [0 .. universe-1]; each subset lists its elements. *)
+
+type t = {
+  graph : Asgraph.Graph.t;
+  d : int;  (** the shared stub destination *)
+  s1 : int array;  (** per subset: the early-adopter candidate *)
+  s2 : int array;  (** per subset: its provider *)
+  element : int array;  (** per universe element: its stub node *)
+  weight : float array;
+  frozen : int list;  (** the alternative-route ISPs *)
+}
+
+val build : instance -> t
+
+val config : Core.Config.t
+(** Outgoing utility, θ = 0, stubs break ties, lowest-id TB. *)
+
+val secure_after : t -> early:int list -> int
+(** Run the deployment process with the given early adopters and
+    return the number of secure ASes at termination. *)
+
+val covered : instance -> chosen:int list -> int
+(** Elements covered by choosing the given subset indices (ground
+    truth for comparison). *)

@@ -1,0 +1,1 @@
+lib/netaddr/ipv4.ml: Char Int Option Printf String

@@ -1,0 +1,1 @@
+lib/netaddr/ipv4.mli:

@@ -1,0 +1,1 @@
+lib/netaddr/prefix.ml: Int Ipv4 Printf String

@@ -1,0 +1,1 @@
+lib/netaddr/prefix.mli: Ipv4

@@ -1,0 +1,41 @@
+type t = int
+
+let of_int v = v land 0xFFFFFFFF
+let to_int v = v
+
+let of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255
+  then invalid_arg "Ipv4.of_octets";
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  (* Strict dotted-quad: exactly four runs of 1-3 digits separated by
+     dots, each <= 255. *)
+  let len = String.length s in
+  let rec octet pos acc digits =
+    if pos >= len || s.[pos] < '0' || s.[pos] > '9' then
+      if digits = 0 || acc > 255 then None else Some (acc, pos)
+    else if digits >= 3 then None
+    else octet (pos + 1) ((acc * 10) + Char.code s.[pos] - Char.code '0') (digits + 1)
+  in
+  let ( let* ) = Option.bind in
+  let* a, p1 = octet 0 0 0 in
+  let* () = if p1 < len && s.[p1] = '.' then Some () else None in
+  let* b, p2 = octet (p1 + 1) 0 0 in
+  let* () = if p2 < len && s.[p2] = '.' then Some () else None in
+  let* c, p3 = octet (p2 + 1) 0 0 in
+  let* () = if p3 < len && s.[p3] = '.' then Some () else None in
+  let* d, p4 = octet (p3 + 1) 0 0 in
+  if p4 = len then Some (of_octets a b c d) else None
+
+let of_string_exn s =
+  match of_string s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let to_string v =
+  Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xff) ((v lsr 16) land 0xff)
+    ((v lsr 8) land 0xff) (v land 0xff)
+
+let compare = Int.compare
+let equal = Int.equal

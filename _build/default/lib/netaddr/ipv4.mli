@@ -1,0 +1,21 @@
+(** IPv4 addresses as 32-bit values. *)
+
+type t = private int
+(** Guaranteed in [\[0, 2^32)]. *)
+
+val of_int : int -> t
+(** Truncates to 32 bits. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** Each octet must be in [\[0, 255\]]. *)
+
+val of_string : string -> t option
+(** Dotted-quad parsing, strict: four decimal octets, no extra
+    characters, no leading [+]. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,52 @@
+type t = { network : Ipv4.t; length : int }
+
+let mask_of_length length =
+  if length = 0 then 0 else 0xFFFFFFFF lxor ((1 lsl (32 - length)) - 1)
+
+let make addr length =
+  if length < 0 || length > 32 then invalid_arg "Prefix.make";
+  { network = Ipv4.of_int (Ipv4.to_int addr land mask_of_length length); length }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> begin
+      let addr_part = String.sub s 0 i in
+      let len_part = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string addr_part, int_of_string_opt len_part) with
+      | Some addr, Some length when length >= 0 && length <= 32 ->
+          if Ipv4.to_int addr land lnot (mask_of_length length) <> 0 then None
+          else Some { network = addr; length }
+      | _ -> None
+    end
+
+let of_string_exn s =
+  match of_string s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string_exn: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.network) p.length
+
+let contains p addr =
+  Ipv4.to_int addr land mask_of_length p.length = Ipv4.to_int p.network
+
+let subsumes outer inner =
+  outer.length <= inner.length && contains outer inner.network
+
+let overlap a b = subsumes a b || subsumes b a
+
+let compare a b =
+  match Ipv4.compare a.network b.network with
+  | 0 -> Int.compare a.length b.length
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let split p =
+  if p.length >= 32 then None
+  else begin
+    let length = p.length + 1 in
+    let lo = { network = p.network; length } in
+    let hi_addr = Ipv4.of_int (Ipv4.to_int p.network lor (1 lsl (32 - length))) in
+    Some (lo, { network = hi_addr; length })
+  end

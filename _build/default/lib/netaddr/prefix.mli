@@ -1,0 +1,28 @@
+(** IPv4 prefixes (CIDR blocks), the objects named by RPKI ROAs and
+    announced in S*BGP messages. *)
+
+type t = private { network : Ipv4.t; length : int }
+(** Invariant: [0 <= length <= 32] and the host bits of [network] are
+    zero. *)
+
+val make : Ipv4.t -> int -> t
+(** Host bits are masked off. Raises [Invalid_argument] on a length
+    outside [\[0, 32\]]. *)
+
+val of_string : string -> t option
+(** ["a.b.c.d/len"]. Rejects prefixes with set host bits. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+
+val contains : t -> Ipv4.t -> bool
+val subsumes : t -> t -> bool
+(** [subsumes outer inner] iff every address of [inner] is in
+    [outer]. *)
+
+val overlap : t -> t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val split : t -> (t * t) option
+(** The two half-length subprefixes, or [None] for a /32. *)

@@ -1,0 +1,45 @@
+let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let slice ~workers ~tasks w =
+  let base = tasks / workers in
+  let extra = tasks mod workers in
+  let lo = (w * base) + min w extra in
+  let hi = lo + base + (if w < extra then 1 else 0) in
+  (lo, hi)
+
+let run_slice ~init ~task lo hi =
+  let acc = init () in
+  for i = lo to hi - 1 do
+    task acc i
+  done;
+  acc
+
+let map_reduce ~workers ~tasks ~init ~task ~combine =
+  if workers <= 1 || tasks <= 1 then run_slice ~init ~task 0 tasks
+  else begin
+    let workers = min workers tasks in
+    let spawned =
+      Array.init (workers - 1) (fun w ->
+          let lo, hi = slice ~workers ~tasks (w + 1) in
+          Domain.spawn (fun () -> run_slice ~init ~task lo hi))
+    in
+    let lo, hi = slice ~workers ~tasks 0 in
+    let first = run_slice ~init ~task lo hi in
+    Array.fold_left (fun acc d -> combine acc (Domain.join d)) first spawned
+  end
+
+let map_array ~workers ~tasks f =
+  if tasks = 0 then [||]
+  else begin
+    let results = Array.make tasks None in
+    let acc =
+      map_reduce ~workers ~tasks
+        ~init:(fun () -> [])
+        ~task:(fun _ i -> results.(i) <- Some (f i))
+        ~combine:(fun a _ -> a)
+    in
+    ignore acc;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map_array: missing result")
+      results
+  end

@@ -1,0 +1,31 @@
+(** Multicore map/reduce over integer task indices.
+
+    This is the stand-in for the paper's 200-node DryadLINQ cluster
+    (Appendix C.3): simulations parallelize by mapping per-destination
+    computations across workers, each with worker-local scratch, and
+    reducing the partial utility vectors. Workers are OCaml 5 domains;
+    with [workers = 1] (the default on a single-core host) everything
+    runs in the calling domain and results are bit-identical to the
+    parallel runs, because the reduction is a deterministic left
+    fold over worker index. *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val map_reduce :
+  workers:int ->
+  tasks:int ->
+  init:(unit -> 'acc) ->
+  task:('acc -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** [map_reduce ~workers ~tasks ~init ~task ~combine] partitions task
+    indices [0 .. tasks-1] into [workers] contiguous slices; each
+    worker folds [task] over its slice using its own accumulator from
+    [init]; accumulators are combined left-to-right by worker index.
+    [task] must only mutate its own accumulator. *)
+
+val map_array : workers:int -> tasks:int -> (int -> 'a) -> 'a array
+(** Pure per-task map collected into an array ([map_array f] is
+    equivalent to [Array.init tasks f]). The closure must be safe to
+    call from any domain. *)

@@ -1,0 +1,1 @@
+lib/rpki/cert.ml: Buffer List Netaddr Printf Scrypto String

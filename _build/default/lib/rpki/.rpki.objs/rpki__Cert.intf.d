@@ -1,0 +1,1 @@
+lib/rpki/cert.mli: Netaddr Scrypto

@@ -1,0 +1,1 @@
+lib/rpki/registry.ml: Cert Hashtbl List Netaddr Nsutil Printf Roa Scrypto

@@ -1,0 +1,1 @@
+lib/rpki/registry.mli: Cert Netaddr Roa Scrypto

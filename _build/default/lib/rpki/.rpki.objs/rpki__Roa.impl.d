@@ -1,0 +1,1 @@
+lib/rpki/roa.ml: List Netaddr Option Printf Scrypto

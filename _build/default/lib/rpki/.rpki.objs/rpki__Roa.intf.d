@@ -1,0 +1,1 @@
+lib/rpki/roa.mli: Netaddr Scrypto

@@ -1,0 +1,94 @@
+module Prefix = Netaddr.Prefix
+module Sig_scheme = Scrypto.Sig_scheme
+
+type t = {
+  subject_asn : int;
+  key_id : string;
+  resources : Prefix.t list;
+  issuer_key_id : string;
+  signature : Sig_scheme.signature;
+}
+
+let to_be_signed ~subject_asn ~key_id ~resources ~issuer_key_id =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "cert|%d|" subject_asn);
+  Buffer.add_string buf (Scrypto.Sha256.hex key_id);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Prefix.to_string p);
+      Buffer.add_char buf ';')
+    resources;
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (Scrypto.Sha256.hex issuer_key_id);
+  Buffer.contents buf
+
+let self_signed_root ~(keypair : Sig_scheme.keypair) ~resources =
+  let key_id = keypair.key_id in
+  let tbs = to_be_signed ~subject_asn:(-1) ~key_id ~resources ~issuer_key_id:key_id in
+  {
+    subject_asn = -1;
+    key_id;
+    resources;
+    issuer_key_id = key_id;
+    signature = Sig_scheme.sign keypair tbs;
+  }
+
+let covers cert prefix = List.exists (fun r -> Prefix.subsumes r prefix) cert.resources
+
+let issue ~(issuer_keypair : Sig_scheme.keypair) ~issuer ~subject_asn
+    ~(subject_keypair : Sig_scheme.keypair) ~resources =
+  if not (String.equal issuer_keypair.key_id issuer.key_id) then
+    Error "issuer keypair does not match issuer certificate"
+  else begin
+    match List.find_opt (fun r -> not (covers issuer r)) resources with
+    | Some r -> Error (Printf.sprintf "resource %s not held by issuer" (Prefix.to_string r))
+    | None ->
+        let key_id = subject_keypair.key_id in
+        let tbs =
+          to_be_signed ~subject_asn ~key_id ~resources ~issuer_key_id:issuer.key_id
+        in
+        Ok
+          {
+            subject_asn;
+            key_id;
+            resources;
+            issuer_key_id = issuer.key_id;
+            signature = Sig_scheme.sign issuer_keypair tbs;
+          }
+  end
+
+let verify_one ~lookup_keypair ~issuer_cert cert =
+  match lookup_keypair cert.issuer_key_id with
+  | None -> Error "unknown issuer key"
+  | Some verification_key ->
+      if not (String.equal cert.issuer_key_id issuer_cert.key_id) then
+        Error "chain link mismatch"
+      else begin
+        let tbs =
+          to_be_signed ~subject_asn:cert.subject_asn ~key_id:cert.key_id
+            ~resources:cert.resources ~issuer_key_id:cert.issuer_key_id
+        in
+        if not (Sig_scheme.verify ~verification_key ~msg:tbs cert.signature) then
+          Error "bad certificate signature"
+        else if List.exists (fun r -> not (covers issuer_cert r)) cert.resources then
+          Error "resources exceed issuer's"
+        else Ok ()
+      end
+
+let verify_chain ~root ~lookup_keypair certs =
+  match certs with
+  | [] -> Error "empty chain"
+  | first :: rest ->
+      if first != root && first <> root then Error "chain does not start at trust anchor"
+      else begin
+        let rec walk issuer_cert = function
+          | [] -> Ok ()
+          | cert :: tail -> begin
+              match verify_one ~lookup_keypair ~issuer_cert cert with
+              | Error _ as e -> e
+              | Ok () -> walk cert tail
+            end
+        in
+        walk first rest
+      end

@@ -1,0 +1,38 @@
+(** Resource certificates: the RPKI's mapping from ASes to their IP
+    resources and public keys (Section 1), with RFC 3779-style
+    resource containment along issuance chains. *)
+
+type t = private {
+  subject_asn : int;  (** -1 for the root authority *)
+  key_id : string;  (** subject key identifier *)
+  resources : Netaddr.Prefix.t list;
+  issuer_key_id : string;  (** equals [key_id] for the self-signed root *)
+  signature : Scrypto.Sig_scheme.signature;
+}
+
+val self_signed_root :
+  keypair:Scrypto.Sig_scheme.keypair -> resources:Netaddr.Prefix.t list -> t
+(** The trust anchor (e.g. "0.0.0.0/0" held by the RIR). *)
+
+val issue :
+  issuer_keypair:Scrypto.Sig_scheme.keypair ->
+  issuer:t ->
+  subject_asn:int ->
+  subject_keypair:Scrypto.Sig_scheme.keypair ->
+  resources:Netaddr.Prefix.t list ->
+  (t, string) result
+(** Fails when [issuer_keypair] does not match the issuer cert or a
+    requested resource is not covered by the issuer's resources. *)
+
+val to_be_signed : subject_asn:int -> key_id:string -> resources:Netaddr.Prefix.t list -> issuer_key_id:string -> string
+(** Canonical byte string covered by the certificate signature. *)
+
+val verify_chain :
+  root:t -> lookup_keypair:(string -> Scrypto.Sig_scheme.keypair option) -> t list -> (unit, string) result
+(** [verify_chain ~root ~lookup_keypair certs] checks a chain ordered
+    root-first: each link signed by its predecessor's key, resources
+    nested, and the first element equal to the (trusted) [root].
+    [lookup_keypair] resolves key ids to verification keys — the
+    trusted key distribution of our simulated scheme. *)
+
+val covers : t -> Netaddr.Prefix.t -> bool

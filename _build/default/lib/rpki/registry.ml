@@ -1,0 +1,65 @@
+module Prefix = Netaddr.Prefix
+module Sig_scheme = Scrypto.Sig_scheme
+
+type t = {
+  rng : Nsutil.Prng.t;
+  root_keypair : Sig_scheme.keypair;
+  root : Cert.t;
+  certs : (int, Cert.t) Hashtbl.t;
+  keypairs : (int, Sig_scheme.keypair) Hashtbl.t;
+  keys_by_id : (string, Sig_scheme.keypair) Hashtbl.t;
+  mutable roa_list : Roa.t list;
+}
+
+let create ~seed =
+  let rng = Nsutil.Prng.create ~seed in
+  let root_keypair = Sig_scheme.generate rng in
+  let all = Prefix.of_string_exn "0.0.0.0/0" in
+  let root = Cert.self_signed_root ~keypair:root_keypair ~resources:[ all ] in
+  let keys_by_id = Hashtbl.create 64 in
+  Hashtbl.add keys_by_id root_keypair.key_id root_keypair;
+  {
+    rng;
+    root_keypair;
+    root;
+    certs = Hashtbl.create 64;
+    keypairs = Hashtbl.create 64;
+    keys_by_id;
+    roa_list = [];
+  }
+
+let root_cert t = t.root
+let enrolled t ~asn = Hashtbl.mem t.certs asn
+let cert_of t ~asn = Hashtbl.find_opt t.certs asn
+let keypair_of t ~asn = Hashtbl.find_opt t.keypairs asn
+let lookup_key t key_id = Hashtbl.find_opt t.keys_by_id key_id
+let roas t = t.roa_list
+
+let enroll t ~asn ~prefixes =
+  if enrolled t ~asn then Error (Printf.sprintf "AS %d already enrolled" asn)
+  else begin
+    let keypair = Sig_scheme.generate t.rng in
+    match
+      Cert.issue ~issuer_keypair:t.root_keypair ~issuer:t.root ~subject_asn:asn
+        ~subject_keypair:keypair ~resources:prefixes
+    with
+    | Error _ as e -> e
+    | Ok cert ->
+        Hashtbl.add t.certs asn cert;
+        Hashtbl.add t.keypairs asn keypair;
+        Hashtbl.add t.keys_by_id keypair.key_id keypair;
+        List.iter
+          (fun prefix ->
+            t.roa_list <-
+              Roa.make ~holder_keypair:keypair ~prefix ~origin_asn:asn () :: t.roa_list)
+          prefixes;
+        Ok cert
+  end
+
+let origin_validity t ~prefix ~origin_asn =
+  Roa.validate ~roas:t.roa_list ~prefix ~origin_asn
+
+let verify_as_chain t ~asn =
+  match cert_of t ~asn with
+  | None -> Error (Printf.sprintf "AS %d not enrolled" asn)
+  | Some cert -> Cert.verify_chain ~root:t.root ~lookup_keypair:(lookup_key t) [ t.root; cert ]

@@ -1,0 +1,31 @@
+(** The deployed RPKI: a trust anchor, per-AS resource certificates,
+    ROAs, and the trusted key distribution used by the simulated
+    signature scheme ({!Scrypto.Sig_scheme}). *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh registry with a self-signed root holding 0.0.0.0/0. *)
+
+val root_cert : t -> Cert.t
+
+val enroll : t -> asn:int -> prefixes:Netaddr.Prefix.t list -> (Cert.t, string) result
+(** Issue a resource certificate (and keypair) to an AS and publish a
+    ROA for each prefix. Fails if the AS is already enrolled. *)
+
+val enrolled : t -> asn:int -> bool
+val cert_of : t -> asn:int -> Cert.t option
+val keypair_of : t -> asn:int -> Scrypto.Sig_scheme.keypair option
+(** The AS's signing key. In the real RPKI only the AS holds this;
+    here the registry doubles as the trusted key-distribution channel
+    (see {!Scrypto.Sig_scheme} for the threat-model caveat). *)
+
+val lookup_key : t -> string -> Scrypto.Sig_scheme.keypair option
+(** Resolve a key id to a verification key. *)
+
+val roas : t -> Roa.t list
+
+val origin_validity : t -> prefix:Netaddr.Prefix.t -> origin_asn:int -> Roa.validity
+
+val verify_as_chain : t -> asn:int -> (unit, string) result
+(** Validate the AS's certificate against the trust anchor. *)

@@ -1,0 +1,45 @@
+module Prefix = Netaddr.Prefix
+module Sig_scheme = Scrypto.Sig_scheme
+
+type t = {
+  prefix : Prefix.t;
+  origin_asn : int;
+  max_length : int;
+  signature : Sig_scheme.signature;
+}
+
+let to_be_signed ~prefix ~origin_asn ~max_length =
+  Printf.sprintf "roa|%s|%d|%d" (Prefix.to_string prefix) origin_asn max_length
+
+let make ~holder_keypair ~prefix ~origin_asn ?max_length () =
+  let max_length = Option.value ~default:prefix.Prefix.length max_length in
+  let tbs = to_be_signed ~prefix ~origin_asn ~max_length in
+  { prefix; origin_asn; max_length; signature = Sig_scheme.sign holder_keypair tbs }
+
+let verify ~verification_key roa =
+  let tbs =
+    to_be_signed ~prefix:roa.prefix ~origin_asn:roa.origin_asn ~max_length:roa.max_length
+  in
+  Sig_scheme.verify ~verification_key ~msg:tbs roa.signature
+
+type validity = Valid | Invalid_origin | Invalid_length | Unknown
+
+let validate ~roas ~prefix ~origin_asn =
+  let covering = List.filter (fun r -> Prefix.subsumes r.prefix prefix) roas in
+  if covering = [] then Unknown
+  else begin
+    let matches r = r.origin_asn = origin_asn && prefix.Prefix.length <= r.max_length in
+    if List.exists matches covering then Valid
+    else if
+      List.exists
+        (fun r -> r.origin_asn = origin_asn && prefix.Prefix.length > r.max_length)
+        covering
+    then Invalid_length
+    else Invalid_origin
+  end
+
+let validity_to_string = function
+  | Valid -> "valid"
+  | Invalid_origin -> "invalid-origin"
+  | Invalid_length -> "invalid-length"
+  | Unknown -> "unknown"

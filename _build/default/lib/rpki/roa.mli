@@ -1,0 +1,28 @@
+(** Route Origin Authorizations and RFC 6811 origin validation. *)
+
+type t = private {
+  prefix : Netaddr.Prefix.t;
+  origin_asn : int;
+  max_length : int;
+  signature : Scrypto.Sig_scheme.signature;  (** by the prefix holder's key *)
+}
+
+val make :
+  holder_keypair:Scrypto.Sig_scheme.keypair ->
+  prefix:Netaddr.Prefix.t ->
+  origin_asn:int ->
+  ?max_length:int ->
+  unit ->
+  t
+(** [max_length] defaults to the prefix length. *)
+
+val verify : verification_key:Scrypto.Sig_scheme.keypair -> t -> bool
+
+type validity = Valid | Invalid_origin | Invalid_length | Unknown
+
+val validate : roas:t list -> prefix:Netaddr.Prefix.t -> origin_asn:int -> validity
+(** RFC 6811: [Unknown] when no ROA covers the prefix; [Valid] when
+    some covering ROA matches origin and length; otherwise the most
+    specific failure among covering ROAs. *)
+
+val validity_to_string : validity -> string

@@ -1,0 +1,1 @@
+lib/topology/augment.ml: Asgraph Gen Hashtbl List Nsutil

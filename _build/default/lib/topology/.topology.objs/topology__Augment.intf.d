@@ -1,0 +1,1 @@
+lib/topology/augment.mli: Asgraph Gen

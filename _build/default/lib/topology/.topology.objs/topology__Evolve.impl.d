@@ -1,0 +1,1 @@
+lib/topology/evolve.ml: Array Asgraph List Nsutil

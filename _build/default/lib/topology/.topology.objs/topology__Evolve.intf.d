@@ -1,0 +1,1 @@
+lib/topology/evolve.mli: Asgraph

@@ -1,0 +1,1 @@
+lib/topology/gen.ml: Array Asgraph Hashtbl List Nsutil Option Params

@@ -1,0 +1,1 @@
+lib/topology/gen.mli: Asgraph Params

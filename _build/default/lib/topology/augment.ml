@@ -1,0 +1,34 @@
+module Graph = Asgraph.Graph
+module Prng = Nsutil.Prng
+
+let augment g ~targets ~fraction ~seed =
+  let rng = Prng.create ~seed in
+  let cps = Graph.nodes_of_class g Asgraph.As_class.Cp in
+  let existing = Hashtbl.create 4096 in
+  let key a b = if a < b then (a, b) else (b, a) in
+  let cp_edges = ref [] in
+  let peer_edges = ref [] in
+  List.iter
+    (fun ((a, b), rel) ->
+      Hashtbl.replace existing (key a b) ();
+      match rel with
+      | Graph.Customer -> cp_edges := (a, b) :: !cp_edges
+      | Graph.Peer -> peer_edges := (a, b) :: !peer_edges
+      | Graph.Provider -> assert false)
+    (Graph.edges g);
+  List.iter
+    (fun cp ->
+      List.iter
+        (fun t ->
+          if t <> cp && (not (Hashtbl.mem existing (key cp t))) && Prng.float rng 1.0 < fraction
+          then begin
+            Hashtbl.add existing (key cp t) ();
+            peer_edges := (cp, t) :: !peer_edges
+          end)
+        targets)
+    cps;
+  Graph.build ~n:(Graph.n g) ~cp_edges:!cp_edges ~peer_edges:!peer_edges ~cps
+
+let augment_built (built : Gen.built) ~fraction ~seed =
+  let graph = augment built.graph ~targets:built.ixp_present ~fraction ~seed in
+  { built with graph }

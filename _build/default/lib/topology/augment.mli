@@ -1,0 +1,20 @@
+(** The "augmented AS graph" of Section 6.8.1 / Appendix D.
+
+    Published topologies underestimate content-provider peering; the
+    paper compensates by peering each CP with a large fraction of the
+    ASes present at IXPs until CP path lengths drop to ~2 hops. This
+    module reproduces that pass on our synthetic graphs. *)
+
+val augment :
+  Asgraph.Graph.t ->
+  targets:int list ->
+  fraction:float ->
+  seed:int ->
+  Asgraph.Graph.t
+(** [augment g ~targets ~fraction ~seed] returns a new graph where
+    every CP gains peer edges to a random [fraction] of [targets]
+    (typically the IXP-present ISPs). Existing edges are preserved;
+    conflicting additions are skipped. *)
+
+val augment_built : Gen.built -> fraction:float -> seed:int -> Gen.built
+(** Convenience wrapper keeping the [Gen.built] metadata. *)

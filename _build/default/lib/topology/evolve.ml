@@ -1,0 +1,46 @@
+module Graph = Asgraph.Graph
+module Prng = Nsutil.Prng
+
+let grow g ~new_stubs ~secure_bias ~is_secure ~seed =
+  if secure_bias < 0.0 then invalid_arg "Evolve.grow: negative bias";
+  let n = Graph.n g in
+  let rng = Prng.create ~seed in
+  let isps = Array.of_list (Graph.nodes_of_class g Asgraph.As_class.Isp) in
+  if Array.length isps = 0 then invalid_arg "Evolve.grow: no ISPs to attach to";
+  let weight_of i =
+    let base = float_of_int (Graph.customer_degree g i + 1) in
+    if is_secure i then base *. (1.0 +. secure_bias) else base
+  in
+  let weights = Array.map weight_of isps in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pick () =
+    let r = Prng.float rng total in
+    let rec scan k acc =
+      if k >= Array.length isps - 1 then isps.(Array.length isps - 1)
+      else begin
+        let acc = acc +. weights.(k) in
+        if r < acc then isps.(k) else scan (k + 1) acc
+      end
+    in
+    scan 0 0.0
+  in
+  let cp_edges = ref [] in
+  let peer_edges = ref [] in
+  List.iter
+    (fun ((a, b), rel) ->
+      match rel with
+      | Graph.Customer -> cp_edges := (a, b) :: !cp_edges
+      | Graph.Peer -> peer_edges := (a, b) :: !peer_edges
+      | Graph.Provider -> assert false)
+    (Graph.edges g);
+  for s = n to n + new_stubs - 1 do
+    let wanted = 1 + (if Prng.float rng 1.0 < 0.4 then 1 else 0) in
+    let first = pick () in
+    cp_edges := (first, s) :: !cp_edges;
+    if wanted = 2 then begin
+      let second = pick () in
+      if second <> first then cp_edges := (second, s) :: !cp_edges
+    end
+  done;
+  Graph.build ~n:(n + new_stubs) ~cp_edges:!cp_edges ~peer_edges:!peer_edges
+    ~cps:(Graph.nodes_of_class g Asgraph.As_class.Cp)

@@ -1,0 +1,23 @@
+(** AS-graph evolution (Section 8.4: "extensions might also model the
+    evolution of the AS graph with time, and possibly incorporate ...
+    the addition of new edges if secure ASes manage to sign up new
+    customers").
+
+    Growth adds stub ASes that multihome to existing ISPs chosen by
+    preferential attachment, optionally biased towards ISPs that
+    already deployed S*BGP — the market reward the paper
+    hypothesizes. *)
+
+val grow :
+  Asgraph.Graph.t ->
+  new_stubs:int ->
+  secure_bias:float ->
+  is_secure:(int -> bool) ->
+  seed:int ->
+  Asgraph.Graph.t
+(** [grow g ~new_stubs ~secure_bias ~is_secure ~seed] returns a graph
+    with [new_stubs] fresh stubs appended (existing ids unchanged).
+    Each new stub takes 1-2 providers; an ISP's attachment weight is
+    [(customer_degree + 1) * (1 + secure_bias)] if [is_secure] holds
+    for it, [(customer_degree + 1)] otherwise. [secure_bias = 0]
+    recovers plain preferential attachment. *)

@@ -1,0 +1,216 @@
+module Graph = Asgraph.Graph
+module Prng = Nsutil.Prng
+
+type built = {
+  graph : Graph.t;
+  tier1 : int list;
+  cps : int list;
+  ixp_present : int list;
+}
+
+(* Edge bookkeeping: reject duplicates and conflicting annotations
+   up front so Graph.build never raises. *)
+type edges = {
+  mutable cp : (int * int) list;  (* (provider, customer) *)
+  mutable peer : (int * int) list;
+  seen : (int * int, unit) Hashtbl.t;
+}
+
+let edges_create () = { cp = []; peer = []; seen = Hashtbl.create 4096 }
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let try_add_cp e ~provider ~customer =
+  let k = key provider customer in
+  if provider <> customer && not (Hashtbl.mem e.seen k) then begin
+    Hashtbl.add e.seen k ();
+    e.cp <- (provider, customer) :: e.cp;
+    true
+  end
+  else false
+
+let try_add_peer e a b =
+  let k = key a b in
+  if a <> b && not (Hashtbl.mem e.seen k) then begin
+    Hashtbl.add e.seen k ();
+    e.peer <- (a, b) :: e.peer;
+    true
+  end
+  else false
+
+(* Draw from a discrete distribution given as per-index probabilities
+   (index i -> value i+1); falls back to 1 on rounding gaps. *)
+let draw_count rng dist =
+  let r = Prng.float rng 1.0 in
+  let rec loop i acc =
+    if i >= Array.length dist then 1
+    else begin
+      let acc = acc +. dist.(i) in
+      if r < acc then i + 1 else loop (i + 1) acc
+    end
+  in
+  loop 0 0.0
+
+let generate (p : Params.t) =
+  if p.tier1 < 1 then invalid_arg "Gen.generate: need at least one Tier 1";
+  let n_isp = max (p.tier1 + 1) (int_of_float (p.isp_fraction *. float_of_int p.n)) in
+  if n_isp + p.cps >= p.n then invalid_arg "Gen.generate: no room for stubs";
+  let rng = Prng.create ~seed:p.seed in
+  let e = edges_create () in
+  let cp_lo = n_isp in
+  let stub_lo = n_isp + p.cps in
+  (* Preferential-attachment pool over transit ISPs: an ISP appears
+     once per customer it has gained, plus one base entry. *)
+  let pool = ref [||] in
+  let pool_len = ref 0 in
+  let pool_push v =
+    if !pool_len >= Array.length !pool then begin
+      let bigger = Array.make (max 64 (2 * Array.length !pool)) 0 in
+      Array.blit !pool 0 bigger 0 !pool_len;
+      pool := bigger
+    end;
+    !pool.(!pool_len) <- v;
+    incr pool_len
+  in
+  (* Tier-1 clique. *)
+  let tier1 = List.init p.tier1 (fun i -> i) in
+  List.iter
+    (fun a -> List.iter (fun b -> if a < b then ignore (try_add_peer e a b)) tier1)
+    tier1;
+  List.iter pool_push tier1;
+  (* Pick a provider among ISPs with index < [limit]. *)
+  let pick_provider limit =
+    if Prng.float rng 1.0 < p.pa_bias && !pool_len > 0 then begin
+      (* Rejection: pool entries are always < current ISP index during
+         the ISP phase, but may need the limit for safety. *)
+      let rec try_pool attempts =
+        if attempts = 0 then Prng.int rng limit
+        else begin
+          let v = !pool.(Prng.int rng !pool_len) in
+          if v < limit then v else try_pool (attempts - 1)
+        end
+      in
+      try_pool 8
+    end
+    else Prng.int rng limit
+  in
+  (* Transit ISPs multihome to earlier ISPs (GR1 by construction). *)
+  let isp_provider_dist = [| 0.6; 0.3; 0.1 |] in
+  for i = p.tier1 to n_isp - 1 do
+    let wanted = min p.max_providers_isp (draw_count rng isp_provider_dist) in
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < wanted && !attempts < 20 do
+      incr attempts;
+      let prov = pick_provider i in
+      if try_add_cp e ~provider:prov ~customer:i then begin
+        pool_push prov;
+        incr added
+      end
+    done;
+    (* Guarantee connectivity: fall back to a deterministic Tier 1. *)
+    if !added = 0 && try_add_cp e ~provider:(i mod p.tier1) ~customer:i then
+      pool_push (i mod p.tier1)
+  done;
+  (* Private peering between ISPs. *)
+  for i = p.tier1 to n_isp - 1 do
+    let base = int_of_float p.isp_peer_degree in
+    let frac = p.isp_peer_degree -. float_of_int base in
+    let count = base + (if Prng.float rng 1.0 < frac then 1 else 0) in
+    for _ = 1 to count do
+      let j = Prng.int rng n_isp in
+      ignore (try_add_peer e i j)
+    done
+  done;
+  (* IXP meshes. *)
+  let ixp_present = Hashtbl.create 64 in
+  for _ = 1 to p.ixps do
+    let members =
+      Prng.sample_without_replacement rng (min p.ixp_members n_isp) ~from:n_isp
+    in
+    Array.iter (fun m -> Hashtbl.replace ixp_present m ()) members;
+    let k = Array.length members in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        if Prng.float rng 1.0 < p.ixp_peer_prob then
+          ignore (try_add_peer e members.(a) members.(b))
+      done
+    done
+  done;
+  (* Content providers: a couple of transit providers plus light
+     peering with IXP members. *)
+  let ixp_list = Hashtbl.fold (fun m () acc -> m :: acc) ixp_present [] in
+  let ixp_arr = Array.of_list (List.sort compare ixp_list) in
+  let cps = List.init p.cps (fun i -> cp_lo + i) in
+  (* ISP customers of an ISP, for the reseller chains below. *)
+  let isp_customers_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (prov, cust) ->
+      if cust < n_isp then
+        Hashtbl.replace isp_customers_tbl prov
+          (cust :: Option.value ~default:[] (Hashtbl.find_opt isp_customers_tbl prov)))
+    e.cp;
+  let isp_customers v = Option.value ~default:[] (Hashtbl.find_opt isp_customers_tbl v) in
+  List.iter
+    (fun cp ->
+      let added = ref 0 in
+      let attempts = ref 0 in
+      let first_provider = ref None in
+      while !added < p.cp_providers && !attempts < 20 do
+        incr attempts;
+        (* One big transit carrier, then regional providers — with a
+           bias towards resellers of the main carrier (a CP buying
+           local transit downstream of its own carrier is the
+           structure behind the paper's Figure 13: Akamai behind both
+           NTT and NTT's transitive customer AS 9498). *)
+        let prov =
+          match !first_provider with
+          | None -> pick_provider n_isp
+          | Some big ->
+              let reseller () =
+                match isp_customers big with
+                | [] -> None
+                | mids -> begin
+                    let mid = List.nth mids (Prng.int rng (List.length mids)) in
+                    match isp_customers mid with
+                    | [] -> Some mid
+                    | smalls -> Some (List.nth smalls (Prng.int rng (List.length smalls)))
+                  end
+              in
+              if Prng.bool rng then
+                Option.value (reseller ())
+                  ~default:(p.tier1 + Prng.int rng (max 1 (n_isp - p.tier1)))
+              else p.tier1 + Prng.int rng (max 1 (n_isp - p.tier1))
+        in
+        if try_add_cp e ~provider:prov ~customer:cp then begin
+          if !first_provider = None then first_provider := Some prov;
+          incr added
+        end
+      done;
+      if !added = 0 then ignore (try_add_cp e ~provider:(cp mod p.tier1) ~customer:cp);
+      let peers = ref 0 in
+      let attempts = ref 0 in
+      while !peers < p.cp_peers && !attempts < 40 && Array.length ixp_arr > 0 do
+        incr attempts;
+        let partner = Prng.pick rng ixp_arr in
+        if try_add_peer e cp partner then incr peers
+      done)
+    cps;
+  (* Stubs. *)
+  for s = stub_lo to p.n - 1 do
+    let wanted = draw_count rng p.stub_multihoming in
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < wanted && !attempts < 20 do
+      incr attempts;
+      let prov = pick_provider n_isp in
+      if try_add_cp e ~provider:prov ~customer:s then begin
+        pool_push prov;
+        incr added
+      end
+    done;
+    if !added = 0 && try_add_cp e ~provider:(s mod p.tier1) ~customer:s then
+      pool_push (s mod p.tier1)
+  done;
+  let graph = Graph.build ~n:p.n ~cp_edges:e.cp ~peer_edges:e.peer ~cps in
+  { graph; tier1; cps; ixp_present = List.sort compare ixp_list }

@@ -1,0 +1,27 @@
+(** Synthetic Internet-like AS topology generator.
+
+    Construction (deterministic given [Params.seed]):
+    + Tier-1 ASes form a full peer clique and have no providers;
+    + transit ISPs arrive in order and multihome to 1..k providers
+      among earlier ISPs, chosen by preferential attachment on
+      customer degree (this produces the heavy-tailed degree
+      distribution);
+    + ISPs additionally peer: a sparse random "private peering" layer
+      plus dense IXP meshes among co-located members;
+    + content providers attach to a few transit providers and peer
+      lightly (heavier peering comes from {!Augment});
+    + stubs multihome to ISPs per the configured distribution, again
+      with preferential attachment. *)
+
+type built = {
+  graph : Asgraph.Graph.t;
+  tier1 : int list;
+  cps : int list;
+  ixp_present : int list;  (** ISPs present at some IXP (augmentation targets) *)
+}
+
+val generate : Params.t -> built
+(** Raises [Invalid_argument] on inconsistent parameters (e.g. more
+    Tier 1s than ISPs). The result always satisfies GR1 by
+    construction: providers have smaller generation index than their
+    customers. *)

@@ -1,0 +1,45 @@
+type t = {
+  n : int;
+  tier1 : int;
+  isp_fraction : float;
+  cps : int;
+  max_providers_isp : int;
+  stub_multihoming : float array;
+  pa_bias : float;
+  isp_peer_degree : float;
+  ixps : int;
+  ixp_members : int;
+  ixp_peer_prob : float;
+  cp_providers : int;
+  cp_peers : int;
+  seed : int;
+}
+
+let default =
+  {
+    n = 1000;
+    tier1 = 5;
+    isp_fraction = 0.15;
+    cps = 5;
+    max_providers_isp = 3;
+    (* 1..4 providers; mean ~1.65, most stubs single- or dual-homed,
+       matching the empirical skew the paper leans on. *)
+    stub_multihoming = [| 0.55; 0.30; 0.10; 0.05 |];
+    pa_bias = 0.75;
+    isp_peer_degree = 1.5;
+    ixps = 4;
+    ixp_members = 25;
+    ixp_peer_prob = 0.35;
+    cp_providers = 3;
+    cp_peers = 8;
+    seed = 42;
+  }
+
+let with_n t n =
+  let scale = sqrt (float_of_int n /. float_of_int t.n) in
+  {
+    t with
+    n;
+    ixps = max 1 (int_of_float (float_of_int t.ixps *. scale));
+    ixp_members = max 5 (int_of_float (float_of_int t.ixp_members *. scale));
+  }

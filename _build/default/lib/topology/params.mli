@@ -1,0 +1,34 @@
+(** Parameters of the synthetic Internet-like AS topology.
+
+    The generator replaces the paper's empirical Cyclops+IXP graph
+    (Section 4). The deployment dynamics depend on the graph's *shape*
+    — extreme degree skew, ~85% stubs, short valley-free paths, small
+    tiebreak sets, a Tier-1 clique at the top — and the defaults below
+    are tuned so the generated graphs match those statistics at
+    laptop-scale N (verified by tests and the Table 2/3 benches). *)
+
+type t = {
+  n : int;  (** total ASes *)
+  tier1 : int;  (** size of the Tier-1 peer clique *)
+  isp_fraction : float;  (** fraction of ASes that are transit ISPs (incl. Tier 1) *)
+  cps : int;  (** content providers *)
+  max_providers_isp : int;  (** provider multihoming cap for ISPs *)
+  stub_multihoming : float array;
+      (** distribution of stub provider counts: index k holds P(k+1 providers) *)
+  pa_bias : float;  (** preferential-attachment strength in [0, 1] *)
+  isp_peer_degree : float;  (** mean number of extra peering links per ISP *)
+  ixps : int;  (** number of IXP peering meshes *)
+  ixp_members : int;  (** ISPs per IXP *)
+  ixp_peer_prob : float;  (** probability two co-located members peer *)
+  cp_providers : int;  (** transit providers per CP *)
+  cp_peers : int;  (** initial peering links per CP (pre-augmentation) *)
+  seed : int;
+}
+
+val default : t
+(** A 1000-AS Internet: 5 Tier 1s, 15% ISPs, 5 CPs, ~58% single-homed
+    stubs. *)
+
+val with_n : t -> int -> t
+(** Same shape scaled to a different AS count (IXP count and members
+    scale with sqrt N). *)

@@ -1,0 +1,1 @@
+lib/traffic/pricing.ml: Array Float List Printf

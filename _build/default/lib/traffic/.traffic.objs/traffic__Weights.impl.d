@@ -1,0 +1,1 @@
+lib/traffic/weights.ml: Array Asgraph

@@ -1,0 +1,39 @@
+type scheme = Linear | Tiered of { step : float } | Concave of { exponent : float }
+
+let revenue_of_customer scheme volume =
+  if volume <= 0.0 then 0.0
+  else begin
+    match scheme with
+    | Linear -> volume
+    | Tiered { step } ->
+        if step <= 0.0 then invalid_arg "Pricing: step must be positive";
+        Float.ceil (volume /. step)
+    | Concave { exponent } ->
+        if exponent <= 0.0 || exponent > 1.0 then
+          invalid_arg "Pricing: exponent must be in (0, 1]";
+        volume ** exponent
+  end
+
+let revenue scheme volumes =
+  List.fold_left (fun acc v -> acc +. revenue_of_customer scheme v) 0.0 volumes
+
+let scheme_to_string = function
+  | Linear -> "linear"
+  | Tiered { step } -> Printf.sprintf "tiered(step=%g)" step
+  | Concave { exponent } -> Printf.sprintf "concave(%g)" exponent
+
+let rank_agreement a b =
+  if Array.length a <> Array.length b then invalid_arg "Pricing.rank_agreement";
+  let n = Array.length a in
+  let agree = ref 0 in
+  let pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let da = compare a.(i) a.(j) and db = compare b.(i) b.(j) in
+      if da <> 0 && db <> 0 then begin
+        incr pairs;
+        if da = db then incr agree
+      end
+    done
+  done;
+  if !pairs = 0 then 1.0 else float_of_int !agree /. float_of_int !pairs

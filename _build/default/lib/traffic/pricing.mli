@@ -1,0 +1,29 @@
+(** Pricing models mapping transited customer traffic to revenue
+    (Section 8.4, "mapping revenue to traffic volume").
+
+    The paper's utility is linear in volume; real ISPs also bill in
+    flat-rate capacity tiers or concave (committed + burst) schedules.
+    These schemes let experiments check that the deployment incentives
+    survive the change of billing model. *)
+
+type scheme =
+  | Linear  (** revenue = volume (the paper's model) *)
+  | Tiered of { step : float }
+      (** capacity tiers: each customer pays per started block of
+          [step] volume units *)
+  | Concave of { exponent : float }
+      (** diminishing returns: revenue = volume^exponent per customer,
+          [0 < exponent <= 1] *)
+
+val revenue_of_customer : scheme -> float -> float
+(** Revenue earned from one customer transiting the given volume. *)
+
+val revenue : scheme -> float list -> float
+(** Total revenue over per-customer volumes. *)
+
+val scheme_to_string : scheme -> string
+
+val rank_agreement : float array -> float array -> float
+(** Kendall-style pairwise rank agreement between two score vectors
+    over the same nodes: the fraction of (i, j) pairs ordered the same
+    way (ties ignored). 1.0 = identical rankings. *)

@@ -1,0 +1,29 @@
+module Graph = Asgraph.Graph
+module As_class = Asgraph.As_class
+
+let cp_weight ~n ~cps ~cp_fraction =
+  if cps = 0 then 0.0
+  else cp_fraction *. float_of_int (n - cps) /. ((1.0 -. cp_fraction) *. float_of_int cps)
+
+let uniform g = Array.make (Graph.n g) 1.0
+
+let assign g ~cp_fraction =
+  if cp_fraction < 0.0 || cp_fraction >= 1.0 then invalid_arg "Weights.assign";
+  let n = Graph.n g in
+  let cps = Graph.count_class g As_class.Cp in
+  let w = Array.make n 1.0 in
+  if cps > 0 then begin
+    let wcp = cp_weight ~n ~cps ~cp_fraction in
+    for i = 0 to n - 1 do
+      if Graph.is_cp g i then w.(i) <- wcp
+    done
+  end;
+  w
+
+let total w = Array.fold_left ( +. ) 0.0 w
+
+let originated_fraction g w =
+  let cp_sum = ref 0.0 in
+  Array.iteri (fun i wi -> if Graph.is_cp g i then cp_sum := !cp_sum +. wi) w;
+  let t = total w in
+  if t = 0.0 then 0.0 else !cp_sum /. t

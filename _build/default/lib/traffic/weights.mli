@@ -1,0 +1,23 @@
+(** The traffic-volume model of Section 3.1.
+
+    Content providers jointly originate a fraction [x] of all traffic
+    (split equally among them); every other AS has unit weight. *)
+
+val assign : Asgraph.Graph.t -> cp_fraction:float -> float array
+(** Per-node origination weights. Requires [0 <= cp_fraction < 1];
+    with no CPs in the graph the fraction is ignored and every node
+    gets weight 1. *)
+
+val cp_weight : n:int -> cps:int -> cp_fraction:float -> float
+(** The weight assigned to each CP ([w_CP] in the paper): with [n]
+    ASes of which [cps] are content providers,
+    [w_CP = x (n - cps) / ((1 - x) cps)]. *)
+
+val uniform : Asgraph.Graph.t -> float array
+(** All-ones weights. *)
+
+val total : float array -> float
+
+val originated_fraction : Asgraph.Graph.t -> float array -> float
+(** Fraction of all traffic originated by the CPs under the given
+    weights (sanity check: [assign] makes this [cp_fraction]). *)

@@ -1,0 +1,62 @@
+type t = { words : Bytes.t; n : int }
+
+(* One bit per element, stored in bytes: simple, cache-friendly and
+   trivially hashable with the bytes content. *)
+
+let create n = { words = Bytes.make ((n + 7) / 8) '\000'; n }
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
+  Bytes.unsafe_set t.words (i lsr 3) (Char.unsafe_chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
+  Bytes.unsafe_set t.words (i lsr 3)
+    (Char.unsafe_chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let assign t i v = if v then set t i else clear t i
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.words;
+  !acc
+
+let copy t = { words = Bytes.copy t.words; n = t.n }
+let reset t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+let hash t = Hashtbl.hash (Bytes.to_string t.words)
+
+let of_list n elts =
+  let t = create n in
+  List.iter (fun i -> set t i) elts;
+  t

@@ -1,0 +1,24 @@
+(** Dense mutable bitsets over [\[0, n)]. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val assign : t -> int -> bool -> unit
+val cardinal : t -> int
+val copy : t -> t
+val reset : t -> unit
+val iter : t -> (int -> unit) -> unit
+(** Iterate over set bits in increasing order. *)
+
+val to_list : t -> int list
+val equal : t -> t -> bool
+val hash : t -> int
+(** Order-sensitive content hash (for cycle detection over states). *)
+
+val of_list : int -> int list -> t

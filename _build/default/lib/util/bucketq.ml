@@ -1,0 +1,28 @@
+type t = {
+  drain : int Queue.t array;  (* FIFO per key *)
+  mutable cursor : int;
+  mutable size : int;
+}
+
+let create ~max_key =
+  { drain = Array.init (max_key + 1) (fun _ -> Queue.create ()); cursor = 0; size = 0 }
+
+let push t ~key v =
+  if key < 0 || key >= Array.length t.drain then invalid_arg "Bucketq.push";
+  if key < t.cursor then invalid_arg "Bucketq.push: non-monotone key";
+  Queue.add v t.drain.(key);
+  t.size <- t.size + 1
+
+let rec pop t =
+  if t.size = 0 then None
+  else if Queue.is_empty t.drain.(t.cursor) then begin
+    t.cursor <- t.cursor + 1;
+    pop t
+  end
+  else begin
+    let v = Queue.take t.drain.(t.cursor) in
+    t.size <- t.size - 1;
+    Some (t.cursor, v)
+  end
+
+let is_empty t = t.size = 0

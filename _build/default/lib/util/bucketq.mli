@@ -1,0 +1,16 @@
+(** Monotone bucket priority queue over small integer keys.
+
+    Used by the provider-route stage of the Gao-Rexford BFS, where
+    keys are path lengths (bounded by the graph diameter) and pops are
+    monotone non-decreasing. All operations are O(1) amortized. *)
+
+type t
+
+val create : max_key:int -> t
+val push : t -> key:int -> int -> unit
+(** Keys pushed after a pop must be >= the last popped key. *)
+
+val pop : t -> (int * int) option
+(** Smallest-key element as [(key, value)], FIFO within a key. *)
+
+val is_empty : t -> bool

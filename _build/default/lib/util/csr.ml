@@ -1,0 +1,66 @@
+type t = { offsets : int array; data : int array }
+
+let pack lists ~reversed =
+  let n = Array.length lists in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + List.length lists.(i)
+  done;
+  let data = Array.make offsets.(n) 0 in
+  for i = 0 to n - 1 do
+    if reversed then begin
+      let k = ref (offsets.(i + 1) - 1) in
+      List.iter
+        (fun v ->
+          data.(!k) <- v;
+          decr k)
+        lists.(i)
+    end
+    else begin
+      let k = ref offsets.(i) in
+      List.iter
+        (fun v ->
+          data.(!k) <- v;
+          incr k)
+        lists.(i)
+    end
+  done;
+  { offsets; data }
+
+let of_lists lists = pack lists ~reversed:false
+let of_rev_lists lists = pack lists ~reversed:true
+
+let rows t = Array.length t.offsets - 1
+let row_length t i = t.offsets.(i + 1) - t.offsets.(i)
+let get t i k = t.data.(t.offsets.(i) + k)
+
+let iter_row t i f =
+  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+    f t.data.(k)
+  done
+
+let fold_row t i f init =
+  let acc = ref init in
+  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+    acc := f !acc t.data.(k)
+  done;
+  !acc
+
+let exists_row t i p =
+  let rec loop k =
+    if k >= t.offsets.(i + 1) then false
+    else if p t.data.(k) then true
+    else loop (k + 1)
+  in
+  loop t.offsets.(i)
+
+let row_to_list t i =
+  let acc = ref [] in
+  for k = t.offsets.(i + 1) - 1 downto t.offsets.(i) do
+    acc := t.data.(k) :: !acc
+  done;
+  !acc
+
+let mem_row t i v = exists_row t i (fun x -> x = v)
+
+let total t = Array.length t.data

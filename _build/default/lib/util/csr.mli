@@ -1,0 +1,30 @@
+(** Compressed sparse row storage for per-node integer lists.
+
+    Used for adjacency lists and per-destination tiebreak sets, where
+    millions of tiny lists would otherwise fragment the heap. *)
+
+type t = private {
+  offsets : int array;  (** length [n + 1]; row [i] is [data.(offsets.(i)) .. data.(offsets.(i+1) - 1)] *)
+  data : int array;
+}
+
+val of_lists : int list array -> t
+(** Pack an array of lists; row order is preserved. *)
+
+val of_rev_lists : int list array -> t
+(** Pack an array of lists that were accumulated in reverse; each row
+    is emitted reversed (i.e. in original insertion order). *)
+
+val rows : t -> int
+val row_length : t -> int -> int
+val get : t -> int -> int -> int
+(** [get t i k] is the [k]-th element of row [i]. *)
+
+val iter_row : t -> int -> (int -> unit) -> unit
+val fold_row : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val exists_row : t -> int -> (int -> bool) -> bool
+val row_to_list : t -> int -> int list
+val mem_row : t -> int -> int -> bool
+
+val total : t -> int
+(** Total number of stored elements. *)

@@ -1,0 +1,23 @@
+let by_small_key ~key ~max_key n =
+  let nb = max_key + 2 in
+  (* Bucket [max_key + 1] collects out-of-range keys. *)
+  let counts = Array.make nb 0 in
+  let bucket i =
+    let k = key i in
+    if k >= 0 && k <= max_key then k else max_key + 1
+  in
+  for i = 0 to n - 1 do
+    let b = bucket i in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let starts = Array.make nb 0 in
+  for b = 1 to nb - 1 do
+    starts.(b) <- starts.(b - 1) + counts.(b - 1)
+  done;
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let b = bucket i in
+    out.(starts.(b)) <- i;
+    starts.(b) <- starts.(b) + 1
+  done;
+  out

@@ -1,0 +1,7 @@
+(** Counting sort over small integer keys. *)
+
+val by_small_key : key:(int -> int) -> max_key:int -> int -> int array
+(** [by_small_key ~key ~max_key n] returns the permutation of
+    [\[0, n)] sorted by [key] ascending (stable: equal keys keep index
+    order). Elements with [key] outside [\[0, max_key\]] are placed
+    last, in index order. O(n + max_key). *)

@@ -1,0 +1,84 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators" (OOPSLA 2014). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection-free modulo is fine here: bound is tiny relative to the
+     62-bit range, so bias is negligible for simulation purposes. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let pareto t ~alpha ~xmin =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  xmin /. (u ** (1.0 /. alpha))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k ~from =
+  assert (k <= from);
+  if 3 * k >= from then begin
+    let all = Array.init from (fun i -> i) in
+    shuffle t all;
+    Array.sub all 0 k
+  end
+  else begin
+    (* Sparse sampling: retry on collision. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t from in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+(* Pure-int mixing (no Int64 boxing): these sit in the innermost loop
+   of the routing-tree computation via the TB hash of Appendix A. *)
+let mix z =
+  let z = z lxor (z lsr 33) in
+  let z = z * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 29) in
+  let z = z * 0x9E3779B9 in
+  (z lxor (z lsr 32)) land max_int
+
+let mix2 a b = mix ((a * 0x1000003) lxor mix b)

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that
+    every topology, workload and simulation is reproducible from a
+    single integer seed. The core generator is splitmix64, which is
+    also exposed as a stateless mixing function used for the BGP
+    tie-break hash [H(a,b)] of Appendix A. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator. Two generators created
+    with the same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    (statistically) independent of the remainder of [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Pareto-distributed sample; used for skewed degree targets. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> from:int -> int array
+(** [sample_without_replacement t k ~from:n] returns [k] distinct
+    integers drawn uniformly from [\[0, n)]. Requires [k <= n]. *)
+
+val mix2 : int -> int -> int
+(** [mix2 a b] is a stateless 62-bit non-negative hash of the pair;
+    the deterministic intradomain tie-break of Appendix A. *)
+
+val mix : int -> int
+(** Stateless splitmix64 finalizer of a single value (non-negative). *)

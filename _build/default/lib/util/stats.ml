@@ -1,0 +1,71 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = sorted_copy a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (b.(lo) *. (1.0 -. frac)) +. (b.(min hi (n - 1)) *. frac)
+  end
+
+let median a = percentile a 50.0
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let minimum a = Array.fold_left min infinity a
+let maximum a = Array.fold_left max neg_infinity a
+
+let histogram ~bounds values =
+  let nb = Array.length bounds in
+  let counts = Array.make (nb + 1) 0 in
+  let bucket v =
+    let rec loop i = if i >= nb then nb else if v <= bounds.(i) then i else loop (i + 1) in
+    loop 0
+  in
+  Array.iter (fun v -> counts.(bucket v) <- counts.(bucket v) + 1) values;
+  counts
+
+let ccdf a =
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let b = sorted_copy a in
+    let total = float_of_int n in
+    let acc = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let v = b.(!i) in
+      (* fraction of samples >= v *)
+      acc := (v, float_of_int (n - !i) /. total) :: !acc;
+      while !i < n && b.(!i) = v do
+        incr i
+      done
+    done;
+    List.rev !acc
+  end
+
+let fraction p a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let c = Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 a in
+    float_of_int c /. float_of_int n
+  end

@@ -1,0 +1,30 @@
+(** Small statistics toolkit for experiment outputs. *)
+
+val mean : float array -> float
+(** Mean of a non-empty array; 0 on empty. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); 0 on empty. Does
+    not mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]], nearest-rank with linear
+    interpolation; 0 on empty. *)
+
+val stddev : float array -> float
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val histogram : bounds:float array -> float array -> int array
+(** [histogram ~bounds values] counts values per bucket. Bucket [i]
+    holds values in [(bounds.(i-1), bounds.(i)]]; bucket [0] is
+    [<= bounds.(0)]; a final overflow bucket collects the rest.
+    Result length is [Array.length bounds + 1]. *)
+
+val ccdf : float array -> (float * float) list
+(** Complementary CDF over the distinct values, as
+    [(value, fraction strictly greater or equal)] pairs ascending. *)
+
+val fraction : ('a -> bool) -> 'a array -> float
+(** Fraction of elements satisfying the predicate; 0 on empty. *)

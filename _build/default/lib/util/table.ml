@@ -1,0 +1,79 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+let row_count t = List.length t.rows
+let rows_in_order t = List.rev t.rows
+
+let pad s width = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let to_string t =
+  let all = t.header :: rows_in_order t in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let scan row = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row in
+  List.iter scan all;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad c widths.(i)))
+      row;
+    (* Trim the padding of the final cell. *)
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    Buffer.add_string buf (String.trim s);
+    Buffer.add_char buf '\n'
+  in
+  let out = Buffer.create 4096 in
+  emit t.header;
+  Buffer.add_buffer out buf;
+  Buffer.clear buf;
+  let rule = String.concat "" (Array.to_list (Array.map (fun w -> String.make w '-' ^ "  ") widths)) in
+  Buffer.add_string out (String.trim rule);
+  Buffer.add_char out '\n';
+  List.iter
+    (fun row ->
+      emit row;
+      Buffer.add_buffer out buf;
+      Buffer.clear buf)
+    (rows_in_order t);
+  Buffer.contents out
+
+let csv_cell c =
+  let needs_quote = String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c in
+  if needs_quote then begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  List.iter emit (rows_in_order t);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let save_csv t path =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc
+
+let cell_f v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let cell_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

@@ -1,0 +1,27 @@
+(** Aligned text tables and CSV emission for experiment results. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty. *)
+
+val row_count : t -> int
+
+val to_string : t -> string
+(** Monospace-aligned rendering with a separator under the header. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val print : t -> unit
+(** [to_string] to stdout, followed by a newline. *)
+
+val save_csv : t -> string -> unit
+(** Write the CSV rendering to the given file path. *)
+
+val cell_f : float -> string
+(** Canonical float cell: 4 significant decimals, no trailing noise. *)
+
+val cell_pct : float -> string
+(** Render a ratio in [0,1] as a percentage with one decimal. *)

@@ -1,0 +1,1 @@
+test/test_adopters.ml: Adopters Alcotest Array Asgraph Bgp Gadgets List

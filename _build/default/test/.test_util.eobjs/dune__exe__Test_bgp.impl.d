@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Array Asgraph Bgp Bytes List Nsutil QCheck2 QCheck_alcotest String Testkit

@@ -1,0 +1,1 @@
+test/test_bgpsec.ml: Alcotest Array Asgraph Bgp Bgpsec Bytes Char List Netaddr Printf QCheck2 QCheck_alcotest Result Rpki String Testkit Topology

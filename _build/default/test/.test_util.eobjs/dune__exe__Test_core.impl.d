@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Asgraph Bgp Bytes Core Gadgets List QCheck2 QCheck_alcotest String Testkit Traffic

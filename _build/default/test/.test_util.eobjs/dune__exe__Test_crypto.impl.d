@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char List Nsutil Printf QCheck2 QCheck_alcotest Scrypto String

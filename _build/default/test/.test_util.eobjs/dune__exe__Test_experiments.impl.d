@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Asgraph Core Experiments Lazy List Nsutil

@@ -1,0 +1,1 @@
+test/test_gadgets.ml: Adopters Alcotest Array Asgraph Bgp Core Gadgets Hashtbl List Printf String

@@ -1,0 +1,1 @@
+test/test_netaddr.ml: Alcotest List Netaddr QCheck2 QCheck_alcotest

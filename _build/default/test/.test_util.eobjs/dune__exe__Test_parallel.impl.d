@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Asgraph Bgp Core List Parallel Printf Topology Traffic

@@ -1,0 +1,1 @@
+test/test_rpki.ml: Alcotest Format List Netaddr Nsutil Result Rpki Scrypto

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Asgraph Bgp Hashtbl List Nsutil Option Printf Topology

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Asgraph Bgp Core Float List Printf QCheck2 QCheck_alcotest Traffic

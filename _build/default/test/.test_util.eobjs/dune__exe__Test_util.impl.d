@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Hashtbl List Nsutil QCheck2 QCheck_alcotest String

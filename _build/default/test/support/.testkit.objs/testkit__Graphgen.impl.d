@@ -1,0 +1,1 @@
+test/support/graphgen.ml: Array Asgraph Bytes Hashtbl List QCheck2

@@ -1,0 +1,1 @@
+test/support/graphgen.mli: Asgraph Bytes QCheck2

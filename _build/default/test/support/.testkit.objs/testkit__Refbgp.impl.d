@@ -1,0 +1,1 @@
+test/support/refbgp.ml: Array Asgraph Bgp Bytes List

@@ -1,0 +1,1 @@
+test/support/refbgp.mli: Asgraph Bgp Bytes

@@ -1,0 +1,57 @@
+module Graph = Asgraph.Graph
+module Gen = QCheck2.Gen
+
+let graph ?(max_n = 40) () =
+  let open Gen in
+  let* n = int_range 2 max_n in
+  let* cp_raw = list_size (int_range 0 (4 * n)) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+  let* peer_raw = list_size (int_range 0 n) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+  let* cp_count = int_bound 2 in
+  let taken = Hashtbl.create 64 in
+  let cp_edges =
+    List.filter_map
+      (fun (a, b) ->
+        let lo, hi = (min a b, max a b) in
+        if lo = hi || Hashtbl.mem taken (lo, hi) then None
+        else begin
+          Hashtbl.add taken (lo, hi) ();
+          Some (lo, hi) (* provider = lower index: GR1 by construction *)
+        end)
+      cp_raw
+  in
+  let peer_edges =
+    List.filter_map
+      (fun (a, b) ->
+        let lo, hi = (min a b, max a b) in
+        if lo = hi || Hashtbl.mem taken (lo, hi) then None
+        else begin
+          Hashtbl.add taken (lo, hi) ();
+          Some (lo, hi)
+        end)
+      peer_raw
+  in
+  (* CPs must have no customers: pick customer-free nodes. *)
+  let has_customer = Array.make n false in
+  List.iter (fun (p, _) -> has_customer.(p) <- true) cp_edges;
+  let candidates =
+    List.filter (fun i -> not has_customer.(i)) (List.init n (fun i -> i))
+  in
+  let cps = List.filteri (fun i _ -> i < cp_count) candidates in
+  return (Graph.build ~n ~cp_edges ~peer_edges ~cps)
+
+let small_int_graph = graph ~max_n:25 ()
+
+let secure_state g =
+  let open Gen in
+  let n = Graph.n g in
+  let* bits = list_repeat n bool in
+  let secure = Bytes.make n '\000' in
+  let use_secp = Bytes.make n '\000' in
+  List.iteri
+    (fun i b ->
+      if b then begin
+        Bytes.set secure i '\001';
+        if not (Graph.is_stub g i) then Bytes.set use_secp i '\001'
+      end)
+    bits;
+  return (secure, use_secp)

@@ -1,0 +1,18 @@
+(** QCheck generators for random valid AS graphs and deployment
+    inputs, shared across test suites. *)
+
+val graph : ?max_n:int -> unit -> Asgraph.Graph.t QCheck2.Gen.t
+(** Random GR1-valid annotated graph: customer-provider edges point
+    from lower to higher index (providers first), a sprinkle of peer
+    edges, and optionally a couple of CPs. Always includes at least
+    two nodes. *)
+
+val secure_state :
+  Asgraph.Graph.t -> (Bytes.t * Bytes.t) QCheck2.Gen.t
+(** Random (secure, use_secp) byte vectors consistent with the model:
+    [use_secp] is [secure] restricted to non-stubs (i.e. the
+    stubs-don't-break-ties setting), matching what transited nodes do
+    in every configuration. *)
+
+val small_int_graph : Asgraph.Graph.t QCheck2.Gen.t
+(** Alias for [graph ~max_n:25 ()]. *)

@@ -1,0 +1,68 @@
+module Graph = Asgraph.Graph
+
+type route = { next : int; path : int list; lp : int; secure : bool }
+
+let route_to g ~dest ~secure ~use_secp ~tiebreak =
+  let n = Graph.n g in
+  let rib : route option array = Array.make n None in
+  let sec i = Bytes.get secure i = '\001' in
+  (* GR2: export anything to customers; export to peers/providers only
+     own prefixes or customer routes. [neighbor_is_customer] says
+     whether the neighbor being exported to is v's customer. *)
+  let exports v ~neighbor_is_customer =
+    v = dest
+    || neighbor_is_customer
+    || match rib.(v) with Some r -> r.lp = 0 | None -> false
+  in
+  let candidate u v lp =
+    if v = dest then
+      Some { next = v; path = [ u; dest ]; lp; secure = sec u && sec dest }
+    else begin
+      match rib.(v) with
+      | None -> None
+      | Some r ->
+          if List.mem u r.path then None
+          else Some { next = v; path = u :: r.path; lp; secure = sec u && r.secure }
+    end
+  in
+  (* Ranking at u: LP, then path length, then (for SecP appliers) the
+     security of the learned route — the path *excluding* u — then the
+     tie-break hash on the next hop. *)
+  let key u (r : route) =
+    let learned_secure =
+      match r.path with _me :: rest -> List.for_all sec rest | [] -> true
+    in
+    let sec_rank =
+      if Bytes.get use_secp u = '\001' && learned_secure then 0
+      else if Bytes.get use_secp u = '\001' then 1
+      else 0
+    in
+    (r.lp, List.length r.path, sec_rank, Bgp.Policy.tiebreak_key tiebreak u r.next)
+  in
+  let better u a b = match b with None -> true | Some b -> key u a < key u b in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < (2 * n) + 4 do
+    incr rounds;
+    changed := false;
+    for u = 0 to n - 1 do
+      if u <> dest then begin
+        let best = ref None in
+        let consider v lp neighbor_is_customer =
+          if exports v ~neighbor_is_customer then begin
+            match candidate u v lp with
+            | Some c -> if better u c !best then best := Some c
+            | None -> ()
+          end
+        in
+        Graph.iter_customers g u (fun v -> consider v 0 false);
+        Graph.iter_peers g u (fun v -> consider v 1 false);
+        Graph.iter_providers g u (fun v -> consider v 2 true);
+        if !best <> rib.(u) then begin
+          rib.(u) <- !best;
+          changed := true
+        end
+      end
+    done
+  done;
+  rib

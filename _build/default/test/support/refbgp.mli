@@ -1,0 +1,23 @@
+(** Reference BGP route computation for differential testing.
+
+    A deliberately naive fixed-point iteration of the Appendix-A
+    policies (LP > SP > SecP > TB, GR2 export), sharing no code with
+    the optimized {!Bgp.Route_static}/{!Bgp.Forest} pipeline. Tests
+    compare the two on random graphs and states. *)
+
+type route = {
+  next : int;
+  path : int list;  (** self first, destination last *)
+  lp : int;  (** 0 customer, 1 peer, 2 provider *)
+  secure : bool;  (** every AS on [path] participates *)
+}
+
+val route_to :
+  Asgraph.Graph.t ->
+  dest:int ->
+  secure:Bytes.t ->
+  use_secp:Bytes.t ->
+  tiebreak:Bgp.Policy.tiebreak ->
+  route option array
+(** Per-node selected route ([None] for the destination itself and
+    unreachable nodes). *)

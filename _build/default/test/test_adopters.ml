@@ -1,0 +1,100 @@
+(* Tests for early-adopter selection strategies. *)
+
+module Graph = Asgraph.Graph
+module Strategy = Adopters.Strategy
+
+let check = Alcotest.check
+
+let small () =
+  Graph.build ~n:6
+    ~cp_edges:[ (0, 1); (0, 2); (1, 4); (2, 4); (2, 5) ]
+    ~peer_edges:[ (0, 3); (1, 2) ]
+    ~cps:[ 3 ]
+
+let test_none () = check Alcotest.(list int) "empty" [] (Strategy.select (small ()) Strategy.None_)
+
+let test_top_degree () =
+  let g = small () in
+  check Alcotest.(list int) "top 2 by degree, isps only" [ 2; 0 ]
+    (Strategy.select g (Strategy.Top_degree 2));
+  check Alcotest.int "asking for more than exists" 3
+    (List.length (Strategy.select g (Strategy.Top_degree 50)))
+
+let test_content_providers () =
+  check Alcotest.(list int) "the cps" [ 3 ] (Strategy.select (small ()) Strategy.Content_providers)
+
+let test_cps_and_top_dedup () =
+  let g = small () in
+  let sel = Strategy.select g (Strategy.Cps_and_top 3) in
+  check Alcotest.int "no duplicates" (List.length (List.sort_uniq compare sel))
+    (List.length sel);
+  check Alcotest.bool "contains cp" true (List.mem 3 sel);
+  check Alcotest.bool "contains top isp" true (List.mem 2 sel)
+
+let test_random_deterministic () =
+  let g = small () in
+  let a = Strategy.select g (Strategy.Random_isps (2, 5)) in
+  let b = Strategy.select g (Strategy.Random_isps (2, 5)) in
+  check Alcotest.(list int) "same seed same set" a b;
+  List.iter (fun i -> check Alcotest.bool "isp only" true (Graph.is_isp g i)) a;
+  check Alcotest.int "count" 2 (List.length a)
+
+let test_explicit_dedup () =
+  check Alcotest.(list int) "dedup preserves order" [ 5; 1; 2 ]
+    (Strategy.select (small ()) (Strategy.Explicit [ 5; 1; 5; 2; 1 ]))
+
+let test_all_paper_sets () =
+  let g = small () in
+  let sets = Strategy.all_paper_sets g in
+  check Alcotest.bool "has none" true (List.mem_assoc "none" sets);
+  check Alcotest.bool "has cps" true (List.mem_assoc "5cps" sets);
+  check Alcotest.bool "has cps+top5" true (List.mem_assoc "cps+top5" sets);
+  List.iter
+    (fun (_, sel) ->
+      check Alcotest.int "all sets deduped" (List.length (List.sort_uniq compare sel))
+        (List.length sel))
+    sets
+
+let test_to_string () =
+  check Alcotest.string "top" "top7" (Strategy.to_string (Strategy.Top_degree 7));
+  check Alcotest.string "random" "random3" (Strategy.to_string (Strategy.Random_isps (3, 1)));
+  check Alcotest.string "explicit" "explicit(2)" (Strategy.to_string (Strategy.Explicit [ 1; 2 ]))
+
+let test_greedy_matches_bruteforce_on_modular_instance () =
+  (* On the set-cover reduction with disjoint subsets, greedy must
+     find the same optimum as brute force. *)
+  let inst =
+    Gadgets.Setcover.{ universe = 6; subsets = [ [| 0; 1 |]; [| 2; 3; 4 |]; [| 5 |] ] }
+  in
+  let t = Gadgets.Setcover.build inst in
+  let statics = Bgp.Route_static.create t.graph in
+  let candidates = Array.to_list t.s1 in
+  let cfg = Gadgets.Setcover.config in
+  let best, best_count =
+    Strategy.brute_force_optimum cfg statics ~weight:t.weight ~k:2 ~candidates
+  in
+  let greedy = Strategy.greedy cfg statics ~weight:t.weight ~k:2 ~candidates in
+  let score early = Gadgets.Setcover.secure_after t ~early in
+  check Alcotest.int "greedy achieves the optimum" best_count (score greedy);
+  check Alcotest.int "brute force is consistent" best_count (score best)
+
+let () =
+  Alcotest.run "adopters"
+    [
+      ( "select",
+        [
+          Alcotest.test_case "none" `Quick test_none;
+          Alcotest.test_case "top degree" `Quick test_top_degree;
+          Alcotest.test_case "content providers" `Quick test_content_providers;
+          Alcotest.test_case "cps+top dedup" `Quick test_cps_and_top_dedup;
+          Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "explicit dedup" `Quick test_explicit_dedup;
+          Alcotest.test_case "paper sets" `Quick test_all_paper_sets;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "greedy matches brute force (modular)" `Quick
+            test_greedy_matches_bruteforce_on_modular_instance;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the AS graph: construction, classification, validation,
+   serialization, metrics. *)
+
+module Graph = Asgraph.Graph
+module As_class = Asgraph.As_class
+module Graph_io = Asgraph.Graph_io
+module Validate = Asgraph.Validate
+module Metrics = Asgraph.Metrics
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* A small reference graph: Tier 1 (0), two ISPs (1, 2), CP (3), two
+   stubs (4 multihomed, 5 single-homed). *)
+let small () =
+  Graph.build ~n:6
+    ~cp_edges:[ (0, 1); (0, 2); (1, 4); (2, 4); (2, 5) ]
+    ~peer_edges:[ (0, 3); (1, 2) ]
+    ~cps:[ 3 ]
+
+let test_build_classes () =
+  let g = small () in
+  check Alcotest.string "tier1 is isp" "isp" (As_class.to_string (Graph.klass g 0));
+  check Alcotest.string "cp" "cp" (As_class.to_string (Graph.klass g 3));
+  check Alcotest.string "stub" "stub" (As_class.to_string (Graph.klass g 4));
+  check Alcotest.int "isps" 3 (Graph.count_class g As_class.Isp);
+  check Alcotest.int "stubs" 2 (Graph.count_class g As_class.Stub);
+  check Alcotest.int "cps" 1 (Graph.count_class g As_class.Cp)
+
+let test_build_relations () =
+  let g = small () in
+  check Alcotest.(option string) "customer" (Some "customer")
+    (Option.map Graph.rel_to_string (Graph.rel g 0 1));
+  check Alcotest.(option string) "provider" (Some "provider")
+    (Option.map Graph.rel_to_string (Graph.rel g 1 0));
+  check Alcotest.(option string) "peer" (Some "peer")
+    (Option.map Graph.rel_to_string (Graph.rel g 1 2));
+  check Alcotest.(option string) "not adjacent" None
+    (Option.map Graph.rel_to_string (Graph.rel g 3 4))
+
+let test_build_degrees () =
+  let g = small () in
+  check Alcotest.int "tier1 degree" 3 (Graph.degree g 0);
+  check Alcotest.int "customer degree" 2 (Graph.customer_degree g 0);
+  check Alcotest.int "peer degree" 1 (Graph.peer_degree g 0);
+  check Alcotest.int "provider degree of stub" 2 (Graph.provider_degree g 4);
+  check Alcotest.int "cp edges" 5 (Graph.cp_edge_count g);
+  check Alcotest.int "peer edges" 2 (Graph.peer_edge_count g)
+
+let test_build_duplicates_collapsed () =
+  let g =
+    Graph.build ~n:3 ~cp_edges:[ (0, 1); (0, 1) ] ~peer_edges:[ (1, 2); (2, 1) ] ~cps:[]
+  in
+  check Alcotest.int "cp deduped" 1 (Graph.cp_edge_count g);
+  check Alcotest.int "peer deduped" 1 (Graph.peer_edge_count g)
+
+let test_build_rejects_malformed () =
+  let expect_malformed name f =
+    match f () with
+    | exception Graph.Malformed _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Malformed")
+  in
+  expect_malformed "self loop" (fun () ->
+      Graph.build ~n:2 ~cp_edges:[ (0, 0) ] ~peer_edges:[] ~cps:[]);
+  expect_malformed "conflicting annotation" (fun () ->
+      Graph.build ~n:2 ~cp_edges:[ (0, 1) ] ~peer_edges:[ (0, 1) ] ~cps:[]);
+  expect_malformed "reversed cp edge" (fun () ->
+      Graph.build ~n:2 ~cp_edges:[ (0, 1); (1, 0) ] ~peer_edges:[] ~cps:[]);
+  expect_malformed "out of range" (fun () ->
+      Graph.build ~n:2 ~cp_edges:[ (0, 5) ] ~peer_edges:[] ~cps:[]);
+  expect_malformed "cp with customers" (fun () ->
+      Graph.build ~n:2 ~cp_edges:[ (0, 1) ] ~peer_edges:[] ~cps:[ 0 ])
+
+let test_edges_listing () =
+  let g = small () in
+  let edges = Graph.edges g in
+  check Alcotest.int "total edges" 7 (List.length edges);
+  check Alcotest.bool "peer edge lower id first" true
+    (List.exists (fun ((a, b), r) -> a = 1 && b = 2 && r = Graph.Peer) edges)
+
+let test_nodes_of_class () =
+  let g = small () in
+  check Alcotest.(list int) "stubs" [ 4; 5 ] (Graph.nodes_of_class g As_class.Stub);
+  check Alcotest.(list int) "cps" [ 3 ] (Graph.nodes_of_class g As_class.Cp)
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let test_validate_clean () =
+  let r = Validate.run (small ()) in
+  check Alcotest.bool "gr1" true r.gr1_acyclic;
+  check Alcotest.bool "connected" true r.connected;
+  check Alcotest.int "tier1 count" 1 r.tier1_count;
+  check Alcotest.int "orphans" 0 r.orphan_count
+
+let test_validate_detects_cp_cycle () =
+  let g = Graph.build ~n:3 ~cp_edges:[ (0, 1); (1, 2); (2, 0) ] ~peer_edges:[] ~cps:[] in
+  check Alcotest.bool "cycle detected" false (Validate.gr1_acyclic g);
+  match Validate.find_cp_cycle g with
+  | None -> Alcotest.fail "expected a witness cycle"
+  | Some cycle ->
+      check Alcotest.int "cycle length" 3 (List.length (List.sort_uniq compare cycle))
+
+let test_validate_disconnected () =
+  let g = Graph.build ~n:4 ~cp_edges:[ (0, 1) ] ~peer_edges:[ (2, 3) ] ~cps:[] in
+  check Alcotest.bool "disconnected" false (Validate.connected g)
+
+let test_validate_orphans () =
+  let g = Graph.build ~n:3 ~cp_edges:[ (0, 1) ] ~peer_edges:[] ~cps:[] in
+  check Alcotest.int "one orphan" 1 (Validate.run g).orphan_count
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let test_io_roundtrip_small () =
+  let g = small () in
+  let g' = Graph_io.of_string (Graph_io.to_string g) in
+  check Alcotest.int "n" (Graph.n g) (Graph.n g');
+  check Alcotest.int "cp edges" (Graph.cp_edge_count g) (Graph.cp_edge_count g');
+  check Alcotest.int "peer edges" (Graph.peer_edge_count g) (Graph.peer_edge_count g');
+  for i = 0 to Graph.n g - 1 do
+    check Alcotest.string "class preserved"
+      (As_class.to_string (Graph.klass g i))
+      (As_class.to_string (Graph.klass g' i))
+  done
+
+let test_io_parse_errors () =
+  let expect_error s =
+    match Graph_io.of_string s with
+    | exception Graph_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for " ^ String.escaped s)
+  in
+  expect_error "0|1|-1\n";  (* missing !n *)
+  expect_error "!n 2\n0|1|7\n";
+  expect_error "!n 2\n0|x|-1\n";
+  expect_error "!n x\n";
+  expect_error "!n 2\nnot a line\n";
+  expect_error "!n 2\n!cp y\n"
+
+let test_io_comments_and_blanks () =
+  let g = Graph_io.of_string "# hi\n\n!n 2\n# more\n0|1|-1\n" in
+  check Alcotest.int "parsed" 2 (Graph.n g);
+  check Alcotest.int "one edge" 1 (Graph.cp_edge_count g)
+
+(* Random graph generator for roundtrip property. *)
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 2 30 in
+    let* cp_edges =
+      list_size (int_range 0 40)
+        (map2 (fun a b -> (min a b mod n, ((max a b mod n) + 1) mod n)) (int_bound 1000) (int_bound 1000))
+    in
+    let cp_edges =
+      (* provider index strictly below customer: acyclic, no self loops *)
+      List.filter_map
+        (fun (a, b) -> if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+        cp_edges
+    in
+    let taken = Hashtbl.create 16 in
+    let cp_edges =
+      List.filter
+        (fun (a, b) ->
+          if Hashtbl.mem taken (a, b) then false
+          else begin
+            Hashtbl.add taken (a, b) ();
+            true
+          end)
+        cp_edges
+    in
+    let* peer_raw = list_size (int_range 0 20) (pair (int_bound 1000) (int_bound 1000)) in
+    let peer_edges =
+      List.filter_map
+        (fun (a, b) ->
+          let a = a mod n and b = b mod n in
+          let a, b = (min a b, max a b) in
+          if a = b || Hashtbl.mem taken (a, b) then None
+          else begin
+            Hashtbl.add taken (a, b) ();
+            Some (a, b)
+          end)
+        peer_raw
+    in
+    return (Graph.build ~n ~cp_edges ~peer_edges ~cps:[]))
+
+let test_io_roundtrip_qcheck =
+  qtest "serialization round-trips random graphs" gen_graph (fun g ->
+      let g' = Graph_io.of_string (Graph_io.to_string g) in
+      Graph.n g = Graph.n g'
+      && List.sort compare (Graph.edges g) = List.sort compare (Graph.edges g'))
+
+let test_random_graphs_acyclic_qcheck =
+  qtest "index-ordered cp edges are GR1-acyclic" gen_graph Validate.gr1_acyclic
+
+let test_caida_import () =
+  let src =
+    "# from CAIDA serial-1\n\
+     3356|64500|-1\n\
+     3356|1239|0\n\
+     1239|64501|-1\n\
+     64500|64501|0\n\
+     15169|15169|-1\n\
+     3356|garbage|-1\n\
+     1239|3356|0\n\
+     3356|15169|-1\n"
+  in
+  let imp = Graph_io.of_caida ~cps:[ 15169; 99999 ] src in
+  let g = imp.graph in
+  check Alcotest.int "distinct ASNs" 5 (Graph.n g);
+  check Alcotest.int "cp edges" 3 (Graph.cp_edge_count g);
+  check Alcotest.int "peer edges" 2 (Graph.peer_edge_count g);
+  (* self-loop + unparsable record -> skipped; the reversed duplicate
+     peer record is silently collapsed. *)
+  check Alcotest.int "skipped records" 2 imp.skipped;
+  let node asn = Hashtbl.find imp.node_of_asn asn in
+  check Alcotest.int "asn round trip" 3356 imp.asn_of_node.(node 3356);
+  check Alcotest.(option string) "relationship preserved" (Some "customer")
+    (Option.map Graph.rel_to_string (Graph.rel g (node 3356) (node 64500)));
+  check Alcotest.bool "google marked cp" true (Graph.is_cp g (node 15169));
+  check Alcotest.bool "valid" true (Validate.gr1_acyclic g)
+
+let test_caida_cp_with_customers_demoted () =
+  (* A requested CP that has customers keeps its node but loses the
+     marker (cf. Appendix D's removal of acquisition customers). *)
+  let imp = Graph_io.of_caida ~cps:[ 10 ] "10|20|-1\n30|10|-1\n" in
+  let node asn = Hashtbl.find imp.node_of_asn asn in
+  check Alcotest.bool "not a cp" false (Graph.is_cp imp.graph (node 10));
+  check Alcotest.bool "an isp instead" true (Graph.is_isp imp.graph (node 10))
+
+let test_caida_roundtrip_through_native_format () =
+  let b = Topology.Gen.generate (Topology.Params.with_n Topology.Params.default 120) in
+  (* Render as bare CAIDA records (no headers) and re-import. *)
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ((a, bb), rel) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%d|%s\n" (a + 10000) (bb + 10000)
+           (match rel with Graph.Customer -> "-1" | _ -> "0")))
+    (Graph.edges b.graph);
+  let imp = Graph_io.of_caida (Buffer.contents buf) in
+  check Alcotest.int "skipped none" 0 imp.skipped;
+  check Alcotest.int "cp edges" (Graph.cp_edge_count b.graph)
+    (Graph.cp_edge_count imp.graph);
+  check Alcotest.int "peer edges" (Graph.peer_edge_count b.graph)
+    (Graph.peer_edge_count imp.graph)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_summary () =
+  let s = Metrics.summary (small ()) in
+  check Alcotest.int "nodes" 6 s.nodes;
+  check Alcotest.int "stubs" 2 s.stubs;
+  check Alcotest.int "isps" 3 s.isps;
+  check Alcotest.int "cps" 1 s.cps;
+  check Alcotest.int "maxdeg" 4 s.max_degree
+
+let test_metrics_top_by_degree () =
+  let g = small () in
+  (* Degrees: 0 -> 3, 1 -> 3, 2 -> 4 among ISPs. *)
+  check Alcotest.(list int) "top2 isps" [ 2; 0 ] (Metrics.top_by_degree g 2);
+  check Alcotest.(list int) "top includes everything" [ 2; 0; 1 ]
+    (Metrics.top_by_degree g 10);
+  check Alcotest.(list int) "among stubs" [ 4; 5 ]
+    (Metrics.top_by_degree g ~among:(Graph.is_stub g) 2)
+
+let test_metrics_stub_helpers () =
+  let g = small () in
+  check Alcotest.(list int) "multihomed stubs" [ 4 ] (Metrics.multi_homed_stubs g);
+  check Alcotest.int "single-homed stub customers of 2" 1
+    (Metrics.single_homed_stub_customers g 2)
+
+let () =
+  Alcotest.run "asgraph"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "classes derived" `Quick test_build_classes;
+          Alcotest.test_case "relations" `Quick test_build_relations;
+          Alcotest.test_case "degrees and counts" `Quick test_build_degrees;
+          Alcotest.test_case "duplicates collapsed" `Quick test_build_duplicates_collapsed;
+          Alcotest.test_case "rejects malformed input" `Quick test_build_rejects_malformed;
+          Alcotest.test_case "edges listing" `Quick test_edges_listing;
+          Alcotest.test_case "nodes_of_class" `Quick test_nodes_of_class;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "clean graph" `Quick test_validate_clean;
+          Alcotest.test_case "detects cp cycle" `Quick test_validate_detects_cp_cycle;
+          Alcotest.test_case "detects disconnection" `Quick test_validate_disconnected;
+          Alcotest.test_case "counts orphans" `Quick test_validate_orphans;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip small" `Quick test_io_roundtrip_small;
+          Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
+          test_io_roundtrip_qcheck;
+          test_random_graphs_acyclic_qcheck;
+          Alcotest.test_case "caida import" `Quick test_caida_import;
+          Alcotest.test_case "caida cp demotion" `Quick test_caida_cp_with_customers_demoted;
+          Alcotest.test_case "caida roundtrip" `Quick test_caida_roundtrip_through_native_format;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "summary" `Quick test_metrics_summary;
+          Alcotest.test_case "top by degree" `Quick test_metrics_top_by_degree;
+          Alcotest.test_case "stub helpers" `Quick test_metrics_stub_helpers;
+        ] );
+    ]

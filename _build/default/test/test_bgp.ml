@@ -1,0 +1,514 @@
+(* Tests for the BGP routing substrate: the per-destination static
+   computation, the state-dependent routing forest, and a differential
+   check against the independent reference implementation
+   (Testkit.Refbgp) on random graphs and states. *)
+
+module Graph = Asgraph.Graph
+module Policy = Bgp.Policy
+module Route_static = Bgp.Route_static
+module Forest = Bgp.Forest
+module Csr = Nsutil.Csr
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let test_policy_class_roundtrip () =
+  List.iter
+    (fun c ->
+      check Alcotest.string "roundtrip"
+        (Policy.class_to_string c)
+        (Policy.class_to_string (Policy.class_of_char (Policy.class_to_char c))))
+    [ Policy.Self; Policy.Via_customer; Policy.Via_peer; Policy.Via_provider; Policy.Unreachable ]
+
+let test_policy_tiebreaks () =
+  check Alcotest.int "lowest id is the id" 7 (Policy.tiebreak_key Policy.Lowest_id 3 7);
+  check Alcotest.int "hash deterministic"
+    (Policy.tiebreak_key (Policy.Hashed 5) 3 7)
+    (Policy.tiebreak_key (Policy.Hashed 5) 3 7);
+  check Alcotest.bool "hash depends on seed" true
+    (Policy.tiebreak_key (Policy.Hashed 5) 3 7 <> Policy.tiebreak_key (Policy.Hashed 6) 3 7);
+  check Alcotest.bool "preferred with no current" true
+    (Policy.preferred Policy.Lowest_id 0 ~current:(-1) ~candidate:9);
+  check Alcotest.bool "lower id preferred" true
+    (Policy.preferred Policy.Lowest_id 0 ~current:5 ~candidate:2)
+
+let test_policy_ranked () =
+  let r = Policy.ranking_create () in
+  Policy.set_rank r ~node:1 ~next_hop:9 0;
+  Policy.set_rank r ~node:1 ~next_hop:2 1;
+  let tb = Policy.Ranked r in
+  check Alcotest.bool "explicit rank overrides id order" true
+    (Policy.tiebreak_key tb 1 9 < Policy.tiebreak_key tb 1 2);
+  check Alcotest.int "unranked pairs fall back to id" 4 (Policy.tiebreak_key tb 3 4)
+
+(* The reference graph: tier1 (0), ISPs 1 and 2, CP 3 (peer of 0),
+   stubs 4 (multihomed to 1, 2) and 5 (single-homed to 2). *)
+let small () =
+  Graph.build ~n:6
+    ~cp_edges:[ (0, 1); (0, 2); (1, 4); (2, 4); (2, 5) ]
+    ~peer_edges:[ (0, 3); (1, 2) ]
+    ~cps:[ 3 ]
+
+let klass info i = Policy.class_to_string (Route_static.class_of info i)
+
+let test_static_small_dest_stub () =
+  let info = Route_static.compute (small ()) 4 in
+  check Alcotest.string "isp1 class" "customer" (klass info 1);
+  check Alcotest.int "isp1 len" 1 (Route_static.length_of info 1);
+  check Alcotest.(list int) "isp1 tie" [ 4 ] (Csr.row_to_list info.tie 1);
+  check Alcotest.string "tier1 class" "customer" (klass info 0);
+  check Alcotest.int "tier1 len" 2 (Route_static.length_of info 0);
+  check Alcotest.(list int) "tier1 tie is the diamond" [ 1; 2 ]
+    (List.sort compare (Csr.row_to_list info.tie 0));
+  check Alcotest.string "cp class" "peer" (klass info 3);
+  check Alcotest.int "cp len" 3 (Route_static.length_of info 3);
+  check Alcotest.string "other stub class" "provider" (klass info 5);
+  check Alcotest.int "other stub len" 2 (Route_static.length_of info 5);
+  check Alcotest.string "dest class" "self" (klass info 4);
+  check Alcotest.int "order head is dest" 4 info.order.(0)
+
+let test_static_small_dest_tier1 () =
+  let info = Route_static.compute (small ()) 0 in
+  check Alcotest.string "isp1 routes up" "provider" (klass info 1);
+  check Alcotest.string "cp peers" "peer" (klass info 3);
+  check Alcotest.int "cp one hop" 1 (Route_static.length_of info 3);
+  check Alcotest.string "stub4" "provider" (klass info 4);
+  check Alcotest.int "stub4 len" 2 (Route_static.length_of info 4)
+
+let test_static_peer_route_not_transitive () =
+  (* x -- a (peer), a -- b (peer), d customer of b: a reaches d via its
+     peer b, but must not export that peer route to x. *)
+  let g =
+    Graph.build ~n:4 ~cp_edges:[ (2, 3) ] ~peer_edges:[ (0, 1); (1, 2) ] ~cps:[]
+  in
+  let info = Route_static.compute g 3 in
+  check Alcotest.bool "one peer hop ok" true (Route_static.reachable info 1);
+  check Alcotest.string "peer class" "peer" (klass info 1);
+  check Alcotest.bool "two peer hops filtered" false (Route_static.reachable info 0)
+
+let test_static_lp_beats_length () =
+  (* u has a 3-hop customer route and a 2-hop peer route; LP wins. *)
+  let u = 0 and c1 = 1 and c2 = 2 and d = 3 and p = 4 in
+  let g =
+    Graph.build ~n:5
+      ~cp_edges:[ (u, c1); (c1, c2); (c2, d); (p, d) ]
+      ~peer_edges:[ (u, p) ]
+      ~cps:[]
+  in
+  let info = Route_static.compute g d in
+  check Alcotest.string "customer class despite longer path" "customer" (klass info u);
+  check Alcotest.int "length 3" 3 (Route_static.length_of info u)
+
+let test_static_unreachable () =
+  let g = Graph.build ~n:3 ~cp_edges:[ (0, 1) ] ~peer_edges:[] ~cps:[] in
+  let info = Route_static.compute g 0 in
+  check Alcotest.bool "orphan unreachable" false (Route_static.reachable info 2);
+  check Alcotest.int "order only reachable" 2 (Array.length info.order);
+  Alcotest.check_raises "length_of raises"
+    (Invalid_argument "Route_static.length_of: 2 unreachable") (fun () ->
+      ignore (Route_static.length_of info 2))
+
+let test_static_order_sorted_by_length () =
+  let g = small () in
+  for d = 0 to Graph.n g - 1 do
+    let info = Route_static.compute g d in
+    let last = ref (-1) in
+    Array.iter
+      (fun i ->
+        let l = Route_static.length_of info i in
+        check Alcotest.bool "ascending" true (l >= !last);
+        last := l)
+      info.order
+  done
+
+let test_static_cache () =
+  let statics = Route_static.create (small ()) in
+  let a = Route_static.get statics 4 in
+  let b = Route_static.get statics 4 in
+  check Alcotest.bool "cached instance reused" true (a == b)
+
+(* ------------------------------------------------------------------ *)
+(* Forest *)
+
+let forest_for g d ~secure_list ~secp_list ~weight =
+  let n = Graph.n g in
+  let info = Route_static.compute g d in
+  let secure = Bytes.make n '\000' in
+  let use_secp = Bytes.make n '\000' in
+  List.iter (fun i -> Bytes.set secure i '\001') secure_list;
+  List.iter (fun i -> Bytes.set use_secp i '\001') secp_list;
+  let scratch = Forest.make_scratch n in
+  Forest.compute info ~tiebreak:Policy.Lowest_id ~secure ~use_secp ~weight scratch;
+  (info, scratch)
+
+let test_forest_tiebreak_lowest_id () =
+  let g = small () in
+  let weight = Array.make 6 1.0 in
+  let _, scratch = forest_for g 4 ~secure_list:[] ~secp_list:[] ~weight in
+  check Alcotest.int "tier1 picks lowest id" 1 scratch.next.(0)
+
+let test_forest_secp_restricts () =
+  let g = small () in
+  let weight = Array.make 6 1.0 in
+  (* ISP 2 and stub 4 secure; tier1 secure and applying SecP: must
+     choose 2 over the id-preferred 1. *)
+  let _, scratch =
+    forest_for g 4 ~secure_list:[ 0; 2; 4 ] ~secp_list:[ 0; 2 ] ~weight
+  in
+  check Alcotest.int "restricted to the secure next hop" 2 scratch.next.(0);
+  check Alcotest.string "tier1 has a secure route" "\001"
+    (String.make 1 (Bytes.get scratch.sec_path 0))
+
+let test_forest_no_secp_no_restriction () =
+  let g = small () in
+  let weight = Array.make 6 1.0 in
+  let _, scratch = forest_for g 4 ~secure_list:[ 0; 2; 4 ] ~secp_list:[] ~weight in
+  check Alcotest.int "hash choice unaffected" 1 scratch.next.(0)
+
+let test_forest_subtree_weights () =
+  let g = small () in
+  let weight = [| 1.0; 1.0; 1.0; 10.0; 1.0; 1.0 |] in
+  let _, scratch = forest_for g 4 ~secure_list:[] ~secp_list:[] ~weight in
+  (* Everyone reaches 4; total weight arriving at the destination is
+     the sum over all reachable sources. *)
+  check (Alcotest.float 1e-9) "conservation at the root" 15.0 scratch.sub.(4);
+  (* ISP 1 carries tier1's subtree: itself (1) + tier1 (1) + cp (10). *)
+  check (Alcotest.float 1e-9) "isp1 subtree" 12.0 scratch.sub.(1);
+  check (Alcotest.float 1e-9) "transit weight excludes self" 11.0
+    (Forest.transit_weight scratch ~weight 1)
+
+let test_forest_path_to_dest () =
+  let g = small () in
+  let weight = Array.make 6 1.0 in
+  let info, scratch = forest_for g 4 ~secure_list:[] ~secp_list:[] ~weight in
+  check Alcotest.(list int) "path from cp" [ 3; 0; 1; 4 ] (Forest.path_to_dest info scratch 3);
+  check Alcotest.(list int) "path from dest" [ 4 ] (Forest.path_to_dest info scratch 4)
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing against the reference implementation. *)
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let* g = Testkit.Graphgen.graph ~max_n:30 () in
+    let* secure, use_secp = Testkit.Graphgen.secure_state g in
+    let* d = int_bound (Graph.n g - 1) in
+    return (g, secure, use_secp, d))
+
+let chosen_security (info : Route_static.dest_info) (scratch : Forest.scratch) ~secure =
+  (* Security of the chosen route, walking next hops in ascending
+     path-length order. *)
+  let n = Array.length scratch.next in
+  let cs = Bytes.make n '\000' in
+  Bytes.set cs info.dest (Bytes.get secure info.dest);
+  Array.iteri
+    (fun k i ->
+      if k > 0 then begin
+        let nh = scratch.next.(i) in
+        if nh >= 0 && Bytes.get secure i = '\001' && Bytes.get cs nh = '\001' then
+          Bytes.set cs i '\001'
+      end)
+    info.order;
+  cs
+
+let run_both (g, secure, use_secp, d) =
+  let n = Graph.n g in
+  let info = Route_static.compute g d in
+  let scratch = Forest.make_scratch n in
+  let weight = Array.make n 1.0 in
+  Forest.compute info ~tiebreak:Policy.Lowest_id ~secure ~use_secp ~weight scratch;
+  let rib = Testkit.Refbgp.route_to g ~dest:d ~secure ~use_secp ~tiebreak:Policy.Lowest_id in
+  (info, scratch, rib)
+
+let test_differential_reachability =
+  qtest ~count:400 "forest and reference agree on reachability" scenario_gen
+    (fun ((g, _, _, d) as sc) ->
+      let info, _, rib = run_both sc in
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        if i <> d then begin
+          let forest_reach = Route_static.reachable info i in
+          let ref_reach = rib.(i) <> None in
+          if forest_reach <> ref_reach then ok := false
+        end
+      done;
+      !ok)
+
+let test_differential_next_hops =
+  qtest ~count:400 "forest and reference agree on chosen next hops" scenario_gen
+    (fun ((g, _, _, d) as sc) ->
+      let _, scratch, rib = run_both sc in
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        if i <> d then begin
+          match rib.(i) with
+          | Some r -> if scratch.next.(i) <> r.Testkit.Refbgp.next then ok := false
+          | None -> if scratch.next.(i) <> -1 then ok := false
+        end
+      done;
+      !ok)
+
+let test_differential_lengths =
+  qtest ~count:400 "reference path lengths equal the static lengths" scenario_gen
+    (fun ((g, _, _, d) as sc) ->
+      let info, _, rib = run_both sc in
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        if i <> d then begin
+          match rib.(i) with
+          | Some r ->
+              if List.length r.Testkit.Refbgp.path - 1 <> Route_static.length_of info i
+              then ok := false
+          | None -> ()
+        end
+      done;
+      !ok)
+
+let test_differential_security =
+  qtest ~count:400 "forest and reference agree on chosen-route security" scenario_gen
+    (fun ((g, secure, _, d) as sc) ->
+      let info, scratch, rib = run_both sc in
+      let cs = chosen_security info scratch ~secure in
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        if i <> d then begin
+          match rib.(i) with
+          | Some r ->
+              if (Bytes.get cs i = '\001') <> r.Testkit.Refbgp.secure then ok := false
+          | None -> ()
+        end
+      done;
+      !ok)
+
+(* Observation C.1: class and length are independent of the state. *)
+let test_static_state_independence =
+  qtest ~count:200 "route class/length independent of deployment state"
+    QCheck2.Gen.(
+      let* g = Testkit.Graphgen.graph ~max_n:25 () in
+      let* s1 = Testkit.Graphgen.secure_state g in
+      let* s2 = Testkit.Graphgen.secure_state g in
+      let* d = int_bound (Graph.n g - 1) in
+      return (g, s1, s2, d))
+    (fun (g, (sec1, secp1), (sec2, secp2), d) ->
+      let rib1 = Testkit.Refbgp.route_to g ~dest:d ~secure:sec1 ~use_secp:secp1 ~tiebreak:Policy.Lowest_id in
+      let rib2 = Testkit.Refbgp.route_to g ~dest:d ~secure:sec2 ~use_secp:secp2 ~tiebreak:Policy.Lowest_id in
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        match (rib1.(i), rib2.(i)) with
+        | Some a, Some b ->
+            if
+              List.length a.Testkit.Refbgp.path <> List.length b.Testkit.Refbgp.path
+              || a.Testkit.Refbgp.lp <> b.Testkit.Refbgp.lp
+            then ok := false
+        | None, None -> ()
+        | Some _, None | None, Some _ -> ok := false
+      done;
+      !ok)
+
+(* Valley-freeness of every chosen path. *)
+let valley_free g path =
+  (* Pattern: up* peer? down*. Walk consecutive relations. *)
+  let rels =
+    let rec walk = function
+      | a :: (b :: _ as rest) -> begin
+          match Graph.rel g a b with
+          | Some r -> r :: walk rest
+          | None -> [ Graph.Peer ] (* unreachable: fail below *)
+        end
+      | _ -> []
+    in
+    walk path
+  in
+  let rec up = function
+    | Graph.Provider :: rest -> up rest
+    | rest -> peer rest
+  and peer = function Graph.Peer :: rest -> down rest | rest -> down rest
+  and down = function
+    | Graph.Customer :: rest -> down rest
+    | [] -> true
+    | _ -> false
+  in
+  up rels
+
+let test_paths_valley_free =
+  qtest ~count:300 "all chosen paths are valley-free" scenario_gen
+    (fun ((g, _, _, _) as sc) ->
+      let _, _, rib = run_both sc in
+      Array.for_all
+        (function None -> true | Some r -> valley_free g r.Testkit.Refbgp.path)
+        rib)
+
+let test_forest_paths_consistent =
+  qtest ~count:200 "forest paths end at the destination with static length" scenario_gen
+    (fun ((g, _, _, d) as sc) ->
+      let info, scratch, _ = run_both sc in
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        if i <> d && Route_static.reachable info i then begin
+          match Forest.path_to_dest info scratch i with
+          | [] -> ok := false
+          | path ->
+              let len = List.length path - 1 in
+              if
+                List.hd path <> i
+                || List.nth path len <> d
+                || len <> Route_static.length_of info i
+              then ok := false
+        end
+      done;
+      !ok)
+
+(* Security availability grows monotonically with the secure set. *)
+let test_secpath_monotone =
+  qtest ~count:200 "sec_path is monotone in the secure set"
+    QCheck2.Gen.(
+      let* g = Testkit.Graphgen.graph ~max_n:25 () in
+      let* secure, use_secp = Testkit.Graphgen.secure_state g in
+      let* extra = int_bound (Graph.n g - 1) in
+      let* d = int_bound (Graph.n g - 1) in
+      return (g, secure, use_secp, extra, d))
+    (fun (g, secure, use_secp, extra, d) ->
+      let n = Graph.n g in
+      let info = Route_static.compute g d in
+      let weight = Array.make n 1.0 in
+      let s1 = Forest.make_scratch n in
+      Forest.compute info ~tiebreak:Policy.Lowest_id ~secure ~use_secp ~weight s1;
+      let before = Bytes.copy s1.sec_path in
+      let secure2 = Bytes.copy secure in
+      Bytes.set secure2 extra '\001';
+      let use_secp2 = Bytes.copy use_secp in
+      if not (Graph.is_stub g extra) then Bytes.set use_secp2 extra '\001';
+      Forest.compute info ~tiebreak:Policy.Lowest_id ~secure:secure2 ~use_secp:use_secp2
+        ~weight s1;
+      let ok = ref true in
+      Array.iter
+        (fun i ->
+          if Bytes.get before i = '\001' && Bytes.get s1.sec_path i <> '\001' then
+            ok := false)
+        info.order;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Flexsim: the configurable-SecP-position fixed point. *)
+
+let test_flexsim_tiebreak_matches_forest =
+  qtest ~count:200 "flexsim at tiebreak-only equals the forest" scenario_gen
+    (fun ((g, secure, use_secp, d) as sc) ->
+      let _, scratch, _ = run_both sc in
+      let out =
+        Bgp.Flexsim.route_to g ~dest:d ~secure ~use_secp ~tiebreak:Policy.Lowest_id
+          ~position:Bgp.Flexsim.Tiebreak_only
+      in
+      out.converged
+      &&
+      let ok = ref true in
+      for i = 0 to Graph.n g - 1 do
+        if i <> d && scratch.next.(i) <> out.next.(i) then ok := false
+      done;
+      !ok)
+
+let test_flexsim_secure_first_prefers_secure () =
+  (* tier1 (0) has two equal routes to stub 4; only the one via 2 is
+     secure. At every SecP position the secure ISP 0 must pick 2; an
+     insecure chooser ignores security everywhere. *)
+  let g = small () in
+  let n = Graph.n g in
+  let set l =
+    let b = Bytes.make n '\000' in
+    List.iter (fun i -> Bytes.set b i '\001') l;
+    b
+  in
+  List.iter
+    (fun position ->
+      let out =
+        Bgp.Flexsim.route_to g ~dest:4 ~secure:(set [ 0; 2; 4 ]) ~use_secp:(set [ 0; 2 ])
+          ~tiebreak:Policy.Lowest_id ~position
+      in
+      check Alcotest.int
+        (Bgp.Flexsim.position_to_string position)
+        2 out.next.(0);
+      check Alcotest.bool "secure flag" true out.secure.(0))
+    [ Bgp.Flexsim.Tiebreak_only; Bgp.Flexsim.Before_length; Bgp.Flexsim.Before_lp ]
+
+let test_flexsim_security_first_overrides_length () =
+  (* u reaches d via a short insecure provider chain or a longer
+     fully-secure one; Before_length flips the choice, Tiebreak_only
+     does not. *)
+  let u = 0 and a = 1 and b = 2 and c = 3 and d = 4 in
+  (* u customer of a and b; a -> d direct; b -> c -> d. *)
+  let g =
+    Graph.build ~n:5
+      ~cp_edges:[ (a, u); (b, u); (a, d); (b, c); (c, d) ]
+      ~peer_edges:[] ~cps:[]
+  in
+  let n = Graph.n g in
+  let set l =
+    let bts = Bytes.make n '\000' in
+    List.iter (fun i -> Bytes.set bts i '\001') l;
+    bts
+  in
+  let secure = set [ u; b; c; d ] in
+  let use_secp = set [ u; b; c ] in
+  let next position =
+    (Bgp.Flexsim.route_to g ~dest:d ~secure ~use_secp ~tiebreak:Policy.Lowest_id
+       ~position)
+      .next.(u)
+  in
+  check Alcotest.int "tiebreak-only takes the short route" a
+    (next Bgp.Flexsim.Tiebreak_only);
+  check Alcotest.int "before-length takes the secure route" b
+    (next Bgp.Flexsim.Before_length);
+  check Alcotest.int "security-first too" b (next Bgp.Flexsim.Before_lp)
+
+let () =
+  Alcotest.run "bgp"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "class roundtrip" `Quick test_policy_class_roundtrip;
+          Alcotest.test_case "tiebreak keys" `Quick test_policy_tiebreaks;
+          Alcotest.test_case "ranked tiebreak" `Quick test_policy_ranked;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "small graph, stub dest" `Quick test_static_small_dest_stub;
+          Alcotest.test_case "small graph, tier1 dest" `Quick test_static_small_dest_tier1;
+          Alcotest.test_case "peer routes are one hop" `Quick
+            test_static_peer_route_not_transitive;
+          Alcotest.test_case "LP beats path length" `Quick test_static_lp_beats_length;
+          Alcotest.test_case "unreachable nodes" `Quick test_static_unreachable;
+          Alcotest.test_case "order sorted by length" `Quick test_static_order_sorted_by_length;
+          Alcotest.test_case "cache reuses instances" `Quick test_static_cache;
+        ] );
+      ( "forest",
+        [
+          Alcotest.test_case "lowest-id tiebreak" `Quick test_forest_tiebreak_lowest_id;
+          Alcotest.test_case "SecP restricts to secure next hops" `Quick
+            test_forest_secp_restricts;
+          Alcotest.test_case "no SecP, no restriction" `Quick test_forest_no_secp_no_restriction;
+          Alcotest.test_case "subtree weights" `Quick test_forest_subtree_weights;
+          Alcotest.test_case "path reconstruction" `Quick test_forest_path_to_dest;
+        ] );
+      ( "differential",
+        [
+          test_differential_reachability;
+          test_differential_next_hops;
+          test_differential_lengths;
+          test_differential_security;
+          test_static_state_independence;
+          test_paths_valley_free;
+          test_forest_paths_consistent;
+          test_secpath_monotone;
+        ] );
+      ( "flexsim",
+        [
+          test_flexsim_tiebreak_matches_forest;
+          Alcotest.test_case "secure choice at every position" `Quick
+            test_flexsim_secure_first_prefers_secure;
+          Alcotest.test_case "security overrides length when ranked higher" `Quick
+            test_flexsim_security_first_overrides_length;
+        ] );
+    ]

@@ -1,0 +1,472 @@
+(* Tests for the message-level S*BGP: S-BGP attestations, soBGP link
+   certificates, attack detection, and the cross-validation of the
+   message-level simulator against the abstract routing model. *)
+
+module Graph = Asgraph.Graph
+module Mode = Bgpsec.Mode
+module Sbgp = Bgpsec.Sbgp
+module Sobgp = Bgpsec.Sobgp
+module Netsim = Bgpsec.Netsim
+module Attack = Bgpsec.Attack
+module Registry = Rpki.Registry
+
+let check = Alcotest.check
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let registry_with asns =
+  let reg = Registry.create ~seed:11 in
+  List.iter
+    (fun asn ->
+      match Registry.enroll reg ~asn ~prefixes:[ Bgpsec.Netsim_prefix.of_as asn ] with
+      | Ok _ -> ()
+      | Error e -> failwith e)
+    asns;
+  reg
+
+(* ------------------------------------------------------------------ *)
+(* Modes *)
+
+let test_modes () =
+  check Alcotest.bool "off signs nothing" false (Mode.signs_origination Mode.Off);
+  check Alcotest.bool "simplex signs own" true (Mode.signs_origination Mode.Simplex);
+  check Alcotest.bool "simplex no transit" false (Mode.signs_transit Mode.Simplex);
+  check Alcotest.bool "simplex no validation" false (Mode.validates Mode.Simplex);
+  check Alcotest.bool "full does all" true
+    (Mode.signs_origination Mode.Full && Mode.signs_transit Mode.Full
+   && Mode.validates Mode.Full)
+
+(* ------------------------------------------------------------------ *)
+(* S-BGP *)
+
+let test_sbgp_two_hop_chain () =
+  let reg = registry_with [ 1; 2; 3 ] in
+  let prefix = Bgpsec.Netsim_prefix.of_as 1 in
+  let ann = Result.get_ok (Sbgp.originate reg ~origin:1 ~prefix ~target:2 ~signed:true) in
+  let fwd = Result.get_ok (Sbgp.forward reg ~sender:2 ~target:3 ~signed:true ann) in
+  check Alcotest.(list int) "path sender-first" [ 2; 1 ] fwd.Sbgp.path;
+  check Alcotest.bool "fully signed" true (Sbgp.fully_signed fwd);
+  check Alcotest.bool "validates" true (Result.is_ok (Sbgp.validate reg ~receiver:3 fwd))
+
+let test_sbgp_unsigned_passthrough () =
+  let reg = registry_with [ 1; 2; 3 ] in
+  let prefix = Bgpsec.Netsim_prefix.of_as 1 in
+  let ann = Result.get_ok (Sbgp.originate reg ~origin:1 ~prefix ~target:2 ~signed:false) in
+  check Alcotest.bool "unsigned" false (Sbgp.fully_signed ann);
+  let fwd = Result.get_ok (Sbgp.forward reg ~sender:2 ~target:3 ~signed:true ann) in
+  (* A signing AS must not fabricate security onto an unsigned path. *)
+  check Alcotest.bool "stays unsigned" false (Sbgp.fully_signed fwd);
+  match Sbgp.validate reg ~receiver:3 fwd with
+  | Error (Sbgp.Unsigned_hop _) -> ()
+  | Error e -> Alcotest.fail (Sbgp.error_to_string e)
+  | Ok () -> Alcotest.fail "should not validate"
+
+let test_sbgp_tamper_prefix () =
+  let reg = registry_with [ 1; 2 ] in
+  let prefix = Bgpsec.Netsim_prefix.of_as 1 in
+  let ann = Result.get_ok (Sbgp.originate reg ~origin:1 ~prefix ~target:2 ~signed:true) in
+  (* Replay the announcement under a different (also ROA'd) prefix:
+     AS 2 also holds a prefix, forge with its bytes. *)
+  let forged = Sbgp.forge ~prefix:(Bgpsec.Netsim_prefix.of_as 2) ~path:ann.Sbgp.path ~target:2 in
+  check Alcotest.bool "forged prefix does not validate" true
+    (Result.is_error (Sbgp.validate reg ~receiver:2 forged))
+
+let test_sbgp_error_strings () =
+  List.iter
+    (fun e -> check Alcotest.bool "nonempty rendering" true (Sbgp.error_to_string e <> ""))
+    [
+      Sbgp.Not_enrolled 5;
+      Sbgp.Unsigned_hop 5;
+      Sbgp.Bad_signature 5;
+      Sbgp.Wrong_target { signer = 1; expected = 2 };
+      Sbgp.Misdirected { target = 1; receiver = 2 };
+      Sbgp.Origin_invalid Rpki.Roa.Unknown;
+      Sbgp.Empty_path;
+    ]
+
+let test_sbgp_enrolled_hops () =
+  let reg = registry_with [ 1; 2 ] in
+  let ann = Sbgp.forge ~prefix:(Bgpsec.Netsim_prefix.of_as 1) ~path:[ 9; 2; 1 ] ~target:0 in
+  check Alcotest.int "counts enrolled" 2 (Sbgp.enrolled_hops reg ann)
+
+(* ------------------------------------------------------------------ *)
+(* soBGP *)
+
+let test_sobgp_link_lifecycle () =
+  let reg = registry_with [ 1; 2; 3 ] in
+  let db = Sobgp.create_db () in
+  check Alcotest.bool "initially uncertified" false (Sobgp.link_certified reg db 1 2);
+  ignore (Result.get_ok (Sobgp.certify_link reg db 1 2));
+  check Alcotest.bool "certified" true (Sobgp.link_certified reg db 1 2);
+  check Alcotest.bool "order irrelevant" true (Sobgp.link_certified reg db 2 1);
+  check Alcotest.int "idempotent" 1
+    (let _ = Sobgp.certify_link reg db 2 1 in
+     Sobgp.cert_count db)
+
+let test_sobgp_path_validation () =
+  let reg = registry_with [ 1; 2; 3 ] in
+  let db = Sobgp.create_db () in
+  ignore (Sobgp.certify_link reg db 1 2);
+  ignore (Sobgp.certify_link reg db 2 3);
+  check Alcotest.bool "certified path" true (Sobgp.path_valid reg db [ 1; 2; 3 ]);
+  check Alcotest.bool "uncertified link breaks it" false (Sobgp.path_valid reg db [ 1; 3 ]);
+  check Alcotest.bool "single node trivially valid" true (Sobgp.path_valid reg db [ 1 ])
+
+let test_sobgp_requires_enrollment () =
+  let reg = registry_with [ 1 ] in
+  let db = Sobgp.create_db () in
+  match Sobgp.certify_link reg db 1 99 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unenrolled endpoint must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Attacks *)
+
+let test_attacks_detected () =
+  check Alcotest.bool "origin hijack" true (Attack.origin_hijack_detected ());
+  check Alcotest.bool "path forgery" true (Attack.path_forgery_detected ());
+  check Alcotest.bool "replay" true (Attack.replay_to_wrong_neighbor_detected ())
+
+let test_appendix_b () =
+  let sound = Attack.appendix_b ~prefer_partial:false in
+  check Alcotest.bool "sound rule keeps true route" false sound.chose_false_path;
+  check Alcotest.int "via r" 3 sound.next_hop;
+  let unsound = Attack.appendix_b ~prefer_partial:true in
+  check Alcotest.bool "partial preference is fooled" true unsound.chose_false_path;
+  check Alcotest.int "via q" 4 unsound.next_hop
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding *)
+
+let sample_announcement () =
+  let reg = registry_with [ 1; 2; 3 ] in
+  let prefix = Bgpsec.Netsim_prefix.of_as 1 in
+  let ann = Result.get_ok (Sbgp.originate reg ~origin:1 ~prefix ~target:2 ~signed:true) in
+  (reg, Result.get_ok (Sbgp.forward reg ~sender:2 ~target:3 ~signed:true ann))
+
+let test_wire_roundtrip_signed () =
+  let reg, ann = sample_announcement () in
+  let bytes = Bgpsec.Wire.encode ann in
+  match Bgpsec.Wire.decode bytes with
+  | Error e -> Alcotest.fail (Bgpsec.Wire.error_to_string e)
+  | Ok ann' ->
+      check Alcotest.(list int) "path survives" ann.Sbgp.path ann'.Sbgp.path;
+      check Alcotest.int "target survives" ann.Sbgp.target ann'.Sbgp.target;
+      check Alcotest.bool "prefix survives" true
+        (Netaddr.Prefix.equal ann.Sbgp.prefix ann'.Sbgp.prefix);
+      (* The decoded announcement still validates: the signatures came
+         through bit-exact. *)
+      check Alcotest.bool "still validates" true
+        (Result.is_ok (Sbgp.validate reg ~receiver:3 ann'))
+
+let test_wire_rejects_garbage () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (String.escaped s) true (Result.is_error (Bgpsec.Wire.decode s)))
+    [ ""; "SBG"; "XXXX"; "SBG1"; "SBG1\x00\x00" ]
+
+let test_wire_truncation_fuzz () =
+  let _, ann = sample_announcement () in
+  let bytes = Bgpsec.Wire.encode ann in
+  (* Every strict prefix must fail cleanly, never raise. *)
+  for len = 0 to String.length bytes - 1 do
+    match Bgpsec.Wire.decode (String.sub bytes 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" len
+  done;
+  (* Trailing garbage must also fail. *)
+  check Alcotest.bool "trailing bytes rejected" true
+    (Result.is_error (Bgpsec.Wire.decode (bytes ^ "x")))
+
+let test_wire_bad_prefix () =
+  let _, ann = sample_announcement () in
+  let bytes = Bytes.of_string (Bgpsec.Wire.encode ann) in
+  (* Corrupt the prefix length byte (offset 4 + 4). *)
+  Bytes.set bytes 8 '\xff';
+  check Alcotest.bool "bad prefix length rejected" true
+    (Result.is_error (Bgpsec.Wire.decode (Bytes.to_string bytes)))
+
+let test_wire_fuzz_qcheck =
+  qtest ~count:300 "random bytes never crash the decoder"
+    QCheck2.Gen.(string_size (int_range 0 120))
+    (fun s ->
+      match Bgpsec.Wire.decode s with Ok _ -> true | Error _ -> true)
+
+let test_wire_tamper_breaks_validation =
+  qtest ~count:100 "flipping any encoded byte breaks decode or validation"
+    QCheck2.Gen.(int_bound 10_000)
+    (fun raw ->
+      let reg, ann = sample_announcement () in
+      let bytes = Bytes.of_string (Bgpsec.Wire.encode ann) in
+      let pos = raw mod Bytes.length bytes in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x01));
+      match Bgpsec.Wire.decode (Bytes.to_string bytes) with
+      | Error _ -> true
+      | Ok ann' ->
+          (* Structure survived; then either the content changed (so
+             validation fails) or the flipped bit was outside any
+             meaningful field — impossible in this strict format. *)
+          Result.is_error (Sbgp.validate reg ~receiver:3 ann'))
+
+let test_wire_decode_prefix_field () =
+  let encoded = Bgpsec.Wire.encode (Sbgp.forge ~prefix:(Netaddr.Prefix.of_string_exn "10.1.2.0/24") ~path:[ 1 ] ~target:2) in
+  (* The prefix field sits right after the 4-byte magic. *)
+  (match Bgpsec.Wire.decode_prefix encoded ~pos:4 with
+  | Ok (p, next) ->
+      check Alcotest.string "value" "10.1.2.0/24" (Netaddr.Prefix.to_string p);
+      check Alcotest.int "cursor" 9 next
+  | Error e -> Alcotest.fail (Bgpsec.Wire.error_to_string e));
+  check Alcotest.bool "short read" true
+    (Result.is_error (Bgpsec.Wire.decode_prefix "SBG1\x0a" ~pos:4))
+
+let test_session_insecure_destination () =
+  (* A destination running plain BGP: routes propagate but nothing
+     validates. *)
+  let g = Graph.build ~n:3 ~cp_edges:[ (1, 0); (2, 1) ] ~peer_edges:[] ~cps:[] in
+  let modes = [| Mode.Off; Mode.Full; Mode.Full |] in
+  let s = Bgpsec.Session.create g ~modes in
+  Bgpsec.Session.announce s ~origin:0;
+  check Alcotest.(list int) "route installed" [ 2; 1; 0 ]
+    (Bgpsec.Session.selected_path s ~node:2 ~origin:0);
+  check Alcotest.bool "but not validated" false
+    (Bgpsec.Session.route_validated s ~node:2 ~origin:0)
+
+(* ------------------------------------------------------------------ *)
+(* Key delegation (Section 2.2.1 footnote) *)
+
+let test_delegation_risk () =
+  let with_delegation, without_delegation = Attack.delegation_risk () in
+  check Alcotest.bool "delegated key forges undetectably" true with_delegation;
+  check Alcotest.bool "no delegation, no forgery" false without_delegation
+
+(* ------------------------------------------------------------------ *)
+(* Netsim vs the abstract model *)
+
+let modes_gen g =
+  QCheck2.Gen.(
+    let n = Graph.n g in
+    let* bits = list_repeat n (int_bound 2) in
+    return
+      (Array.of_list
+         (List.mapi
+            (fun i b ->
+              if Graph.is_stub g i then (if b = 0 then Mode.Off else Mode.Simplex)
+              else if b = 0 then Mode.Off
+              else Mode.Full)
+            bits)))
+
+let crosscheck_gen =
+  QCheck2.Gen.(
+    let* g = Testkit.Graphgen.graph ~max_n:20 () in
+    let* modes = modes_gen g in
+    let* d = int_bound (Graph.n g - 1) in
+    let* protocol = oneofl [ Netsim.S_bgp; Netsim.So_bgp ] in
+    return (g, modes, d, protocol))
+
+let abstract_routes g ~modes ~d =
+  let n = Graph.n g in
+  let secure = Bytes.make n '\000' in
+  let use_secp = Bytes.make n '\000' in
+  Array.iteri
+    (fun i m ->
+      if not (Mode.equal m Mode.Off) then Bytes.set secure i '\001';
+      if Mode.equal m Mode.Full then Bytes.set use_secp i '\001')
+    modes;
+  let info = Bgp.Route_static.compute g d in
+  let scratch = Bgp.Forest.make_scratch n in
+  Bgp.Forest.compute info ~tiebreak:Bgp.Policy.Lowest_id ~secure ~use_secp
+    ~weight:(Array.make n 1.0) scratch;
+  (info, scratch, secure)
+
+let test_netsim_matches_forest_paths =
+  qtest ~count:80 "message-level and abstract chosen paths agree" crosscheck_gen
+    (fun (g, modes, d, protocol) ->
+      let setup = Netsim.prepare ~protocol g ~modes in
+      let outcome = Netsim.route_to setup ~dest:d in
+      let info, scratch, _ = abstract_routes g ~modes ~d in
+      let ok = ref true in
+      for u = 0 to Graph.n g - 1 do
+        if u <> d then begin
+          match outcome.chosen.(u) with
+          | None -> if Bgp.Route_static.reachable info u then ok := false
+          | Some ann ->
+              let message_path = u :: ann.Sbgp.path in
+              let abstract_path = Bgp.Forest.path_to_dest info scratch u in
+              if message_path <> abstract_path then ok := false
+        end
+      done;
+      !ok)
+
+let test_netsim_matches_forest_security =
+  qtest ~count:80 "message-level validation agrees with abstract path security"
+    crosscheck_gen
+    (fun (g, modes, d, protocol) ->
+      let setup = Netsim.prepare ~protocol g ~modes in
+      let outcome = Netsim.route_to setup ~dest:d in
+      let info, scratch, secure = abstract_routes g ~modes ~d in
+      (* Chosen-route security, abstractly. *)
+      let n = Graph.n g in
+      let cs = Bytes.make n '\000' in
+      Bytes.set cs d (Bytes.get secure d);
+      Array.iteri
+        (fun k i ->
+          if k > 0 then begin
+            let nh = scratch.Bgp.Forest.next.(i) in
+            if nh >= 0 && Bytes.get secure i = '\001' && Bytes.get cs nh = '\001' then
+              Bytes.set cs i '\001'
+          end)
+        info.order;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if u <> d && Bgp.Route_static.reachable info u then
+          if outcome.secure.(u) <> (Bytes.get cs u = '\001') then ok := false
+      done;
+      !ok)
+
+let test_netsim_converges_quickly () =
+  let params = Topology.Params.with_n Topology.Params.default 100 in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let modes =
+    Array.init (Graph.n g) (fun i ->
+        if Graph.is_stub g i then Mode.Simplex else Mode.Full)
+  in
+  let setup = Netsim.prepare g ~modes in
+  let outcome = Netsim.route_to setup ~dest:(Graph.n g - 1) in
+  check Alcotest.bool "iterations bounded by diameter-ish" true (outcome.iterations < 20);
+  (* Everyone participates, so every chosen route must validate. *)
+  let reachable = ref 0 and secured = ref 0 in
+  Array.iteri
+    (fun u ann ->
+      if u <> Graph.n g - 1 && ann <> None then begin
+        incr reachable;
+        if outcome.secure.(u) then incr secured
+      end)
+    outcome.chosen;
+  check Alcotest.int "all validated under full deployment" !reachable !secured
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: the event-driven wire-level protocol. *)
+
+let test_session_matches_netsim =
+  qtest ~count:50 "session fixed point equals netsim's" crosscheck_gen
+    (fun (g, modes, d, protocol) ->
+      let setup = Netsim.prepare ~protocol g ~modes in
+      let net_out = Netsim.route_to setup ~dest:d in
+      let session = Bgpsec.Session.create ~protocol g ~modes in
+      Bgpsec.Session.announce session ~origin:d;
+      let ok = ref true in
+      for u = 0 to Graph.n g - 1 do
+        if u <> d then begin
+          let net_path =
+            match net_out.chosen.(u) with
+            | Some ann -> u :: ann.Sbgp.path
+            | None -> []
+          in
+          let ses_path = Bgpsec.Session.selected_path session ~node:u ~origin:d in
+          if net_path <> ses_path then ok := false;
+          if
+            net_out.chosen.(u) <> None
+            && net_out.secure.(u) <> Bgpsec.Session.route_validated session ~node:u ~origin:d
+          then ok := false
+        end
+      done;
+      !ok)
+
+let test_session_multi_prefix_independent () =
+  let params = Topology.Params.with_n Topology.Params.default 80 in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let n = Graph.n g in
+  let modes =
+    Array.init n (fun i -> if Graph.is_stub g i then Mode.Simplex else Mode.Full)
+  in
+  (* Announcing several prefixes through one session network must give
+     per-origin routes identical to announcing each alone. *)
+  let together = Bgpsec.Session.create g ~modes in
+  let origins = [ 0; n / 2; n - 1 ] in
+  List.iter (fun o -> Bgpsec.Session.announce together ~origin:o) origins;
+  List.iter
+    (fun o ->
+      let alone = Bgpsec.Session.create g ~modes in
+      Bgpsec.Session.announce alone ~origin:o;
+      for u = 0 to n - 1 do
+        if u <> o then
+          check Alcotest.(list int)
+            (Printf.sprintf "origin %d node %d" o u)
+            (Bgpsec.Session.selected_path alone ~node:u ~origin:o)
+            (Bgpsec.Session.selected_path together ~node:u ~origin:o)
+      done)
+    origins;
+  check Alcotest.bool "messages flowed" true
+    (Bgpsec.Session.messages_processed together > n);
+  check Alcotest.bool "bytes flowed" true (Bgpsec.Session.bytes_on_wire together > 0)
+
+let test_session_announce_idempotent () =
+  let params = Topology.Params.with_n Topology.Params.default 60 in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let modes = Array.make (Graph.n g) Mode.Full in
+  let s = Bgpsec.Session.create g ~modes in
+  Bgpsec.Session.announce s ~origin:0;
+  let m1 = Bgpsec.Session.messages_processed s in
+  Bgpsec.Session.announce s ~origin:0;
+  check Alcotest.int "no extra messages" m1 (Bgpsec.Session.messages_processed s)
+
+let test_session_rejects_bad_origin () =
+  let g = Graph.build ~n:2 ~cp_edges:[ (0, 1) ] ~peer_edges:[] ~cps:[] in
+  let s = Bgpsec.Session.create g ~modes:[| Mode.Full; Mode.Full |] in
+  Alcotest.check_raises "out of range" (Invalid_argument "Session.announce") (fun () ->
+      Bgpsec.Session.announce s ~origin:7)
+
+let () =
+  Alcotest.run "bgpsec"
+    [
+      ("modes", [ Alcotest.test_case "mode capabilities" `Quick test_modes ]);
+      ( "sbgp",
+        [
+          Alcotest.test_case "two-hop signed chain" `Quick test_sbgp_two_hop_chain;
+          Alcotest.test_case "unsigned passthrough" `Quick test_sbgp_unsigned_passthrough;
+          Alcotest.test_case "forged prefix rejected" `Quick test_sbgp_tamper_prefix;
+          Alcotest.test_case "error rendering" `Quick test_sbgp_error_strings;
+          Alcotest.test_case "enrolled hop counting" `Quick test_sbgp_enrolled_hops;
+        ] );
+      ( "sobgp",
+        [
+          Alcotest.test_case "link lifecycle" `Quick test_sobgp_link_lifecycle;
+          Alcotest.test_case "path validation" `Quick test_sobgp_path_validation;
+          Alcotest.test_case "requires enrollment" `Quick test_sobgp_requires_enrollment;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "detections" `Quick test_attacks_detected;
+          Alcotest.test_case "appendix B" `Quick test_appendix_b;
+          Alcotest.test_case "delegation risk" `Quick test_delegation_risk;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip signed" `Quick test_wire_roundtrip_signed;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+          Alcotest.test_case "truncation fuzz" `Quick test_wire_truncation_fuzz;
+          Alcotest.test_case "bad prefix byte" `Quick test_wire_bad_prefix;
+          Alcotest.test_case "decode_prefix field" `Quick test_wire_decode_prefix_field;
+          test_wire_fuzz_qcheck;
+          test_wire_tamper_breaks_validation;
+        ] );
+      ( "netsim",
+        [
+          test_netsim_matches_forest_paths;
+          test_netsim_matches_forest_security;
+          Alcotest.test_case "full deployment validates everything" `Quick
+            test_netsim_converges_quickly;
+        ] );
+      ( "session",
+        [
+          test_session_matches_netsim;
+          Alcotest.test_case "multi-prefix independence" `Quick
+            test_session_multi_prefix_independent;
+          Alcotest.test_case "announce idempotent" `Quick test_session_announce_idempotent;
+          Alcotest.test_case "rejects bad origin" `Quick test_session_rejects_bad_origin;
+          Alcotest.test_case "insecure destination" `Quick test_session_insecure_destination;
+        ] );
+    ]

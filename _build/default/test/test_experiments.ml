@@ -1,0 +1,93 @@
+(* Tests for the experiment registry: every table/figure driver runs
+   on a small scenario and produces rows; scenario setup is
+   deterministic. *)
+
+module Registry = Experiments.Registry
+module Scenario = Experiments.Scenario
+
+let check = Alcotest.check
+
+let scenario = lazy (Scenario.create ~n:150 ~seed:3 ())
+
+let test_ids_unique () =
+  let ids = Registry.ids () in
+  check Alcotest.int "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_find () =
+  check Alcotest.bool "finds fig8" true (Registry.find "fig8" <> None);
+  check Alcotest.bool "rejects unknown" true (Registry.find "fig99" = None)
+
+let test_expected_ids_present () =
+  let ids = Registry.ids () in
+  List.iter
+    (fun id -> check Alcotest.bool id true (List.mem id ids))
+    [
+      "table1"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
+      "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "oscillation";
+      "setcover"; "attacks"; "ablations"; "resilience"; "pricing"; "jitter";
+      "evolution"; "selector"; "secpriority";
+    ]
+
+let test_every_experiment_produces_rows () =
+  let s = Lazy.force scenario in
+  List.iter
+    (fun (e : Registry.experiment) ->
+      let table = e.run s in
+      check Alcotest.bool (e.id ^ " non-empty") true (Nsutil.Table.row_count table > 0))
+    Registry.all
+
+let test_scenario_deterministic () =
+  let a = Scenario.create ~n:120 ~seed:5 () in
+  let b = Scenario.create ~n:120 ~seed:5 () in
+  check Alcotest.bool "same graphs" true
+    (Asgraph.Graph.edges (Scenario.graph a) = Asgraph.Graph.edges (Scenario.graph b));
+  let ra = Scenario.run a Core.Config.default in
+  let rb = Scenario.run b Core.Config.default in
+  check Alcotest.int "same dynamics" (Core.Engine.rounds_run ra) (Core.Engine.rounds_run rb);
+  check Alcotest.int "same outcome" (Core.State.secure_count ra.final)
+    (Core.State.secure_count rb.final)
+
+let test_run_all_filter () =
+  let s = Lazy.force scenario in
+  let results = Registry.run_all ~only:[ "table2"; "attacks" ] s in
+  check Alcotest.(list string) "filtered ids" [ "table2"; "attacks" ]
+    (List.map (fun ((e : Registry.experiment), _, _) -> e.id) results)
+
+let test_case_study_shape () =
+  (* The headline result at miniature scale: with CPs + top-5 as early
+     adopters and theta = 5%, a majority of ASes end up secure. *)
+  let s = Lazy.force scenario in
+  let r = Scenario.run s Core.Config.default in
+  check Alcotest.bool "majority secure" true (Core.Engine.secure_fraction r `As > 0.5);
+  check Alcotest.bool "stable" true (r.termination = Core.Engine.Stable)
+
+let test_high_theta_weakens_deployment () =
+  let s = Lazy.force scenario in
+  let low = Scenario.run s { Core.Config.default with theta = 0.02; theta_off = 0.02 } in
+  let high = Scenario.run s { Core.Config.default with theta = 0.6; theta_off = 0.6 } in
+  check Alcotest.bool "higher cost, less deployment" true
+    (Core.Engine.secure_fraction high `As <= Core.Engine.secure_fraction low `As)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "ids unique" `Quick test_ids_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "all paper artifacts covered" `Quick test_expected_ids_present;
+          Alcotest.test_case "run_all filter" `Quick test_run_all_filter;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "case-study shape" `Quick test_case_study_shape;
+          Alcotest.test_case "theta monotonicity" `Quick test_high_theta_weakens_deployment;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "every experiment produces rows" `Slow
+            test_every_experiment_produces_rows;
+        ] );
+    ]

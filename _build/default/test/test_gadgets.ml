@@ -1,0 +1,332 @@
+(* Tests for the appendix constructions: DIAMOND, buyer's remorse,
+   CHICKEN (oscillation), the AND gadget, and the SET-COVER
+   reduction. *)
+
+module Graph = Asgraph.Graph
+module State = Core.State
+module Engine = Core.Engine
+module Route_static = Bgp.Route_static
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Diamond (Figure 2) *)
+
+let test_diamond_valid () =
+  let d = Gadgets.Diamond.build () in
+  let r = Asgraph.Validate.run d.graph in
+  check Alcotest.bool "gr1" true r.gr1_acyclic;
+  check Alcotest.bool "connected" true r.connected;
+  check Alcotest.bool "stub is a stub" true (Graph.is_stub d.graph d.stub);
+  check Alcotest.bool "competitors are ISPs" true
+    (Graph.is_isp d.graph d.isp_a && Graph.is_isp d.graph d.isp_b)
+
+let test_diamond_dynamics () =
+  let d = Gadgets.Diamond.build () in
+  let statics = Route_static.create d.graph in
+  let state = State.create d.graph ~early:d.early in
+  let result = Engine.run Gadgets.Diamond.config statics ~weight:d.weight ~state in
+  (match result.rounds with
+  | r1 :: r2 :: _ ->
+      check Alcotest.(list int) "challenger deploys first" [ d.isp_b ] r1.turned_on;
+      check Alcotest.(list int) "incumbent catches up" [ d.isp_a ] r2.turned_on
+  | _ -> Alcotest.fail "expected two rounds");
+  check Alcotest.bool "stable" true (result.termination = Engine.Stable);
+  check Alcotest.bool "stub simplex" true (State.simplex result.final d.stub)
+
+let test_diamond_challenger_steals_then_loses_back () =
+  let d = Gadgets.Diamond.build () in
+  let statics = Route_static.create d.graph in
+  let state = State.create d.graph ~early:d.early in
+  let result = Engine.run Gadgets.Diamond.config statics ~weight:d.weight ~state in
+  match result.rounds with
+  | _ :: r2 :: r3 :: _ ->
+      (* Between rounds 2 and 3 the incumbent regains the source's
+         traffic: the challenger's round-3 utility is back below its
+         round-2 peak. *)
+      check Alcotest.bool "challenger peaked in round 2" true
+        (r2.utilities.(d.isp_b) > r3.utilities.(d.isp_b))
+  | _ -> Alcotest.fail "expected three rounds"
+
+(* ------------------------------------------------------------------ *)
+(* Buyer's remorse (Figure 13) *)
+
+let test_remorse_turns_off () =
+  let r = Gadgets.Remorse.build () in
+  let statics = Route_static.create r.graph in
+  let state = Gadgets.Remorse.initial_state r in
+  check Alcotest.bool "starts secure" true (State.full state r.isp);
+  let result = Engine.run Gadgets.Remorse.config statics ~weight:r.weight ~state in
+  check Alcotest.bool "turned off" false (State.secure result.final r.isp);
+  check Alcotest.bool "stable after" true (result.termination = Engine.Stable);
+  (match result.rounds with
+  | r1 :: _ ->
+      check Alcotest.(list int) "the isp disabled in round 1" [ r.isp ] r1.turned_off;
+      check Alcotest.bool "projection strictly better" true
+        (r1.projected.(r.isp) > r1.utilities.(r.isp))
+  | [] -> Alcotest.fail "expected rounds");
+  (* Sticky simplex: the stubs keep signing after the ISP quits. *)
+  List.iter
+    (fun s -> check Alcotest.bool "stub keeps simplex" true (State.secure result.final s))
+    r.stubs
+
+let test_remorse_gain_scales_with_stubs () =
+  let small = Gadgets.Remorse.build ~stub_count:4 () in
+  let large = Gadgets.Remorse.build ~stub_count:24 () in
+  let gain (r : Gadgets.Remorse.t) =
+    let statics = Route_static.create r.graph in
+    let state = Gadgets.Remorse.initial_state r in
+    let result = Engine.run Gadgets.Remorse.config statics ~weight:r.weight ~state in
+    match result.rounds with
+    | r1 :: _ -> r1.projected.(r.isp) -. r1.utilities.(r.isp)
+    | [] -> 0.0
+  in
+  check Alcotest.bool "more stubs, bigger incentive" true (gain large > gain small)
+
+let test_remorse_outgoing_model_stays () =
+  (* Under the outgoing model the same ISP has no reason to disable
+     (Theorem 6.2): the engine must keep it secure. *)
+  let r = Gadgets.Remorse.build () in
+  let statics = Route_static.create r.graph in
+  let state = Gadgets.Remorse.initial_state r in
+  let cfg =
+    { Gadgets.Remorse.config with model = Core.Config.Outgoing; allow_turn_off = false }
+  in
+  let result = Engine.run cfg statics ~weight:r.weight ~state in
+  check Alcotest.bool "stays secure" true (State.secure result.final r.isp)
+
+(* ------------------------------------------------------------------ *)
+(* Chicken (Appendix K.5) *)
+
+let test_chicken_valid () =
+  let c = Gadgets.Chicken.build () in
+  let r = Asgraph.Validate.run c.graph in
+  check Alcotest.bool "gr1" true r.gr1_acyclic;
+  check Alcotest.bool "connected" true r.connected
+
+let test_chicken_best_response_structure () =
+  let c = Gadgets.Chicken.build () in
+  let u = Gadgets.Chicken.payoff c in
+  let u_on_on = u ~on10:true ~on20:true in
+  let u_on_off = u ~on10:true ~on20:false in
+  let u_off_on = u ~on10:false ~on20:true in
+  let u_off_off = u ~on10:false ~on20:false in
+  (* From (ON, ON) both strictly prefer to flip. *)
+  check Alcotest.bool "10 flees ON,ON" true (fst u_off_on > fst u_on_on);
+  check Alcotest.bool "20 flees ON,ON" true (snd u_on_off > snd u_on_on);
+  (* From (OFF, OFF) both strictly prefer to flip. *)
+  check Alcotest.bool "10 enters at OFF,OFF" true (fst u_on_off > fst u_off_off);
+  check Alcotest.bool "20 enters at OFF,OFF" true (snd u_off_on > snd u_off_off);
+  (* The asymmetric profiles are stable. *)
+  check Alcotest.bool "ON,OFF stable for 10" true (fst u_on_off >= fst u_off_off);
+  check Alcotest.bool "ON,OFF stable for 20" true (snd u_on_off >= snd u_on_on);
+  check Alcotest.bool "OFF,ON stable for 10" true (fst u_off_on >= fst u_on_on);
+  check Alcotest.bool "OFF,ON stable for 20" true (snd u_off_on >= snd u_off_off)
+
+let test_chicken_oscillates () =
+  let c = Gadgets.Chicken.build () in
+  let statics = Route_static.create c.graph in
+  let state = State.create c.graph ~early:c.early ~frozen:c.frozen in
+  let result = Engine.run Gadgets.Chicken.config statics ~weight:c.weight ~state in
+  (match result.termination with
+  | Engine.Oscillation { first_round } -> check Alcotest.int "period-2 cycle" 0 first_round
+  | Engine.Stable -> Alcotest.fail "unexpectedly stable"
+  | Engine.Max_rounds -> Alcotest.fail "hit round cap");
+  match result.rounds with
+  | r1 :: r2 :: _ ->
+      check Alcotest.(list int) "both on in round 1" [ c.player10; c.player20 ]
+        (List.sort compare r1.turned_on);
+      check Alcotest.(list int) "both off in round 2" [ c.player10; c.player20 ]
+        (List.sort compare r2.turned_off)
+  | _ -> Alcotest.fail "expected two rounds"
+
+(* ------------------------------------------------------------------ *)
+(* AND gadget *)
+
+let test_and_gadget_truth_table () =
+  let t = Gadgets.And_gadget.build () in
+  List.iter
+    (fun (ins, expected) ->
+      check Alcotest.bool
+        (Printf.sprintf "inputs %s"
+           (String.concat "" (List.map (fun b -> if b then "1" else "0") ins)))
+        expected
+        (Gadgets.And_gadget.run t ~inputs_on:(Array.of_list ins)))
+    [
+      ([ true; true; true ], true);
+      ([ true; true; false ], false);
+      ([ true; false; true ], false);
+      ([ false; true; true ], false);
+      ([ true; false; false ], false);
+      ([ false; false; false ], false);
+    ]
+
+let test_and_gadget_valid () =
+  let t = Gadgets.And_gadget.build () in
+  let r = Asgraph.Validate.run t.graph in
+  check Alcotest.bool "gr1" true r.gr1_acyclic;
+  check Alcotest.bool "connected" true r.connected
+
+(* ------------------------------------------------------------------ *)
+(* k-Selector (Appendix K.6, Lemma K.5) *)
+
+let selector_cache = Hashtbl.create 4
+
+let selector k =
+  match Hashtbl.find_opt selector_cache k with
+  | Some t -> t
+  | None ->
+      let t = Gadgets.Selector.build ~k () in
+      Hashtbl.replace selector_cache k t;
+      t
+
+let first_round_moves t ~on =
+  match (Gadgets.Selector.run_from t ~on).rounds with
+  | (rr : Engine.round_record) :: _ -> (rr.turned_on, rr.turned_off)
+  | [] -> ([], [])
+
+let test_selector_valid () =
+  List.iter
+    (fun k ->
+      let t = selector k in
+      let r = Asgraph.Validate.run t.graph in
+      check Alcotest.bool "gr1" true r.gr1_acyclic;
+      check Alcotest.bool "connected" true r.connected)
+    [ 2; 3; 4 ]
+
+let test_selector_single_on_stable () =
+  List.iter
+    (fun k ->
+      let t = selector k in
+      Array.iter
+        (fun p ->
+          check
+            Alcotest.(pair (list int) (list int))
+            (Printf.sprintf "k=%d, only %d ON is stable" k p)
+            ([], [])
+            (first_round_moves t ~on:[ p ]))
+        t.players)
+    [ 2; 3; 4 ]
+
+let test_selector_all_off_everyone_enters () =
+  List.iter
+    (fun k ->
+      let t = selector k in
+      let on, off = first_round_moves t ~on:[] in
+      check Alcotest.(list int) (Printf.sprintf "k=%d all enter" k)
+        (Array.to_list t.players) (List.sort compare on);
+      check Alcotest.(list int) "none leave" [] off)
+    [ 2; 3; 4 ]
+
+let test_selector_multi_on_all_flee () =
+  let t = selector 3 in
+  List.iter
+    (fun on ->
+      let turned_on, turned_off = first_round_moves t ~on in
+      check Alcotest.(list int) "every ON player flees" (List.sort compare on)
+        (List.sort compare turned_off);
+      check Alcotest.(list int) "nobody enters" [] turned_on)
+    [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ]; [ 0; 1; 2 ] ];
+  let t4 = selector 4 in
+  List.iter
+    (fun on ->
+      let _, turned_off = first_round_moves t4 ~on in
+      check Alcotest.(list int) "k=4 flee" (List.sort compare on)
+        (List.sort compare turned_off))
+    [ [ 0; 3 ]; [ 1; 2; 3 ]; [ 0; 1; 2; 3 ] ]
+
+let test_selector_rejects_k1 () =
+  Alcotest.check_raises "k >= 2" (Invalid_argument "Selector.build: k >= 2") (fun () ->
+      ignore (Gadgets.Selector.build ~k:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Set cover (Theorem 6.1) *)
+
+let instance =
+  Gadgets.Setcover.
+    { universe = 6; subsets = [ [| 0; 1; 2 |]; [| 2; 3 |]; [| 3; 4; 5 |]; [| 0; 5 |] ] }
+
+let test_setcover_secure_tracks_coverage () =
+  let t = Gadgets.Setcover.build instance in
+  let r = Asgraph.Validate.run t.graph in
+  check Alcotest.bool "gr1" true r.gr1_acyclic;
+  (* secure = 2 * chosen + 1 (for d) + covered elements. *)
+  List.iter
+    (fun chosen ->
+      let early = List.map (fun i -> t.s1.(i)) chosen in
+      let secure = Gadgets.Setcover.secure_after t ~early in
+      let covered = Gadgets.Setcover.covered instance ~chosen in
+      let expected = if chosen = [] then 0 else (2 * List.length chosen) + 1 + covered in
+      check Alcotest.int
+        (Printf.sprintf "chosen %s" (String.concat "," (List.map string_of_int chosen)))
+        expected secure)
+    [ []; [ 0 ]; [ 1 ]; [ 0; 2 ]; [ 0; 1 ]; [ 1; 3 ]; [ 0; 1; 2; 3 ] ]
+
+let test_setcover_optimum_is_cover () =
+  let t = Gadgets.Setcover.build instance in
+  let statics = Route_static.create t.graph in
+  let best, secure =
+    Adopters.Strategy.brute_force_optimum Gadgets.Setcover.config statics
+      ~weight:t.weight ~k:2 ~candidates:(Array.to_list t.s1)
+  in
+  (* {0, 2} is the unique full cover of size 2. *)
+  let chosen =
+    List.map
+      (fun e ->
+        let idx = ref (-1) in
+        Array.iteri (fun i v -> if v = e then idx := i) t.s1;
+        !idx)
+      best
+    |> List.sort compare
+  in
+  check Alcotest.(list int) "optimal adopters = optimal cover" [ 0; 2 ] chosen;
+  check Alcotest.int "covers the whole universe" (4 + 1 + 6) secure
+
+let () =
+  Alcotest.run "gadgets"
+    [
+      ( "diamond",
+        [
+          Alcotest.test_case "valid graph" `Quick test_diamond_valid;
+          Alcotest.test_case "two-round catch-up dynamics" `Quick test_diamond_dynamics;
+          Alcotest.test_case "steal then lose back" `Quick
+            test_diamond_challenger_steals_then_loses_back;
+        ] );
+      ( "remorse",
+        [
+          Alcotest.test_case "turns S*BGP off" `Quick test_remorse_turns_off;
+          Alcotest.test_case "incentive scales with stubs" `Quick
+            test_remorse_gain_scales_with_stubs;
+          Alcotest.test_case "no remorse under outgoing model" `Quick
+            test_remorse_outgoing_model_stays;
+        ] );
+      ( "chicken",
+        [
+          Alcotest.test_case "valid graph" `Quick test_chicken_valid;
+          Alcotest.test_case "best-response structure" `Quick
+            test_chicken_best_response_structure;
+          Alcotest.test_case "oscillates forever" `Quick test_chicken_oscillates;
+        ] );
+      ( "and-gadget",
+        [
+          Alcotest.test_case "truth table" `Quick test_and_gadget_truth_table;
+          Alcotest.test_case "valid graph" `Quick test_and_gadget_valid;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "valid graphs" `Quick test_selector_valid;
+          Alcotest.test_case "single-ON states are stable" `Quick
+            test_selector_single_on_stable;
+          Alcotest.test_case "all-OFF: everyone enters" `Quick
+            test_selector_all_off_everyone_enters;
+          Alcotest.test_case "multi-ON: all flee" `Quick test_selector_multi_on_all_flee;
+          Alcotest.test_case "rejects k=1" `Quick test_selector_rejects_k1;
+        ] );
+      ( "setcover",
+        [
+          Alcotest.test_case "secure count tracks coverage" `Quick
+            test_setcover_secure_tracks_coverage;
+          Alcotest.test_case "optimal adopters solve set cover" `Quick
+            test_setcover_optimum_is_cover;
+        ] );
+    ]

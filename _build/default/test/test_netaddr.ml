@@ -1,0 +1,155 @@
+(* Tests for IPv4 addresses and prefixes. *)
+
+module Ipv4 = Netaddr.Ipv4
+module Prefix = Netaddr.Prefix
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Ipv4 *)
+
+let test_ipv4_parse_valid () =
+  List.iter
+    (fun (s, expected) ->
+      match Ipv4.of_string s with
+      | Some v -> check Alcotest.int s expected (Ipv4.to_int v)
+      | None -> Alcotest.fail ("failed to parse " ^ s))
+    [
+      ("0.0.0.0", 0);
+      ("255.255.255.255", 0xFFFFFFFF);
+      ("10.0.0.1", 0x0A000001);
+      ("192.168.1.1", 0xC0A80101);
+      ("1.2.3.4", 0x01020304);
+    ]
+
+let test_ipv4_parse_invalid () =
+  List.iter
+    (fun s -> check Alcotest.bool s true (Ipv4.of_string s = None))
+    [
+      ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "1.2.3.999"; "a.b.c.d"; "1..2.3";
+      "1.2.3.4 "; " 1.2.3.4"; "+1.2.3.4"; "1.2.3.4x"; "1.2.3.-4"; "1234.1.1.1";
+    ]
+
+let test_ipv4_roundtrip_qcheck =
+  qtest "print/parse roundtrip" QCheck2.Gen.(int_bound 0xFFFFFFF)
+    (fun raw ->
+      let v = Ipv4.of_int (raw * 16) in
+      Ipv4.of_string (Ipv4.to_string v) = Some v)
+
+let test_ipv4_of_octets () =
+  check Alcotest.string "octets" "1.2.3.4" (Ipv4.to_string (Ipv4.of_octets 1 2 3 4));
+  Alcotest.check_raises "bad octet" (Invalid_argument "Ipv4.of_octets") (fun () ->
+      ignore (Ipv4.of_octets 256 0 0 0))
+
+let test_ipv4_compare () =
+  let a = Ipv4.of_string_exn "10.0.0.1" and b = Ipv4.of_string_exn "10.0.0.2" in
+  check Alcotest.bool "ordering" true (Ipv4.compare a b < 0);
+  check Alcotest.bool "equal" true (Ipv4.equal a a)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix *)
+
+let p = Prefix.of_string_exn
+
+let test_prefix_parse () =
+  let pr = p "10.1.0.0/16" in
+  check Alcotest.string "roundtrip" "10.1.0.0/16" (Prefix.to_string pr);
+  check Alcotest.int "length" 16 pr.Prefix.length
+
+let test_prefix_parse_invalid () =
+  List.iter
+    (fun s -> check Alcotest.bool s true (Prefix.of_string s = None))
+    [ ""; "10.0.0.0"; "10.0.0.0/33"; "10.0.0.0/-1"; "10.0.0.1/24"; "300.0.0.0/8"; "10.0.0.0/"; "10.0.0.0/8/9" ]
+
+let test_prefix_make_masks_host_bits () =
+  let pr = Prefix.make (Ipv4.of_string_exn "10.1.2.3") 16 in
+  check Alcotest.string "masked" "10.1.0.0/16" (Prefix.to_string pr)
+
+let test_prefix_contains () =
+  let pr = p "192.168.0.0/16" in
+  check Alcotest.bool "contains inside" true
+    (Prefix.contains pr (Ipv4.of_string_exn "192.168.42.7"));
+  check Alcotest.bool "excludes outside" false
+    (Prefix.contains pr (Ipv4.of_string_exn "192.169.0.1"));
+  check Alcotest.bool "slash zero contains all" true
+    (Prefix.contains (p "0.0.0.0/0") (Ipv4.of_string_exn "8.8.8.8"))
+
+let test_prefix_subsumes () =
+  check Alcotest.bool "wider subsumes narrower" true
+    (Prefix.subsumes (p "10.0.0.0/8") (p "10.5.0.0/16"));
+  check Alcotest.bool "narrower does not subsume wider" false
+    (Prefix.subsumes (p "10.5.0.0/16") (p "10.0.0.0/8"));
+  check Alcotest.bool "disjoint" false (Prefix.subsumes (p "10.0.0.0/8") (p "11.0.0.0/8"));
+  check Alcotest.bool "reflexive" true (Prefix.subsumes (p "10.0.0.0/8") (p "10.0.0.0/8"))
+
+let test_prefix_overlap () =
+  check Alcotest.bool "nested overlap" true (Prefix.overlap (p "10.0.0.0/8") (p "10.1.0.0/16"));
+  check Alcotest.bool "disjoint no overlap" false
+    (Prefix.overlap (p "10.0.0.0/16") (p "10.1.0.0/16"))
+
+let test_prefix_split () =
+  match Prefix.split (p "10.0.0.0/8") with
+  | None -> Alcotest.fail "should split"
+  | Some (lo, hi) ->
+      check Alcotest.string "lo" "10.0.0.0/9" (Prefix.to_string lo);
+      check Alcotest.string "hi" "10.128.0.0/9" (Prefix.to_string hi);
+      check Alcotest.bool "host cannot split" true (Prefix.split (p "1.2.3.4/32") = None)
+
+let gen_prefix =
+  QCheck2.Gen.(
+    map2
+      (fun addr len -> Prefix.make (Ipv4.of_int addr) len)
+      (int_bound 0xFFFFFFF) (int_bound 32))
+
+let test_prefix_roundtrip_qcheck =
+  qtest "prefix print/parse roundtrip" gen_prefix (fun pr ->
+      Prefix.of_string (Prefix.to_string pr) = Some pr)
+
+let test_prefix_split_partition_qcheck =
+  qtest "split halves partition the parent"
+    QCheck2.Gen.(pair gen_prefix (int_bound 0xFFFFFFF))
+    (fun (pr, raw) ->
+      match Prefix.split pr with
+      | None -> pr.Prefix.length = 32
+      | Some (lo, hi) ->
+          Prefix.subsumes pr lo && Prefix.subsumes pr hi
+          && (not (Prefix.overlap lo hi))
+          &&
+          let addr = Ipv4.of_int raw in
+          if Prefix.contains pr addr then
+            Prefix.contains lo addr <> Prefix.contains hi addr
+          else (not (Prefix.contains lo addr)) && not (Prefix.contains hi addr))
+
+let test_prefix_subsumes_transitive_qcheck =
+  qtest "subsumption is transitive"
+    QCheck2.Gen.(triple gen_prefix gen_prefix gen_prefix)
+    (fun (a, b, c) ->
+      (not (Prefix.subsumes a b && Prefix.subsumes b c)) || Prefix.subsumes a c)
+
+let () =
+  Alcotest.run "netaddr"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "parse valid" `Quick test_ipv4_parse_valid;
+          Alcotest.test_case "parse invalid" `Quick test_ipv4_parse_invalid;
+          Alcotest.test_case "of_octets" `Quick test_ipv4_of_octets;
+          Alcotest.test_case "compare" `Quick test_ipv4_compare;
+          test_ipv4_roundtrip_qcheck;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "parse" `Quick test_prefix_parse;
+          Alcotest.test_case "parse invalid" `Quick test_prefix_parse_invalid;
+          Alcotest.test_case "make masks host bits" `Quick test_prefix_make_masks_host_bits;
+          Alcotest.test_case "contains" `Quick test_prefix_contains;
+          Alcotest.test_case "subsumes" `Quick test_prefix_subsumes;
+          Alcotest.test_case "overlap" `Quick test_prefix_overlap;
+          Alcotest.test_case "split" `Quick test_prefix_split;
+          test_prefix_roundtrip_qcheck;
+          test_prefix_split_partition_qcheck;
+          test_prefix_subsumes_transitive_qcheck;
+        ] );
+    ]

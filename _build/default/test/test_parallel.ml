@@ -1,0 +1,101 @@
+(* Tests for the domain pool (the DryadLINQ stand-in): results must be
+   identical regardless of worker count. *)
+
+module Pool = Parallel.Pool
+
+let check = Alcotest.check
+
+let test_map_reduce_sum () =
+  let tasks = 1000 in
+  let expected = tasks * (tasks - 1) / 2 in
+  List.iter
+    (fun workers ->
+      let total =
+        Pool.map_reduce ~workers ~tasks
+          ~init:(fun () -> ref 0)
+          ~task:(fun acc i -> acc := !acc + i)
+          ~combine:(fun a b ->
+            a := !a + !b;
+            a)
+      in
+      check Alcotest.int (Printf.sprintf "workers=%d" workers) expected !total)
+    [ 1; 2; 4; 7 ]
+
+let test_map_reduce_order_deterministic () =
+  (* The reduction is a left fold over worker index: collecting slices
+     must give task order regardless of worker count. *)
+  let tasks = 97 in
+  let collect workers =
+    !(Pool.map_reduce ~workers ~tasks
+        ~init:(fun () -> ref [])
+        ~task:(fun acc i -> acc := !acc @ [ i ])
+        ~combine:(fun a b ->
+          a := !a @ !b;
+          a))
+  in
+  check Alcotest.(list int) "identity order" (List.init tasks (fun i -> i)) (collect 1);
+  check Alcotest.(list int) "same with 4 workers" (collect 1) (collect 4)
+
+let test_map_array () =
+  let sq = Pool.map_array ~workers:3 ~tasks:50 (fun i -> i * i) in
+  check Alcotest.(array int) "equals Array.init" (Array.init 50 (fun i -> i * i)) sq;
+  check Alcotest.(array int) "empty" [||] (Pool.map_array ~workers:3 ~tasks:0 (fun i -> i))
+
+let test_more_workers_than_tasks () =
+  let r = Pool.map_array ~workers:16 ~tasks:3 (fun i -> i + 1) in
+  check Alcotest.(array int) "clamped" [| 1; 2; 3 |] r
+
+let test_recommended_workers_positive () =
+  check Alcotest.bool "at least one" true (Pool.recommended_workers () >= 1)
+
+let test_parallel_utility_matches_sequential () =
+  (* The real use: per-destination utility accumulation partitioned
+     across workers must equal the sequential computation. *)
+  let params = Topology.Params.with_n Topology.Params.default 150 in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let n = Asgraph.Graph.n g in
+  let statics = Bgp.Route_static.create g in
+  (* Prime the per-destination cache sequentially: the cache itself is
+     not thread-safe, which is exactly why workers get local scratch. *)
+  for d = 0 to n - 1 do
+    ignore (Bgp.Route_static.get statics d)
+  done;
+  let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+  let state = Core.State.create g ~early:(Asgraph.Metrics.top_by_degree g 3) in
+  let secure = Core.State.secure_bytes state in
+  let use_secp = Core.State.use_secp_bytes state ~stub_tiebreak:true in
+  let compute workers =
+    let acc =
+      Pool.map_reduce ~workers ~tasks:n
+        ~init:(fun () -> (Bgp.Forest.make_scratch n, Array.make n 0.0))
+        ~task:(fun (scratch, into) d ->
+          let info = Bgp.Route_static.get statics d in
+          Bgp.Forest.compute info ~tiebreak:Bgp.Policy.Lowest_id ~secure ~use_secp
+            ~weight scratch;
+          Core.Utility.accumulate Core.Config.Outgoing g info scratch ~weight ~into)
+        ~combine:(fun (s, a) (_, b) ->
+          Array.iteri (fun i v -> a.(i) <- a.(i) +. v) b;
+          (s, a))
+    in
+    snd acc
+  in
+  let seq = compute 1 in
+  let par = compute 4 in
+  check Alcotest.(array (float 1e-9)) "bit-identical utilities" seq par
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_reduce sums" `Quick test_map_reduce_sum;
+          Alcotest.test_case "deterministic reduction order" `Quick
+            test_map_reduce_order_deterministic;
+          Alcotest.test_case "map_array" `Quick test_map_array;
+          Alcotest.test_case "more workers than tasks" `Quick test_more_workers_than_tasks;
+          Alcotest.test_case "recommended workers" `Quick test_recommended_workers_positive;
+          Alcotest.test_case "parallel utility = sequential" `Quick
+            test_parallel_utility_matches_sequential;
+        ] );
+    ]

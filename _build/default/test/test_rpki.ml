@@ -1,0 +1,186 @@
+(* Tests for the RPKI substrate: certificates, ROAs, the registry. *)
+
+module Prefix = Netaddr.Prefix
+module Cert = Rpki.Cert
+module Roa = Rpki.Roa
+module Registry = Rpki.Registry
+module Sig_scheme = Scrypto.Sig_scheme
+
+let check = Alcotest.check
+let p = Prefix.of_string_exn
+
+let validity =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Roa.validity_to_string v))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Certificates *)
+
+let root_with keypair = Cert.self_signed_root ~keypair ~resources:[ p "0.0.0.0/0" ]
+
+let test_cert_issue_and_verify () =
+  let rng = Nsutil.Prng.create ~seed:1 in
+  let root_kp = Sig_scheme.generate rng in
+  let root = root_with root_kp in
+  let subject_kp = Sig_scheme.generate rng in
+  match
+    Cert.issue ~issuer_keypair:root_kp ~issuer:root ~subject_asn:65000
+      ~subject_keypair:subject_kp ~resources:[ p "10.0.0.0/8" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok cert ->
+      let lookup id =
+        if id = root_kp.Sig_scheme.key_id then Some root_kp
+        else if id = subject_kp.Sig_scheme.key_id then Some subject_kp
+        else None
+      in
+      check Alcotest.bool "chain verifies" true
+        (Result.is_ok (Cert.verify_chain ~root ~lookup_keypair:lookup [ root; cert ]));
+      check Alcotest.bool "covers its prefix" true (Cert.covers cert (p "10.1.0.0/16"));
+      check Alcotest.bool "does not cover others" false (Cert.covers cert (p "11.0.0.0/8"))
+
+let test_cert_resources_must_nest () =
+  let rng = Nsutil.Prng.create ~seed:2 in
+  let root_kp = Sig_scheme.generate rng in
+  (* A root holding only 10/8 cannot issue 11/8. *)
+  let root = Cert.self_signed_root ~keypair:root_kp ~resources:[ p "10.0.0.0/8" ] in
+  let subject_kp = Sig_scheme.generate rng in
+  match
+    Cert.issue ~issuer_keypair:root_kp ~issuer:root ~subject_asn:65001
+      ~subject_keypair:subject_kp ~resources:[ p "11.0.0.0/8" ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected resource violation"
+
+let test_cert_wrong_issuer_key () =
+  let rng = Nsutil.Prng.create ~seed:3 in
+  let root_kp = Sig_scheme.generate rng in
+  let imposter_kp = Sig_scheme.generate rng in
+  let root = root_with root_kp in
+  match
+    Cert.issue ~issuer_keypair:imposter_kp ~issuer:root ~subject_asn:65002
+      ~subject_keypair:(Sig_scheme.generate rng) ~resources:[ p "10.0.0.0/8" ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected issuer mismatch"
+
+let test_cert_chain_rejects_forgery () =
+  let rng = Nsutil.Prng.create ~seed:4 in
+  let root_kp = Sig_scheme.generate rng in
+  let root = root_with root_kp in
+  let a_kp = Sig_scheme.generate rng in
+  let b_kp = Sig_scheme.generate rng in
+  let a =
+    Result.get_ok
+      (Cert.issue ~issuer_keypair:root_kp ~issuer:root ~subject_asn:1 ~subject_keypair:a_kp
+         ~resources:[ p "10.0.0.0/8" ])
+  in
+  (* b issued by a (not root), but we verify it as if issued by root:
+     the chain check must fail. *)
+  let b =
+    Result.get_ok
+      (Cert.issue ~issuer_keypair:a_kp ~issuer:a ~subject_asn:2 ~subject_keypair:b_kp
+         ~resources:[ p "10.1.0.0/16" ])
+  in
+  let lookup id =
+    List.find_opt (fun (kp : Sig_scheme.keypair) -> kp.key_id = id) [ root_kp; a_kp; b_kp ]
+  in
+  check Alcotest.bool "full chain ok" true
+    (Result.is_ok (Cert.verify_chain ~root ~lookup_keypair:lookup [ root; a; b ]));
+  check Alcotest.bool "skipping a link fails" true
+    (Result.is_error (Cert.verify_chain ~root ~lookup_keypair:lookup [ root; b ]));
+  check Alcotest.bool "must start at the anchor" true
+    (Result.is_error (Cert.verify_chain ~root:a ~lookup_keypair:lookup [ root; a ]))
+
+(* ------------------------------------------------------------------ *)
+(* ROAs *)
+
+let test_roa_validation_matrix () =
+  let holder = Sig_scheme.of_secret "holder" in
+  let roas =
+    [
+      Roa.make ~holder_keypair:holder ~prefix:(p "10.0.0.0/16") ~origin_asn:65000
+        ~max_length:20 ();
+      Roa.make ~holder_keypair:holder ~prefix:(p "192.168.0.0/16") ~origin_asn:65001 ();
+    ]
+  in
+  check validity "exact valid" Roa.Valid
+    (Roa.validate ~roas ~prefix:(p "10.0.0.0/16") ~origin_asn:65000);
+  check validity "more specific within max_length" Roa.Valid
+    (Roa.validate ~roas ~prefix:(p "10.0.128.0/20") ~origin_asn:65000);
+  check validity "too specific" Roa.Invalid_length
+    (Roa.validate ~roas ~prefix:(p "10.0.0.0/24") ~origin_asn:65000);
+  check validity "wrong origin" Roa.Invalid_origin
+    (Roa.validate ~roas ~prefix:(p "10.0.0.0/16") ~origin_asn:65009);
+  check validity "uncovered prefix" Roa.Unknown
+    (Roa.validate ~roas ~prefix:(p "172.16.0.0/12") ~origin_asn:65000);
+  check validity "default max_length is the prefix length" Roa.Invalid_length
+    (Roa.validate ~roas ~prefix:(p "192.168.1.0/24") ~origin_asn:65001)
+
+let test_roa_signature () =
+  let holder = Sig_scheme.of_secret "holder" in
+  let roa = Roa.make ~holder_keypair:holder ~prefix:(p "10.0.0.0/8") ~origin_asn:1 () in
+  check Alcotest.bool "verifies" true (Roa.verify ~verification_key:holder roa);
+  let other = Sig_scheme.of_secret "other" in
+  check Alcotest.bool "wrong key fails" false (Roa.verify ~verification_key:other roa)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_enroll_and_validate () =
+  let reg = Registry.create ~seed:5 in
+  (match Registry.enroll reg ~asn:65010 ~prefixes:[ p "10.10.0.0/16" ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "enrolled" true (Registry.enrolled reg ~asn:65010);
+  check Alcotest.bool "not enrolled" false (Registry.enrolled reg ~asn:65011);
+  check validity "origin valid" Roa.Valid
+    (Registry.origin_validity reg ~prefix:(p "10.10.0.0/16") ~origin_asn:65010);
+  check validity "hijack invalid" Roa.Invalid_origin
+    (Registry.origin_validity reg ~prefix:(p "10.10.0.0/16") ~origin_asn:65011);
+  check Alcotest.bool "chain verifies" true
+    (Result.is_ok (Registry.verify_as_chain reg ~asn:65010));
+  check Alcotest.bool "unknown chain fails" true
+    (Result.is_error (Registry.verify_as_chain reg ~asn:65011))
+
+let test_registry_double_enroll () =
+  let reg = Registry.create ~seed:6 in
+  ignore (Registry.enroll reg ~asn:1 ~prefixes:[ p "10.0.0.0/24" ]);
+  match Registry.enroll reg ~asn:1 ~prefixes:[ p "10.0.1.0/24" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double enrollment should fail"
+
+let test_registry_key_lookup () =
+  let reg = Registry.create ~seed:7 in
+  ignore (Registry.enroll reg ~asn:9 ~prefixes:[ p "10.0.0.0/24" ]);
+  match Registry.keypair_of reg ~asn:9 with
+  | None -> Alcotest.fail "missing keypair"
+  | Some kp ->
+      (match Registry.lookup_key reg kp.Sig_scheme.key_id with
+      | Some kp' -> check Alcotest.string "same key" kp.Sig_scheme.key_id kp'.Sig_scheme.key_id
+      | None -> Alcotest.fail "lookup by id failed");
+      check Alcotest.int "roa published" 1 (List.length (Registry.roas reg))
+
+let () =
+  Alcotest.run "rpki"
+    [
+      ( "certificates",
+        [
+          Alcotest.test_case "issue and verify" `Quick test_cert_issue_and_verify;
+          Alcotest.test_case "resources must nest" `Quick test_cert_resources_must_nest;
+          Alcotest.test_case "wrong issuer key" `Quick test_cert_wrong_issuer_key;
+          Alcotest.test_case "chain rejects forgery" `Quick test_cert_chain_rejects_forgery;
+        ] );
+      ( "roa",
+        [
+          Alcotest.test_case "validation matrix" `Quick test_roa_validation_matrix;
+          Alcotest.test_case "signatures" `Quick test_roa_signature;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "enroll and validate" `Quick test_registry_enroll_and_validate;
+          Alcotest.test_case "double enroll rejected" `Quick test_registry_double_enroll;
+          Alcotest.test_case "key lookup and roas" `Quick test_registry_key_lookup;
+        ] );
+    ]

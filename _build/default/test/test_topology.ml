@@ -1,0 +1,247 @@
+(* Tests for the synthetic topology generator and augmentation: the
+   generated graphs must have the structural properties the deployment
+   dynamics rely on (DESIGN.md section 3). *)
+
+module Graph = Asgraph.Graph
+module Gen = Topology.Gen
+module Params = Topology.Params
+module Augment = Topology.Augment
+module Validate = Asgraph.Validate
+module Metrics = Asgraph.Metrics
+
+let check = Alcotest.check
+
+let built_cache = Hashtbl.create 4
+
+let build ?(n = 400) ?(seed = 42) () =
+  match Hashtbl.find_opt built_cache (n, seed) with
+  | Some b -> b
+  | None ->
+      let b = Gen.generate { (Params.with_n Params.default n) with seed } in
+      Hashtbl.replace built_cache (n, seed) b;
+      b
+
+let test_valid_structure () =
+  let b = build () in
+  let r = Validate.run b.graph in
+  check Alcotest.bool "gr1 acyclic" true r.gr1_acyclic;
+  check Alcotest.bool "connected" true r.connected;
+  check Alcotest.int "no orphans" 0 r.orphan_count;
+  check Alcotest.int "tier1 clique intact" (List.length b.tier1) r.tier1_count
+
+let test_stub_fraction () =
+  let b = build () in
+  let f = Metrics.stub_fraction b.graph in
+  check Alcotest.bool "around 85% stubs" true (f > 0.78 && f < 0.92)
+
+let test_cp_properties () =
+  let b = build () in
+  List.iter
+    (fun cp ->
+      check Alcotest.bool "cp class" true (Graph.is_cp b.graph cp);
+      check Alcotest.int "cp has no customers" 0 (Graph.customer_degree b.graph cp);
+      check Alcotest.bool "cp has providers" true (Graph.provider_degree b.graph cp > 0))
+    b.cps;
+  check Alcotest.int "five cps" 5 (List.length b.cps)
+
+let test_tier1_clique () =
+  let b = build () in
+  List.iter
+    (fun a ->
+      check Alcotest.int "tier1 has no providers" 0 (Graph.provider_degree b.graph a);
+      List.iter
+        (fun b' ->
+          if a <> b' then
+            check Alcotest.(option string) "tier1s peer" (Some "peer")
+              (Option.map Graph.rel_to_string (Graph.rel b.graph a b')))
+        b.tier1)
+    b.tier1
+
+let test_degree_skew () =
+  let b = build () in
+  let degrees = Metrics.degree_array b.graph in
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 degrees) /. float_of_int (Array.length degrees)
+  in
+  let maxdeg = Array.fold_left max 0 degrees in
+  check Alcotest.bool "heavy tail: max >> mean" true (float_of_int maxdeg > 8.0 *. mean)
+
+let test_multihoming_distribution () =
+  let b = build () in
+  let g = b.graph in
+  let single = ref 0 and multi = ref 0 in
+  for i = 0 to Graph.n g - 1 do
+    if Graph.is_stub g i then
+      if Graph.provider_degree g i = 1 then incr single else incr multi
+  done;
+  let frac_single = float_of_int !single /. float_of_int (!single + !multi) in
+  check Alcotest.bool "roughly half the stubs single-homed" true
+    (frac_single > 0.35 && frac_single < 0.75);
+  check Alcotest.bool "multi-homed stubs exist (the competition locus)" true (!multi > 20)
+
+let test_deterministic () =
+  let a = Gen.generate { (Params.with_n Params.default 200) with seed = 9 } in
+  let b = Gen.generate { (Params.with_n Params.default 200) with seed = 9 } in
+  check Alcotest.bool "same seed, same graph" true (Graph.edges a.graph = Graph.edges b.graph);
+  let c = Gen.generate { (Params.with_n Params.default 200) with seed = 10 } in
+  check Alcotest.bool "different seed, different graph" true
+    (Graph.edges a.graph <> Graph.edges c.graph)
+
+let test_rejects_bad_params () =
+  Alcotest.check_raises "no tier1" (Invalid_argument "Gen.generate: need at least one Tier 1")
+    (fun () -> ignore (Gen.generate { Params.default with tier1 = 0 }));
+  Alcotest.check_raises "no stubs" (Invalid_argument "Gen.generate: no room for stubs")
+    (fun () -> ignore (Gen.generate { Params.default with n = 20; cps = 18 }))
+
+let test_scaling () =
+  List.iter
+    (fun n ->
+      let b = build ~n () in
+      check Alcotest.int (Printf.sprintf "n=%d" n) n (Graph.n b.graph);
+      check Alcotest.bool "valid" true (Validate.gr1_acyclic b.graph))
+    [ 100; 250; 800 ]
+
+(* ------------------------------------------------------------------ *)
+(* Augmentation *)
+
+let test_augment_adds_cp_peering () =
+  let b = build () in
+  let aug = Augment.augment_built b ~fraction:0.8 ~seed:1 in
+  check Alcotest.int "same node count" (Graph.n b.graph) (Graph.n aug.graph);
+  check Alcotest.int "same cp edges" (Graph.cp_edge_count b.graph)
+    (Graph.cp_edge_count aug.graph);
+  check Alcotest.bool "more peering" true
+    (Graph.peer_edge_count aug.graph > Graph.peer_edge_count b.graph);
+  List.iter
+    (fun cp ->
+      check Alcotest.bool "cp degree grew" true
+        (Graph.degree aug.graph cp > Graph.degree b.graph cp))
+    b.cps;
+  check Alcotest.bool "still valid" true (Validate.gr1_acyclic aug.graph)
+
+let test_augment_shortens_cp_paths () =
+  let b = build () in
+  let aug = Augment.augment_built b ~fraction:0.9 ~seed:1 in
+  let statics = Bgp.Route_static.create b.graph in
+  let statics_aug = Bgp.Route_static.create aug.graph in
+  let mean stats =
+    Nsutil.Stats.mean
+      (Array.of_list
+         (List.map (fun cp -> Bgp.Route_static.mean_path_length stats ~from:cp) b.cps))
+  in
+  check Alcotest.bool "augmentation shortens CP paths" true
+    (mean statics_aug < mean statics)
+
+let test_augment_zero_fraction_noop () =
+  let b = build () in
+  let aug = Augment.augment b.graph ~targets:b.ixp_present ~fraction:0.0 ~seed:3 in
+  check Alcotest.bool "identical edges" true
+    (List.sort compare (Graph.edges b.graph) = List.sort compare (Graph.edges aug))
+
+let test_augment_preserves_classes () =
+  let b = build () in
+  let aug = Augment.augment_built b ~fraction:0.8 ~seed:2 in
+  for i = 0 to Graph.n b.graph - 1 do
+    check Alcotest.string "class preserved"
+      (Asgraph.As_class.to_string (Graph.klass b.graph i))
+      (Asgraph.As_class.to_string (Graph.klass aug.graph i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Evolution (Section 8.4 extension) *)
+
+let test_evolve_grows_stubs () =
+  let b = build () in
+  let g = Topology.Evolve.grow b.graph ~new_stubs:40 ~secure_bias:0.0
+      ~is_secure:(fun _ -> false) ~seed:5
+  in
+  check Alcotest.int "node count" (Graph.n b.graph + 40) (Graph.n g);
+  check Alcotest.bool "still valid" true (Validate.gr1_acyclic g);
+  for s = Graph.n b.graph to Graph.n g - 1 do
+    check Alcotest.bool "new node is a stub" true (Graph.is_stub g s);
+    check Alcotest.bool "has a provider" true (Graph.provider_degree g s >= 1)
+  done
+
+let test_evolve_preserves_existing () =
+  let b = build () in
+  let g = Topology.Evolve.grow b.graph ~new_stubs:10 ~secure_bias:1.0
+      ~is_secure:(fun i -> i mod 2 = 0) ~seed:6
+  in
+  let old_edges = List.sort compare (Graph.edges b.graph) in
+  let kept =
+    List.sort compare
+      (List.filter
+         (fun ((a, bb), _) -> a < Graph.n b.graph && bb < Graph.n b.graph)
+         (Graph.edges g))
+  in
+  check Alcotest.bool "old edges intact" true (old_edges = kept);
+  List.iter
+    (fun cp -> check Alcotest.bool "cp classes preserved" true (Graph.is_cp g cp))
+    b.cps
+
+let test_evolve_bias_attracts () =
+  let b = build () in
+  let secure = fun i -> List.mem i (Asgraph.Metrics.top_by_degree b.graph 3) in
+  let count_on_secure g n0 =
+    let hits = ref 0 and total = ref 0 in
+    for s = n0 to Graph.n g - 1 do
+      incr total;
+      let hit = ref false in
+      Graph.iter_providers g s (fun p -> if secure p then hit := true);
+      if !hit then incr hits
+    done;
+    float_of_int !hits /. float_of_int (max 1 !total)
+  in
+  let n0 = Graph.n b.graph in
+  let biased =
+    count_on_secure
+      (Topology.Evolve.grow b.graph ~new_stubs:150 ~secure_bias:8.0 ~is_secure:secure
+         ~seed:7)
+      n0
+  in
+  let unbiased =
+    count_on_secure
+      (Topology.Evolve.grow b.graph ~new_stubs:150 ~secure_bias:0.0 ~is_secure:secure
+         ~seed:7)
+      n0
+  in
+  check Alcotest.bool "bias increases attachment to secure ISPs" true (biased > unbiased)
+
+let test_evolve_rejects_bad_args () =
+  let b = build () in
+  Alcotest.check_raises "negative bias" (Invalid_argument "Evolve.grow: negative bias")
+    (fun () ->
+      ignore
+        (Topology.Evolve.grow b.graph ~new_stubs:1 ~secure_bias:(-1.0)
+           ~is_secure:(fun _ -> false) ~seed:1))
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "valid structure" `Quick test_valid_structure;
+          Alcotest.test_case "stub fraction ~85%" `Quick test_stub_fraction;
+          Alcotest.test_case "content providers" `Quick test_cp_properties;
+          Alcotest.test_case "tier1 clique" `Quick test_tier1_clique;
+          Alcotest.test_case "degree skew" `Quick test_degree_skew;
+          Alcotest.test_case "stub multihoming" `Quick test_multihoming_distribution;
+          Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
+          Alcotest.test_case "rejects bad params" `Quick test_rejects_bad_params;
+          Alcotest.test_case "scales" `Quick test_scaling;
+        ] );
+      ( "evolve",
+        [
+          Alcotest.test_case "grows stubs" `Quick test_evolve_grows_stubs;
+          Alcotest.test_case "preserves existing graph" `Quick test_evolve_preserves_existing;
+          Alcotest.test_case "bias attracts to secure ISPs" `Quick test_evolve_bias_attracts;
+          Alcotest.test_case "rejects bad args" `Quick test_evolve_rejects_bad_args;
+        ] );
+      ( "augment",
+        [
+          Alcotest.test_case "adds CP peering" `Quick test_augment_adds_cp_peering;
+          Alcotest.test_case "shortens CP paths" `Quick test_augment_shortens_cp_paths;
+          Alcotest.test_case "zero fraction is a no-op" `Quick test_augment_zero_fraction_noop;
+          Alcotest.test_case "preserves classes" `Quick test_augment_preserves_classes;
+        ] );
+    ]

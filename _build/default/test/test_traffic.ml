@@ -1,0 +1,159 @@
+(* Tests for the traffic model: CP weight assignment (Section 3.1) and
+   the Section 8.4 pricing schemes. *)
+
+module Graph = Asgraph.Graph
+module Weights = Traffic.Weights
+module Pricing = Traffic.Pricing
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let graph_with_cps ~n ~cps =
+  (* node 0 provides everyone; the first [cps] non-zero nodes are CPs *)
+  let cp_nodes = List.init cps (fun i -> i + 1) in
+  Graph.build ~n
+    ~cp_edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+    ~peer_edges:[] ~cps:cp_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Weights *)
+
+let test_weights_cp_fraction () =
+  let g = graph_with_cps ~n:100 ~cps:5 in
+  let w = Weights.assign g ~cp_fraction:0.2 in
+  check feq "cps originate exactly x" 0.2 (Weights.originated_fraction g w);
+  check feq "others unit weight" 1.0 w.(50);
+  check Alcotest.bool "cp heavier" true (w.(1) > 1.0)
+
+let test_weights_formula () =
+  (* w_CP = x (n - cps) / ((1 - x) cps) *)
+  check feq "hand-computed" (0.1 *. 95.0 /. (0.9 *. 5.0))
+    (Weights.cp_weight ~n:100 ~cps:5 ~cp_fraction:0.1)
+
+let test_weights_no_cps () =
+  let g = graph_with_cps ~n:20 ~cps:0 in
+  let w = Weights.assign g ~cp_fraction:0.3 in
+  check feq "all ones" 20.0 (Weights.total w)
+
+let test_weights_invalid () =
+  let g = graph_with_cps ~n:10 ~cps:1 in
+  Alcotest.check_raises "x = 1 rejected" (Invalid_argument "Weights.assign") (fun () ->
+      ignore (Weights.assign g ~cp_fraction:1.0));
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Weights.assign") (fun () ->
+      ignore (Weights.assign g ~cp_fraction:(-0.1)))
+
+let test_weights_fraction_qcheck =
+  qtest "assigned weights hit the requested CP fraction"
+    QCheck2.Gen.(pair (int_range 10 200) (int_range 1 5))
+    (fun (n, cps) ->
+      let g = graph_with_cps ~n ~cps in
+      List.for_all
+        (fun x ->
+          let w = Weights.assign g ~cp_fraction:x in
+          Float.abs (Weights.originated_fraction g w -. x) < 1e-9)
+        [ 0.1; 0.33; 0.5; 0.9 ])
+
+let test_weights_uniform () =
+  let g = graph_with_cps ~n:7 ~cps:2 in
+  check Alcotest.(array (float 0.)) "uniform ignores classes" (Array.make 7 1.0)
+    (Weights.uniform g)
+
+(* ------------------------------------------------------------------ *)
+(* Pricing *)
+
+let test_pricing_linear () =
+  check feq "identity" 42.5 (Pricing.revenue_of_customer Pricing.Linear 42.5);
+  check feq "sums" 10.0 (Pricing.revenue Pricing.Linear [ 4.0; 6.0 ])
+
+let test_pricing_tiered () =
+  let s = Pricing.Tiered { step = 10.0 } in
+  check feq "rounds up" 1.0 (Pricing.revenue_of_customer s 0.5);
+  check feq "exact boundary" 1.0 (Pricing.revenue_of_customer s 10.0);
+  check feq "next tier" 2.0 (Pricing.revenue_of_customer s 10.1);
+  check feq "zero volume is free" 0.0 (Pricing.revenue_of_customer s 0.0)
+
+let test_pricing_concave () =
+  let s = Pricing.Concave { exponent = 0.5 } in
+  check feq "sqrt" 3.0 (Pricing.revenue_of_customer s 9.0);
+  check Alcotest.bool "subadditive across customers is false (per-customer!)" true
+    (Pricing.revenue s [ 4.0; 4.0 ] > Pricing.revenue_of_customer s 8.0)
+
+let test_pricing_invalid () =
+  Alcotest.check_raises "bad step" (Invalid_argument "Pricing: step must be positive")
+    (fun () -> ignore (Pricing.revenue_of_customer (Pricing.Tiered { step = 0.0 }) 1.0));
+  Alcotest.check_raises "bad exponent"
+    (Invalid_argument "Pricing: exponent must be in (0, 1]") (fun () ->
+      ignore (Pricing.revenue_of_customer (Pricing.Concave { exponent = 1.5 }) 1.0))
+
+let test_pricing_monotone_qcheck =
+  qtest "every scheme is monotone in volume"
+    QCheck2.Gen.(pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      List.for_all
+        (fun s -> Pricing.revenue_of_customer s lo <= Pricing.revenue_of_customer s hi +. 1e-9)
+        [ Pricing.Linear; Pricing.Tiered { step = 7.0 }; Pricing.Concave { exponent = 0.6 } ])
+
+let test_rank_agreement () =
+  check feq "identical" 1.0 (Pricing.rank_agreement [| 1.; 2.; 3. |] [| 10.; 20.; 30. |]);
+  check feq "reversed" 0.0 (Pricing.rank_agreement [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  check feq "ties ignored" 1.0 (Pricing.rank_agreement [| 1.; 1.; 2. |] [| 5.; 9.; 10. |])
+
+(* ------------------------------------------------------------------ *)
+(* Customer volumes (the bridge from routing to pricing) *)
+
+let test_customer_volumes_match_incoming_utility () =
+  let g =
+    Graph.build ~n:6
+      ~cp_edges:[ (0, 1); (0, 2); (1, 4); (2, 4); (2, 5) ]
+      ~peer_edges:[ (0, 3); (1, 2) ]
+      ~cps:[ 3 ]
+  in
+  let statics = Bgp.Route_static.create g in
+  let cfg =
+    { Core.Config.incoming with tiebreak = Bgp.Policy.Lowest_id }
+  in
+  let state = Core.State.create g ~early:[ 0 ] in
+  let weight = [| 1.0; 1.0; 1.0; 10.0; 1.0; 1.0 |] in
+  let volumes = Core.Utility.customer_volumes cfg statics state ~weight in
+  let u = Core.Utility.all cfg statics state ~weight in
+  Array.iteri
+    (fun i per_customer ->
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 per_customer in
+      check feq (Printf.sprintf "node %d" i) u.(i) total;
+      List.iter
+        (fun (c, _) ->
+          check Alcotest.bool "volume only over customer edges" true
+            (Graph.rel g i c = Some Graph.Customer))
+        per_customer)
+    volumes
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "cp fraction" `Quick test_weights_cp_fraction;
+          Alcotest.test_case "formula" `Quick test_weights_formula;
+          Alcotest.test_case "no cps" `Quick test_weights_no_cps;
+          Alcotest.test_case "invalid fractions" `Quick test_weights_invalid;
+          Alcotest.test_case "uniform" `Quick test_weights_uniform;
+          test_weights_fraction_qcheck;
+        ] );
+      ( "pricing",
+        [
+          Alcotest.test_case "linear" `Quick test_pricing_linear;
+          Alcotest.test_case "tiered" `Quick test_pricing_tiered;
+          Alcotest.test_case "concave" `Quick test_pricing_concave;
+          Alcotest.test_case "invalid parameters" `Quick test_pricing_invalid;
+          Alcotest.test_case "rank agreement" `Quick test_rank_agreement;
+          test_pricing_monotone_qcheck;
+        ] );
+      ( "volumes",
+        [
+          Alcotest.test_case "per-customer volumes sum to incoming utility" `Quick
+            test_customer_volumes_match_incoming_utility;
+        ] );
+    ]

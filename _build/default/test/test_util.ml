@@ -1,0 +1,388 @@
+(* Tests for the nsutil substrate: PRNG, CSR, bitsets, statistics,
+   bucket queue, counting sort, tables. *)
+
+module Prng = Nsutil.Prng
+module Csr = Nsutil.Csr
+module Bitset = Nsutil.Bitset
+module Stats = Nsutil.Stats
+module Bucketq = Nsutil.Bucketq
+module Order = Nsutil.Order
+module Table = Nsutil.Table
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Prng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    check Alcotest.bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_int_roughly_uniform () =
+  let rng = Prng.create ~seed:7 in
+  let counts = Array.make 10 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    let v = Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check Alcotest.bool "bucket within 20% of expectation" true
+        (abs (c - (draws / 10)) < draws / 50))
+    counts
+
+let test_prng_split_independent () =
+  let rng = Prng.create ~seed:8 in
+  let forked = Prng.split rng in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int64 rng = Prng.int64 forked then incr same
+  done;
+  check Alcotest.bool "split stream differs" true (!same < 4)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:9 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_sample_without_replacement () =
+  let rng = Prng.create ~seed:10 in
+  List.iter
+    (fun (k, from) ->
+      let s = Prng.sample_without_replacement rng k ~from in
+      check Alcotest.int "count" k (Array.length s);
+      let tbl = Hashtbl.create 16 in
+      Array.iter
+        (fun v ->
+          check Alcotest.bool "in range" true (v >= 0 && v < from);
+          check Alcotest.bool "distinct" false (Hashtbl.mem tbl v);
+          Hashtbl.add tbl v ())
+        s)
+    [ (5, 10); (10, 10); (3, 1000); (0, 4) ]
+
+let test_prng_mix2_stable () =
+  check Alcotest.int "mix2 deterministic" (Prng.mix2 3 7) (Prng.mix2 3 7);
+  check Alcotest.bool "mix2 nonneg" true (Prng.mix2 1234 4321 >= 0);
+  check Alcotest.bool "argument order matters" true (Prng.mix2 3 7 <> Prng.mix2 7 3)
+
+let test_prng_pareto_positive () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "pareto >= xmin" true (Prng.pareto rng ~alpha:2.0 ~xmin:1.5 >= 1.5)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Csr *)
+
+let test_csr_roundtrip () =
+  let lists = [| [ 1; 2; 3 ]; []; [ 7 ]; [ 9; 8 ] |] in
+  let csr = Csr.of_lists lists in
+  check Alcotest.int "rows" 4 (Csr.rows csr);
+  check Alcotest.int "total" 6 (Csr.total csr);
+  Array.iteri
+    (fun i expected -> check Alcotest.(list int) "row" expected (Csr.row_to_list csr i))
+    lists
+
+let test_csr_of_rev_lists () =
+  let csr = Csr.of_rev_lists [| [ 3; 2; 1 ]; [ 5 ] |] in
+  check Alcotest.(list int) "row reversed back" [ 1; 2; 3 ] (Csr.row_to_list csr 0);
+  check Alcotest.(list int) "singleton" [ 5 ] (Csr.row_to_list csr 1)
+
+let test_csr_queries () =
+  let csr = Csr.of_lists [| [ 4; 5; 6 ]; [] |] in
+  check Alcotest.int "row_length" 3 (Csr.row_length csr 0);
+  check Alcotest.int "get" 5 (Csr.get csr 0 1);
+  check Alcotest.bool "mem" true (Csr.mem_row csr 0 6);
+  check Alcotest.bool "not mem" false (Csr.mem_row csr 0 7);
+  check Alcotest.bool "exists" true (Csr.exists_row csr 0 (fun v -> v > 5));
+  check Alcotest.bool "exists empty row" false (Csr.exists_row csr 1 (fun _ -> true));
+  check Alcotest.int "fold sum" 15 (Csr.fold_row csr 0 ( + ) 0)
+
+let csr_gen =
+  QCheck2.Gen.(array_size (int_range 0 20) (list_size (int_range 0 8) (int_bound 100)))
+
+let test_csr_qcheck =
+  qtest "csr round-trips arbitrary rows" csr_gen (fun rows ->
+      let csr = Csr.of_lists rows in
+      Csr.rows csr = Array.length rows
+      && Array.for_all
+           (fun i -> Csr.row_to_list csr i = rows.(i))
+           (Array.init (Array.length rows) (fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 100 in
+  check Alcotest.int "empty cardinal" 0 (Bitset.cardinal b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 99;
+  check Alcotest.int "cardinal" 3 (Bitset.cardinal b);
+  check Alcotest.bool "mem" true (Bitset.mem b 63);
+  Bitset.clear b 63;
+  check Alcotest.bool "cleared" false (Bitset.mem b 63);
+  check Alcotest.(list int) "to_list sorted" [ 0; 99 ] (Bitset.to_list b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "negative index" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.set b (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.mem b 10))
+
+let test_bitset_copy_independent () =
+  let a = Bitset.create 16 in
+  Bitset.set a 3;
+  let b = Bitset.copy a in
+  Bitset.set b 5;
+  check Alcotest.bool "copy has original bit" true (Bitset.mem b 3);
+  check Alcotest.bool "original unaffected" false (Bitset.mem a 5)
+
+let test_bitset_equal_hash () =
+  let a = Bitset.of_list 32 [ 1; 7; 31 ] in
+  let b = Bitset.of_list 32 [ 31; 1; 7 ] in
+  check Alcotest.bool "equal" true (Bitset.equal a b);
+  check Alcotest.int "hash agrees" (Bitset.hash a) (Bitset.hash b);
+  Bitset.set b 2;
+  check Alcotest.bool "not equal after change" false (Bitset.equal a b)
+
+let test_bitset_reset () =
+  let b = Bitset.of_list 20 [ 0; 5; 19 ] in
+  Bitset.reset b;
+  check Alcotest.int "reset clears" 0 (Bitset.cardinal b)
+
+let test_bitset_qcheck =
+  qtest "bitset cardinal matches distinct inserts"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_bound 199))
+    (fun elts ->
+      let b = Bitset.of_list 200 elts in
+      Bitset.cardinal b = List.length (List.sort_uniq compare elts))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean_median () =
+  check feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check feq "median even" 2.5 (Stats.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  check feq "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check feq "empty mean" 0.0 (Stats.mean [||]);
+  check feq "empty median" 0.0 (Stats.median [||])
+
+let test_stats_percentile () =
+  let a = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check feq "p0" 10.0 (Stats.percentile a 0.0);
+  check feq "p100" 50.0 (Stats.percentile a 100.0);
+  check feq "p50" 30.0 (Stats.percentile a 50.0);
+  check feq "p25 interpolates" 20.0 (Stats.percentile a 25.0)
+
+let test_stats_stddev () =
+  check feq "known stddev" 2.0 (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] *. sqrt (7.0 /. 8.0));
+  check feq "constant" 0.0 (Stats.stddev [| 3.0; 3.0; 3.0 |])
+
+let test_stats_histogram () =
+  let counts = Stats.histogram ~bounds:[| 1.0; 2.0; 5.0 |] [| 0.5; 1.0; 1.5; 3.0; 9.0 |] in
+  check Alcotest.(array int) "buckets" [| 2; 1; 1; 1 |] counts
+
+let test_stats_ccdf () =
+  let c = Stats.ccdf [| 1.0; 1.0; 2.0; 3.0 |] in
+  check Alcotest.(list (pair (float 1e-9) (float 1e-9))) "ccdf"
+    [ (1.0, 1.0); (2.0, 0.5); (3.0, 0.25) ] c
+
+let test_stats_fraction () =
+  check feq "fraction" 0.4 (Stats.fraction (fun x -> x > 3) [| 1; 2; 4; 5; 3 |]);
+  check feq "empty" 0.0 (Stats.fraction (fun _ -> true) [||])
+
+let test_stats_median_does_not_mutate () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.median a);
+  check Alcotest.(array (float 0.0)) "unchanged" [| 3.0; 1.0; 2.0 |] a
+
+let test_stats_qcheck_percentile_bounds =
+  qtest "percentile stays within min..max"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 50) (float_bound_inclusive 100.0)) (float_bound_inclusive 100.0))
+    (fun (l, p) ->
+      let a = Array.of_list l in
+      let v = Stats.percentile a p in
+      v >= Stats.minimum a -. 1e-9 && v <= Stats.maximum a +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Bucketq *)
+
+let test_bucketq_fifo_within_key () =
+  let q = Bucketq.create ~max_key:10 in
+  Bucketq.push q ~key:2 100;
+  Bucketq.push q ~key:2 200;
+  Bucketq.push q ~key:1 50;
+  check Alcotest.(option (pair int int)) "min key first" (Some (1, 50)) (Bucketq.pop q);
+  check Alcotest.(option (pair int int)) "fifo" (Some (2, 100)) (Bucketq.pop q);
+  check Alcotest.(option (pair int int)) "fifo 2" (Some (2, 200)) (Bucketq.pop q);
+  check Alcotest.(option (pair int int)) "empty" None (Bucketq.pop q)
+
+let test_bucketq_monotone_push () =
+  let q = Bucketq.create ~max_key:10 in
+  Bucketq.push q ~key:3 1;
+  ignore (Bucketq.pop q);
+  Alcotest.check_raises "push below cursor"
+    (Invalid_argument "Bucketq.push: non-monotone key") (fun () -> Bucketq.push q ~key:2 9)
+
+let test_bucketq_interleaved () =
+  let q = Bucketq.create ~max_key:20 in
+  Bucketq.push q ~key:0 0;
+  let out = ref [] in
+  let rec drain () =
+    match Bucketq.pop q with
+    | None -> ()
+    | Some (key, v) ->
+        out := v :: !out;
+        if key < 5 then Bucketq.push q ~key:(key + 1) (v + 1);
+        drain ()
+  in
+  drain ();
+  check Alcotest.(list int) "bfs chain" [ 0; 1; 2; 3; 4; 5 ] (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Order *)
+
+let test_order_sorts_by_key () =
+  let keys = [| 3; 1; 2; 1; 0 |] in
+  let order = Order.by_small_key ~key:(fun i -> keys.(i)) ~max_key:3 5 in
+  check Alcotest.(array int) "stable counting sort" [| 4; 1; 3; 2; 0 |] order
+
+let test_order_out_of_range_last () =
+  let keys = [| 1; -5; 0; 99 |] in
+  let order = Order.by_small_key ~key:(fun i -> keys.(i)) ~max_key:2 4 in
+  check Alcotest.(array int) "out of range last" [| 2; 0; 1; 3 |] order
+
+let test_order_qcheck =
+  qtest "order is a stable sort"
+    QCheck2.Gen.(list_size (int_range 0 60) (int_bound 10))
+    (fun keys ->
+      let a = Array.of_list keys in
+      let n = Array.length a in
+      let order = Order.by_small_key ~key:(fun i -> a.(i)) ~max_key:10 n in
+      let sorted_pairs = List.map (fun i -> (a.(i), i)) (Array.to_list order) in
+      sorted_pairs = List.sort compare sorted_pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_alignment () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.to_string t in
+  check Alcotest.bool "has rule line" true (String.length s > 0 && String.contains s '-');
+  check Alcotest.int "rows" 2 (Table.row_count t)
+
+let test_table_csv_quoting () =
+  let t = Table.create ~header:[ "x" ] in
+  Table.add_row t [ "has,comma" ];
+  Table.add_row t [ "has\"quote" ];
+  let csv = Table.to_csv t in
+  check Alcotest.bool "comma quoted" true
+    (String.length csv > 0
+    &&
+    let lines = String.split_on_char '\n' csv in
+    List.nth lines 1 = "\"has,comma\"" && List.nth lines 2 = "\"has\"\"quote\"")
+
+let test_table_cells () =
+  check Alcotest.string "int-like float" "42" (Table.cell_f 42.0);
+  check Alcotest.string "pct" "12.5%" (Table.cell_pct 0.125)
+
+let () =
+  Alcotest.run "nsutil"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "roughly uniform" `Quick test_prng_int_roughly_uniform;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sampling without replacement" `Quick
+            test_prng_sample_without_replacement;
+          Alcotest.test_case "mix2 stable" `Quick test_prng_mix2_stable;
+          Alcotest.test_case "pareto positive" `Quick test_prng_pareto_positive;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "of_rev_lists" `Quick test_csr_of_rev_lists;
+          Alcotest.test_case "queries" `Quick test_csr_queries;
+          test_csr_qcheck;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "copy independent" `Quick test_bitset_copy_independent;
+          Alcotest.test_case "equal and hash" `Quick test_bitset_equal_hash;
+          Alcotest.test_case "reset" `Quick test_bitset_reset;
+          test_bitset_qcheck;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean and median" `Quick test_stats_mean_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "ccdf" `Quick test_stats_ccdf;
+          Alcotest.test_case "fraction" `Quick test_stats_fraction;
+          Alcotest.test_case "median does not mutate" `Quick test_stats_median_does_not_mutate;
+          test_stats_qcheck_percentile_bounds;
+        ] );
+      ( "bucketq",
+        [
+          Alcotest.test_case "fifo within key" `Quick test_bucketq_fifo_within_key;
+          Alcotest.test_case "monotone push enforced" `Quick test_bucketq_monotone_push;
+          Alcotest.test_case "interleaved push/pop" `Quick test_bucketq_interleaved;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "sorts by key" `Quick test_order_sorts_by_key;
+          Alcotest.test_case "out of range last" `Quick test_order_out_of_range_last;
+          test_order_qcheck;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "csv quoting" `Quick test_table_csv_quoting;
+          Alcotest.test_case "cell renderers" `Quick test_table_cells;
+        ] );
+    ]
