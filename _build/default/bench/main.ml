@@ -10,9 +10,24 @@
       scale so regressions in the routing/engine hot paths are
       visible.
 
-   Flags: --bench-only skips part 1, --no-bench skips part 2. *)
+   Flags: --bench-only skips part 1, --no-bench skips part 2,
+   --workers N pins the engine sweep's worker-domain count (default:
+   Parallel.Pool.default_workers, i.e. SBGP_WORKERS or one per spare
+   core). The engine kernels additionally time a fixed workers=1 run
+   so the parallel overhead/speedup at the chosen count is visible. *)
 
 let flag name = Array.exists (String.equal name) Sys.argv
+
+let int_flag name default =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then
+      Option.value ~default (int_of_string_opt Sys.argv.(i + 1))
+    else scan (i + 1)
+  in
+  scan 1
+
+let workers = max 1 (int_flag "--workers" (Parallel.Pool.default_workers ()))
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures. *)
@@ -48,7 +63,7 @@ let kernels () =
     ignore (Bgp.Route_static.get aug_statics d)
   done;
   let early = Experiments.Scenario.case_study_adopters scenario in
-  let cfg_case = Core.Config.default in
+  let cfg_case = { Core.Config.default with workers } in
   let weight = Experiments.Scenario.weights scenario cfg_case in
   let engine_run ?(augmented = false) cfg early =
     let stats = if augmented then aug_statics else statics in
@@ -83,6 +98,13 @@ let kernels () =
     Test.make ~name:"table4/degrees"
       (Staged.stage (fun () -> Asgraph.Metrics.degree_array g));
     Test.make ~name:"fig3-7/case-study-run"
+      (Staged.stage (fun () -> engine_run cfg_case early));
+    (* The same run pinned to one worker: the gap against the row
+       above is the sweep's parallel speedup (or overhead). *)
+    Test.make ~name:"engine/sweep-workers-1"
+      (Staged.stage (fun () -> engine_run { cfg_case with workers = 1 } early));
+    Test.make
+      ~name:(Printf.sprintf "engine/sweep-workers-%d" workers)
       (Staged.stage (fun () -> engine_run cfg_case early));
     Test.make ~name:"fig8/theta-30pc-run"
       (Staged.stage (fun () ->
@@ -199,8 +221,40 @@ let run_bechamel () =
     (kernels ());
   Nsutil.Table.print table
 
+(* One case-study run per worker count, with the incremental sweep's
+   cache effectiveness — complements the Bechamel rows with the stats
+   the timing numbers depend on. *)
+let report_engine_sweep () =
+  let scenario = Experiments.Scenario.create ~n:120 ~seed:3 () in
+  let g = Experiments.Scenario.graph scenario in
+  let early = Experiments.Scenario.case_study_adopters scenario in
+  let weight = Experiments.Scenario.weights scenario Core.Config.default in
+  Printf.printf "=== Engine sweep: workers x incremental cache (N = 120) ===\n\n%!";
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun w ->
+          let cfg = { Core.Config.default with workers = w; theta; theta_off = theta } in
+          let state = Core.State.create g ~early in
+          let t0 = Unix.gettimeofday () in
+          let result = Core.Engine.run cfg scenario.statics ~weight ~state in
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.printf
+            "theta=%.2f workers=%d: %.3fs, %d rounds; %d dest recomputes, %d cache \
+             hits (%.1f%% hit rate)\n%!"
+            theta w dt
+            (Core.Engine.rounds_run result)
+            result.dest_recomputed result.dest_reused
+            (100.0 *. Core.Engine.cache_hit_rate result))
+        (if workers = 1 then [ 1 ] else [ 1; workers ]))
+    [ 0.05; 0.30 ];
+  print_newline ()
+
 let () =
   let t0 = Unix.gettimeofday () in
   if not (flag "--bench-only") then run_experiments ();
-  if not (flag "--no-bench") then run_bechamel ();
+  if not (flag "--no-bench") then begin
+    report_engine_sweep ();
+    run_bechamel ()
+  end;
   Printf.printf "\ntotal wall clock: %.1fs\n" (Unix.gettimeofday () -. t0)

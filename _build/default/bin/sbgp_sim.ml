@@ -100,6 +100,15 @@ let run_cmd =
              topology. The paper's five content providers (15169, 32934, 8075, 20940, \
              22822) are marked as CPs when present.")
   in
+  let workers =
+    Arg.(
+      value
+      & opt int (Parallel.Pool.default_workers ())
+      & info [ "workers" ]
+          ~doc:
+            "Worker domains for the per-round destination sweep. Results are identical \
+             for any value (default: one per spare core, or \\$(b,SBGP_WORKERS)).")
+  in
   let parse_adopters g spec =
     let prefix p s =
       if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
@@ -120,7 +129,7 @@ let run_cmd =
                  (List.filter_map int_of_string_opt (String.split_on_char ',' s)))
       end
   in
-  let run n seed theta x model adopters_spec no_stub_tiebreak csv caida =
+  let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers =
     let g =
       match caida with
       | None -> Experiments.Scenario.graph (Experiments.Scenario.create ~n ~seed ())
@@ -146,6 +155,7 @@ let run_cmd =
         model;
         stub_tiebreak = not no_stub_tiebreak;
         allow_turn_off = model = Core.Config.Incoming;
+        workers = max 1 workers;
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -181,13 +191,17 @@ let run_cmd =
       (Core.Engine.rounds_run result)
       dt
       (100.0 *. Core.Engine.secure_fraction result `As)
-      (100.0 *. Core.Engine.secure_fraction result `Isp)
+      (100.0 *. Core.Engine.secure_fraction result `Isp);
+    Printf.printf "sweep: %d workers; %d destination recomputes, %d cache hits (%.1f%%)\n"
+      cfg.workers result.dest_recomputed result.dest_reused
+      (100.0 *. Core.Engine.cache_hit_rate result)
   in
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i -> guard (fun () -> run a b c d e f g h i))
-      $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida)
+      const (fun a b c d e f g h i j -> guard (fun () -> run a b c d e f g h i j))
+      $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
+      $ workers)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =

@@ -1,1 +1,1 @@
-lib/bgp/route_static.ml: Array Asgraph Bytes Char Nsutil Policy Printf Queue
+lib/bgp/route_static.ml: Array Asgraph Bytes Char List Nsutil Parallel Policy Printf Queue

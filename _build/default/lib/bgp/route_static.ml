@@ -143,6 +143,64 @@ let get t d =
       t.cache.(d) <- Some info;
       info
 
+let ensure_all ?(workers = 1) t =
+  let n = Graph.n t.g in
+  let missing = ref [] in
+  for d = n - 1 downto 0 do
+    if t.cache.(d) = None then missing := d :: !missing
+  done;
+  match !missing with
+  | [] -> ()
+  | missing ->
+      let miss = Array.of_list missing in
+      (* [compute] is pure, so filling the cache fans out safely; the
+         cache array itself is only written here, one slot per task. *)
+      let infos =
+        Parallel.Pool.map_array ~workers ~tasks:(Array.length miss) (fun i ->
+            compute t.g miss.(i))
+      in
+      Array.iteri (fun i info -> t.cache.(miss.(i)) <- Some info) infos
+
+module Dirty = struct
+  type statics = t
+
+  type t = { statics : statics; flags : Bytes.t }
+
+  let create statics =
+    { statics; flags = Bytes.make (Graph.n statics.g) '\001' }
+
+  let is_dirty t d = Bytes.get t.flags d = '\001'
+
+  let invalidate t ~changed ~secure =
+    if changed <> [] then begin
+      let n = Graph.n t.statics.g in
+      let in_changed = Bytes.make n '\000' in
+      List.iter (fun c -> Bytes.set in_changed c '\001') changed;
+      for d = 0 to n - 1 do
+        if Bytes.get t.flags d = '\000' then
+          if Bytes.get in_changed d = '\001' then Bytes.set t.flags d '\001'
+          else if Bytes.get secure d = '\001' then begin
+            (* The origin participates, so routes towards it can be
+               secure: any reachable changed byte may flip a route's
+               security or a security tie-break. An origin that does
+               not participate (and whose own bytes are unchanged) has
+               no secure routes before or after — its tree only reads
+               static preferences, so it stays clean. *)
+            let info = get t.statics d in
+            if List.exists (fun c -> reachable info c) changed then
+              Bytes.set t.flags d '\001'
+          end
+      done
+    end
+
+  let reset t = Bytes.fill t.flags 0 (Bytes.length t.flags) '\000'
+
+  let dirty_count t =
+    let acc = ref 0 in
+    Bytes.iter (fun c -> if c = '\001' then incr acc) t.flags;
+    !acc
+end
+
 let mean_tiebreak_size t ~among =
   let n = Graph.n t.g in
   let total = ref 0 in

@@ -35,6 +35,47 @@ val get : t -> int -> dest_info
 (** [get t d] computes (once) and returns the info for destination
     [d]. *)
 
+val ensure_all : ?workers:int -> t -> unit
+(** Force every destination's info, fanning the (pure, per-destination)
+    computations out over [workers] domains. After this call {!get} is
+    a read-only lookup and safe to call from any domain. *)
+
+(** Cross-round dirty-destination tracking for deployment-state
+    caches. A consumer that caches *per-destination* derived data
+    (routing forests, utility contributions) keyed on the deployment
+    state can, after a state change, invalidate only the destinations
+    whose security-aware routing tree can actually change: destination
+    [d]'s tree reads the participation bytes of reachable nodes only
+    (every node in [order], [d] itself, and all tiebreak-set members —
+    which are themselves reachable), so a flip at a node that is
+    unreachable in [d]'s static info cannot alter the tree; and if the
+    origin [d] itself does not participate, no route towards it is
+    ever fully secure, so flips elsewhere cannot alter the tree
+    either. *)
+module Dirty : sig
+  type statics := t
+
+  type t
+
+  val create : statics -> t
+  (** All destinations start dirty (nothing cached yet). *)
+
+  val invalidate : t -> changed:int list -> secure:Bytes.t -> unit
+  (** Mark every destination [d] with [d] itself in [changed] (a list
+      of nodes whose participation or tie-break byte flipped), or with
+      a participating origin ([secure.[d] = '\001'], the post-change
+      participation bytes) and some node of [changed] reachable.
+      Conservative: may mark a destination whose tree happens not to
+      change, never misses one that does. Forces the statics cache. *)
+
+  val reset : t -> unit
+  (** Mark every destination clean (call once the consumer has
+      recomputed its cache for the current state). *)
+
+  val is_dirty : t -> int -> bool
+  val dirty_count : t -> int
+end
+
 val mean_tiebreak_size : t -> among:(int -> bool) -> float
 (** Mean tiebreak-set size over all (source satisfying [among],
     destination) pairs with a reachable route (Section 6.6). Forces

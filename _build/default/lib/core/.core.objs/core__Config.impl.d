@@ -1,1 +1,1 @@
-lib/core/config.ml: Bgp
+lib/core/config.ml: Bgp Parallel

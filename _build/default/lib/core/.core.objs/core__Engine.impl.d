@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Asgraph Bgp Bytes Config Float Hashtbl List Nsutil Option State Utility
+lib/core/engine.ml: Array Asgraph Bgp Bytes Config Float Hashtbl Incremental List Nsutil Option Parallel State Utility

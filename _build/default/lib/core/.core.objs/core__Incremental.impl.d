@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Asgraph Bgp Bytes State

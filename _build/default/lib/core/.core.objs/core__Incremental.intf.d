@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Bgp Bytes State

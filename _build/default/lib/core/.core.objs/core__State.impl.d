@@ -1,1 +1,1 @@
-lib/core/state.ml: Asgraph Bytes List Nsutil Printf
+lib/core/state.ml: Asgraph Bytes List Nsutil Option Printf

@@ -13,6 +13,7 @@ type t = {
   disable_simplex : bool;
   theta_jitter : float;
   jitter_seed : int;
+  workers : int;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     disable_simplex = false;
     theta_jitter = 0.0;
     jitter_seed = 1;
+    workers = Parallel.Pool.default_workers ();
   }
 
 let incoming = { default with model = Incoming; allow_turn_off = true }

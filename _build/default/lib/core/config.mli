@@ -28,6 +28,11 @@ type t = {
           u_i ~ U[-1, 1] drawn from [jitter_seed]; 0 recovers the
           paper's uniform-theta sweeps. *)
   jitter_seed : int;
+  workers : int;
+      (** domains for the per-destination engine sweeps
+          ({!Parallel.Pool}); results are identical for every value.
+          Defaults to [Parallel.Pool.default_workers ()] (the
+          [SBGP_WORKERS] environment variable when set). *)
 }
 
 val default : t

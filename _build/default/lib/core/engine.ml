@@ -2,6 +2,7 @@ module Graph = Asgraph.Graph
 module Csr = Nsutil.Csr
 module Route_static = Bgp.Route_static
 module Forest = Bgp.Forest
+module Pool = Parallel.Pool
 
 type round_record = {
   round : int;
@@ -23,28 +24,36 @@ type result = {
   rounds : round_record list;
   final : State.t;
   termination : termination;
+  dest_recomputed : int;
+  dest_reused : int;
 }
 
 let sec_of bytes i = Bytes.unsafe_get bytes i = '\001'
 
+(* Destinations per worker slice floor: gadget-sized graphs stay in
+   the calling domain instead of paying spawn overhead per round. *)
+let grain = 8
+
 (* Would flipping candidate [nc] change the routing tree of
    destination [d]? Conservative (may say yes needlessly), never
-   wrongly says no; see the C.4 discussion in the interface. *)
-let flip_changes_dest ~cfg ~g ~state ~secure ~(info : Route_static.dest_info)
-    ~(base : Forest.scratch) ~stubs_of nc =
+   wrongly says no; see the C.4 discussion in the interface.
+   [secure] is the round-start participation and [sec_path] the
+   round-start forest's secure-route flags for [d] (possibly cached
+   from an earlier round). *)
+let flip_changes_dest ~cfg ~g ~secure ~(info : Route_static.dest_info) ~sec_path
+    ~stubs_of ~was_on nc =
   let d = info.dest in
-  let turning_on = not (State.full state nc) in
-  if turning_on then begin
+  if not was_on then begin
     let stub_reroutes s =
       Route_static.reachable info s
-      && Csr.exists_row info.tie s (fun j -> sec_of base.sec_path j)
+      && Csr.exists_row info.tie s (fun j -> sec_of sec_path j)
     in
     let d_gets_secured =
       d = nc || (Graph.is_stub g d && (not (sec_of secure d)) && Csr.mem_row g.providers d nc)
     in
     if not (sec_of secure d || d_gets_secured) then false
     else if d_gets_secured then true
-    else if Csr.exists_row info.tie nc (fun j -> sec_of base.sec_path j) then true
+    else if Csr.exists_row info.tie nc (fun j -> sec_of sec_path j) then true
     else
       cfg.Config.stub_tiebreak
       && List.exists (fun s -> (not (sec_of secure s)) && stub_reroutes s) stubs_of.(nc)
@@ -54,15 +63,58 @@ let flip_changes_dest ~cfg ~g ~state ~secure ~(info : Route_static.dest_info)
        are sticky): routing can change only where nc currently holds
        or offers a fully secure route — including d = nc itself, for
        which sec_path nc = secure nc = 1. *)
-    sec_of secure d && sec_of base.Forest.sec_path nc
+    sec_of secure d && sec_of sec_path nc
   end
+
+(* The byte-level effect of flipping one candidate: participation
+   bytes after the flip and at round start, for exactly the nodes the
+   flip touches (the candidate plus any newly simplex stubs). Workers
+   apply/revert these on their local byte copies, so the shared state
+   is never mutated during a sweep. *)
+type flip_delta = {
+  after : (int * char * char) array;
+  before : (int * char * char) array;
+}
+
+let probe_deltas state ~secure ~use_secp ~was_on candidates_arr =
+  let snap nodes =
+    Array.map (fun i -> (i, Bytes.get secure i, Bytes.get use_secp i)) nodes
+  in
+  Array.mapi
+    (fun ci nc ->
+      if was_on.(ci) then begin
+        let nodes = [| nc |] in
+        let before = snap nodes in
+        State.disable state nc;
+        let after = snap nodes in
+        ignore (State.enable state nc);
+        { after; before }
+      end
+      else begin
+        let added = State.enable state nc in
+        let nodes = Array.of_list (nc :: added) in
+        let after = snap nodes in
+        State.undo_enable state nc ~added;
+        let before = snap nodes in
+        { after; before }
+      end)
+    candidates_arr
+
+let apply_delta bytes_sec bytes_secp edits =
+  Array.iter
+    (fun (i, s, u) ->
+      Bytes.set bytes_sec i s;
+      Bytes.set bytes_secp i u)
+    edits
 
 let run (cfg : Config.t) statics ~weight ~state =
   let g = Route_static.graph statics in
   let n = Graph.n g in
   let tiebreak = cfg.tiebreak in
-  let base = Forest.make_scratch n in
-  let flip = Forest.make_scratch n in
+  let workers = max 1 (min cfg.workers n) in
+  (* Per-destination static info must be complete before any fan-out:
+     workers then only read the cache. *)
+  Route_static.ensure_all ~workers statics;
   (* Stub customers per ISP, for projection filters. *)
   let stubs_of = Array.make n [] in
   for i = 0 to n - 1 do
@@ -72,15 +124,23 @@ let run (cfg : Config.t) statics ~weight ~state =
       stubs_of.(i) <- !acc
     end
   done;
-  (* Baseline: utilities before deployment began (empty state). *)
+  (* Baseline: utilities before deployment began (empty state). The
+     parallel phase computes per-destination addend streams; the
+     serial replay in destination order performs the same float
+     additions as a sequential sweep, for any worker count. *)
   let baseline =
     let zeros = Bytes.make n '\000' in
+    let pairs = Array.make n ([||], [||]) in
+    ignore
+      (Pool.map_reduce_chunked ~workers ~tasks:n ~grain
+         ~init:(fun () -> Forest.make_scratch n)
+         ~task:(fun scratch d ->
+           let info = Route_static.get statics d in
+           Forest.compute info ~tiebreak ~secure:zeros ~use_secp:zeros ~weight scratch;
+           pairs.(d) <- Utility.contribution_pairs cfg.model g info scratch ~weight)
+         ~combine:(fun a _ -> a));
     let into = Array.make n 0.0 in
-    for d = 0 to n - 1 do
-      let info = Route_static.get statics d in
-      Forest.compute info ~tiebreak ~secure:zeros ~use_secp:zeros ~weight base;
-      Utility.accumulate cfg.model g info base ~weight ~into
-    done;
+    Array.iter (fun p -> Utility.add_pairs p ~into) pairs;
     into
   in
   (* Per-ISP threshold heterogeneity (Section 8.2 extension). *)
@@ -107,6 +167,9 @@ let run (cfg : Config.t) statics ~weight ~state =
         None
   in
   ignore (remember 0);
+  let inc = Incremental.create statics in
+  let recomputed = ref 0 in
+  let reused = ref 0 in
   let rounds = ref [] in
   let termination = ref Max_rounds in
   let round = ref 0 in
@@ -115,6 +178,7 @@ let run (cfg : Config.t) statics ~weight ~state =
     incr round;
     let secure = State.secure_bytes state in
     let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
+    Incremental.begin_round inc state;
     (* Candidates: insecure ISPs may turn on; under the incoming
        model with turn-off allowed, secure ISPs may turn off. *)
     let candidates = ref [] in
@@ -128,34 +192,74 @@ let run (cfg : Config.t) statics ~weight ~state =
       end
     done;
     let candidates = !candidates in
+    let candidates_arr = Array.of_list candidates in
     let is_candidate = Array.make n false in
     List.iter (fun nc -> is_candidate.(nc) <- true) candidates;
+    let was_on = Array.map (fun nc -> State.full state nc) candidates_arr in
+    let deltas = probe_deltas state ~secure ~use_secp ~was_on candidates_arr in
+    (* Round-start snapshots: workers get private copies to flip. *)
+    let sec0 = Bytes.copy secure in
+    let secp0 = Bytes.copy use_secp in
+    let model = cfg.model in
+    (* Parallel sweep over destinations: recompute dirty forests
+       (updating the cache) and evaluate the candidate flips whose
+       routing tree actually changes. No shared mutation beyond
+       per-destination slots. *)
+    let changed_contrib : (int * float) list array = Array.make n [] in
+    ignore
+      (Pool.map_reduce_chunked ~workers ~tasks:n ~grain
+         ~init:(fun () ->
+           (Forest.make_scratch n, Forest.make_scratch n, Bytes.copy sec0, Bytes.copy secp0))
+         ~task:(fun (base, flip, sec, secp) d ->
+           let info = Route_static.get statics d in
+           let e =
+             if Incremental.is_dirty inc d then begin
+               Forest.compute info ~tiebreak ~secure:sec ~use_secp:secp ~weight base;
+               let pairs = Utility.contribution_pairs model g info base ~weight in
+               Incremental.store inc d ~sec_path:base.Forest.sec_path ~pairs;
+               Incremental.entry inc d
+             end
+             else Incremental.entry inc d
+           in
+           let changed = ref [] in
+           Array.iteri
+             (fun ci nc ->
+               if
+                 flip_changes_dest ~cfg ~g ~secure:sec0 ~info ~sec_path:e.sec_path
+                   ~stubs_of ~was_on:was_on.(ci) nc
+               then begin
+                 apply_delta sec secp deltas.(ci).after;
+                 Forest.compute info ~tiebreak ~secure:sec ~use_secp:secp ~weight flip;
+                 let c = Utility.contribution model g info flip ~weight nc in
+                 apply_delta sec secp deltas.(ci).before;
+                 changed := (nc, c) :: !changed
+               end)
+             candidates_arr;
+           changed_contrib.(d) <- List.rev !changed)
+         ~combine:(fun a _ -> a));
+    let dc = Incremental.dirty_count inc in
+    recomputed := !recomputed + dc;
+    reused := !reused + (n - dc);
+    (* Deterministic serial reduction, in destination order: replay
+       the cached addend streams and fold the projections. *)
     let utilities = Array.make n 0.0 in
     let projected = Array.make n 0.0 in
     for d = 0 to n - 1 do
-      let info = Route_static.get statics d in
-      Forest.compute info ~tiebreak ~secure ~use_secp ~weight base;
-      Utility.accumulate cfg.model g info base ~weight ~into:utilities;
-      List.iter
-        (fun nc ->
-          let changes =
-            flip_changes_dest ~cfg ~g ~state ~secure ~info ~base ~stubs_of nc
-          in
-          let contrib =
-            if changes then begin
-              let was_on = State.full state nc in
-              let added = if was_on then [] else State.enable state nc in
-              if was_on then State.disable state nc;
-              Forest.compute info ~tiebreak ~secure ~use_secp ~weight flip;
-              let c = Utility.contribution cfg.model g info flip ~weight nc in
-              if was_on then ignore (State.enable state nc)
-              else State.undo_enable state nc ~added;
-              c
-            end
-            else Utility.contribution cfg.model g info base ~weight nc
-          in
-          projected.(nc) <- projected.(nc) +. contrib)
-        candidates
+      let e = Incremental.entry inc d in
+      Utility.add_pairs e.pairs ~into:utilities;
+      (* [changed_contrib.(d)] is a subsequence of [candidates]: merge
+         walk, unchanged pairs take the cached base contribution. *)
+      let rec proj cands changed =
+        match (cands, changed) with
+        | [], _ -> ()
+        | nc :: cs, (mc, c) :: rest when mc = nc ->
+            projected.(nc) <- projected.(nc) +. c;
+            proj cs rest
+        | nc :: cs, changed ->
+            projected.(nc) <- projected.(nc) +. Incremental.base_contribution inc e nc;
+            proj cs changed
+      in
+      proj candidates changed_contrib.(d)
     done;
     (* Non-candidates project their current utility. *)
     for i = 0 to n - 1 do
@@ -209,6 +313,8 @@ let run (cfg : Config.t) statics ~weight ~state =
     rounds = List.rev !rounds;
     final = state;
     termination = !termination;
+    dest_recomputed = !recomputed;
+    dest_reused = !reused;
   }
 
 let secure_fraction result kind =
@@ -222,3 +328,7 @@ let secure_fraction result kind =
       float_of_int (State.secure_isp_count state) /. float_of_int (max 1 isps)
 
 let rounds_run result = List.length result.rounds
+
+let cache_hit_rate result =
+  let total = result.dest_recomputed + result.dest_reused in
+  if total = 0 then 0.0 else float_of_int result.dest_reused /. float_of_int total

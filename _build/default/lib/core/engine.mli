@@ -38,6 +38,10 @@ type result = {
   rounds : round_record list;  (** chronological *)
   final : State.t;
   termination : termination;
+  dest_recomputed : int;
+      (** across all rounds, destinations whose routing forest was
+          recomputed (cross-round cache misses) *)
+  dest_reused : int;  (** destinations served from the cross-round cache *)
 }
 
 val run :
@@ -46,9 +50,21 @@ val run :
   weight:float array ->
   state:State.t ->
   result
-(** Run to termination, mutating and returning [state] as [final]. *)
+(** Run to termination, mutating and returning [state] as [final].
+
+    The per-round sweep fans destinations out over
+    [Config.workers] domains ({!Parallel.Pool}) and reuses each
+    destination's routing forest across rounds when no flip could
+    have changed it ({!Incremental}). Both are transparent: the
+    result is structurally identical — float-for-float — for any
+    worker count, because workers compute pure per-destination
+    values and all float accumulation happens in one serial pass in
+    destination order. *)
 
 val secure_fraction : result -> [ `As | `Isp ] -> float
 (** Fraction of ASes (resp. ISPs) secure at termination. *)
 
 val rounds_run : result -> int
+
+val cache_hit_rate : result -> float
+(** [dest_reused / (dest_recomputed + dest_reused)]; 0 if no rounds ran. *)

@@ -1,0 +1,69 @@
+module Graph = Asgraph.Graph
+module Route_static = Bgp.Route_static
+
+type entry = {
+  sec_path : Bytes.t;
+  pairs : int array * float array;
+  row : float array;
+}
+
+type t = {
+  statics : Route_static.t;
+  dirty : Route_static.Dirty.t;
+  entries : entry option array;
+  isp_index : int array;
+  isp_count : int;
+}
+
+let create statics =
+  let g = Route_static.graph statics in
+  let n = Graph.n g in
+  let isp_index = Array.make n (-1) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if Graph.is_isp g i then begin
+      isp_index.(i) <- !count;
+      incr count
+    end
+  done;
+  {
+    statics;
+    dirty = Route_static.Dirty.create statics;
+    entries = Array.make n None;
+    isp_index;
+    isp_count = !count;
+  }
+
+let begin_round t state =
+  if State.marked state then begin
+    Route_static.Dirty.reset t.dirty;
+    Route_static.Dirty.invalidate t.dirty
+      ~changed:(State.changed_since_mark state)
+      ~secure:(State.secure_bytes state)
+  end;
+  State.mark state
+
+let is_dirty t d = Route_static.Dirty.is_dirty t.dirty d
+let dirty_count t = Route_static.Dirty.dirty_count t.dirty
+
+let store t d ~sec_path ~pairs =
+  (* [row] regroups the addend stream into one total per node so a
+     candidate's base contribution is an O(1) lookup; contributions
+     only ever land on ISPs (stubs and CPs have no customer edges), so
+     the dense row is over compact ISP slots. *)
+  let row = Array.make t.isp_count 0.0 in
+  let idx, v = pairs in
+  for k = 0 to Array.length idx - 1 do
+    let s = t.isp_index.(idx.(k)) in
+    if s >= 0 then row.(s) <- row.(s) +. v.(k)
+  done;
+  t.entries.(d) <- Some { sec_path = Bytes.copy sec_path; pairs; row }
+
+let entry t d =
+  match t.entries.(d) with
+  | Some e -> e
+  | None -> invalid_arg "Incremental.entry: destination never computed"
+
+let base_contribution t e nc =
+  let s = t.isp_index.(nc) in
+  if s < 0 then 0.0 else e.row.(s)

@@ -1,0 +1,60 @@
+(** Cross-round per-destination cache for the deployment engine.
+
+    Each engine round needs, for every destination [d], the routing
+    forest under the current state: its secure-route flags (for the
+    Appendix C.4 projection skips) and its utility contributions (for
+    the round's utility vector). Observation behind the cache: a
+    round's flips change the participation bytes of a handful of
+    nodes, and [d]'s forest only depends on the bytes of nodes
+    *reachable* in [d]'s static info — so most destinations are
+    byte-for-byte unchanged from the previous round and need no
+    recomputation ({!Bgp.Route_static.Dirty}).
+
+    Protocol, per round: {!begin_round} (diffs the state against the
+    previous round via {!State.mark}, marks the affected destinations
+    dirty); for every dirty destination recompute the forest and
+    {!store} its entry; read {!entry} for every destination. Entries
+    of clean destinations replay bit-identically: the cached addend
+    stream ({!Utility.contribution_pairs}) performs the same float
+    additions the from-scratch sweep would.
+
+    Safe to drive from {!Parallel.Pool} workers: [store] writes only
+    slot [d], distinct destinations go to distinct workers, and reads
+    of clean entries see values published before the round's fork. *)
+
+type entry = private {
+  sec_path : Bytes.t;  (** the forest's secure-route flag per node *)
+  pairs : int array * float array;
+      (** utility addend stream, {!Utility.contribution_pairs} order *)
+  row : float array;  (** summed contribution per compact ISP slot *)
+}
+
+type t
+
+val create : Bgp.Route_static.t -> t
+(** Empty cache; every destination starts dirty. *)
+
+val begin_round : t -> State.t -> unit
+(** Mark destinations whose forest can change given the state's byte
+    diff since the previous call, then re-mark the state. The first
+    call leaves everything dirty. Call once per round, before the
+    sweep, with the state at its round-start value. *)
+
+val is_dirty : t -> int -> bool
+val dirty_count : t -> int
+
+val store :
+  t -> int -> sec_path:Bytes.t -> pairs:int array * float array -> unit
+(** Record destination [d]'s freshly computed forest ([sec_path] is
+    copied; [pairs] is taken over). Call for every dirty destination
+    each round. *)
+
+val entry : t -> int -> entry
+(** The destination's entry. Raises [Invalid_argument] if it was never
+    stored (protocol violation). *)
+
+val base_contribution : t -> entry -> int -> float
+(** The candidate's utility contribution under the entry's forest —
+    the cached equivalent of {!Utility.contribution} on the base
+    forest (bit-equal under [Outgoing]; equal up to addend regrouping
+    under [Incoming]). *)

@@ -11,6 +11,8 @@ type t = {
   mutable stub_tiebreak : bool;
   simplex_enabled : bool;
   secp_enabled : bool;
+  mutable mark_snap : (Bytes.t * Bytes.t) option;
+      (* secure/use_secp at the last [mark], for cross-round diffs *)
 }
 
 let graph t = t.g
@@ -91,6 +93,7 @@ let create ?(frozen = []) ?(simplex = true) ?(secp = true) g ~early =
       stub_tiebreak = true;
       simplex_enabled = simplex;
       secp_enabled = secp;
+      mark_snap = None;
     }
   in
   List.iter
@@ -137,6 +140,7 @@ let copy t =
     stub_tiebreak = t.stub_tiebreak;
     simplex_enabled = t.simplex_enabled;
     secp_enabled = t.secp_enabled;
+    mark_snap = Option.map (fun (s, u) -> (Bytes.copy s, Bytes.copy u)) t.mark_snap;
   }
 
 let signature t =
@@ -155,6 +159,23 @@ let use_secp_bytes t ~stub_tiebreak =
     done
   end;
   t.use_secp
+
+let mark t = t.mark_snap <- Some (Bytes.copy t.secure, Bytes.copy t.use_secp)
+
+let marked t = t.mark_snap <> None
+
+let changed_since_mark t =
+  match t.mark_snap with
+  | None -> invalid_arg "State.changed_since_mark: no mark"
+  | Some (sec, usp) ->
+      let acc = ref [] in
+      for i = Graph.n t.g - 1 downto 0 do
+        if
+          Bytes.get t.secure i <> Bytes.get sec i
+          || Bytes.get t.use_secp i <> Bytes.get usp i
+        then acc := i :: !acc
+      done;
+      !acc
 
 let secure_list t =
   let acc = ref [] in

@@ -71,4 +71,15 @@ val use_secp_bytes : t -> stub_tiebreak:bool -> Bytes.t
     state and kept in sync (the [stub_tiebreak] value of the most
     recent call is used). *)
 
+val mark : t -> unit
+(** Snapshot the participation bytes ([secure]/[use_secp]) for
+    {!changed_since_mark}. Engines call this once per round to learn,
+    next round, which nodes' routing-relevant bits actually flipped. *)
+
+val marked : t -> bool
+
+val changed_since_mark : t -> int list
+(** Nodes whose [secure] or [use_secp] byte differs from the last
+    {!mark} (ascending). Raises [Invalid_argument] if never marked. *)
+
 val secure_list : t -> int list

@@ -35,6 +35,54 @@ let accumulate model _g (info : Route_static.dest_info) (scratch : Forest.scratc
           end)
         info.order
 
+let contribution_pairs model _g (info : Route_static.dest_info)
+    (scratch : Forest.scratch) ~weight =
+  let order = info.order in
+  let count = ref 0 in
+  (match model with
+  | Config.Outgoing ->
+      Array.iter
+        (fun i -> if Bytes.unsafe_get info.cls i = c_cust then incr count)
+        order
+  | Config.Incoming ->
+      Array.iter
+        (fun i ->
+          if Bytes.unsafe_get info.cls i = c_prov && scratch.next.(i) >= 0 then
+            incr count)
+        order);
+  let idx = Array.make !count 0 in
+  let v = Array.make !count 0.0 in
+  let k = ref 0 in
+  (match model with
+  | Config.Outgoing ->
+      Array.iter
+        (fun i ->
+          if Bytes.unsafe_get info.cls i = c_cust then begin
+            idx.(!k) <- i;
+            v.(!k) <- scratch.sub.(i) -. weight.(i);
+            incr k
+          end)
+        order
+  | Config.Incoming ->
+      Array.iter
+        (fun i ->
+          if Bytes.unsafe_get info.cls i = c_prov then begin
+            let p = scratch.next.(i) in
+            if p >= 0 then begin
+              idx.(!k) <- p;
+              v.(!k) <- scratch.sub.(i);
+              incr k
+            end
+          end)
+        order);
+  (idx, v)
+
+let add_pairs (idx, v) ~into =
+  for k = 0 to Array.length idx - 1 do
+    let i = Array.unsafe_get idx k in
+    into.(i) <- into.(i) +. Array.unsafe_get v k
+  done
+
 let customer_volumes config statics state ~weight =
   let g = Route_static.graph statics in
   let n = Graph.n g in

@@ -41,14 +41,15 @@ let weights ?(augmented = false) t (cfg : Core.Config.t) =
 let run_many ?(augmented = false) t jobs =
   let statics = if augmented then Lazy.force t.statics_aug else t.statics in
   let g = Bgp.Route_static.graph statics in
-  (* Prime the shared per-destination cache: workers then only read. *)
-  for d = 0 to Asgraph.Graph.n g - 1 do
-    ignore (Bgp.Route_static.get statics d)
-  done;
   let jobs = Array.of_list jobs in
-  let workers = min (Parallel.Pool.recommended_workers ()) (Array.length jobs) in
+  let workers = min (Parallel.Pool.default_workers ()) (max 1 (Array.length jobs)) in
+  (* Prime the shared per-destination cache; engine runs below get
+     [workers = 1], so parallelism is across jobs and a job's engine
+     only ever reads the cache. *)
+  Bgp.Route_static.ensure_all ~workers statics;
   Parallel.Pool.map_array ~workers ~tasks:(Array.length jobs) (fun i ->
       let cfg, early = jobs.(i) in
+      let cfg = { cfg with Core.Config.workers = 1 } in
       let weight = Traffic.Weights.assign g ~cp_fraction:cfg.Core.Config.cp_fraction in
       let state =
         Core.State.create g ~early ~simplex:(not cfg.disable_simplex)

@@ -1,1 +1,1 @@
-lib/parallel/pool.ml: Array Domain
+lib/parallel/pool.ml: Array Domain Sys

@@ -1,4 +1,14 @@
-let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
+let workers_of_domain_count c = max 1 (c - 1)
+
+let recommended_workers () = workers_of_domain_count (Domain.recommended_domain_count ())
+
+let default_workers () =
+  match Sys.getenv_opt "SBGP_WORKERS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> v
+      | _ -> recommended_workers ())
+  | None -> recommended_workers ()
 
 let slice ~workers ~tasks w =
   let base = tasks / workers in
@@ -27,6 +37,14 @@ let map_reduce ~workers ~tasks ~init ~task ~combine =
     let first = run_slice ~init ~task lo hi in
     Array.fold_left (fun acc d -> combine acc (Domain.join d)) first spawned
   end
+
+let map_reduce_chunked ~workers ~tasks ~grain ~init ~task ~combine =
+  let grain = max 1 grain in
+  (* Cap the worker count so every worker gets at least [grain]
+     contiguous tasks; slices stay contiguous, so the left-fold
+     reduction visits tasks in index order exactly as [map_reduce]. *)
+  let workers = max 1 (min workers (tasks / grain)) in
+  map_reduce ~workers ~tasks ~init ~task ~combine
 
 let map_array ~workers ~tasks f =
   if tasks = 0 then [||]

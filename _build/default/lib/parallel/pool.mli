@@ -10,7 +10,18 @@
     fold over worker index. *)
 
 val recommended_workers : unit -> int
-(** [Domain.recommended_domain_count () - 1], at least 1. *)
+(** [Domain.recommended_domain_count () - 1], at least 1 (clamped so a
+    single-core host still gets one worker). *)
+
+val workers_of_domain_count : int -> int
+(** The clamp behind {!recommended_workers}: [max 1 (count - 1)].
+    Exposed so the "at least 1" guarantee is testable without
+    depending on the host's core count. *)
+
+val default_workers : unit -> int
+(** Worker count for components that take no explicit setting: the
+    [SBGP_WORKERS] environment variable when it parses as a positive
+    integer, else {!recommended_workers}. *)
 
 val map_reduce :
   workers:int ->
@@ -24,6 +35,21 @@ val map_reduce :
     worker folds [task] over its slice using its own accumulator from
     [init]; accumulators are combined left-to-right by worker index.
     [task] must only mutate its own accumulator. *)
+
+val map_reduce_chunked :
+  workers:int ->
+  tasks:int ->
+  grain:int ->
+  init:(unit -> 'acc) ->
+  task:('acc -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** {!map_reduce} with a scheduling grain: the worker count is capped
+    at [tasks / grain] (at least 1) so no domain is spawned for fewer
+    than [grain] tasks — tiny task sets run sequentially instead of
+    drowning in spawn overhead. Slices remain contiguous and the
+    reduction remains a left fold by worker index, so results are
+    identical to [map_reduce] (and to [workers = 1]) for any grain. *)
 
 val map_array : workers:int -> tasks:int -> (int -> 'a) -> 'a array
 (** Pure per-task map collected into an array ([map_array f] is

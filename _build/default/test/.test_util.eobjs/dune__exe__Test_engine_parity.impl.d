@@ -1,0 +1,1 @@
+test/test_engine_parity.ml: Alcotest Array Asgraph Bgp Core Format Gadgets List Nsutil Printf Topology Traffic

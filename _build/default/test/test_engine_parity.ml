@@ -1,0 +1,236 @@
+(* Differential tests for the parallel + incremental engine (Appendix
+   C.3/C.4): a run's [result] must be STRUCTURALLY IDENTICAL — every
+   float bit-for-bit — whatever the worker count, and the cross-round
+   destination cache must be invisible except in the stats counters.
+
+   Scenarios deliberately cover all three terminations: a synthetic
+   Internet that converges (Stable), the CHICKEN gadget whose
+   simultaneous dynamics repeat a state (Oscillation), and the same
+   gadget under a round cap it cannot meet (Max_rounds). *)
+
+module Engine = Core.Engine
+module State = Core.State
+
+let check = Alcotest.check
+
+let exact = Alcotest.float 0.0 (* |a - b| <= 0.0: exact equality *)
+
+let check_round_equal i (a : Engine.round_record) (b : Engine.round_record) =
+  let lbl f = Printf.sprintf "round %d %s" i f in
+  check Alcotest.int (lbl "round") a.round b.round;
+  check Alcotest.(array exact) (lbl "utilities") a.utilities b.utilities;
+  check Alcotest.(array exact) (lbl "projected") a.projected b.projected;
+  check Alcotest.(list int) (lbl "turned_on") a.turned_on b.turned_on;
+  check Alcotest.(list int) (lbl "turned_off") a.turned_off b.turned_off;
+  check Alcotest.int (lbl "secure_as") a.secure_as b.secure_as;
+  check Alcotest.int (lbl "secure_isp") a.secure_isp b.secure_isp;
+  check Alcotest.int (lbl "secure_stub") a.secure_stub b.secure_stub
+
+let termination_t =
+  Alcotest.testable
+    (fun fmt -> function
+      | Engine.Stable -> Format.fprintf fmt "Stable"
+      | Engine.Oscillation { first_round } ->
+          Format.fprintf fmt "Oscillation(%d)" first_round
+      | Engine.Max_rounds -> Format.fprintf fmt "Max_rounds")
+    ( = )
+
+let check_result_equal (a : Engine.result) (b : Engine.result) =
+  check Alcotest.(array exact) "baseline" a.baseline b.baseline;
+  check Alcotest.int "initial_secure_as" a.initial_secure_as b.initial_secure_as;
+  check Alcotest.int "initial_secure_isp" a.initial_secure_isp b.initial_secure_isp;
+  check Alcotest.int "round count" (List.length a.rounds) (List.length b.rounds);
+  List.iteri (fun i (ra, rb) -> check_round_equal i ra rb)
+    (List.combine a.rounds b.rounds);
+  check termination_t "termination" a.termination b.termination;
+  check Alcotest.bool "final state" true (State.equal_full a.final b.final);
+  (* The cache is driven by the (identical) flip sequence, so even the
+     stats must agree. *)
+  check Alcotest.int "dest_recomputed" a.dest_recomputed b.dest_recomputed;
+  check Alcotest.int "dest_reused" a.dest_reused b.dest_reused
+
+(* Run the same scenario at workers=1 and workers=4 on fresh states.
+   Fresh statics per run too: the lazy per-destination cache must not
+   carry information between the two runs. *)
+let parity ~expect scenario_name build_inputs =
+  let run workers =
+    let cfg, g, weight, early, frozen = build_inputs () in
+    let statics = Bgp.Route_static.create g in
+    let state = State.create g ~early ~frozen in
+    Engine.run { cfg with Core.Config.workers } statics ~weight ~state
+  in
+  let r1 = run 1 in
+  let r4 = run 4 in
+  check_result_equal r1 r4;
+  check termination_t (scenario_name ^ " termination") expect r1.termination;
+  (* With >1 round, the cross-round cache must have actually reused
+     something, else the test exercises nothing. *)
+  if List.length r1.rounds > 1 then
+    Alcotest.(check bool) "cache reused destinations" true (r1.dest_reused > 0)
+
+let test_parity_synthetic_outgoing () =
+  parity ~expect:Engine.Stable "synthetic/outgoing" (fun () ->
+      let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 11 } in
+      let built = Topology.Gen.generate params in
+      let g = built.graph in
+      let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+      let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
+      (Core.Config.default, g, weight, early, []))
+
+let test_parity_synthetic_incoming () =
+  parity ~expect:Engine.Stable "synthetic/incoming" (fun () ->
+      let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 5 } in
+      let built = Topology.Gen.generate params in
+      let g = built.graph in
+      let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+      let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
+      let cfg =
+        {
+          Core.Config.default with
+          model = Core.Config.Incoming;
+          allow_turn_off = true;
+          theta = 0.02;
+          theta_off = 0.02;
+        }
+      in
+      (cfg, g, weight, early, []))
+
+let test_parity_chicken_oscillation () =
+  parity
+    ~expect:(Engine.Oscillation { first_round = 0 })
+    "chicken/oscillation"
+    (fun () ->
+      let c = Gadgets.Chicken.build () in
+      (Gadgets.Chicken.config, c.graph, c.weight, c.early, c.frozen))
+
+let test_parity_chicken_round_cap () =
+  parity ~expect:Engine.Max_rounds "chicken/max-rounds" (fun () ->
+      let c = Gadgets.Chicken.build () in
+      ( { Gadgets.Chicken.config with max_rounds = 1 },
+        c.graph,
+        c.weight,
+        c.early,
+        c.frozen ))
+
+(* ------------------------------------------------------------------ *)
+(* Property: the incremental per-destination cache equals from-scratch
+   recomputation after arbitrary flip sequences. Random rounds of
+   enables/disables drive [Incremental]; after each round the replayed
+   utility vector must match [Utility.all] computed on a FRESH
+   [Route_static.create] (no shared state with the incremental path). *)
+
+let incremental_matches_scratch ~seed ~rounds ~n () =
+  let params = { (Topology.Params.with_n Topology.Params.default n) with seed } in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let nn = Asgraph.Graph.n g in
+  let cfg = { Core.Config.default with model = Core.Config.Incoming } in
+  let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+  let statics = Bgp.Route_static.create g in
+  let state = State.create g ~early:[] in
+  let inc = Core.Incremental.create statics in
+  let scratch = Bgp.Forest.make_scratch nn in
+  let isps =
+    Array.of_list
+      (List.filter (Asgraph.Graph.is_isp g) (List.init nn (fun i -> i)))
+  in
+  let rng = Nsutil.Prng.create ~seed:(seed * 7919) in
+  for round = 1 to rounds do
+    (* Random flips since the previous round: 0..3 ISPs toggle. *)
+    let flips = Nsutil.Prng.int rng 4 in
+    for _ = 1 to flips do
+      let nc = Nsutil.Prng.pick rng isps in
+      if State.full state nc then State.disable state nc
+      else ignore (State.enable state nc)
+    done;
+    Core.Incremental.begin_round inc state;
+    let secure = State.secure_bytes state in
+    let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
+    for d = 0 to nn - 1 do
+      if Core.Incremental.is_dirty inc d then begin
+        let info = Bgp.Route_static.get statics d in
+        Bgp.Forest.compute info ~tiebreak:cfg.tiebreak ~secure ~use_secp ~weight
+          scratch;
+        let pairs = Core.Utility.contribution_pairs cfg.model g info scratch ~weight in
+        Core.Incremental.store inc d ~sec_path:scratch.Bgp.Forest.sec_path ~pairs
+      end
+    done;
+    let incremental = Array.make nn 0.0 in
+    for d = 0 to nn - 1 do
+      Core.Utility.add_pairs (Core.Incremental.entry inc d).pairs ~into:incremental
+    done;
+    let fresh = Bgp.Route_static.create g in
+    let expected = Core.Utility.all cfg fresh state ~weight in
+    check
+      Alcotest.(array (float 1e-9))
+      (Printf.sprintf "round %d (flips=%d, dirty=%d)" round flips
+         (Core.Incremental.dirty_count inc))
+      expected incremental
+  done
+
+let test_incremental_random_flips () =
+  incremental_matches_scratch ~seed:1 ~rounds:10 ~n:80 ();
+  incremental_matches_scratch ~seed:2 ~rounds:8 ~n:60 ()
+
+let test_incremental_no_flips_all_clean () =
+  (* A round with zero flips must mark nothing dirty and still replay
+     the full utility vector. *)
+  let params = { (Topology.Params.with_n Topology.Params.default 60) with seed = 4 } in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let nn = Asgraph.Graph.n g in
+  let cfg = Core.Config.default in
+  let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+  let statics = Bgp.Route_static.create g in
+  let state = State.create g ~early:(Asgraph.Metrics.top_by_degree g 3) in
+  let inc = Core.Incremental.create statics in
+  let scratch = Bgp.Forest.make_scratch nn in
+  let sweep () =
+    Core.Incremental.begin_round inc state;
+    let secure = State.secure_bytes state in
+    let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
+    for d = 0 to nn - 1 do
+      if Core.Incremental.is_dirty inc d then begin
+        let info = Bgp.Route_static.get statics d in
+        Bgp.Forest.compute info ~tiebreak:cfg.tiebreak ~secure ~use_secp ~weight
+          scratch;
+        let pairs = Core.Utility.contribution_pairs cfg.model g info scratch ~weight in
+        Core.Incremental.store inc d ~sec_path:scratch.Bgp.Forest.sec_path ~pairs
+      end
+    done;
+    Core.Incremental.dirty_count inc
+  in
+  check Alcotest.int "first round recomputes everything" nn (sweep ());
+  check Alcotest.int "idle round is a full cache hit" 0 (sweep ());
+  let incremental = Array.make nn 0.0 in
+  for d = 0 to nn - 1 do
+    Core.Utility.add_pairs (Core.Incremental.entry inc d).pairs ~into:incremental
+  done;
+  check
+    Alcotest.(array (float 1e-9))
+    "replayed utilities"
+    (Core.Utility.all cfg (Bgp.Route_static.create g) state ~weight)
+    incremental
+
+let () =
+  Alcotest.run "engine_parity"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "synthetic outgoing (stable)" `Quick
+            test_parity_synthetic_outgoing;
+          Alcotest.test_case "synthetic incoming + turn-off (stable)" `Quick
+            test_parity_synthetic_incoming;
+          Alcotest.test_case "chicken gadget (oscillation)" `Quick
+            test_parity_chicken_oscillation;
+          Alcotest.test_case "chicken gadget (round cap)" `Quick
+            test_parity_chicken_round_cap;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "random flip sequences = from scratch" `Quick
+            test_incremental_random_flips;
+          Alcotest.test_case "idle round is a full cache hit" `Quick
+            test_incremental_no_flips_all_clean;
+        ] );
+    ]

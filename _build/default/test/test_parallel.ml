@@ -45,8 +45,77 @@ let test_more_workers_than_tasks () =
   let r = Pool.map_array ~workers:16 ~tasks:3 (fun i -> i + 1) in
   check Alcotest.(array int) "clamped" [| 1; 2; 3 |] r
 
+let test_zero_tasks () =
+  (* tasks = 0 must return the bare initial accumulator, for any
+     worker count, without touching [task]. *)
+  List.iter
+    (fun workers ->
+      let r =
+        Pool.map_reduce ~workers ~tasks:0
+          ~init:(fun () -> ref 0)
+          ~task:(fun _ _ -> Alcotest.fail "task called with zero tasks")
+          ~combine:(fun a b ->
+            a := !a + !b;
+            a)
+      in
+      check Alcotest.int (Printf.sprintf "workers=%d" workers) 0 !r;
+      let rc =
+        Pool.map_reduce_chunked ~workers ~tasks:0 ~grain:4
+          ~init:(fun () -> ref 0)
+          ~task:(fun _ _ -> Alcotest.fail "task called with zero tasks")
+          ~combine:(fun a b ->
+            a := !a + !b;
+            a)
+      in
+      check Alcotest.int (Printf.sprintf "chunked workers=%d" workers) 0 !rc)
+    [ 1; 3 ]
+
+let test_chunked_matches_unchunked () =
+  (* The grain only reshapes scheduling: for every (workers, grain)
+     the chunked entry point must equal map_reduce at workers=1. *)
+  let tasks = 101 in
+  let collect f =
+    !(f
+        ~init:(fun () -> ref [])
+        ~task:(fun acc i -> acc := i :: !acc)
+        ~combine:(fun a b ->
+          a := !b @ !a;
+          a))
+  in
+  let reference = collect (Pool.map_reduce ~workers:1 ~tasks) in
+  List.iter
+    (fun (workers, grain) ->
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "workers=%d grain=%d" workers grain)
+        reference
+        (collect (Pool.map_reduce_chunked ~workers ~tasks ~grain)))
+    [ (1, 1); (4, 1); (4, 8); (4, 50); (4, 1000); (16, 7) ]
+
+let test_chunked_combine_order () =
+  (* Worker-index order must survive the grain-derived worker clamp:
+     collecting slices gives ascending task order. *)
+  let tasks = 64 in
+  let r =
+    !(Pool.map_reduce_chunked ~workers:4 ~tasks ~grain:8
+        ~init:(fun () -> ref [])
+        ~task:(fun acc i -> acc := !acc @ [ i ])
+        ~combine:(fun a b ->
+          a := !a @ !b;
+          a))
+  in
+  check Alcotest.(list int) "ascending" (List.init tasks (fun i -> i)) r
+
 let test_recommended_workers_positive () =
-  check Alcotest.bool "at least one" true (Pool.recommended_workers () >= 1)
+  check Alcotest.bool "at least one" true (Pool.recommended_workers () >= 1);
+  (* The clamp itself, independent of this host's core count: a
+     single-core count (and degenerate inputs) still yields one
+     worker, more cores leave one for the coordinating domain. *)
+  check Alcotest.int "1 core -> 1 worker" 1 (Pool.workers_of_domain_count 1);
+  check Alcotest.int "0 cores -> 1 worker" 1 (Pool.workers_of_domain_count 0);
+  check Alcotest.int "-3 cores -> 1 worker" 1 (Pool.workers_of_domain_count (-3));
+  check Alcotest.int "8 cores -> 7 workers" 7 (Pool.workers_of_domain_count 8);
+  check Alcotest.bool "default is positive" true (Pool.default_workers () >= 1)
 
 let test_parallel_utility_matches_sequential () =
   (* The real use: per-destination utility accumulation partitioned
@@ -94,6 +163,9 @@ let () =
             test_map_reduce_order_deterministic;
           Alcotest.test_case "map_array" `Quick test_map_array;
           Alcotest.test_case "more workers than tasks" `Quick test_more_workers_than_tasks;
+          Alcotest.test_case "zero tasks" `Quick test_zero_tasks;
+          Alcotest.test_case "chunked = unchunked" `Quick test_chunked_matches_unchunked;
+          Alcotest.test_case "chunked combine order" `Quick test_chunked_combine_order;
           Alcotest.test_case "recommended workers" `Quick test_recommended_workers_positive;
           Alcotest.test_case "parallel utility = sequential" `Quick
             test_parallel_utility_matches_sequential;

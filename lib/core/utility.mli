@@ -28,6 +28,23 @@ val accumulate :
 (** Add every node's contribution for this destination into [into];
     one O(N) pass. *)
 
+val contribution_pairs :
+  Config.utility_model ->
+  Asgraph.Graph.t ->
+  Bgp.Route_static.dest_info ->
+  Bgp.Forest.scratch ->
+  weight:float array ->
+  int array * float array
+(** The destination's utility contributions as an explicit addend
+    stream [(targets, values)]: {!add_pairs} on the result performs
+    float-for-float the same additions, in the same order, as
+    {!accumulate} on the same forest — so a cached stream replays
+    bit-identically across rounds and worker counts. Targets repeat
+    under [Incoming] (one addend per customer edge). *)
+
+val add_pairs : int array * float array -> into:float array -> unit
+(** Replay an addend stream from {!contribution_pairs}. *)
+
 val all :
   Config.t ->
   Bgp.Route_static.t ->
