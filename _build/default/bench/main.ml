@@ -183,6 +183,13 @@ let kernels () =
       (Staged.stage
          (let buf = String.make 1024 'x' in
           fun () -> Scrypto.Sha256.digest_string buf));
+    Test.make ~name:"kernel/checkpoint-write-load-32KiB"
+      (Staged.stage
+         (let digest = Scrypto.Sha256.digest_string "bench" in
+          let payload = String.make 32768 'p' in
+          fun () ->
+            Core.Checkpoint.write ~path:"ckpt.bench" ~digest ~round:1 payload;
+            Core.Checkpoint.load_exn ~path:"ckpt.bench" ~digest));
   ]
 
 let run_bechamel () =
@@ -250,11 +257,50 @@ let report_engine_sweep () =
     [ 0.05; 0.30 ];
   print_newline ()
 
+(* Fault tolerance: the case-study run with injected worker faults and
+   the default retry budget, against the clean run — the supervision
+   layer must absorb the faults without changing a single float. *)
+let report_fault_tolerance () =
+  let scenario = Experiments.Scenario.create ~n:120 ~seed:3 () in
+  let g = Experiments.Scenario.graph scenario in
+  let early = Experiments.Scenario.case_study_adopters scenario in
+  let weight = Experiments.Scenario.weights scenario Core.Config.default in
+  let cfg = { Core.Config.default with workers } in
+  let run ?faults () =
+    let state = Core.State.create g ~early in
+    let t0 = Unix.gettimeofday () in
+    let r = Core.Engine.run ?faults cfg scenario.statics ~weight ~state in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "=== Fault tolerance: injected worker faults vs clean run (N = 120) ===\n\n%!";
+  let clean, dt_clean = run () in
+  let faults = Nsutil.Faults.create ~rate:0.02 ~budget:cfg.retries ~seed:11 () in
+  let faulted, dt_faulted = run ~faults () in
+  let identical =
+    clean.Core.Engine.rounds = faulted.Core.Engine.rounds
+    && clean.baseline = faulted.baseline
+    && clean.termination = faulted.termination
+    && clean.dest_recomputed = faulted.dest_recomputed
+    && clean.dest_reused = faulted.dest_reused
+  in
+  Printf.printf
+    "clean: %.3fs; faulted: %.3fs (%d of %d shots fired, retry budget %d); identical \
+     results: %b\n\n%!"
+    dt_clean dt_faulted
+    (Nsutil.Faults.fired faults)
+    (Nsutil.Faults.shots faults)
+    cfg.retries identical;
+  if not identical then begin
+    prerr_endline "bench: faulted run diverged from clean run";
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   if not (flag "--bench-only") then run_experiments ();
   if not (flag "--no-bench") then begin
     report_engine_sweep ();
+    report_fault_tolerance ();
     run_bechamel ()
   end;
   Printf.printf "\ntotal wall clock: %.1fs\n" (Unix.gettimeofday () -. t0)

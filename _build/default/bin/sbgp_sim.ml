@@ -19,6 +19,17 @@ let guard f =
   | Sys_error m ->
       Printf.eprintf "error: %s\n" m;
       exit 2
+  | Core.Checkpoint.Error e ->
+      Printf.eprintf "error: checkpoint: %s\n" (Core.Checkpoint.error_to_string e);
+      exit 2
+  | Parallel.Pool.Supervision_failed failures ->
+      Printf.eprintf "error: %d worker slice(s) failed past the retry budget" (List.length failures);
+      (match failures with
+      | { Parallel.Pool.index; attempts; error } :: _ ->
+          Printf.eprintf "; first: task %d after %d attempts: %s" index attempts error
+      | [] -> ());
+      prerr_newline ();
+      exit 3
 
 let n_arg =
   let doc = "Number of ASes in the synthetic topology." in
@@ -109,6 +120,39 @@ let run_cmd =
             "Worker domains for the per-round destination sweep. Results are identical \
              for any value (default: one per spare core, or \\$(b,SBGP_WORKERS)).")
   in
+  let checkpoint_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:
+            "Snapshot engine progress to this file (atomically replaced, \
+             SHA-256-checksummed) so an interrupted run can be continued with \
+             $(b,--resume).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~doc:"Rounds between snapshots (default every round).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the snapshot at $(b,--checkpoint) instead of starting over. \
+             The snapshot is validated (checksum and config/topology digest) before \
+             anything is trusted; results are identical to an uninterrupted run.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int Core.Config.default.retries
+      & info [ "retries" ]
+          ~doc:
+            "Retry budget for failed worker slices in the per-round sweep (final attempt \
+             runs serially). Never affects results, only survival.")
+  in
   let parse_adopters g spec =
     let prefix p s =
       if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
@@ -129,7 +173,8 @@ let run_cmd =
                  (List.filter_map int_of_string_opt (String.split_on_char ',' s)))
       end
   in
-  let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers =
+  let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers
+      checkpoint_path checkpoint_every resume retries =
     let g =
       match caida with
       | None -> Experiments.Scenario.graph (Experiments.Scenario.create ~n ~seed ())
@@ -156,13 +201,28 @@ let run_cmd =
         stub_tiebreak = not no_stub_tiebreak;
         allow_turn_off = model = Core.Config.Incoming;
         workers = max 1 workers;
+        retries = max 0 retries;
       }
+    in
+    if resume && checkpoint_path = None then begin
+      Printf.eprintf "error: --resume requires --checkpoint PATH\n";
+      exit 2
+    end;
+    let checkpoint =
+      Option.map
+        (fun path -> { Core.Engine.path; every = max 1 checkpoint_every })
+        checkpoint_path
     in
     let t0 = Unix.gettimeofday () in
     let statics = Bgp.Route_static.create g in
     let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
     let state = Core.State.create g ~early in
-    let result = Core.Engine.run cfg statics ~weight ~state in
+    let result =
+      if resume then
+        Core.Engine.resume ~from:(Option.get checkpoint_path) ?checkpoint cfg statics
+          ~weight ~state
+      else Core.Engine.run ?checkpoint cfg statics ~weight ~state
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let table =
       Nsutil.Table.create
@@ -199,9 +259,10 @@ let run_cmd =
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i j -> guard (fun () -> run a b c d e f g h i j))
+      const (fun a b c d e f g h i j k l m o ->
+          guard (fun () -> run a b c d e f g h i j k l m o))
       $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
-      $ workers)
+      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =

@@ -1,1 +1,1 @@
-lib/asgraph/graph_io.ml: Array As_class Buffer Graph Hashtbl List Printf String
+lib/asgraph/graph_io.ml: Array As_class Buffer Fun Graph Hashtbl List Printf String

@@ -54,15 +54,17 @@ let of_string s =
 
 let save g path =
   let oc = open_out path in
-  output_string oc (to_string g);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string g))
 
-let load path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  of_string s
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = of_string (read_file path)
 
 type caida_import = {
   graph : Graph.t;
@@ -140,9 +142,4 @@ let of_caida ?(cps = []) s =
   in
   { graph; asn_of_node; node_of_asn; skipped = !skipped }
 
-let load_caida ?cps path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  of_caida ?cps s
+let load_caida ?cps path = of_caida ?cps (read_file path)

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Buffer Bytes Char Fun Int32 Int64 Nsutil Printexc Printf Scrypto Stdlib String Sys

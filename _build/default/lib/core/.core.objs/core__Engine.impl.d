@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Asgraph Bgp Bytes Config Float Hashtbl Incremental List Nsutil Option Parallel State Utility
+lib/core/engine.ml: Array Asgraph Bgp Bytes Checkpoint Config Float Hashtbl Incremental Int64 List Marshal Nsutil Option Parallel Printf Scrypto State String Utility

@@ -1,1 +1,1 @@
-lib/core/engine.mli: Bgp Config State
+lib/core/engine.mli: Bgp Config Nsutil State

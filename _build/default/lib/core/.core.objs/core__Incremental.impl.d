@@ -1,1 +1,1 @@
-lib/core/incremental.ml: Array Asgraph Bgp Bytes State
+lib/core/incremental.ml: Array Asgraph Bgp Bytes Marshal State

@@ -1,1 +1,1 @@
-lib/core/state.ml: Asgraph Bytes List Nsutil Option Printf
+lib/core/state.ml: Asgraph Bytes List Marshal Nsutil Option Printf

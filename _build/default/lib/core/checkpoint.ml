@@ -1,0 +1,135 @@
+module Sha256 = Scrypto.Sha256
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated
+  | Corrupt
+  | Config_mismatch of { expected : string; found : string }
+
+exception Error of error
+
+let error_to_string = function
+  | Io m -> Printf.sprintf "checkpoint I/O error: %s" m
+  | Bad_magic -> "not a checkpoint file (bad magic)"
+  | Unsupported_version v -> Printf.sprintf "unsupported checkpoint version %d" v
+  | Truncated -> "truncated checkpoint file"
+  | Corrupt -> "corrupt checkpoint file (checksum mismatch)"
+  | Config_mismatch { expected; found } ->
+      Printf.sprintf
+        "checkpoint was written by a different configuration/topology (digest %s, \
+         expected %s)"
+        found expected
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Checkpoint.Error (%s)" (error_to_string e))
+    | _ -> None)
+
+(* On-disk layout, all integers big-endian:
+
+     magic   "SBGPCKP1"                        8 bytes
+     version u16 (= 1)                         2 bytes
+     digest  config/topology SHA-256          32 bytes
+     round   u32                               4 bytes
+     length  payload bytes, u64                8 bytes
+     payload                                   (length)
+     footer  SHA-256 of everything above      32 bytes
+
+   The footer authenticates the frame against torn writes and bit
+   rot; the digest ties the snapshot to the inputs that produced it.
+   Only after both checks pass is the payload (a [Marshal] blob)
+   handed back — unmarshaling untrusted bytes is never safe, so the
+   checksum is the gate. *)
+
+let magic = "SBGPCKP1"
+let version = 1
+let digest_len = 32
+let header_len = 8 + 2 + digest_len + 4 + 8
+let footer_len = digest_len
+
+let frame ~digest ~round ~payload =
+  if String.length digest <> digest_len then
+    invalid_arg "Checkpoint.write: digest must be 32 raw bytes";
+  let buf = Buffer.create (header_len + String.length payload + footer_len) in
+  Buffer.add_string buf magic;
+  Buffer.add_uint16_be buf version;
+  Buffer.add_string buf digest;
+  Buffer.add_int32_be buf (Int32.of_int round);
+  Buffer.add_int64_be buf (Int64.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  let body = Buffer.contents buf in
+  body ^ Sha256.digest_string body
+
+let write ?faults ~path ~digest ~round payload =
+  let bytes = Bytes.of_string (frame ~digest ~round ~payload) in
+  (* Fault injection: flip one payload byte *after* the checksum was
+     computed — the canonical corruption a reader must reject. *)
+  (match faults with
+  | Some f when Nsutil.Faults.fires f "checkpoint.corrupt" <> None ->
+      let i = header_len + (String.length payload / 2) in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x5a))
+  | _ -> ());
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_bytes oc bytes);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error m -> raise (Error (Io m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let hex = Sha256.hex
+
+(* The [Error] exception shadows [result]'s constructor in this file;
+   [err] builds the result explicitly. *)
+let err e : (int * string, error) result = Stdlib.Error e
+
+let load ~path ~digest =
+  if String.length digest <> digest_len then
+    invalid_arg "Checkpoint.load: digest must be 32 raw bytes";
+  match read_file path with
+  | exception Sys_error m -> err (Io m)
+  | exception End_of_file -> err Truncated
+  | s ->
+      let len = String.length s in
+      let prefix = min len (String.length magic) in
+      if String.sub s 0 prefix <> String.sub magic 0 prefix then err Bad_magic
+      else if len < 10 then err Truncated
+      else begin
+        let v = String.get_uint16_be s 8 in
+        if v <> version then err (Unsupported_version v)
+        else if len < header_len + footer_len then err Truncated
+        else begin
+          let payload_len = Int64.to_int (String.get_int64_be s (8 + 2 + digest_len + 4)) in
+          let total = header_len + payload_len + footer_len in
+          if payload_len < 0 || len < total then err Truncated
+          else if len > total then err Corrupt
+          else begin
+            let body = String.sub s 0 (header_len + payload_len) in
+            let footer = String.sub s (header_len + payload_len) footer_len in
+            if not (String.equal (Sha256.digest_string body) footer) then err Corrupt
+            else begin
+              let found = String.sub s 10 digest_len in
+              if not (String.equal found digest) then
+                err (Config_mismatch { expected = hex digest; found = hex found })
+              else begin
+                let round = Int32.to_int (String.get_int32_be s (10 + digest_len)) in
+                Ok (round, String.sub s header_len payload_len)
+              end
+            end
+          end
+        end
+      end
+
+let load_exn ~path ~digest =
+  match load ~path ~digest with Ok v -> v | Stdlib.Error e -> raise (Error e)

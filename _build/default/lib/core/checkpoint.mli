@@ -1,0 +1,49 @@
+(** Checksummed, atomically-written snapshot files for restartable
+    runs.
+
+    The paper's cluster jobs restart after worker failure (Appendix
+    C.3); our equivalent is a snapshot of engine progress written
+    every K rounds. This module owns the *framing*: a magic/version
+    header, the SHA-256 digest of the run's configuration and
+    topology (so a snapshot can never be resumed against different
+    inputs), the round number, an opaque payload, and a SHA-256
+    integrity footer over the whole frame. Files are written to
+    [path ^ ".tmp"] and renamed into place, so a crash mid-write
+    never clobbers the previous valid snapshot.
+
+    The payload is an engine-owned [Marshal] blob. Unmarshaling
+    untrusted bytes is unsafe, which is exactly why the checksum and
+    digest are verified *before* the payload is handed back: a
+    corrupt, truncated or mismatched file yields a typed {!error},
+    never a crash or a silently wrong resume. *)
+
+type error =
+  | Io of string  (** open/read/write/rename failed *)
+  | Bad_magic  (** not a checkpoint file *)
+  | Unsupported_version of int
+  | Truncated  (** shorter than its header declares *)
+  | Corrupt  (** integrity footer does not match the contents *)
+  | Config_mismatch of { expected : string; found : string }
+      (** written under a different config/topology digest (hex) *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+val write :
+  ?faults:Nsutil.Faults.t -> path:string -> digest:string -> round:int -> string -> unit
+(** [write ~path ~digest ~round payload] frames and atomically
+    replaces [path]. [digest] must be 32 raw bytes ({!Scrypto.Sha256}
+    output). A fault plan firing at site ["checkpoint.corrupt"] flips
+    one payload byte after checksumming — deliberate corruption for
+    the fault-injection harness. Raises {!Error} [(Io _)] on I/O
+    failure. *)
+
+val load : path:string -> digest:string -> (int * string, error) result
+(** Validate [path] against [digest] and return [(round, payload)].
+    Checks run outside-in: magic, version, framing length, integrity
+    footer, then digest; the payload is only returned when all
+    pass. *)
+
+val load_exn : path:string -> digest:string -> int * string
+(** {!load}, raising {!Error}. *)

@@ -14,6 +14,7 @@ type t = {
   theta_jitter : float;
   jitter_seed : int;
   workers : int;
+  retries : int;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     theta_jitter = 0.0;
     jitter_seed = 1;
     workers = Parallel.Pool.default_workers ();
+    retries = 2;
   }
 
 let incoming = { default with model = Incoming; allow_turn_off = true }

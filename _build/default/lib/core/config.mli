@@ -33,6 +33,10 @@ type t = {
           ({!Parallel.Pool}); results are identical for every value.
           Defaults to [Parallel.Pool.default_workers ()] (the
           [SBGP_WORKERS] environment variable when set). *)
+  retries : int;
+      (** per-slice retry budget for the supervised engine sweeps
+          (see {!Parallel.Pool.supervision}); like [workers], has no
+          effect on results — only on whether a faulty run survives. *)
 }
 
 val default : t

@@ -107,11 +107,73 @@ let apply_delta bytes_sec bytes_secp edits =
       Bytes.set bytes_secp i u)
     edits
 
-let run (cfg : Config.t) statics ~weight ~state =
+type checkpoint_spec = { path : string; every : int }
+
+(* The full cross-round memory of a run, as checkpointed every K
+   rounds: the deployment state (with its mark snapshot), the
+   oscillation table in insertion order, the round records and stats
+   counters, and the incremental cache's entries. Restoring all of it
+   makes a resumed run replay the uninterrupted run bit-for-bit —
+   including the cache-hit counters. Serialized with [Marshal]
+   (exact for floats/bytes); {!Checkpoint} authenticates the frame
+   before any unmarshaling happens. *)
+type progress = {
+  p_round : int;
+  p_state : string;
+  p_seen : (int * string) list;  (** oscillation table, round ascending *)
+  p_rounds_rev : round_record list;
+  p_recomputed : int;
+  p_reused : int;
+  p_baseline : float array;
+  p_initial_secure_as : int;
+  p_initial_secure_isp : int;
+  p_inc : string;
+}
+
+(* SHA-256 over every input that determines results: config fields
+   (except [workers]/[retries], which provably do not affect
+   results), topology, traffic weights and the initial deployment
+   state. A checkpoint resumes only against the digest it was
+   written under. *)
+let input_digest (cfg : Config.t) statics ~weight ~state =
+  let g = Route_static.graph statics in
+  let ctx = Scrypto.Sha256.init () in
+  let feed = Scrypto.Sha256.feed ctx in
+  let ff x = feed (Printf.sprintf "%Lx;" (Int64.bits_of_float x)) in
+  feed "sbgp-engine-ckpt-v1\n";
+  ff cfg.theta;
+  ff cfg.theta_off;
+  feed (Config.utility_model_to_string cfg.model);
+  feed (Printf.sprintf ";%b;" cfg.stub_tiebreak);
+  feed
+    (match cfg.tiebreak with
+    | Bgp.Policy.Lowest_id -> "tb:lowest"
+    | Bgp.Policy.Hashed seed -> Printf.sprintf "tb:hashed:%d" seed
+    | Bgp.Policy.Ranked _ -> "tb:ranked");
+  ff cfg.cp_fraction;
+  feed
+    (Printf.sprintf ";%d;%b;%b;%b;" cfg.max_rounds cfg.allow_turn_off cfg.disable_secp
+       cfg.disable_simplex);
+  ff cfg.theta_jitter;
+  feed (Printf.sprintf "%d\ngraph\n" cfg.jitter_seed);
+  feed (Asgraph.Graph_io.to_string g);
+  feed "weights\n";
+  Array.iter ff weight;
+  feed "\nstate\n";
+  feed (State.serialize state);
+  Scrypto.Sha256.finalize ctx
+
+let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) statics
+    ~weight ~state =
   let g = Route_static.graph statics in
   let n = Graph.n g in
   let tiebreak = cfg.tiebreak in
   let workers = max 1 (min cfg.workers n) in
+  (* Supervision for the engine's fan-outs: worker failures retry per
+     slice ([Config.retries]) and degrade to serial re-execution —
+     re-running a slice recomputes identical per-destination values,
+     so faults never change results. *)
+  let sv = Pool.supervision ~retries:(max 0 cfg.retries) ?faults () in
   (* Per-destination static info must be complete before any fan-out:
      workers then only read the cache. *)
   Route_static.ensure_all ~workers statics;
@@ -128,11 +190,11 @@ let run (cfg : Config.t) statics ~weight ~state =
      parallel phase computes per-destination addend streams; the
      serial replay in destination order performs the same float
      additions as a sequential sweep, for any worker count. *)
-  let baseline =
+  let compute_baseline () =
     let zeros = Bytes.make n '\000' in
     let pairs = Array.make n ([||], [||]) in
     ignore
-      (Pool.map_reduce_chunked ~workers ~tasks:n ~grain
+      (Pool.map_reduce_chunked_supervised sv ~workers ~tasks:n ~grain
          ~init:(fun () -> Forest.make_scratch n)
          ~task:(fun scratch d ->
            let info = Route_static.get statics d in
@@ -152,27 +214,72 @@ let run (cfg : Config.t) statics ~weight ~state =
           Float.max 0.0
             (1.0 +. (cfg.theta_jitter *. ((2.0 *. Nsutil.Prng.float rng 1.0) -. 1.0))))
   in
-  let initial_secure_as = State.secure_count state in
-  let initial_secure_isp = State.secure_isp_count state in
   (* Oscillation detection: hash-bucketed copies of every visited
-     deployment state, with exact comparison on hash hits. *)
+     deployment state, with exact comparison on hash hits. The
+     insertion-order list serializes the table for checkpoints;
+     replaying insertions rebuilds identical buckets. *)
   let seen_states : (int, (int * State.t) list) Hashtbl.t = Hashtbl.create 64 in
+  let seen_order = ref [] in
+  let insert_seen round st =
+    let signature = State.signature st in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
+    Hashtbl.replace seen_states signature ((round, st) :: bucket);
+    seen_order := (round, st) :: !seen_order
+  in
+  let inc = Incremental.create statics in
+  let recomputed = ref 0 in
+  let reused = ref 0 in
+  let rounds = ref [] in
+  let round = ref 0 in
+  (* Fresh start or checkpoint restore. *)
+  let baseline, initial_secure_as, initial_secure_isp, state =
+    match resume_from with
+    | None ->
+        let baseline = compute_baseline () in
+        let init_as = State.secure_count state in
+        let init_isp = State.secure_isp_count state in
+        insert_seen 0 (State.copy state);
+        (baseline, init_as, init_isp, state)
+    | Some p ->
+        let state = State.restore g p.p_state in
+        List.iter (fun (r, s) -> insert_seen r (State.restore g s)) p.p_seen;
+        Incremental.restore inc p.p_inc;
+        round := p.p_round;
+        rounds := p.p_rounds_rev;
+        recomputed := p.p_recomputed;
+        reused := p.p_reused;
+        (p.p_baseline, p.p_initial_secure_as, p.p_initial_secure_isp, state)
+  in
   let remember round =
     let signature = State.signature state in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
     match List.find_opt (fun (_, old) -> State.equal_full old state) bucket with
     | Some (first_round, _) -> Some first_round
     | None ->
-        Hashtbl.replace seen_states signature ((round, State.copy state) :: bucket);
+        insert_seen round (State.copy state);
         None
   in
-  ignore (remember 0);
-  let inc = Incremental.create statics in
-  let recomputed = ref 0 in
-  let reused = ref 0 in
-  let rounds = ref [] in
+  let write_checkpoint () =
+    match checkpoint with
+    | Some { path; every } when !round mod max 1 every = 0 ->
+        let p =
+          {
+            p_round = !round;
+            p_state = State.serialize state;
+            p_seen = List.rev_map (fun (r, s) -> (r, State.serialize s)) !seen_order;
+            p_rounds_rev = !rounds;
+            p_recomputed = !recomputed;
+            p_reused = !reused;
+            p_baseline = baseline;
+            p_initial_secure_as = initial_secure_as;
+            p_initial_secure_isp = initial_secure_isp;
+            p_inc = Incremental.snapshot inc;
+          }
+        in
+        Checkpoint.write ?faults ~path ~digest ~round:!round (Marshal.to_string p [])
+    | _ -> ()
+  in
   let termination = ref Max_rounds in
-  let round = ref 0 in
   let continue = ref true in
   while !continue && !round < cfg.max_rounds do
     incr round;
@@ -207,7 +314,7 @@ let run (cfg : Config.t) statics ~weight ~state =
        per-destination slots. *)
     let changed_contrib : (int * float) list array = Array.make n [] in
     ignore
-      (Pool.map_reduce_chunked ~workers ~tasks:n ~grain
+      (Pool.map_reduce_chunked_supervised sv ~workers ~tasks:n ~grain
          ~init:(fun () ->
            (Forest.make_scratch n, Forest.make_scratch n, Bytes.copy sec0, Bytes.copy secp0))
          ~task:(fun (base, flip, sec, secp) d ->
@@ -304,7 +411,11 @@ let run (cfg : Config.t) statics ~weight ~state =
           termination := Oscillation { first_round };
           continue := false
       | None -> ()
-    end
+    end;
+    (* Snapshot only when another round is coming: a checkpoint always
+       represents a run with work left to do, so a resume re-enters
+       the loop exactly where the interrupted run would have. *)
+    if !continue && !round < cfg.max_rounds then write_checkpoint ()
   done;
   {
     baseline;
@@ -316,6 +427,32 @@ let run (cfg : Config.t) statics ~weight ~state =
     dest_recomputed = !recomputed;
     dest_reused = !reused;
   }
+
+let null_digest = String.make 32 '\000'
+
+let resolve_faults = function
+  | Some _ as f -> f
+  | None -> Nsutil.Faults.of_env ()
+
+let run ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
+  let faults = resolve_faults faults in
+  (* The input digest walks the whole topology; only pay for it when
+     snapshots will actually be written. *)
+  let digest =
+    match checkpoint with
+    | None -> null_digest
+    | Some _ -> input_digest cfg statics ~weight ~state
+  in
+  run_internal ~checkpoint ~faults ~digest ~resume_from:None cfg statics ~weight ~state
+
+let resume ~from ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
+  let faults = resolve_faults faults in
+  let digest = input_digest cfg statics ~weight ~state in
+  let round, payload = Checkpoint.load_exn ~path:from ~digest in
+  let p = (Marshal.from_string payload 0 : progress) in
+  if p.p_round <> round then raise (Checkpoint.Error Checkpoint.Corrupt);
+  run_internal ~checkpoint ~faults ~digest ~resume_from:(Some p) cfg statics ~weight
+    ~state
 
 let secure_fraction result kind =
   let state = result.final in

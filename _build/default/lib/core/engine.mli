@@ -44,7 +44,22 @@ type result = {
   dest_reused : int;  (** destinations served from the cross-round cache *)
 }
 
+type checkpoint_spec = {
+  path : string;  (** snapshot file, atomically replaced *)
+  every : int;  (** snapshot every K completed rounds (clamped to >= 1) *)
+}
+
+val input_digest :
+  Config.t -> Bgp.Route_static.t -> weight:float array -> state:State.t -> string
+(** SHA-256 (32 raw bytes) over every run input that determines
+    results: the config (minus [workers] and [retries], which never
+    affect results), the topology, the traffic weights and the
+    initial deployment state. {!resume} accepts only snapshots
+    written under an equal digest. *)
+
 val run :
+  ?checkpoint:checkpoint_spec ->
+  ?faults:Nsutil.Faults.t ->
   Config.t ->
   Bgp.Route_static.t ->
   weight:float array ->
@@ -59,7 +74,47 @@ val run :
     result is structurally identical — float-for-float — for any
     worker count, because workers compute pure per-destination
     values and all float accumulation happens in one serial pass in
-    destination order. *)
+    destination order.
+
+    The sweeps run supervised: a worker exception is contained and
+    its slice retried up to [Config.retries] times (final attempt
+    serial in the calling domain); since re-executing a slice
+    recomputes identical per-destination values, contained faults
+    never change results. {!Parallel.Pool.Supervision_failed}
+    escapes only when a slice keeps failing beyond the budget.
+
+    [checkpoint] snapshots the engine's complete cross-round memory
+    (state, oscillation table, round records, counters, incremental
+    cache) to [path] every [every] completed rounds, whenever another
+    round is still coming — see {!Checkpoint} for the file format.
+
+    [faults] is the fault-injection plan threaded into the sweeps and
+    the checkpoint writer; it defaults to the [SBGP_FAULTS]
+    environment variable ({!Nsutil.Faults.of_env}). *)
+
+val resume :
+  from:string ->
+  ?checkpoint:checkpoint_spec ->
+  ?faults:Nsutil.Faults.t ->
+  Config.t ->
+  Bgp.Route_static.t ->
+  weight:float array ->
+  state:State.t ->
+  result
+(** Continue a checkpointed run from the snapshot at [from] and run
+    to termination. The caller passes the same config, statics,
+    weights and a freshly created initial [state] — exactly as the
+    original {!run} — and the snapshot is validated against their
+    {!input_digest} before any of it is trusted: corrupt, truncated
+    or config/topology-mismatched files raise {!Checkpoint.Error}
+    with the corresponding typed {!Checkpoint.error}, never a crash
+    or a silently wrong resume.
+
+    Because the snapshot restores the full cross-round memory, the
+    result is structurally identical — float-for-float, including
+    the cache counters — to the uninterrupted run, for any worker
+    count. Pass [checkpoint] to keep snapshotting the resumed run
+    (possibly to the same path). *)
 
 val secure_fraction : result -> [ `As | `Isp ] -> float
 (** Fraction of ASes (resp. ISPs) secure at termination. *)

@@ -64,6 +64,18 @@ let entry t d =
   | Some e -> e
   | None -> invalid_arg "Incremental.entry: destination never computed"
 
+(* Checkpointing: the cache's only cross-round memory is the entries
+   array (dirtiness is re-derived each round from the state's mark
+   diff). Snapshotting it lets a resumed run replay exactly the cache
+   hits the uninterrupted run would have had. *)
+let snapshot t = Marshal.to_string t.entries []
+
+let restore t s =
+  let entries = (Marshal.from_string s 0 : entry option array) in
+  if Array.length entries <> Array.length t.entries then
+    invalid_arg "Incremental.restore: snapshot does not match the topology";
+  Array.blit entries 0 t.entries 0 (Array.length entries)
+
 let base_contribution t e nc =
   let s = t.isp_index.(nc) in
   if s < 0 then 0.0 else e.row.(s)

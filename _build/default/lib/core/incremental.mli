@@ -53,6 +53,16 @@ val entry : t -> int -> entry
 (** The destination's entry. Raises [Invalid_argument] if it was never
     stored (protocol violation). *)
 
+val snapshot : t -> string
+(** Opaque serialization of the per-destination entries — the cache's
+    only cross-round memory — for {!Checkpoint} snapshots. *)
+
+val restore : t -> string -> unit
+(** Refill a fresh cache from {!snapshot} output (same topology;
+    raises [Invalid_argument] on a size mismatch). Together with the
+    state's restored {!State.mark} snapshot, the next {!begin_round}
+    computes exactly the dirty set the uninterrupted run would. *)
+
 val base_contribution : t -> entry -> int -> float
 (** The candidate's utility contribution under the entry's forest —
     the cached equivalent of {!Utility.contribution} on the base

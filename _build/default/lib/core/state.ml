@@ -177,6 +177,59 @@ let changed_since_mark t =
       done;
       !acc
 
+(* Checkpoint serialization: every field except the graph, which the
+   resuming caller provides (and which the checkpoint digest pins).
+   Marshal round-trips bytes, bitsets and the mark snapshot exactly,
+   so a restored state is indistinguishable from the original. *)
+let serialize t =
+  Marshal.to_string
+    ( t.full_set,
+      t.simplex_set,
+      t.pinned_set,
+      t.secure,
+      t.use_secp,
+      t.stub_tiebreak,
+      t.simplex_enabled,
+      t.secp_enabled,
+      t.mark_snap )
+    []
+
+let restore g s =
+  let ( full_set,
+        simplex_set,
+        pinned_set,
+        secure,
+        use_secp,
+        stub_tiebreak,
+        simplex_enabled,
+        secp_enabled,
+        mark_snap ) =
+    (Marshal.from_string s 0
+      : Bitset.t
+        * Bitset.t
+        * Bitset.t
+        * Bytes.t
+        * Bytes.t
+        * bool
+        * bool
+        * bool
+        * (Bytes.t * Bytes.t) option)
+  in
+  if Bytes.length secure <> Graph.n g then
+    invalid_arg "State.restore: serialized state does not match the graph";
+  {
+    g;
+    full_set;
+    simplex_set;
+    pinned_set;
+    secure;
+    use_secp;
+    stub_tiebreak;
+    simplex_enabled;
+    secp_enabled;
+    mark_snap;
+  }
+
 let secure_list t =
   let acc = ref [] in
   for i = Graph.n t.g - 1 downto 0 do

@@ -83,3 +83,14 @@ val changed_since_mark : t -> int list
     {!mark} (ascending). Raises [Invalid_argument] if never marked. *)
 
 val secure_list : t -> int list
+
+val serialize : t -> string
+(** Opaque byte serialization of everything but the graph (deployment
+    sets, participation bytes, ablation switches, the {!mark}
+    snapshot), for {!Checkpoint} snapshots. *)
+
+val restore : Asgraph.Graph.t -> string -> t
+(** Rebuild a state from {!serialize} output over the given graph.
+    The bytes must come from a state over a graph of the same size
+    (checkpoint integrity/digest checks enforce provenance before
+    this is reached); raises [Invalid_argument] on a size mismatch. *)

@@ -1,1 +1,1 @@
-lib/experiments/scenario.ml: Array Asgraph Bgp Core Lazy Parallel Sys Topology Traffic
+lib/experiments/scenario.ml: Array Asgraph Bgp Core Lazy List Nsutil Parallel Printexc Printf Topology Traffic

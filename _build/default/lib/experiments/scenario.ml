@@ -7,10 +7,7 @@ type t = {
   statics_aug : Bgp.Route_static.t Lazy.t;
 }
 
-let default_n () =
-  match Sys.getenv_opt "SBGP_N" with
-  | Some s -> ( match int_of_string_opt s with Some v when v >= 50 -> v | _ -> 500)
-  | None -> 500
+let default_n () = Nsutil.Env.int_var ~name:"SBGP_N" ~min:50 ~default:500 ()
 
 let create ?n ?(seed = 42) () =
   let n = match n with Some v -> v | None -> default_n () in
@@ -38,7 +35,9 @@ let weights ?(augmented = false) t (cfg : Core.Config.t) =
   let g = if augmented then graph_aug t else graph t in
   Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction
 
-let run_many ?(augmented = false) t jobs =
+type job_error = { job : int; error : string }
+
+let run_many_outcomes ?(augmented = false) t jobs =
   let statics = if augmented then Lazy.force t.statics_aug else t.statics in
   let g = Bgp.Route_static.graph statics in
   let jobs = Array.of_list jobs in
@@ -48,15 +47,30 @@ let run_many ?(augmented = false) t jobs =
      only ever reads the cache. *)
   Bgp.Route_static.ensure_all ~workers statics;
   Parallel.Pool.map_array ~workers ~tasks:(Array.length jobs) (fun i ->
-      let cfg, early = jobs.(i) in
-      let cfg = { cfg with Core.Config.workers = 1 } in
-      let weight = Traffic.Weights.assign g ~cp_fraction:cfg.Core.Config.cp_fraction in
-      let state =
-        Core.State.create g ~early ~simplex:(not cfg.disable_simplex)
-          ~secp:(not cfg.disable_secp)
-      in
-      Core.Engine.run cfg statics ~weight ~state)
+      (* Crash containment per job: a failing simulation becomes an
+         [Error] outcome instead of killing the other jobs' domains
+         and losing the whole sweep. *)
+      match
+        let cfg, early = jobs.(i) in
+        let cfg = { cfg with Core.Config.workers = 1 } in
+        let weight = Traffic.Weights.assign g ~cp_fraction:cfg.Core.Config.cp_fraction in
+        let state =
+          Core.State.create g ~early ~simplex:(not cfg.disable_simplex)
+            ~secp:(not cfg.disable_secp)
+        in
+        Core.Engine.run cfg statics ~weight ~state
+      with
+      | result -> Ok result
+      | exception e -> Error { job = i; error = Printexc.to_string e })
   |> Array.to_list
+
+let run_many ?augmented t jobs =
+  List.map
+    (function
+      | Ok r -> r
+      | Error { job; error } ->
+          failwith (Printf.sprintf "Scenario.run_many: job %d failed: %s" job error))
+    (run_many_outcomes ?augmented t jobs)
 
 let run ?(augmented = false) ?early t (cfg : Core.Config.t) =
   let g = if augmented then graph_aug t else graph t in

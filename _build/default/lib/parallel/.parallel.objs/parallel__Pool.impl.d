@@ -1,1 +1,1 @@
-lib/parallel/pool.ml: Array Domain Sys
+lib/parallel/pool.ml: Array Domain Float List Nsutil Printexc Printf String Thread

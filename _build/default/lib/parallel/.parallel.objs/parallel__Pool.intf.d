@@ -1,1 +1,1 @@
-lib/parallel/pool.mli:
+lib/parallel/pool.mli: Nsutil

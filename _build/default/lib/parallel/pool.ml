@@ -3,12 +3,7 @@ let workers_of_domain_count c = max 1 (c - 1)
 let recommended_workers () = workers_of_domain_count (Domain.recommended_domain_count ())
 
 let default_workers () =
-  match Sys.getenv_opt "SBGP_WORKERS" with
-  | Some s -> (
-      match int_of_string_opt s with
-      | Some v when v >= 1 -> v
-      | _ -> recommended_workers ())
-  | None -> recommended_workers ()
+  Nsutil.Env.int_var ~name:"SBGP_WORKERS" ~min:1 ~default:(recommended_workers ()) ()
 
 let slice ~workers ~tasks w =
   let base = tasks / workers in
@@ -61,3 +56,124 @@ let map_array ~workers ~tasks f =
       (function Some v -> v | None -> invalid_arg "Pool.map_array: missing result")
       results
   end
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: worker-domain exceptions are contained, attributed to
+   the task index that raised, and the failed slice is re-executed —
+   spawned retries with exponential backoff first, then one final
+   serial attempt in the calling domain. Because each slice folds from
+   a fresh accumulator and the reduction stays a left fold in worker
+   order, a re-executed slice contributes bit-identical results. *)
+
+type failure = { index : int; attempts : int; error : string }
+
+exception Supervision_failed of failure list
+
+let () =
+  Printexc.register_printer (function
+    | Supervision_failed fs ->
+        Some
+          (Printf.sprintf "Pool.Supervision_failed [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun f ->
+                     Printf.sprintf "task %d after %d attempts: %s" f.index f.attempts
+                       f.error)
+                   fs)))
+    | _ -> None)
+
+type supervision = {
+  retries : int;
+  backoff : float;
+  faults : Nsutil.Faults.t option;
+  on_retry : (attempt:int -> index:int -> error:string -> unit) option;
+}
+
+let supervision ?(retries = 2) ?(backoff = 0.005) ?faults ?on_retry () =
+  { retries = max 0 retries; backoff = Float.max 0.0 backoff; faults; on_retry }
+
+let no_supervision = supervision ~retries:0 ~backoff:0.0 ()
+
+(* One guarded slice execution: trips the fault plan before each task,
+   converts any exception into the failing index. The partially-built
+   accumulator is discarded; tasks may have published per-index side
+   results, which re-execution overwrites with identical values. *)
+let run_slice_guarded ~sv ~init ~task lo hi =
+  let acc = init () in
+  let i = ref lo in
+  try
+    while !i < hi do
+      (match sv.faults with Some f -> Nsutil.Faults.trip f "pool.task" | None -> ());
+      task acc !i;
+      incr i
+    done;
+    Ok acc
+  with e -> Error (!i, Printexc.to_string e)
+
+let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
+  if tasks <= 0 then init ()
+  else begin
+    let workers = max 1 (min workers tasks) in
+    let results = Array.make workers None in
+    let attempt w = run_slice_guarded ~sv ~init ~task (fst (slice ~workers ~tasks w)) (snd (slice ~workers ~tasks w)) in
+    let record failed w = function
+      | Ok acc -> results.(w) <- Some acc
+      | Error (index, error) -> failed := (w, index, error) :: !failed
+    in
+    (* First attempt: the usual fan-out (slice 0 in the caller). *)
+    let failed = ref [] in
+    let spawned =
+      Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> attempt (w + 1)))
+    in
+    record failed 0 (attempt 0);
+    Array.iteri (fun w d -> record failed (w + 1) (Domain.join d)) spawned;
+    (* Retry failed slices, attempt by attempt; the last allowed
+       attempt runs serially in the calling domain. *)
+    let rec retry attempt_no failed =
+      if failed = [] then []
+      else if attempt_no > sv.retries + 1 then
+        List.map (fun (_, index, error) -> { index; attempts = sv.retries + 1; error }) failed
+      else begin
+        List.iter
+          (fun (_, index, error) ->
+            match sv.on_retry with
+            | Some f -> f ~attempt:attempt_no ~index ~error
+            | None -> ())
+          failed;
+        if sv.backoff > 0.0 then
+          Thread.delay (sv.backoff *. Float.of_int (1 lsl (attempt_no - 2)));
+        let still = ref [] in
+        if attempt_no <= sv.retries then begin
+          (* Spawned re-execution, all failed slices concurrently. *)
+          let redo =
+            List.map (fun (w, _, _) -> (w, Domain.spawn (fun () -> attempt w))) failed
+          in
+          List.iter (fun (w, d) -> record still w (Domain.join d)) redo
+        end
+        else
+          (* Final attempt: serial, in the calling domain. *)
+          List.iter (fun (w, _, _) -> record still w (attempt w)) failed;
+        retry (attempt_no + 1) !still
+      end
+    in
+    let dead = retry 2 (List.rev !failed) in
+    if dead <> [] then
+      raise
+        (Supervision_failed (List.sort (fun a b -> compare a.index b.index) dead));
+    (* Deterministic left fold in worker order, as [map_reduce]. *)
+    let get w =
+      match results.(w) with
+      | Some acc -> acc
+      | None -> invalid_arg "Pool.map_reduce_supervised: missing slice result"
+    in
+    let acc = ref (get 0) in
+    for w = 1 to workers - 1 do
+      acc := combine !acc (get w)
+    done;
+    !acc
+  end
+
+let map_reduce_chunked_supervised sv ~workers ~tasks ~grain ~init ~task ~combine =
+  let grain = max 1 grain in
+  let workers = max 1 (min workers (tasks / grain)) in
+  map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine

@@ -55,3 +55,69 @@ val map_array : workers:int -> tasks:int -> (int -> 'a) -> 'a array
 (** Pure per-task map collected into an array ([map_array f] is
     equivalent to [Array.init tasks f]). The closure must be safe to
     call from any domain. *)
+
+(** {1 Supervision}
+
+    The paper's cluster treats worker failure as routine (Appendix
+    C.3); so do we. Under a supervision policy, an exception raised by
+    a worker domain is caught and attributed to the task index that
+    raised instead of tearing down the run; the failed slice is
+    re-executed from a fresh accumulator — spawned retries with
+    exponential backoff first, then one final serial attempt in the
+    calling domain. Because every slice folds from a fresh accumulator
+    over its own contiguous index range and the reduction remains a
+    left fold in worker order, re-execution is invisible: results stay
+    bit-identical to a fault-free run for any worker count. Tasks that
+    publish per-index side results (arrays indexed by task) are safe
+    as long as re-running an index overwrites the slot with the same
+    value, which deterministic tasks do by construction. *)
+
+type failure = { index : int; attempts : int; error : string }
+(** One task slot that kept failing: the raising task index of the
+    last attempt, the number of attempts made, and the printed
+    exception. *)
+
+exception Supervision_failed of failure list
+(** Raised (in the calling domain) when slices still fail after the
+    retry budget; carries every dead slice, sorted by task index. *)
+
+type supervision
+
+val supervision :
+  ?retries:int ->
+  ?backoff:float ->
+  ?faults:Nsutil.Faults.t ->
+  ?on_retry:(attempt:int -> index:int -> error:string -> unit) ->
+  unit ->
+  supervision
+(** A supervision policy: up to [retries] re-attempts per failed slice
+    (default 2) beyond the first, sleeping [backoff * 2^(k-1)] seconds
+    before the k-th re-attempt (default 5ms); the last allowed attempt
+    always runs serially in the calling domain. [faults] is tripped
+    before every task — the deterministic fault-injection hook.
+    [on_retry] observes each re-attempt (logging, counters). *)
+
+val no_supervision : supervision
+(** Zero retries, no faults: failures raise {!Supervision_failed}
+    after the first attempt, with attribution. *)
+
+val map_reduce_supervised :
+  supervision ->
+  workers:int ->
+  tasks:int ->
+  init:(unit -> 'acc) ->
+  task:('acc -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** {!map_reduce} under a supervision policy. *)
+
+val map_reduce_chunked_supervised :
+  supervision ->
+  workers:int ->
+  tasks:int ->
+  grain:int ->
+  init:(unit -> 'acc) ->
+  task:('acc -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** {!map_reduce_chunked} under a supervision policy. *)

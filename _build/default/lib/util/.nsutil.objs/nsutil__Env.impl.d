@@ -1,0 +1,1 @@
+lib/util/env.ml: Printf String Sys

@@ -1,0 +1,1 @@
+lib/util/faults.ml: Atomic Char Printf Prng String Sys

@@ -1,0 +1,1 @@
+lib/util/faults.mli:

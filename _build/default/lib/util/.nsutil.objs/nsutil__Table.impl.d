@@ -1,1 +1,1 @@
-lib/util/table.ml: Array Buffer Float List Printf String
+lib/util/table.ml: Array Buffer Float Fun List Printf String

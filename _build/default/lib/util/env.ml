@@ -1,0 +1,20 @@
+let parse_int ~name ~min ~default = function
+  | None -> Ok default
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some v when v >= min -> Ok v
+      | Some v ->
+          Error
+            (Printf.sprintf "warning: ignoring %s=%S: %d is below the minimum %d; using %d"
+               name raw v min default)
+      | None ->
+          Error
+            (Printf.sprintf "warning: ignoring %s=%S: expected an integer >= %d; using %d"
+               name raw min default))
+
+let int_var ~name ?(min = 1) ~default () =
+  match parse_int ~name ~min ~default (Sys.getenv_opt name) with
+  | Ok v -> v
+  | Error warning ->
+      prerr_endline warning;
+      default

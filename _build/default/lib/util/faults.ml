@@ -1,0 +1,97 @@
+exception Injected of { site : string; shot : int }
+
+type spec = { seed : int; rate : float; budget : int; after : int }
+
+type t = {
+  seed : int;
+  rate : float;
+  after : int;
+  remaining : int Atomic.t;
+  shots : int Atomic.t;
+  fired : int Atomic.t;
+}
+
+let create ?(rate = 1.0) ?(budget = 1) ?(after = 0) ~seed () =
+  {
+    seed;
+    rate;
+    after = max 0 after;
+    remaining = Atomic.make (max 0 budget);
+    shots = Atomic.make 0;
+    fired = Atomic.make 0;
+  }
+
+let of_spec { seed; rate; budget; after } = create ~rate ~budget ~after ~seed ()
+
+(* djb2: a stable cross-run string hash (Hashtbl.hash would also do,
+   but its stability is an implementation detail). *)
+let site_hash s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land max_int) s;
+  !h
+
+let shots t = Atomic.get t.shots
+let fired t = Atomic.get t.fired
+
+(* Claim one unit of budget; never goes below zero under contention. *)
+let rec claim t =
+  let r = Atomic.get t.remaining in
+  if r <= 0 then false
+  else if Atomic.compare_and_set t.remaining r (r - 1) then true
+  else claim t
+
+let draw t ~shot ~site =
+  let v = Prng.mix2 (Prng.mix2 t.seed shot) (site_hash site) in
+  float_of_int v /. 4.611686018427387904e18 (* 2^62 *)
+
+let fires t site =
+  let shot = Atomic.fetch_and_add t.shots 1 in
+  if shot >= t.after && draw t ~shot ~site < t.rate && claim t then begin
+    ignore (Atomic.fetch_and_add t.fired 1);
+    Some shot
+  end
+  else None
+
+let trip t site =
+  match fires t site with
+  | Some shot -> raise (Injected { site; shot })
+  | None -> ()
+
+let parse_spec s =
+  let err () =
+    Error
+      (Printf.sprintf
+         "bad fault spec %S: expected seed:rate[:budget[:after]] (e.g. \"7:0.05:2\")" s)
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [] | [ "" ] -> err ()
+  | seed :: rest -> (
+      let parse_tail rate budget after =
+        match (rate, budget, after) with
+        | Some rate, Some budget, Some after
+          when rate >= 0.0 && rate <= 1.0 && budget >= 0 && after >= 0 ->
+            fun seed -> Ok { seed; rate; budget; after }
+        | _ -> fun _ -> err ()
+      in
+      let k =
+        match rest with
+        | [] -> parse_tail (Some 1.0) (Some 1) (Some 0)
+        | [ r ] -> parse_tail (float_of_string_opt r) (Some 1) (Some 0)
+        | [ r; b ] -> parse_tail (float_of_string_opt r) (int_of_string_opt b) (Some 0)
+        | [ r; b; a ] ->
+            parse_tail (float_of_string_opt r) (int_of_string_opt b) (int_of_string_opt a)
+        | _ -> fun _ -> err ()
+      in
+      match int_of_string_opt seed with Some seed -> k seed | None -> err ())
+
+let env_var = "SBGP_FAULTS"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> None
+  | Some s -> (
+      match parse_spec s with
+      | Ok spec -> Some (of_spec spec)
+      | Error warning ->
+          Printf.eprintf "warning: ignoring %s: %s\n%!" env_var warning;
+          None)

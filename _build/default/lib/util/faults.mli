@@ -1,0 +1,55 @@
+(** Deterministic fault injection for the fault-tolerance layer.
+
+    A fault plan decides, at named *sites* threaded through the worker
+    pool and the checkpoint writer, whether to inject a failure: a
+    raised {!Injected} in a worker task, or a deliberate corruption of
+    a checkpoint file. Decisions are a pure function of the plan's
+    seed, the global shot counter and the site name, so a plan replays
+    the same failure schedule on every (serial) run; the [budget]
+    bounds the total number of injections so supervised retries always
+    converge, and [after] arms the plan only from the given shot
+    onward (letting tests kill a run at a chosen depth).
+
+    Counters are atomics: a single plan is shared by all worker
+    domains of a run. Under parallel execution the *set* of shots that
+    fire is schedule-dependent, but the budget bound — the property
+    retries rely on — holds regardless.
+
+    The [SBGP_FAULTS] environment variable (seed:rate[:budget[:after]])
+    builds a process-wide default plan; the test suite reruns the
+    engine-parity suite under it. *)
+
+exception Injected of { site : string; shot : int }
+
+type t
+
+type spec = { seed : int; rate : float; budget : int; after : int }
+
+val create : ?rate:float -> ?budget:int -> ?after:int -> seed:int -> unit -> t
+(** [rate] is the per-shot firing probability in [0, 1] (default 1);
+    [budget] the maximum number of injections (default 1); [after]
+    the number of initial shots that never fire (default 0). *)
+
+val of_spec : spec -> t
+
+val parse_spec : string -> (spec, string) result
+(** Parse ["seed:rate[:budget[:after]]"]; [Error] is a printable
+    one-line reason. *)
+
+val of_env : unit -> t option
+(** Build a plan from [SBGP_FAULTS] if set; malformed specs print a
+    one-line stderr warning and yield [None]. *)
+
+val fires : t -> string -> int option
+(** Count one shot at the site; [Some shot] (consuming budget) when
+    the plan injects here — used by callers that corrupt data rather
+    than raise. *)
+
+val trip : t -> string -> unit
+(** [trip t site] raises {!Injected} when {!fires} does. *)
+
+val shots : t -> int
+(** Total shots counted so far. *)
+
+val fired : t -> int
+(** Injections delivered so far (bounded by the budget). *)

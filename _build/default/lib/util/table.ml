@@ -69,8 +69,9 @@ let print t = print_string (to_string t)
 
 let save_csv t path =
   let oc = open_out path in
-  output_string oc (to_csv t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_csv t))
 
 let cell_f v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v

@@ -1,1 +1,1 @@
-test/test_asgraph.ml: Alcotest Array Asgraph Buffer Hashtbl List Option Printf QCheck2 QCheck_alcotest String Topology
+test/test_asgraph.ml: Alcotest Array Asgraph Buffer Filename Fun Hashtbl List Option Printf QCheck2 QCheck_alcotest String Sys Topology

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Asgraph Bgp Bytes Char Core Filename Fun List Nsutil Parallel Printf Scrypto String Sys Topology Traffic

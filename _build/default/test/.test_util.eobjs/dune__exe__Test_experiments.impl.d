@@ -1,1 +1,1 @@
-test/test_experiments.ml: Alcotest Asgraph Core Experiments Lazy List Nsutil
+test/test_experiments.ml: Alcotest Asgraph Core Experiments Lazy List Nsutil String

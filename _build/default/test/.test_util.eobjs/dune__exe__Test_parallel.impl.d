@@ -1,1 +1,1 @@
-test/test_parallel.ml: Alcotest Array Asgraph Bgp Core List Parallel Printf Topology Traffic
+test/test_parallel.ml: Alcotest Array Asgraph Bgp Core List Nsutil Parallel Printf String Topology Traffic

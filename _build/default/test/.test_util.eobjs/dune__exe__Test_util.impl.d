@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Hashtbl List Nsutil QCheck2 QCheck_alcotest String
+test/test_util.ml: Alcotest Array Fun Hashtbl List Nsutil Option Printf QCheck2 QCheck_alcotest String Unix

@@ -69,6 +69,46 @@ let test_high_theta_weakens_deployment () =
   check Alcotest.bool "higher cost, less deployment" true
     (Core.Engine.secure_fraction high `As <= Core.Engine.secure_fraction low `As)
 
+let test_run_many_outcomes_contains_failures () =
+  (* A sweep with a poisoned job (early adopter out of range): the
+     other jobs still complete, the bad one surfaces as an [Error]
+     with its index, and [run_many] turns that into an attributed
+     [Failure]. *)
+  let s = Lazy.force scenario in
+  let cfg = Core.Config.default in
+  let good = (cfg, Scenario.case_study_adopters s) in
+  let bad = (cfg, [ 1_000_000 ]) in
+  let outcomes = Scenario.run_many_outcomes s [ good; bad; good ] in
+  check Alcotest.int "every job reported" 3 (List.length outcomes);
+  (match outcomes with
+  | [ Ok a; Error { Scenario.job = 1; _ }; Ok c ] ->
+      check Alcotest.int "healthy jobs agree" (Core.Engine.rounds_run a)
+        (Core.Engine.rounds_run c)
+  | _ -> Alcotest.fail "expected [Ok; Error at job 1; Ok]");
+  match Scenario.run_many s [ good; bad ] with
+  | _ -> Alcotest.fail "run_many must raise on a failed job"
+  | exception Failure m ->
+      check Alcotest.bool "failure names the job" true
+        (let rec find i =
+           i + 5 <= String.length m && (String.sub m i 5 = "job 1" || find (i + 1))
+         in
+         find 0)
+
+let test_run_many_matches_individual_runs () =
+  let s = Lazy.force scenario in
+  let cfg = Core.Config.default in
+  let early = Scenario.case_study_adopters s in
+  let jobs = [ (cfg, early); ({ cfg with theta = 0.3; theta_off = 0.3 }, early) ] in
+  match Scenario.run_many s jobs with
+  | [ a; b ] ->
+      let ra = Scenario.run s cfg in
+      let rb = Scenario.run s { cfg with theta = 0.3; theta_off = 0.3 } in
+      check Alcotest.int "job 0 rounds" (Core.Engine.rounds_run ra) (Core.Engine.rounds_run a);
+      check Alcotest.int "job 1 rounds" (Core.Engine.rounds_run rb) (Core.Engine.rounds_run b);
+      check Alcotest.int "job 0 outcome" (Core.State.secure_count ra.final)
+        (Core.State.secure_count a.final)
+  | _ -> Alcotest.fail "expected two results"
+
 let () =
   Alcotest.run "experiments"
     [
@@ -84,6 +124,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
           Alcotest.test_case "case-study shape" `Quick test_case_study_shape;
           Alcotest.test_case "theta monotonicity" `Quick test_high_theta_weakens_deployment;
+          Alcotest.test_case "sweep contains failures" `Quick
+            test_run_many_outcomes_contains_failures;
+          Alcotest.test_case "sweep matches individual runs" `Quick
+            test_run_many_matches_individual_runs;
         ] );
       ( "drivers",
         [

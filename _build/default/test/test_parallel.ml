@@ -153,6 +153,148 @@ let test_parallel_utility_matches_sequential () =
   let par = compute 4 in
   check Alcotest.(array (float 1e-9)) "bit-identical utilities" seq par
 
+(* ------------------------------------------------------------------ *)
+(* Supervision *)
+
+let sum_supervised sv workers tasks =
+  !(Pool.map_reduce_supervised sv ~workers ~tasks
+      ~init:(fun () -> ref 0)
+      ~task:(fun acc i -> acc := !acc + i)
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a))
+
+let test_supervised_matches_unsupervised () =
+  let tasks = 513 in
+  let expected = tasks * (tasks - 1) / 2 in
+  List.iter
+    (fun workers ->
+      check Alcotest.int
+        (Printf.sprintf "workers=%d" workers)
+        expected
+        (sum_supervised Pool.no_supervision workers tasks))
+    [ 1; 2; 4; 7 ];
+  check Alcotest.int "chunked" expected
+    !(Pool.map_reduce_chunked_supervised Pool.no_supervision ~workers:4 ~tasks ~grain:16
+        ~init:(fun () -> ref 0)
+        ~task:(fun acc i -> acc := !acc + i)
+        ~combine:(fun a b ->
+          a := !a + !b;
+          a))
+
+let test_supervised_zero_tasks () =
+  let r =
+    Pool.map_reduce_supervised Pool.no_supervision ~workers:3 ~tasks:0
+      ~init:(fun () -> ref 0)
+      ~task:(fun _ _ -> Alcotest.fail "task called with zero tasks")
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a)
+  in
+  check Alcotest.int "bare accumulator" 0 !r
+
+let test_supervised_retries_recover () =
+  (* Injected faults within the budget are invisible: same sum, and
+     the retry callback saw the contained failures. *)
+  let tasks = 200 in
+  let expected = tasks * (tasks - 1) / 2 in
+  let faults = Nsutil.Faults.create ~rate:1.0 ~budget:2 ~seed:3 () in
+  let retried = ref 0 in
+  let sv =
+    Pool.supervision ~retries:2 ~backoff:0.0 ~faults
+      ~on_retry:(fun ~attempt:_ ~index:_ ~error:_ -> incr retried)
+      ()
+  in
+  check Alcotest.int "sum unchanged" expected (sum_supervised sv 4 tasks);
+  check Alcotest.bool "faults actually fired" true (Nsutil.Faults.fired faults = 2);
+  check Alcotest.bool "retries happened" true (!retried > 0)
+
+let test_supervised_serial_fallback () =
+  (* retries = 1 means the single retry IS the final serial attempt:
+     the injected failure must be absorbed by the calling domain's
+     re-execution, with the sum unchanged. *)
+  let faults = Nsutil.Faults.create ~rate:1.0 ~budget:1 ~seed:5 ~after:10 () in
+  let sv = Pool.supervision ~retries:1 ~backoff:0.0 ~faults () in
+  let r = sum_supervised sv 4 100 in
+  check Alcotest.int "one injection absorbed by the serial retry" (100 * 99 / 2) r;
+  check Alcotest.int "the injection fired" 1 (Nsutil.Faults.fired faults)
+
+let test_supervised_failure_attribution () =
+  (* A deterministic always-failing task index: supervision must name
+     it, with the attempt count, after exhausting the budget. *)
+  let attempts = ref [] in
+  let sv =
+    Pool.supervision ~retries:2 ~backoff:0.0
+      ~on_retry:(fun ~attempt ~index ~error:_ -> attempts := (attempt, index) :: !attempts)
+      ()
+  in
+  match
+    Pool.map_reduce_supervised sv ~workers:4 ~tasks:64
+      ~init:(fun () -> ref 0)
+      ~task:(fun acc i -> if i = 37 then failwith "task 37 is cursed" else acc := !acc + i)
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a)
+  with
+  | _ -> Alcotest.fail "expected Supervision_failed"
+  | exception Pool.Supervision_failed [ { Pool.index; attempts = n; error } ] ->
+      check Alcotest.int "failing index" 37 index;
+      (* initial attempt + 2 retries, the last serial *)
+      check Alcotest.int "attempts" 3 n;
+      check Alcotest.bool "error preserved" true
+        (String.length error > 0
+        &&
+        let rec find i =
+          i + 6 <= String.length error && (String.sub error i 6 = "cursed" || find (i + 1))
+        in
+        find 0);
+      check Alcotest.bool "on_retry saw the index" true
+        (List.for_all (fun (_, i) -> i = 37) !attempts && List.length !attempts = 2)
+  | exception Pool.Supervision_failed l ->
+      Alcotest.failf "expected exactly one failure, got %d" (List.length l)
+
+let test_supervised_multiple_failures_aggregated () =
+  (* Failures in distinct slices are all reported, sorted by task
+     index, not just the first one. *)
+  match
+    Pool.map_reduce_supervised
+      (Pool.supervision ~retries:0 ~backoff:0.0 ())
+      ~workers:4 ~tasks:100
+      ~init:(fun () -> ref 0)
+      ~task:(fun acc i -> if i mod 30 = 7 then failwith "boom" else acc := !acc + i)
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a)
+  with
+  | _ -> Alcotest.fail "expected Supervision_failed"
+  | exception Pool.Supervision_failed failures ->
+      let indices = List.map (fun f -> f.Pool.index) failures in
+      (* one failure per slice, attributed to the first failing task *)
+      check Alcotest.bool "ascending indices" true
+        (List.sort compare indices = indices);
+      check Alcotest.bool "several slices failed" true (List.length failures > 1);
+      List.iter
+        (fun i -> check Alcotest.int "first failing task of its slice" 7 (i mod 30))
+        indices
+
+let test_supervised_engine_parity_under_faults () =
+  (* The real integration: an engine-shaped accumulation with faults
+     injected and retried must equal the fault-free run bit for bit. *)
+  let tasks = 300 in
+  let run sv =
+    Pool.map_reduce_chunked_supervised sv ~workers:4 ~tasks ~grain:8
+      ~init:(fun () -> Array.make 4 0.0)
+      ~task:(fun acc i -> acc.(i mod 4) <- acc.(i mod 4) +. (1.0 /. float_of_int (i + 1)))
+      ~combine:(fun a b ->
+        Array.iteri (fun k v -> a.(k) <- a.(k) +. v) b;
+        a)
+  in
+  let clean = run Pool.no_supervision in
+  let faults = Nsutil.Faults.create ~rate:0.05 ~budget:2 ~seed:11 () in
+  let faulted = run (Pool.supervision ~retries:2 ~backoff:0.0 ~faults ()) in
+  check Alcotest.(array (float 0.0)) "bit-identical floats" clean faulted;
+  check Alcotest.int "faults fired" 2 (Nsutil.Faults.fired faults)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -169,5 +311,19 @@ let () =
           Alcotest.test_case "recommended workers" `Quick test_recommended_workers_positive;
           Alcotest.test_case "parallel utility = sequential" `Quick
             test_parallel_utility_matches_sequential;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "supervised = unsupervised" `Quick
+            test_supervised_matches_unsupervised;
+          Alcotest.test_case "zero tasks" `Quick test_supervised_zero_tasks;
+          Alcotest.test_case "retries recover" `Quick test_supervised_retries_recover;
+          Alcotest.test_case "serial fallback" `Quick test_supervised_serial_fallback;
+          Alcotest.test_case "failure attribution" `Quick
+            test_supervised_failure_attribution;
+          Alcotest.test_case "multiple failures aggregated" `Quick
+            test_supervised_multiple_failures_aggregated;
+          Alcotest.test_case "float parity under faults" `Quick
+            test_supervised_engine_parity_under_faults;
         ] );
     ]

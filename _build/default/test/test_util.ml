@@ -323,6 +323,126 @@ let test_table_cells () =
   check Alcotest.string "int-like float" "42" (Table.cell_f 42.0);
   check Alcotest.string "pct" "12.5%" (Table.cell_pct 0.125)
 
+(* ------------------------------------------------------------------ *)
+(* Env *)
+
+let test_env_parse_int_accepts () =
+  let p s = Nsutil.Env.parse_int ~name:"SBGP_X" ~min:1 ~default:7 s in
+  check Alcotest.(result int string) "unset -> default" (Ok 7) (p None);
+  check Alcotest.(result int string) "plain int" (Ok 12) (p (Some "12"));
+  check Alcotest.(result int string) "at the minimum" (Ok 1) (p (Some "1"));
+  check Alcotest.(result int string) "whitespace trimmed" (Ok 3) (p (Some " 3 "))
+
+let test_env_parse_int_rejects () =
+  (* One check per malformed form: each must produce a warning that
+     names the variable, never a silent fallback or a crash. *)
+  List.iter
+    (fun raw ->
+      match Nsutil.Env.parse_int ~name:"SBGP_X" ~min:1 ~default:7 (Some raw) with
+      | Ok v -> Alcotest.failf "%S accepted as %d" raw v
+      | Error warning ->
+          check Alcotest.bool
+            (Printf.sprintf "warning for %S names the variable" raw)
+            true
+            (String.length warning > 0
+            &&
+            let rec find i =
+              i + 6 <= String.length warning
+              && (String.sub warning i 6 = "SBGP_X" || find (i + 1))
+            in
+            find 0))
+    [ "0"; "-3"; "abc"; ""; "1.5"; "2x"; "9999999999999999999999" ]
+
+let test_env_int_var_fallback () =
+  (* End to end through the environment: malformed values fall back to
+     the default (warning goes to stderr), valid ones are used. *)
+  let read () = Nsutil.Env.int_var ~name:"SBGP_TEST_VAR" ~min:50 ~default:500 () in
+  Unix.putenv "SBGP_TEST_VAR" "120";
+  check Alcotest.int "valid value used" 120 (read ());
+  List.iter
+    (fun bad ->
+      Unix.putenv "SBGP_TEST_VAR" bad;
+      check Alcotest.int (Printf.sprintf "%S falls back" bad) 500 (read ()))
+    [ "0"; "-3"; "abc"; "49"; "1.5" ];
+  Unix.putenv "SBGP_TEST_VAR" ""
+
+(* ------------------------------------------------------------------ *)
+(* Faults *)
+
+module Faults = Nsutil.Faults
+
+let test_faults_deterministic () =
+  (* Two plans with the same parameters fire on exactly the same shots
+     (serial execution). *)
+  let schedule () =
+    let t = Faults.create ~rate:0.3 ~budget:1000 ~seed:42 () in
+    List.init 200 (fun _ -> Option.is_some (Faults.fires t "site"))
+  in
+  check Alcotest.(list bool) "same schedule" (schedule ()) (schedule ());
+  check Alcotest.bool "some shots fire" true (List.exists Fun.id (schedule ()));
+  check Alcotest.bool "some shots pass" true (List.exists not (schedule ()))
+
+let test_faults_budget_bound () =
+  let t = Faults.create ~rate:1.0 ~budget:3 ~seed:1 () in
+  let fired = ref 0 in
+  for _ = 1 to 100 do
+    if Option.is_some (Faults.fires t "s") then incr fired
+  done;
+  check Alcotest.int "stops at the budget" 3 !fired;
+  check Alcotest.int "fired counter agrees" 3 (Faults.fired t);
+  check Alcotest.int "all shots counted" 100 (Faults.shots t)
+
+let test_faults_after_arming () =
+  let t = Faults.create ~rate:1.0 ~budget:100 ~after:10 ~seed:1 () in
+  let fires = List.init 30 (fun _ -> Option.is_some (Faults.fires t "s")) in
+  List.iteri
+    (fun i f ->
+      check Alcotest.bool
+        (Printf.sprintf "shot %d %s" i (if i < 10 then "disarmed" else "armed"))
+        (i >= 10) f)
+    fires
+
+let test_faults_trip_raises () =
+  let t = Faults.create ~rate:1.0 ~budget:1 ~seed:9 () in
+  (match Faults.trip t "worker" with
+  | exception Faults.Injected { site = "worker"; shot = 0 } -> ()
+  | exception Faults.Injected { site; shot } ->
+      Alcotest.failf "unexpected injection at %s/%d" site shot
+  | () -> Alcotest.fail "expected an injection");
+  Faults.trip t "worker" (* budget spent: must not raise *)
+
+let test_faults_parse_spec () =
+  let ok s expected =
+    match Faults.parse_spec s with
+    | Ok spec -> check Alcotest.bool (Printf.sprintf "%S parses" s) true (spec = expected)
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  ok "7" { Faults.seed = 7; rate = 1.0; budget = 1; after = 0 };
+  ok "7:0.5" { Faults.seed = 7; rate = 0.5; budget = 1; after = 0 };
+  ok "7:0.5:3" { Faults.seed = 7; rate = 0.5; budget = 3; after = 0 };
+  ok "7:0.5:3:100" { Faults.seed = 7; rate = 0.5; budget = 3; after = 100 };
+  List.iter
+    (fun s ->
+      match Faults.parse_spec s with
+      | Ok _ -> Alcotest.failf "%S accepted" s
+      | Error e -> check Alcotest.bool "message non-empty" true (String.length e > 0))
+    [ ""; "x"; "7:"; "7:2.0"; "7:-0.1"; "7:0.5:-1"; "7:0.5:1:-2"; "7:0.5:1:2:3" ]
+
+let test_faults_of_env () =
+  Unix.putenv "SBGP_FAULTS" "5:1.0:2";
+  (match Faults.of_env () with
+  | Some t ->
+      check Alcotest.int "fresh plan, no shots" 0 (Faults.shots t);
+      ignore (Faults.fires t "s");
+      ignore (Faults.fires t "s");
+      check Alcotest.int "budget honoured" 2 (Faults.fired t)
+  | None -> Alcotest.fail "expected a plan from SBGP_FAULTS");
+  Unix.putenv "SBGP_FAULTS" "not-a-spec";
+  (match Faults.of_env () with
+  | None -> ()
+  | Some _ -> Alcotest.fail "malformed spec must yield None");
+  Unix.putenv "SBGP_FAULTS" ""
+
 let () =
   Alcotest.run "nsutil"
     [
@@ -384,5 +504,20 @@ let () =
           Alcotest.test_case "alignment" `Quick test_table_alignment;
           Alcotest.test_case "csv quoting" `Quick test_table_csv_quoting;
           Alcotest.test_case "cell renderers" `Quick test_table_cells;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "parse_int accepts" `Quick test_env_parse_int_accepts;
+          Alcotest.test_case "parse_int rejects" `Quick test_env_parse_int_rejects;
+          Alcotest.test_case "int_var falls back" `Quick test_env_int_var_fallback;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_faults_deterministic;
+          Alcotest.test_case "budget bound" `Quick test_faults_budget_bound;
+          Alcotest.test_case "after arming" `Quick test_faults_after_arming;
+          Alcotest.test_case "trip raises" `Quick test_faults_trip_raises;
+          Alcotest.test_case "parse_spec" `Quick test_faults_parse_spec;
+          Alcotest.test_case "of_env" `Quick test_faults_of_env;
         ] );
     ]

@@ -42,13 +42,27 @@ val run :
 
 val weights : ?augmented:bool -> t -> Core.Config.t -> float array
 
+type job_error = { job : int; error : string }
+(** A failed sweep job: its index in the submitted list and the
+    printed exception. *)
+
+val run_many_outcomes :
+  ?augmented:bool ->
+  t ->
+  (Core.Config.t * int list) list ->
+  (Core.Engine.result, job_error) result list
+(** Run several (config, early-adopter) simulations, fanning out over
+    domains ({!Parallel.Pool}) when cores are available — the
+    DryadLINQ-style sweep of Appendix C.3. The per-destination cache
+    is primed first so workers only read it; results are identical to
+    sequential runs. Failures are contained per job: one crashing
+    simulation yields an [Error] outcome in its slot and every other
+    job still completes. *)
+
 val run_many :
   ?augmented:bool ->
   t ->
   (Core.Config.t * int list) list ->
   Core.Engine.result list
-(** Run several (config, early-adopter) simulations, fanning out over
-    domains ({!Parallel.Pool}) when cores are available — the
-    DryadLINQ-style sweep of Appendix C.3. The per-destination cache
-    is primed first so workers only read it; results are identical to
-    sequential runs. *)
+(** {!run_many_outcomes} for all-or-nothing callers: raises [Failure]
+    with job attribution if any job failed. *)

@@ -1,0 +1,18 @@
+(** Hardened environment-variable parsing.
+
+    Tuning knobs read from the environment ([SBGP_N], [SBGP_WORKERS],
+    [SBGP_FAULTS]) must never let a typo silently reconfigure a run:
+    malformed or out-of-range values are rejected with a one-line
+    warning on stderr and the documented default is used instead. *)
+
+val parse_int :
+  name:string -> min:int -> default:int -> string option -> (int, string) result
+(** Pure parsing step behind {!int_var}: [Ok default] when the
+    variable is unset, [Ok v] when it holds an integer [>= min], and
+    [Error warning] (a printable one-liner) for garbage, empty,
+    fractional, zero-when-positive-required or below-minimum values. *)
+
+val int_var : name:string -> ?min:int -> default:int -> unit -> int
+(** Read an integer environment variable. Values below [min]
+    (default 1) or unparsable print the {!parse_int} warning to stderr
+    and yield [default]. *)

@@ -138,6 +138,52 @@ let test_io_parse_errors () =
   expect_error "!n 2\nnot a line\n";
   expect_error "!n 2\n!cp y\n"
 
+let test_io_parse_error_details () =
+  (* Error paths carry the offending line number and a message naming
+     the problem, so a bad file is diagnosable from the one-liner. *)
+  let expect s ~line ~has =
+    match Graph_io.of_string s with
+    | exception Graph_io.Parse_error { line = l; message } ->
+        check Alcotest.int ("line for " ^ String.escaped s) line l;
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool
+          (Printf.sprintf "message %S mentions %S" message has)
+          true (contains message has)
+    | _ -> Alcotest.fail ("expected parse error for " ^ String.escaped s)
+  in
+  expect "!n 2\n0|1|7\n" ~line:2 ~has:"bad edge record";
+  expect "!n 2\n0|x|-1\n" ~line:2 ~has:"bad edge record";
+  expect "!n x\n" ~line:1 ~has:"bad !n";
+  expect "!n -4\n" ~line:1 ~has:"bad !n";
+  expect "# c\n!n 2\n!cp y\n" ~line:3 ~has:"bad !cp";
+  expect "0|1|-1\n" ~line:0 ~has:"missing !n";
+  (* A parseable file describing an impossible graph (node out of
+     range) is rejected through the same typed exception. *)
+  expect "!n 2\n0|5|-1\n" ~line:0 ~has:"malformed graph"
+
+let test_io_load_error_paths () =
+  (* [load] must raise cleanly — and close its fd — for both a missing
+     file and a present-but-invalid one. *)
+  (match Graph_io.load "/nonexistent/sbgp-no-such-file" with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error for missing file");
+  let path = Filename.temp_file "sbgp_bad_graph" ".asrel" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "!n 2\nnot a line\n";
+      close_out oc;
+      match Graph_io.load path with
+      | exception Graph_io.Parse_error { line = 2; _ } -> ()
+      | exception Graph_io.Parse_error { line; _ } ->
+          Alcotest.failf "parse error attributed to line %d, expected 2" line
+      | _ -> Alcotest.fail "expected parse error for invalid file")
+
 let test_io_comments_and_blanks () =
   let g = Graph_io.of_string "# hi\n\n!n 2\n# more\n0|1|-1\n" in
   check Alcotest.int "parsed" 2 (Graph.n g);
@@ -294,6 +340,8 @@ let () =
         [
           Alcotest.test_case "roundtrip small" `Quick test_io_roundtrip_small;
           Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "parse error details" `Quick test_io_parse_error_details;
+          Alcotest.test_case "load error paths" `Quick test_io_load_error_paths;
           Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
           test_io_roundtrip_qcheck;
           test_random_graphs_acyclic_qcheck;
