@@ -10,6 +10,16 @@
       scale so regressions in the routing/engine hot paths are
       visible.
 
+   3. --json PATH: a machine-readable engine-kernel suite written as
+      BENCH_engine.json (schema "sbgp-bench-v1"): the per-round
+      kernels the engine's wall clock is made of (statics build,
+      fused forest sweep, flip probe) at workers 1 and the configured
+      count, one full engine run (rounds/s), a statics-budget
+      differential (bounded store must match the unbounded run), and
+      peak RSS. Runs instead of parts 1-2. --smoke shrinks the graph
+      and time quotas to seconds-scale so the suite can gate
+      [dune runtest] via the [bench-smoke] alias.
+
    Flags: --bench-only skips part 1, --no-bench skips part 2,
    --workers N pins the engine sweep's worker-domain count (default:
    Parallel.Pool.default_workers, i.e. SBGP_WORKERS or one per spare
@@ -23,6 +33,14 @@ let int_flag name default =
     if i + 1 >= Array.length Sys.argv then default
     else if Sys.argv.(i) = name then
       Option.value ~default (int_of_string_opt Sys.argv.(i + 1))
+    else scan (i + 1)
+  in
+  scan 1
+
+let str_flag name =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
@@ -295,12 +313,251 @@ let report_fault_tolerance () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: machine-readable engine-kernel suite (--json PATH). *)
+
+let smoke = flag "--smoke"
+
+(* Warm up once, then repeat until both floors are met; returns
+   (total seconds, repetitions). Hand-rolled rather than Bechamel so
+   each repetition is a full sweep-scale kernel, not a staged
+   nanosecond probe. *)
+let time_kernel ~min_time ~min_reps f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  while !reps < min_reps || Unix.gettimeofday () -. t0 < min_time do
+    ignore (Sys.opaque_identity (f ()));
+    incr reps
+  done;
+  (Unix.gettimeofday () -. t0, !reps)
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            acc
+        | line ->
+            let acc =
+              if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
+                String.fold_left
+                  (fun a c -> if c >= '0' && c <= '9' then (a * 10) + Char.code c - 48 else a)
+                  0 line
+              else acc
+            in
+            scan acc
+      in
+      scan 0
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = (i + nn <= nh) && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let run_json_bench ~path =
+  let n = int_flag "--n" (if smoke then 120 else 1000) in
+  let seed = 3 in
+  let min_time = if smoke then 0.05 else 1.0 in
+  let min_reps = 3 in
+  let cfg =
+    { Core.Config.default with workers; max_rounds = (if smoke then 4 else 100) }
+  in
+  let tiebreak = cfg.tiebreak in
+  Printf.printf "=== Engine kernel suite (N = %d, seed = %d, workers = %d%s) ===\n\n%!" n
+    seed workers
+    (if smoke then ", smoke" else "");
+  let scenario = Experiments.Scenario.create ~n ~seed () in
+  let g = Experiments.Scenario.graph scenario in
+  let statics = scenario.Experiments.Scenario.statics in
+  (* Serial prefill: the statics_build kernel below must be measured
+     in the single-domain regime a real run starts in (the worker bank
+     only comes to life at the first parallel kernel). *)
+  Bgp.Route_static.ensure_all statics;
+  let early = Experiments.Scenario.case_study_adopters scenario in
+  let weight = Experiments.Scenario.weights scenario cfg in
+  let probe_state = Core.State.create g ~early in
+  let secure = Core.State.secure_bytes probe_state in
+  let use_secp = Core.State.use_secp_bytes probe_state ~stub_tiebreak:cfg.stub_tiebreak in
+  let kernels = ref [] in
+  let record name ~ops f =
+    let total, reps = time_kernel ~min_time ~min_reps f in
+    let per_rep = total /. float_of_int reps in
+    let ns = per_rep *. 1e9 /. float_of_int (max 1 ops) in
+    Printf.printf "%-20s %10.3f ms/rep %12.1f ns/op  (%d reps)\n%!" name
+      (per_rep *. 1e3) ns reps;
+    kernels := (name, ops, reps, per_rep, ns) :: !kernels
+  in
+  (* Statics build: the full three-stage static-route construction for
+     every destination, fresh store each repetition. *)
+  record "statics_build" ~ops:n (fun () ->
+      let s = Bgp.Route_static.create ~tiebreak g in
+      Bgp.Route_static.ensure_all s;
+      s);
+  (* Forest sweep: one full per-round sweep (all destinations) through
+     the fused kernel, per-worker scratch — the shape of the engine's
+     inner loop. *)
+  let sweep w () =
+    Parallel.Pool.map_reduce_chunked ~workers:w ~tasks:n ~grain:8
+      ~init:(fun () -> (Bgp.Forest.make_scratch n, ref 0.0))
+      ~task:(fun (scratch, acc) d ->
+        let info = Bgp.Route_static.get statics d in
+        Bgp.Forest.compute info ~tiebreak ~secure ~use_secp ~weight scratch;
+        acc := !acc +. scratch.Bgp.Forest.sub.(d))
+      ~combine:(fun (s, a) (_, b) ->
+        a := !a +. !b;
+        (s, a))
+  in
+  record "forest_sweep_w1" ~ops:n (sweep 1);
+  if workers > 1 then
+    record (Printf.sprintf "forest_sweep_w%d" workers) ~ops:n (sweep workers);
+  (* Flip probe: for every destination, would any of <= 64 candidate
+     ISPs' flips change the routing — a scan of the candidate's tie
+     row for a secure member, as in the engine's incremental
+     invalidation. *)
+  let candidates =
+    let acc = ref [] and c = ref 0 in
+    for i = 0 to n - 1 do
+      if !c < 64 && Asgraph.Graph.is_isp g i then begin
+        incr c;
+        acc := i :: !acc
+      end
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let ncand = Array.length candidates in
+  (* Written as allocation-free loops: a per-candidate closure would
+     drag stop-the-world minor GCs into the measurement. *)
+  let probe_dest hits d =
+    let info = Bgp.Route_static.get statics d in
+    let tie_off = info.Bgp.Route_static.tie_off in
+    let tie = info.Bgp.Route_static.tie in
+    let j = ref 0 and found = ref false in
+    for k = 0 to ncand - 1 do
+      let nc = Array.unsafe_get candidates k in
+      if Bgp.Route_static.reachable info nc then begin
+        let hi = Nsutil.I32.unsafe_get tie_off (nc + 1) in
+        j := Nsutil.I32.unsafe_get tie_off nc;
+        found := false;
+        while (not !found) && !j < hi do
+          if Bytes.unsafe_get secure (Nsutil.I32.unsafe_get tie !j) = '\001' then
+            found := true
+          else incr j
+        done;
+        if !found then incr hits
+      end
+    done
+  in
+  let flip w () =
+    Parallel.Pool.map_reduce_chunked ~workers:w ~tasks:n ~grain:8
+      ~init:(fun () -> ref 0)
+      ~task:probe_dest
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a)
+  in
+  let pairs = n * ncand in
+  record "flip_probe_w1" ~ops:pairs (flip 1);
+  if workers > 1 then record (Printf.sprintf "flip_probe_w%d" workers) ~ops:pairs (flip workers);
+  (* One full engine run at the configured worker count. *)
+  let t0 = Unix.gettimeofday () in
+  let result =
+    let state = Core.State.create g ~early in
+    Core.Engine.run cfg statics ~weight ~state
+  in
+  let engine_wall = Unix.gettimeofday () -. t0 in
+  let rounds = Core.Engine.rounds_run result in
+  let rounds_per_s = float_of_int rounds /. engine_wall in
+  Printf.printf "\nengine run: %.3f s, %d rounds (%.3f rounds/s)\n%!" engine_wall rounds
+    rounds_per_s;
+  (* Statics-budget differential: the same run against a bounded store
+     must produce identical dynamics. *)
+  let budget_bytes = if smoke then 65_536 else 4 * 1024 * 1024 in
+  let bounded =
+    let bstatics = Bgp.Route_static.create ~budget_bytes ~tiebreak g in
+    let state = Core.State.create g ~early in
+    Core.Engine.run cfg bstatics ~weight ~state
+  in
+  let identical =
+    result.Core.Engine.rounds = bounded.Core.Engine.rounds
+    && result.baseline = bounded.baseline
+    && result.termination = bounded.termination
+  in
+  Printf.printf
+    "budget differential: %d-byte store, %d evictions, identical dynamics: %b\n%!"
+    budget_bytes bounded.statics_evictions identical;
+  let buf = Buffer.create 2048 in
+  let b fmt = Printf.bprintf buf fmt in
+  b "{\n";
+  b "  \"schema\": \"sbgp-bench-v1\",\n";
+  b "  \"n\": %d,\n" n;
+  b "  \"seed\": %d,\n" seed;
+  b "  \"workers\": %d,\n" workers;
+  b "  \"smoke\": %b,\n" smoke;
+  b "  \"kernels\": [\n";
+  let ordered = List.rev !kernels in
+  let nk = List.length ordered in
+  List.iteri
+    (fun i (name, ops, reps, per_rep, ns) ->
+      b
+        "    {\"name\": \"%s\", \"ops_per_rep\": %d, \"reps\": %d, \"s_per_rep\": \
+         %.6f, \"ns_per_op\": %.1f}%s\n"
+        name ops reps per_rep ns
+        (if i = nk - 1 then "" else ","))
+    ordered;
+  b "  ],\n";
+  b
+    "  \"engine\": {\"workers\": %d, \"rounds\": %d, \"wall_s\": %.3f, \
+     \"rounds_per_s\": %.3f, \"statics_hits\": %d, \"statics_misses\": %d, \
+     \"statics_evictions\": %d},\n"
+    workers rounds engine_wall rounds_per_s result.statics_hits result.statics_misses
+    result.statics_evictions;
+  b
+    "  \"budget_differential\": {\"budget_bytes\": %d, \"evictions\": %d, \
+     \"identical\": %b},\n"
+    budget_bytes bounded.statics_evictions identical;
+  b "  \"peak_rss_kb\": %d\n" (peak_rss_kb ());
+  b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  (* Schema self-check: re-read the file and require every key a
+     consumer depends on, so the JSON can't silently rot. *)
+  let content = In_channel.with_open_text path In_channel.input_all in
+  List.iter
+    (fun key ->
+      if not (contains content key) then begin
+        Printf.eprintf "bench: %s is missing required key %s\n" path key;
+        exit 1
+      end)
+    [
+      "\"schema\": \"sbgp-bench-v1\"";
+      "\"statics_build\"";
+      "\"forest_sweep_w1\"";
+      "\"flip_probe_w1\"";
+      "\"ns_per_op\"";
+      "\"rounds_per_s\"";
+      "\"budget_differential\"";
+      "\"peak_rss_kb\"";
+    ];
+  if not identical then begin
+    prerr_endline "bench: bounded-statics run diverged from the unbounded run";
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
-  if not (flag "--bench-only") then run_experiments ();
-  if not (flag "--no-bench") then begin
-    report_engine_sweep ();
-    report_fault_tolerance ();
-    run_bechamel ()
-  end;
+  (match str_flag "--json" with
+  | Some path -> run_json_bench ~path
+  | None ->
+      if not (flag "--bench-only") then run_experiments ();
+      if not (flag "--no-bench") then begin
+        report_engine_sweep ();
+        report_fault_tolerance ();
+        run_bechamel ()
+      end);
   Printf.printf "\ntotal wall clock: %.1fs\n" (Unix.gettimeofday () -. t0)

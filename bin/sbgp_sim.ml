@@ -153,6 +153,16 @@ let run_cmd =
             "Retry budget for failed worker slices in the per-round sweep (final attempt \
              runs serially). Never affects results, only survival.")
   in
+  let statics_mb =
+    Arg.(
+      value & opt int 0
+      & info [ "statics-mb" ]
+          ~doc:
+            "Memory budget for the per-destination route-statics store, in MiB. Evicted \
+             entries are recomputed on demand, so results are identical for any budget; \
+             only speed and memory change. 0 (the default) defers to \
+             $(b,SBGP_STATICS_MB), or unlimited if that is unset.")
+  in
   let parse_adopters g spec =
     let prefix p s =
       if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
@@ -174,7 +184,7 @@ let run_cmd =
       end
   in
   let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers
-      checkpoint_path checkpoint_every resume retries =
+      checkpoint_path checkpoint_every resume retries statics_mb =
     let g =
       match caida with
       | None -> Experiments.Scenario.graph (Experiments.Scenario.create ~n ~seed ())
@@ -214,7 +224,11 @@ let run_cmd =
         checkpoint_path
     in
     let t0 = Unix.gettimeofday () in
-    let statics = Bgp.Route_static.create g in
+    let statics =
+      if statics_mb > 0 then
+        Bgp.Route_static.create ~budget_bytes:(statics_mb * 1024 * 1024) g
+      else Bgp.Route_static.create g
+    in
     let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
     let state = Core.State.create g ~early in
     let result =
@@ -254,15 +268,29 @@ let run_cmd =
       (100.0 *. Core.Engine.secure_fraction result `Isp);
     Printf.printf "sweep: %d workers; %d destination recomputes, %d cache hits (%.1f%%)\n"
       cfg.workers result.dest_recomputed result.dest_reused
-      (100.0 *. Core.Engine.cache_hit_rate result)
+      (100.0 *. Core.Engine.cache_hit_rate result);
+    let st = Bgp.Route_static.stats statics in
+    if Bgp.Route_static.bounded statics then
+      (* Counters are best-effort under parallel sweeps (racy
+         increments), so they only appear for explicitly bounded
+         stores — the unbounded line stays byte-identical across
+         worker counts. *)
+      Printf.printf
+        "statics: %d MiB budget; %d cached at exit; %d hits, %d recomputes, %d \
+         evictions (best-effort)\n"
+        (st.budget_bytes / (1024 * 1024))
+        st.cached result.statics_hits result.statics_misses result.statics_evictions
+    else
+      Printf.printf "statics: unbounded; %d destinations cached (%.1f MiB)\n" st.cached
+        (float_of_int st.cached_bytes /. 1048576.0)
   in
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m o ->
-          guard (fun () -> run a b c d e f g h i j k l m o))
+      const (fun a b c d e f g h i j k l m o p ->
+          guard (fun () -> run a b c d e f g h i j k l m o p))
       $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
-      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries)
+      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ statics_mb)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =

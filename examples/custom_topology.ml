@@ -48,7 +48,7 @@ let () =
           (Bgp.Policy.class_to_string (Bgp.Route_static.class_of info node))
           (Bgp.Route_static.length_of info node)
           (String.concat ","
-             (List.map string_of_int (Nsutil.Csr.row_to_list info.tie node))))
+             (List.map string_of_int (Bgp.Route_static.tie_list info node))))
     [ tier1; isp_a; isp_b; cp; stub_single ];
 
   (* Run deployment with the Tier 1 and the CP as early adopters. *)

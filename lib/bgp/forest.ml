@@ -1,51 +1,91 @@
-module Csr = Nsutil.Csr
+module I32 = Nsutil.I32
 
 type scratch = { next : int array; sec_path : Bytes.t; sub : float array; size : int }
 
 let make_scratch n =
   { next = Array.make n (-1); sec_path = Bytes.make n '\000'; sub = Array.make n 0.0; size = n }
 
+(* Pass 1 visits reachable nodes in ascending path length. Every
+   tiebreak-set member of a node has length exactly one less, hence
+   appears strictly earlier in [order]: its [sec_path] byte is already
+   refreshed when read, so the reset sweep can be fused into the visit
+   (each visit writes the node's own [next]/[sec_path]/[sub]
+   unconditionally).
+
+   Fast path, when the tie rows are pre-sorted under the run's
+   tiebreak: the first member of a row is the TB winner and the first
+   member holding a secure route is the SecP+TB winner — the inner
+   loop is one first-match scan, with no key computations, closures or
+   allocation. The generic path (statics sorted under a different
+   policy) recomputes keys with the legacy strictly-less minimum scan,
+   still over direct offset ranges. *)
 let compute (info : Route_static.dest_info) ~tiebreak ~secure ~use_secp ~weight scratch =
   let { next; sec_path; sub; size = n } = scratch in
   ignore n;
-  let order = info.order in
-  let tie = info.tie in
-  let d = info.dest in
-  (* Reset only the nodes we will touch (the reachable ones). *)
-  Array.iter
-    (fun i ->
-      next.(i) <- -1;
-      Bytes.unsafe_set sec_path i '\000';
-      sub.(i) <- weight.(i))
-    order;
+  let order = info.Route_static.order in
+  let tie_off = info.Route_static.tie_off in
+  let tie = info.Route_static.tie in
+  let d = info.Route_static.dest in
+  next.(d) <- -1;
   Bytes.unsafe_set sec_path d (Bytes.unsafe_get secure d);
-  (* Pass 1, ascending path length: choose next hops and propagate
-     secure-route availability. A node has a fully secure route iff it
-     is itself secure and some tiebreak-set member has one; a node
-     applying SecP restricts its choice to such members when any
-     exist. *)
-  let nreach = Array.length order in
-  for k = 1 to nreach - 1 do
-    let i = Array.unsafe_get order k in
-    let secure_exists = Csr.exists_row tie i (fun j -> Bytes.unsafe_get sec_path j = '\001') in
-    if secure_exists && Bytes.unsafe_get secure i = '\001' then
-      Bytes.unsafe_set sec_path i '\001';
-    let restrict = secure_exists && Bytes.unsafe_get use_secp i = '\001' in
-    let best = ref (-1) in
-    let best_key = ref max_int in
-    Csr.iter_row tie i (fun j ->
+  sub.(d) <- weight.(d);
+  let nreach = I32.length order in
+  if Route_static.sorted_for info tiebreak then
+    for k = 1 to nreach - 1 do
+      let i = I32.unsafe_get order k in
+      let lo = I32.unsafe_get tie_off i in
+      let hi = I32.unsafe_get tie_off (i + 1) in
+      (* First member with a fully secure route, if any. *)
+      let first_sec = ref (-1) in
+      let p = ref lo in
+      while !first_sec < 0 && !p < hi do
+        let j = I32.unsafe_get tie !p in
+        if Bytes.unsafe_get sec_path j = '\001' then first_sec := j;
+        incr p
+      done;
+      if !first_sec >= 0 then begin
+        Bytes.unsafe_set sec_path i (Bytes.unsafe_get secure i);
+        next.(i) <-
+          (if Bytes.unsafe_get use_secp i = '\001' then !first_sec
+           else I32.unsafe_get tie lo)
+      end
+      else begin
+        Bytes.unsafe_set sec_path i '\000';
+        next.(i) <- (if hi > lo then I32.unsafe_get tie lo else -1)
+      end;
+      sub.(i) <- weight.(i)
+    done
+  else
+    for k = 1 to nreach - 1 do
+      let i = I32.unsafe_get order k in
+      let lo = I32.unsafe_get tie_off i in
+      let hi = I32.unsafe_get tie_off (i + 1) in
+      let secure_exists = ref false in
+      for p = lo to hi - 1 do
+        if Bytes.unsafe_get sec_path (I32.unsafe_get tie p) = '\001' then
+          secure_exists := true
+      done;
+      Bytes.unsafe_set sec_path i
+        (if !secure_exists then Bytes.unsafe_get secure i else '\000');
+      let restrict = !secure_exists && Bytes.unsafe_get use_secp i = '\001' in
+      let best = ref (-1) in
+      let best_key = ref max_int in
+      for p = lo to hi - 1 do
+        let j = I32.unsafe_get tie p in
         if (not restrict) || Bytes.unsafe_get sec_path j = '\001' then begin
           let key = Policy.tiebreak_key tiebreak i j in
           if !best < 0 || key < !best_key then begin
             best := j;
             best_key := key
           end
-        end);
-    next.(i) <- !best
-  done;
+        end
+      done;
+      next.(i) <- !best;
+      sub.(i) <- weight.(i)
+    done;
   (* Pass 2, descending path length: accumulate subtree weights. *)
   for k = nreach - 1 downto 1 do
-    let i = Array.unsafe_get order k in
+    let i = I32.unsafe_get order k in
     let nh = next.(i) in
     if nh >= 0 then sub.(nh) <- sub.(nh) +. sub.(i)
   done
@@ -54,7 +94,7 @@ let path_to_dest (info : Route_static.dest_info) scratch src =
   if not (Route_static.reachable info src) then []
   else begin
     let rec walk v acc =
-      if v = info.dest then List.rev (v :: acc)
+      if v = info.Route_static.dest then List.rev (v :: acc)
       else begin
         let nh = scratch.next.(v) in
         if nh < 0 then [] else walk nh (v :: acc)

@@ -38,3 +38,13 @@ let tiebreak_key tb a b =
 
 let preferred tb a ~current ~candidate =
   current < 0 || tiebreak_key tb a candidate < tiebreak_key tb a current
+
+(* Rank tables compare by identity: two distinct tables yield distinct
+   key functions even when their current contents coincide (they are
+   mutable). *)
+let tiebreak_equal a b =
+  match (a, b) with
+  | Lowest_id, Lowest_id -> true
+  | Hashed s1, Hashed s2 -> s1 = s2
+  | Ranked r1, Ranked r2 -> r1 == r2
+  | _ -> false

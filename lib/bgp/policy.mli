@@ -47,3 +47,7 @@ val tiebreak_key : tiebreak -> int -> int -> int
 val preferred : tiebreak -> int -> current:int -> candidate:int -> bool
 (** [preferred tb a ~current ~candidate] is true when [candidate]
     beats [current] ([current = -1] means no choice yet). *)
+
+val tiebreak_equal : tiebreak -> tiebreak -> bool
+(** Do two tie-break policies compute the same keys? [Ranked] tables
+    compare by identity (they are mutable). *)

@@ -1,12 +1,15 @@
 module Csr = Nsutil.Csr
+module I32 = Nsutil.I32
 module Graph = Asgraph.Graph
 
 type dest_info = {
   dest : int;
   cls : Bytes.t;
   len : Bytes.t;
-  tie : Csr.t;
-  order : int array;
+  tie_off : I32.t;
+  tie : I32.t;
+  order : I32.t;
+  tb : Policy.tiebreak;
   max_len : int;
 }
 
@@ -19,12 +22,38 @@ let c_peer = Policy.class_to_char Policy.Via_peer
 let c_prov = Policy.class_to_char Policy.Via_provider
 let c_unreach = Policy.class_to_char Policy.Unreachable
 
+(* Stable insertion sort of one tie row by static tiebreak key: among
+   equal keys the earlier-inserted member stays first, so taking the
+   row head reproduces exactly the legacy strictly-less minimum scan
+   over insertion order. Rows are tiny (mean 1-3 members); insertion
+   sort beats anything with allocation here. *)
+let sort_row tb i members keys len =
+  for a = 0 to len - 1 do
+    keys.(a) <- Policy.tiebreak_key tb i members.(a)
+  done;
+  for a = 1 to len - 1 do
+    let m = members.(a) and k = keys.(a) in
+    let b = ref a in
+    while !b > 0 && keys.(!b - 1) > k do
+      members.(!b) <- members.(!b - 1);
+      keys.(!b) <- keys.(!b - 1);
+      decr b
+    done;
+    members.(!b) <- m;
+    keys.(!b) <- k
+  done
+
 (* Three-stage Gao-Rexford route computation (Appendix A / [15]):
    customer routes climb provider links from d; peer routes add one
    peering hop onto a customer route; provider routes descend customer
-   links from any already-routed node, in ascending length order. *)
-let compute g d =
+   links from any already-routed node, in ascending length order. The
+   adjacency CSR arrays are walked by direct offset-range loops — no
+   per-node closures on this path. *)
+let compute ?(tiebreak = Policy.Lowest_id) g d =
   let n = Graph.n g in
+  let cust_off = g.Graph.customers.Csr.offsets and cust_dat = g.Graph.customers.Csr.data in
+  let prov_off = g.Graph.providers.Csr.offsets and prov_dat = g.Graph.providers.Csr.data in
+  let peer_off = g.Graph.peers.Csr.offsets and peer_dat = g.Graph.peers.Csr.data in
   let l1 = Array.make n inf in
   let bl = Array.make n inf in
   let cls = Bytes.make n c_unreach in
@@ -34,11 +63,13 @@ let compute g d =
   Queue.add d queue;
   while not (Queue.is_empty queue) do
     let x = Queue.take queue in
-    Graph.iter_providers g x (fun p ->
-        if l1.(p) = inf then begin
-          l1.(p) <- l1.(x) + 1;
-          Queue.add p queue
-        end)
+    for k = prov_off.(x) to prov_off.(x + 1) - 1 do
+      let p = Array.unsafe_get prov_dat k in
+      if l1.(p) = inf then begin
+        l1.(p) <- l1.(x) + 1;
+        Queue.add p queue
+      end
+    done
   done;
   Bytes.set cls d c_self;
   bl.(d) <- 0;
@@ -52,7 +83,10 @@ let compute g d =
   for i = 0 to n - 1 do
     if bl.(i) = inf then begin
       let best = ref inf in
-      Graph.iter_peers g i (fun p -> if l1.(p) < !best then best := l1.(p));
+      for k = peer_off.(i) to peer_off.(i + 1) - 1 do
+        let p = Array.unsafe_get peer_dat k in
+        if l1.(p) < !best then best := l1.(p)
+      done;
       if !best < inf then begin
         bl.(i) <- !best + 1;
         Bytes.set cls i c_peer
@@ -77,34 +111,102 @@ let compute g d =
           end;
           let next_key = key + 1 in
           if next_key <= max_path_len then
-            Graph.iter_customers g x (fun c ->
-                if Bytes.get done_ c = '\000' && bl.(c) = inf then
-                  Nsutil.Bucketq.push bq ~key:next_key c)
+            for k = cust_off.(x) to cust_off.(x + 1) - 1 do
+              let c = Array.unsafe_get cust_dat k in
+              if Bytes.get done_ c = '\000' && bl.(c) = inf then
+                Nsutil.Bucketq.push bq ~key:next_key c
+            done
         end;
         drain ()
   in
   drain ();
-  (* Tiebreak sets. *)
-  let exports_customer_route j = Bytes.get cls j = c_self || Bytes.get cls j = c_cust in
-  let tie_acc = Array.make n [] in
+  (* Tiebreak sets, two-pass counting layout: count members per node,
+     prefix-sum into offsets, then fill — no cons-list churn. *)
+  let exports_customer_route j =
+    let c = Bytes.unsafe_get cls j in
+    c = c_self || c = c_cust
+  in
+  let tie_count = Array.make n 0 in
+  let count_tie i =
+    let want = bl.(i) - 1 in
+    let cl = Bytes.unsafe_get cls i in
+    let acc = ref 0 in
+    if cl = c_cust then
+      for k = cust_off.(i) to cust_off.(i + 1) - 1 do
+        let c = Array.unsafe_get cust_dat k in
+        if bl.(c) = want && exports_customer_route c then incr acc
+      done
+    else if cl = c_peer then
+      for k = peer_off.(i) to peer_off.(i + 1) - 1 do
+        let p = Array.unsafe_get peer_dat k in
+        if bl.(p) = want && exports_customer_route p then incr acc
+      done
+    else
+      for k = prov_off.(i) to prov_off.(i + 1) - 1 do
+        if bl.(Array.unsafe_get prov_dat k) = want then incr acc
+      done;
+    !acc
+  in
   for i = 0 to n - 1 do
-    if i <> d && bl.(i) < inf then begin
-      let want = bl.(i) - 1 in
-      let cl = Bytes.get cls i in
-      if cl = c_cust then
-        Graph.iter_customers g i (fun c ->
-            if bl.(c) = want && exports_customer_route c then
-              tie_acc.(i) <- c :: tie_acc.(i))
-      else if cl = c_peer then
-        Graph.iter_peers g i (fun p ->
-            if bl.(p) = want && exports_customer_route p then
-              tie_acc.(i) <- p :: tie_acc.(i))
-      else
-        Graph.iter_providers g i (fun p ->
-            if bl.(p) = want then tie_acc.(i) <- p :: tie_acc.(i))
-    end
+    if i <> d && bl.(i) < inf then tie_count.(i) <- count_tie i
   done;
-  let order =
+  let tie_off = I32.create (n + 1) in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    I32.unsafe_set tie_off i !total;
+    total := !total + tie_count.(i)
+  done;
+  I32.unsafe_set tie_off n !total;
+  let tie = I32.create !total in
+  let fill_tie i =
+    let want = bl.(i) - 1 in
+    let cl = Bytes.unsafe_get cls i in
+    let w = ref (I32.unsafe_get tie_off i) in
+    let put v =
+      I32.unsafe_set tie !w v;
+      incr w
+    in
+    if cl = c_cust then
+      for k = cust_off.(i) to cust_off.(i + 1) - 1 do
+        let c = Array.unsafe_get cust_dat k in
+        if bl.(c) = want && exports_customer_route c then put c
+      done
+    else if cl = c_peer then
+      for k = peer_off.(i) to peer_off.(i + 1) - 1 do
+        let p = Array.unsafe_get peer_dat k in
+        if bl.(p) = want && exports_customer_route p then put p
+      done
+    else
+      for k = prov_off.(i) to prov_off.(i + 1) - 1 do
+        let p = Array.unsafe_get prov_dat k in
+        if bl.(p) = want then put p
+      done
+  in
+  for i = 0 to n - 1 do
+    if tie_count.(i) > 0 then fill_tie i
+  done;
+  (* Pre-sort each row by static tiebreak key (stable), so the forest
+     kernel's Pass 1 takes the first eligible member instead of
+     running a key-compare chain per member. *)
+  let max_row = Array.fold_left max 0 tie_count in
+  if max_row > 1 then begin
+    let members = Array.make max_row 0 in
+    let keys = Array.make max_row 0 in
+    for i = 0 to n - 1 do
+      let row = tie_count.(i) in
+      if row > 1 then begin
+        let off = I32.unsafe_get tie_off i in
+        for k = 0 to row - 1 do
+          members.(k) <- I32.unsafe_get tie (off + k)
+        done;
+        sort_row tiebreak i members keys row;
+        for k = 0 to row - 1 do
+          I32.unsafe_set tie (off + k) members.(k)
+        done
+      end
+    done
+  end;
+  let order_full =
     Nsutil.Order.by_small_key
       ~key:(fun i -> if bl.(i) = inf then -1 else bl.(i))
       ~max_key:max_path_len n
@@ -113,13 +215,16 @@ let compute g d =
   let reachable_count =
     Array.fold_left (fun acc v -> if v < inf then acc + 1 else acc) 0 bl
   in
-  let order = Array.sub order 0 reachable_count in
+  let order = I32.create reachable_count in
+  for k = 0 to reachable_count - 1 do
+    I32.unsafe_set order k order_full.(k)
+  done;
   let max_len = Array.fold_left (fun acc v -> if v < inf then max acc v else acc) 0 bl in
   let len = Bytes.make n '\000' in
   for i = 0 to n - 1 do
     if bl.(i) < inf then Bytes.set len i (Char.chr bl.(i))
   done;
-  { dest = d; cls; len; tie = Csr.of_rev_lists tie_acc; order; max_len }
+  { dest = d; cls; len; tie_off; tie; order; tb = tiebreak; max_len }
 
 let class_of info i = Policy.class_of_char (Bytes.get info.cls i)
 
@@ -130,36 +235,275 @@ let length_of info i =
     invalid_arg (Printf.sprintf "Route_static.length_of: %d unreachable" i)
   else Char.code (Bytes.get info.len i)
 
-type t = { g : Graph.t; cache : dest_info option array }
+let sorted_for info tiebreak = Policy.tiebreak_equal info.tb tiebreak
 
-let create g = { g; cache = Array.make (Graph.n g) None }
+(* ------------------------------------------------------------------ *)
+(* Per-destination accessors over the compact layout. *)
+
+let order_length info = I32.length info.order
+let order_get info k = I32.get info.order k
+
+let iter_order info f =
+  for k = 0 to I32.length info.order - 1 do
+    f (I32.unsafe_get info.order k)
+  done
+
+let tie_size info i = I32.get info.tie_off (i + 1) - I32.get info.tie_off i
+
+let tie_get info i k = I32.get info.tie (I32.get info.tie_off i + k)
+
+let tie_list info i =
+  let lo = I32.get info.tie_off i and hi = I32.get info.tie_off (i + 1) in
+  let acc = ref [] in
+  for k = hi - 1 downto lo do
+    acc := I32.get info.tie k :: !acc
+  done;
+  !acc
+
+let tie_exists info i p =
+  let hi = I32.get info.tie_off (i + 1) in
+  let rec loop k = k < hi && (p (I32.unsafe_get info.tie k) || loop (k + 1)) in
+  loop (I32.get info.tie_off i)
+
+let tie_fold info i f init =
+  let acc = ref init in
+  for k = I32.get info.tie_off i to I32.get info.tie_off (i + 1) - 1 do
+    acc := f !acc (I32.unsafe_get info.tie k)
+  done;
+  !acc
+
+let tie_mem info i v = tie_exists info i (fun x -> x = v)
+
+let info_bytes info =
+  Bytes.length info.cls + Bytes.length info.len
+  + I32.byte_size info.tie_off
+  + I32.byte_size info.tie + I32.byte_size info.order + 128
+
+(* ------------------------------------------------------------------ *)
+(* The whole-graph statics store: lazily filled, optionally bounded.
+
+   Memory is governed by a byte budget ([SBGP_STATICS_MB], --statics-mb
+   or {!set_budget_bytes}); the slot space is striped into shards, each
+   with its own clock hand, byte account and counters, aligned with the
+   contiguous destination slices the engine hands to workers — so
+   concurrent worker domains touch mostly disjoint shard state. Under a
+   budget, a missed [get] recomputes (pure, so results never change)
+   and inserts under clock (second-chance) eviction. Counter updates
+   from concurrent domains are plain writes: a lost increment skews the
+   stats by a hair but can never corrupt results. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  cached : int;
+  cached_bytes : int;
+  budget_bytes : int;
+}
+
+type shard = {
+  lo : int;
+  hi : int;  (** slot range [lo, hi) *)
+  mutable budget : int;  (** bytes; [max_int] = unbounded *)
+  mutable used : int;
+  mutable hand : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+}
+
+type t = {
+  g : Graph.t;
+  slots : dest_info option array;
+  ref_bits : Bytes.t;
+  shards : shard array;
+  shard_idx : Bytes.t;  (** destination -> owning shard (≤ 16 shards) *)
+  mutable tiebreak : Policy.tiebreak;
+}
+
+let shard_of t d = t.shards.(Char.code (Bytes.unsafe_get t.shard_idx d))
+
+let num_shards n = max 1 (min 16 n)
+
+let default_budget_bytes () =
+  let mb = Nsutil.Env.int_var ~name:"SBGP_STATICS_MB" ~min:0 ~default:0 () in
+  if mb <= 0 then max_int else mb * 1024 * 1024
+
+let create ?budget_bytes ?(tiebreak = Policy.Lowest_id) g =
+  let n = Graph.n g in
+  let s = num_shards n in
+  let budget =
+    match budget_bytes with
+    | Some b -> if b <= 0 then max_int else b
+    | None -> default_budget_bytes ()
+  in
+  let per_shard = if budget = max_int then max_int else max 1 (budget / s) in
+  let shards =
+    Array.init s (fun k ->
+        let lo = k * n / s and hi = (k + 1) * n / s in
+        {
+          lo;
+          hi;
+          budget = per_shard;
+          used = 0;
+          hand = lo;
+          s_hits = 0;
+          s_misses = 0;
+          s_evictions = 0;
+        })
+  in
+  let shard_idx = Bytes.make n '\000' in
+  Array.iteri
+    (fun k sh ->
+      for d = sh.lo to sh.hi - 1 do
+        Bytes.set shard_idx d (Char.chr k)
+      done)
+    shards;
+  { g; slots = Array.make n None; ref_bits = Bytes.make n '\000'; shards; shard_idx; tiebreak }
+
 let graph t = t.g
 
+let stats t =
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let used = ref 0 in
+  Array.iter
+    (fun s ->
+      hits := !hits + s.s_hits;
+      misses := !misses + s.s_misses;
+      evictions := !evictions + s.s_evictions;
+      used := !used + s.used)
+    t.shards;
+  let cached = Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 t.slots in
+  let budget =
+    Array.fold_left
+      (fun a s -> if s.budget = max_int || a = max_int then max_int else a + s.budget)
+      0 t.shards
+  in
+  {
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    cached;
+    cached_bytes = !used;
+    budget_bytes = budget;
+  }
+
+let bounded t = Array.exists (fun s -> s.budget <> max_int) t.shards
+
+(* Clock (second-chance) eviction within one shard until [need] bytes
+   fit; gives up (and skips caching) if a full double scan frees
+   nothing, which can only happen when every resident entry was
+   re-referenced concurrently. *)
+let make_room t shard need =
+  if need > shard.budget then false
+  else begin
+    let span = shard.hi - shard.lo in
+    let steps = ref (2 * span) in
+    while shard.used + need > shard.budget && !steps > 0 do
+      let d = shard.hand in
+      shard.hand <- (if d + 1 >= shard.hi then shard.lo else d + 1);
+      decr steps;
+      match t.slots.(d) with
+      | None -> ()
+      | Some info ->
+          if Bytes.get t.ref_bits d = '\001' then Bytes.set t.ref_bits d '\000'
+          else begin
+            t.slots.(d) <- None;
+            shard.used <- shard.used - info_bytes info;
+            shard.s_evictions <- shard.s_evictions + 1
+          end
+    done;
+    shard.used + need <= shard.budget
+  end
+
+let insert t d info =
+  let shard = shard_of t d in
+  if shard.budget = max_int then begin
+    t.slots.(d) <- Some info;
+    shard.used <- shard.used + info_bytes info
+  end
+  else begin
+    let size = info_bytes info in
+    if make_room t shard size then begin
+      t.slots.(d) <- Some info;
+      shard.used <- shard.used + size;
+      Bytes.set t.ref_bits d '\000'
+    end
+  end
+
 let get t d =
-  match t.cache.(d) with
-  | Some info -> info
+  match t.slots.(d) with
+  | Some info ->
+      let shard = shard_of t d in
+      shard.s_hits <- shard.s_hits + 1;
+      Bytes.unsafe_set t.ref_bits d '\001';
+      info
   | None ->
-      let info = compute t.g d in
-      t.cache.(d) <- Some info;
+      let shard = shard_of t d in
+      shard.s_misses <- shard.s_misses + 1;
+      let info = compute ~tiebreak:t.tiebreak t.g d in
+      insert t d info;
       info
 
+let drop_all t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  Bytes.fill t.ref_bits 0 (Bytes.length t.ref_bits) '\000';
+  Array.iter
+    (fun s ->
+      s.used <- 0;
+      s.hand <- s.lo)
+    t.shards
+
+let set_budget_bytes t budget =
+  let s = Array.length t.shards in
+  let budget = if budget <= 0 then max_int else budget in
+  let per_shard = if budget = max_int then max_int else max 1 (budget / s) in
+  Array.iter
+    (fun shard ->
+      shard.budget <- per_shard;
+      (* Trim immediately so a shrunk budget takes effect now. *)
+      if shard.used > per_shard then ignore (make_room t shard 0))
+    t.shards
+
+let set_budget_mb t mb = set_budget_bytes t (if mb <= 0 then 0 else mb * 1024 * 1024)
+
+let ensure_tiebreak t tiebreak =
+  if not (Policy.tiebreak_equal t.tiebreak tiebreak) then begin
+    (* Cached rows are sorted under the old policy; recomputing them
+       lazily under the new one keeps the sort invariant exact
+       (including insertion-order stability on key ties). *)
+    t.tiebreak <- tiebreak;
+    drop_all t
+  end
+
 let ensure_all ?(workers = 1) t =
-  let n = Graph.n t.g in
-  let missing = ref [] in
-  for d = n - 1 downto 0 do
-    if t.cache.(d) = None then missing := d :: !missing
-  done;
-  match !missing with
-  | [] -> ()
-  | missing ->
-      let miss = Array.of_list missing in
-      (* [compute] is pure, so filling the cache fans out safely; the
-         cache array itself is only written here, one slot per task. *)
-      let infos =
-        Parallel.Pool.map_array ~workers ~tasks:(Array.length miss) (fun i ->
-            compute t.g miss.(i))
-      in
-      Array.iteri (fun i info -> t.cache.(miss.(i)) <- Some info) infos
+  if not (bounded t) then begin
+    let n = Graph.n t.g in
+    let missing = ref [] in
+    for d = n - 1 downto 0 do
+      if t.slots.(d) = None then missing := d :: !missing
+    done;
+    match !missing with
+    | [] -> ()
+    | missing ->
+        let miss = Array.of_list missing in
+        let tiebreak = t.tiebreak in
+        (* [compute] is pure, so filling the store fans out safely; the
+           slots array itself is only written here, one slot per task. *)
+        let infos =
+          Parallel.Pool.map_array ~workers ~tasks:(Array.length miss) (fun i ->
+              compute ~tiebreak t.g miss.(i))
+        in
+        Array.iteri
+          (fun i info ->
+            let d = miss.(i) in
+            let shard = shard_of t d in
+            shard.s_misses <- shard.s_misses + 1;
+            insert t d info)
+          infos
+  end
+(* Under a budget, prefilling would only evict what it just built:
+   leave the store to fill lazily, trading recompute for memory. *)
 
 module Dirty = struct
   type statics = t
@@ -175,6 +519,7 @@ module Dirty = struct
     if changed <> [] then begin
       let n = Graph.n t.statics.g in
       let in_changed = Bytes.make n '\000' in
+      let changed_count = List.length changed in
       List.iter (fun c -> Bytes.set in_changed c '\001') changed;
       for d = 0 to n - 1 do
         if Bytes.get t.flags d = '\000' then
@@ -185,10 +530,25 @@ module Dirty = struct
                security or a security tie-break. An origin that does
                not participate (and whose own bytes are unchanged) has
                no secure routes before or after — its tree only reads
-               static preferences, so it stays clean. *)
+               static preferences, so it stays clean. Scan whichever
+               of the changed set and the destination's reachable
+               order is smaller. *)
             let info = get t.statics d in
-            if List.exists (fun c -> reachable info c) changed then
-              Bytes.set t.flags d '\001'
+            let nreach = I32.length info.order in
+            let hit =
+              if changed_count <= nreach then
+                List.exists (fun c -> reachable info c) changed
+              else begin
+                let rec scan k =
+                  k < nreach
+                  && (Bytes.unsafe_get in_changed (I32.unsafe_get info.order k)
+                      = '\001'
+                     || scan (k + 1))
+                in
+                scan 0
+              end
+            in
+            if hit then Bytes.set t.flags d '\001'
           end
       done
     end
@@ -207,13 +567,11 @@ let mean_tiebreak_size t ~among =
   let count = ref 0 in
   for d = 0 to n - 1 do
     let info = get t d in
-    Array.iter
-      (fun i ->
+    iter_order info (fun i ->
         if i <> d && among i then begin
-          total := !total + Csr.row_length info.tie i;
+          total := !total + tie_size info i;
           incr count
         end)
-      info.order
   done;
   if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count
 

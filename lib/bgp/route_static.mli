@@ -1,4 +1,4 @@
-(** Per-destination *static* routing information.
+(** Per-destination *static* routing information, in a compact layout.
 
     Observation C.1: under the Appendix-A policies, the class and
     length of every node's best route to a destination do not depend
@@ -6,19 +6,34 @@
     destination, each node's route class, path length and *tiebreak
     set* (the equally-good next hops among which SecP and TB choose).
     The per-state routing tree is then derived by {!Forest} in
-    O(t * N) per destination. *)
+    O(t * N) per destination.
+
+    The tiebreak CSR and the length-sorted order are stored as int32
+    bigarrays ({!Nsutil.I32}): half the footprint of [int array]s, out
+    of the OCaml heap (never GC-scanned), and shareable across worker
+    domains without copying. Each tiebreak row is pre-sorted by the
+    static {!Policy.tiebreak_key} (stable, so insertion order breaks
+    key collisions exactly as the legacy minimum scan did): the first
+    eligible member of a row *is* the winner, which lets the forest
+    kernel drop all key computations from its inner loop. *)
 
 type dest_info = private {
   dest : int;
   cls : Bytes.t;  (** route class per node, {!Policy.class_to_char} encoding *)
   len : Bytes.t;  (** path length per node, valid when reachable; capped at 254 *)
-  tie : Nsutil.Csr.t;  (** tiebreak set per node *)
-  order : int array;  (** reachable nodes in ascending path length; [order.(0) = dest] *)
+  tie_off : Nsutil.I32.t;  (** CSR offsets, length [n + 1] *)
+  tie : Nsutil.I32.t;
+      (** CSR data: tiebreak-set members, each row sorted ascending by
+          [Policy.tiebreak_key tb i] *)
+  order : Nsutil.I32.t;
+      (** reachable nodes in ascending path length; [order.(0) = dest] *)
+  tb : Policy.tiebreak;  (** the policy the tie rows are sorted under *)
   max_len : int;
 }
 
-val compute : Asgraph.Graph.t -> int -> dest_info
-(** Static info for one destination; O(V + E). *)
+val compute : ?tiebreak:Policy.tiebreak -> Asgraph.Graph.t -> int -> dest_info
+(** Static info for one destination; O(V + E). Tie rows are sorted
+    under [tiebreak] (default [Lowest_id]). *)
 
 val class_of : dest_info -> int -> Policy.route_class
 val length_of : dest_info -> int -> int
@@ -26,19 +41,82 @@ val length_of : dest_info -> int -> int
 
 val reachable : dest_info -> int -> bool
 
-type t
-(** Whole-graph cache of per-destination info, filled lazily. *)
+val sorted_for : dest_info -> Policy.tiebreak -> bool
+(** Are this info's tie rows sorted under the given policy (so the
+    row head is the TB winner)? *)
 
-val create : Asgraph.Graph.t -> t
+(** {2 Accessors over the compact layout} *)
+
+val order_length : dest_info -> int
+val order_get : dest_info -> int -> int
+val iter_order : dest_info -> (int -> unit) -> unit
+
+val tie_size : dest_info -> int -> int
+val tie_get : dest_info -> int -> int -> int
+(** [tie_get info i k] is the [k]-th member of node [i]'s row. *)
+
+val tie_list : dest_info -> int -> int list
+val tie_exists : dest_info -> int -> (int -> bool) -> bool
+val tie_fold : dest_info -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val tie_mem : dest_info -> int -> int -> bool
+
+val info_bytes : dest_info -> int
+(** Approximate resident size of one record, in bytes — the unit of
+    the statics byte budget. *)
+
+(** {2 The whole-graph store} *)
+
+type t
+(** Whole-graph store of per-destination info, filled lazily, with an
+    optional byte budget. Unbounded (the default) it is a plain cache:
+    {!ensure_all} prefills it in parallel and {!get} is afterwards a
+    read-only lookup, safe from any domain. Bounded, {!get} recomputes
+    on miss and inserts under clock (second-chance) eviction; the
+    store is striped into shards with per-shard budgets, hands and
+    counters, aligned with the contiguous destination slices the
+    engine hands to workers. Because {!compute} is pure and slot
+    updates are single pointer stores, concurrent [get]s from several
+    domains always return correct (bit-identical) info — only the
+    {!stats} counters are best-effort under concurrency. *)
+
+type stats = {
+  hits : int;
+  misses : int;  (** includes initial fills *)
+  evictions : int;
+  cached : int;  (** destinations currently resident *)
+  cached_bytes : int;
+  budget_bytes : int;  (** [max_int] when unbounded *)
+}
+
+val create : ?budget_bytes:int -> ?tiebreak:Policy.tiebreak -> Asgraph.Graph.t -> t
+(** [budget_bytes <= 0] means unbounded. Default comes from the
+    [SBGP_STATICS_MB] environment variable (megabytes; unset or [0] =
+    unbounded). *)
+
 val graph : t -> Asgraph.Graph.t
 val get : t -> int -> dest_info
-(** [get t d] computes (once) and returns the info for destination
-    [d]. *)
+(** [get t d] returns the info for destination [d], computing it (and
+    caching it, budget permitting) on miss. *)
+
+val stats : t -> stats
+val bounded : t -> bool
+
+val set_budget_bytes : t -> int -> unit
+(** [<= 0] means unbounded. Shrinking trims the store immediately. *)
+
+val set_budget_mb : t -> int -> unit
+
+val ensure_tiebreak : t -> Policy.tiebreak -> unit
+(** Make the store serve info whose tie rows are sorted under the
+    given policy, dropping all cached entries if it differs from the
+    current one. Call before handing the store to an engine run. *)
 
 val ensure_all : ?workers:int -> t -> unit
-(** Force every destination's info, fanning the (pure, per-destination)
-    computations out over [workers] domains. After this call {!get} is
-    a read-only lookup and safe to call from any domain. *)
+(** Unbounded store: force every destination's info, fanning the
+    (pure, per-destination) computations out over [workers] domains;
+    after this call {!get} is a read-only lookup. Bounded store: no-op
+    — prefilling would only evict what it just built; workers fill
+    shards lazily through {!get}. *)
 
 (** Cross-round dirty-destination tracking for deployment-state
     caches. A consumer that caches *per-destination* derived data
@@ -66,7 +144,9 @@ module Dirty : sig
       a participating origin ([secure.[d] = '\001'], the post-change
       participation bytes) and some node of [changed] reachable.
       Conservative: may mark a destination whose tree happens not to
-      change, never misses one that does. Forces the statics cache. *)
+      change, never misses one that does. Reads the statics store (and
+      may force entries); per destination it scans the smaller of the
+      changed set and the reachable order. *)
 
   val reset : t -> unit
   (** Mark every destination clean (call once the consumer has

@@ -1,5 +1,4 @@
 module Graph = Asgraph.Graph
-module Csr = Nsutil.Csr
 module Route_static = Bgp.Route_static
 module Forest = Bgp.Forest
 
@@ -25,18 +24,19 @@ let secure_path_stats (cfg : Config.t) statics state ~weight =
     (* Security of the *chosen* route, following actual next hops in
        ascending length order. *)
     Bytes.set chosen_sec d (Bytes.get secure d);
-    let order = info.order in
-    for k = 1 to Array.length order - 1 do
-      let i = order.(k) in
+    let nreach = Route_static.order_length info in
+    for k = 1 to nreach - 1 do
+      let i = Route_static.order_get info k in
       let nh = scratch.next.(i) in
       let ok =
         nh >= 0 && Bytes.get secure i = '\001' && Bytes.get chosen_sec nh = '\001'
       in
       Bytes.set chosen_sec i (if ok then '\001' else '\000')
     done;
-    reachable_pairs := !reachable_pairs + (Array.length order - 1);
-    for k = 1 to Array.length order - 1 do
-      if Bytes.get chosen_sec order.(k) = '\001' then incr secure_pairs
+    reachable_pairs := !reachable_pairs + (nreach - 1);
+    for k = 1 to nreach - 1 do
+      if Bytes.get chosen_sec (Route_static.order_get info k) = '\001' then
+        incr secure_pairs
     done
   done;
   let all_pairs = n * (n - 1) in
@@ -55,9 +55,8 @@ let tiebreak_distribution statics ~among =
   let bump size = Hashtbl.replace counts size (1 + Option.value ~default:0 (Hashtbl.find_opt counts size)) in
   for d = 0 to n - 1 do
     let info = Route_static.get statics d in
-    Array.iter
-      (fun i -> if i <> d && among i then bump (Csr.row_length info.tie i))
-      info.order
+    Route_static.iter_order info (fun i ->
+        if i <> d && among i then bump (Route_static.tie_size info i))
   done;
   Hashtbl.fold (fun size count acc -> (size, count) :: acc) counts []
   |> List.sort compare
@@ -72,7 +71,11 @@ let diamonds statics ~early =
       List.iter
         (fun (a, count) ->
           if a <> d && Route_static.reachable info a then begin
-            let isps = Csr.fold_row info.tie a (fun acc j -> if Graph.is_isp g j then acc + 1 else acc) 0 in
+            let isps =
+              Route_static.tie_fold info a
+                (fun acc j -> if Graph.is_isp g j then acc + 1 else acc)
+                0
+            in
             if isps >= 2 then count := !count + (isps * (isps - 1) / 2)
           end)
         per_adopter

@@ -26,9 +26,27 @@ type result = {
   termination : termination;
   dest_recomputed : int;
   dest_reused : int;
+  statics_hits : int;
+  statics_misses : int;
+  statics_evictions : int;
 }
 
 let sec_of bytes i = Bytes.unsafe_get bytes i = '\001'
+
+(* Does node [i]'s tiebreak set offer a fully secure route, per the
+   given forest [sec_path] bytes? Direct offset-range scan over the
+   compact tie CSR — this runs per (destination, candidate) pair in
+   the flip probes, so it must not allocate. *)
+let tie_has_secure (info : Route_static.dest_info) sec_path i =
+  let tie_off = info.Route_static.tie_off in
+  let tie = info.Route_static.tie in
+  let hi = Nsutil.I32.unsafe_get tie_off (i + 1) in
+  let rec loop k =
+    k < hi
+    && (Bytes.unsafe_get sec_path (Nsutil.I32.unsafe_get tie k) = '\001'
+       || loop (k + 1))
+  in
+  loop (Nsutil.I32.unsafe_get tie_off i)
 
 (* Destinations per worker slice floor: gadget-sized graphs stay in
    the calling domain instead of paying spawn overhead per round. *)
@@ -45,15 +63,14 @@ let flip_changes_dest ~cfg ~g ~secure ~(info : Route_static.dest_info) ~sec_path
   let d = info.dest in
   if not was_on then begin
     let stub_reroutes s =
-      Route_static.reachable info s
-      && Csr.exists_row info.tie s (fun j -> sec_of sec_path j)
+      Route_static.reachable info s && tie_has_secure info sec_path s
     in
     let d_gets_secured =
       d = nc || (Graph.is_stub g d && (not (sec_of secure d)) && Csr.mem_row g.providers d nc)
     in
     if not (sec_of secure d || d_gets_secured) then false
     else if d_gets_secured then true
-    else if Csr.exists_row info.tie nc (fun j -> sec_of sec_path j) then true
+    else if tie_has_secure info sec_path nc then true
     else
       cfg.Config.stub_tiebreak
       && List.exists (fun s -> (not (sec_of secure s)) && stub_reroutes s) stubs_of.(nc)
@@ -132,9 +149,10 @@ type progress = {
 
 (* SHA-256 over every input that determines results: config fields
    (except [workers]/[retries], which provably do not affect
-   results), topology, traffic weights and the initial deployment
-   state. A checkpoint resumes only against the digest it was
-   written under. *)
+   results — the statics byte budget is likewise excluded, since a
+   bounded store only trades recompute for memory), topology, traffic
+   weights and the initial deployment state. A checkpoint resumes
+   only against the digest it was written under. *)
 let input_digest (cfg : Config.t) statics ~weight ~state =
   let g = Route_static.graph statics in
   let ctx = Scrypto.Sha256.init () in
@@ -174,8 +192,17 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
      re-running a slice recomputes identical per-destination values,
      so faults never change results. *)
   let sv = Pool.supervision ~retries:(max 0 cfg.retries) ?faults () in
-  (* Per-destination static info must be complete before any fan-out:
-     workers then only read the cache. *)
+  (* Statics hit/miss/eviction counters are reported as per-run
+     deltas. They are best-effort under concurrent workers (racy
+     increments) and depend on the byte budget — diagnostics, not part
+     of the deterministic result. *)
+  let stats0 = Route_static.stats statics in
+  (* The store must serve tie rows sorted under this run's tiebreak
+     (dropping stale entries if a previous run used another policy),
+     and — when unbounded — be complete before any fan-out: workers
+     then only read it. Under a byte budget the prefill is a no-op and
+     workers fill their shards lazily through [get]. *)
+  Route_static.ensure_tiebreak statics cfg.tiebreak;
   Route_static.ensure_all ~workers statics;
   (* Stub customers per ISP, for projection filters. *)
   let stubs_of = Array.make n [] in
@@ -417,6 +444,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
        the loop exactly where the interrupted run would have. *)
     if !continue && !round < cfg.max_rounds then write_checkpoint ()
   done;
+  let stats1 = Route_static.stats statics in
   {
     baseline;
     initial_secure_as;
@@ -426,6 +454,9 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
     termination = !termination;
     dest_recomputed = !recomputed;
     dest_reused = !reused;
+    statics_hits = stats1.Route_static.hits - stats0.Route_static.hits;
+    statics_misses = stats1.Route_static.misses - stats0.Route_static.misses;
+    statics_evictions = stats1.Route_static.evictions - stats0.Route_static.evictions;
   }
 
 let null_digest = String.make 32 '\000'

@@ -42,6 +42,14 @@ type result = {
       (** across all rounds, destinations whose routing forest was
           recomputed (cross-round cache misses) *)
   dest_reused : int;  (** destinations served from the cross-round cache *)
+  statics_hits : int;
+      (** statics-store lookups served from cache during this run.
+          Unlike every other field, the three statics counters are
+          diagnostics: they depend on the store's byte budget and are
+          best-effort under concurrent workers, so equal runs may
+          report (slightly) different values. *)
+  statics_misses : int;  (** statics-store recomputes (incl. the initial fill) *)
+  statics_evictions : int;  (** statics entries evicted to stay in budget *)
 }
 
 type checkpoint_spec = {

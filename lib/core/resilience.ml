@@ -71,20 +71,18 @@ let simulate_attack statics state ~stub_tiebreak ~tiebreak ~attacker ~victim =
   let g', t, f, d, secure, use_secp =
     attack_graph statics state ~stub_tiebreak ~attacker ~victim
   in
-  let info = Route_static.compute g' d in
+  let info = Route_static.compute ~tiebreak g' d in
   let weight = Array.make (n + 3) 1.0 in
   let scratch = Forest.make_scratch (n + 3) in
   Forest.compute info ~tiebreak ~secure ~use_secp ~weight scratch;
   (* Which side does each node drain to? Walk in ascending length, so
      a node's next hop is already classified. *)
   let side = fresh_sides ~n ~t ~f ~d in
-  Array.iter
-    (fun i ->
+  Route_static.iter_order info (fun i ->
       if i <> d && i <> t && i <> f then begin
         let nh = scratch.next.(i) in
         if nh >= 0 then Bytes.set side i (Bytes.get side nh)
-      end)
-    info.order;
+      end);
   let deceived, total = tally ~n ~attacker side in
   { attacker; victim; deceived; total }
 

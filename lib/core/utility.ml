@@ -1,4 +1,5 @@
 module Graph = Asgraph.Graph
+module I32 = Nsutil.I32
 module Route_static = Bgp.Route_static
 module Forest = Bgp.Forest
 
@@ -19,62 +20,66 @@ let contribution model g (info : Route_static.dest_info) (scratch : Forest.scrat
 
 let accumulate model _g (info : Route_static.dest_info) (scratch : Forest.scratch)
     ~weight ~into =
+  let order = info.Route_static.order in
+  let nreach = I32.length order in
   match model with
   | Config.Outgoing ->
-      Array.iter
-        (fun i ->
-          if Bytes.unsafe_get info.cls i = c_cust then
-            into.(i) <- into.(i) +. scratch.sub.(i) -. weight.(i))
-        info.order
+      for k = 0 to nreach - 1 do
+        let i = I32.unsafe_get order k in
+        if Bytes.unsafe_get info.cls i = c_cust then
+          into.(i) <- into.(i) +. scratch.sub.(i) -. weight.(i)
+      done
   | Config.Incoming ->
-      Array.iter
-        (fun i ->
-          if Bytes.unsafe_get info.cls i = c_prov then begin
-            let p = scratch.next.(i) in
-            if p >= 0 then into.(p) <- into.(p) +. scratch.sub.(i)
-          end)
-        info.order
+      for k = 0 to nreach - 1 do
+        let i = I32.unsafe_get order k in
+        if Bytes.unsafe_get info.cls i = c_prov then begin
+          let p = scratch.next.(i) in
+          if p >= 0 then into.(p) <- into.(p) +. scratch.sub.(i)
+        end
+      done
 
 let contribution_pairs model _g (info : Route_static.dest_info)
     (scratch : Forest.scratch) ~weight =
-  let order = info.order in
+  let order = info.Route_static.order in
+  let nreach = I32.length order in
   let count = ref 0 in
   (match model with
   | Config.Outgoing ->
-      Array.iter
-        (fun i -> if Bytes.unsafe_get info.cls i = c_cust then incr count)
-        order
+      for k = 0 to nreach - 1 do
+        if Bytes.unsafe_get info.cls (I32.unsafe_get order k) = c_cust then
+          incr count
+      done
   | Config.Incoming ->
-      Array.iter
-        (fun i ->
-          if Bytes.unsafe_get info.cls i = c_prov && scratch.next.(i) >= 0 then
-            incr count)
-        order);
+      for k = 0 to nreach - 1 do
+        let i = I32.unsafe_get order k in
+        if Bytes.unsafe_get info.cls i = c_prov && scratch.next.(i) >= 0 then
+          incr count
+      done);
   let idx = Array.make !count 0 in
   let v = Array.make !count 0.0 in
-  let k = ref 0 in
+  let w = ref 0 in
   (match model with
   | Config.Outgoing ->
-      Array.iter
-        (fun i ->
-          if Bytes.unsafe_get info.cls i = c_cust then begin
-            idx.(!k) <- i;
-            v.(!k) <- scratch.sub.(i) -. weight.(i);
-            incr k
-          end)
-        order
+      for k = 0 to nreach - 1 do
+        let i = I32.unsafe_get order k in
+        if Bytes.unsafe_get info.cls i = c_cust then begin
+          idx.(!w) <- i;
+          v.(!w) <- scratch.sub.(i) -. weight.(i);
+          incr w
+        end
+      done
   | Config.Incoming ->
-      Array.iter
-        (fun i ->
-          if Bytes.unsafe_get info.cls i = c_prov then begin
-            let p = scratch.next.(i) in
-            if p >= 0 then begin
-              idx.(!k) <- p;
-              v.(!k) <- scratch.sub.(i);
-              incr k
-            end
-          end)
-        order);
+      for k = 0 to nreach - 1 do
+        let i = I32.unsafe_get order k in
+        if Bytes.unsafe_get info.cls i = c_prov then begin
+          let p = scratch.next.(i) in
+          if p >= 0 then begin
+            idx.(!w) <- p;
+            v.(!w) <- scratch.sub.(i);
+            incr w
+          end
+        end
+      done);
   (idx, v)
 
 let add_pairs (idx, v) ~into =
@@ -83,31 +88,37 @@ let add_pairs (idx, v) ~into =
     into.(i) <- into.(i) +. Array.unsafe_get v k
   done
 
+(* Provider→customer volumes, keyed by the int [p * n + c] in an
+   int-specialized table: no per-lookup tuple allocation and no
+   polymorphic hashing/compare on the hot path. *)
+module Itbl = Hashtbl.Make (Int)
+
 let customer_volumes config statics state ~weight =
   let g = Route_static.graph statics in
   let n = Graph.n g in
   let scratch = Forest.make_scratch n in
   let secure = State.secure_bytes state in
   let use_secp = State.use_secp_bytes state ~stub_tiebreak:config.Config.stub_tiebreak in
-  let volumes = Hashtbl.create 256 in
+  let volumes = Itbl.create 256 in
   for d = 0 to n - 1 do
     let info = Route_static.get statics d in
     Forest.compute info ~tiebreak:config.Config.tiebreak ~secure ~use_secp ~weight scratch;
-    Array.iter
-      (fun c ->
-        if Bytes.unsafe_get info.cls c = c_prov then begin
-          let p = scratch.next.(c) in
-          if p >= 0 then begin
-            let key = (p, c) in
-            let prev = Option.value ~default:0.0 (Hashtbl.find_opt volumes key) in
-            Hashtbl.replace volumes key (prev +. scratch.sub.(c))
-          end
-        end)
-      info.order
+    let order = info.Route_static.order in
+    for k = 0 to I32.length order - 1 do
+      let c = I32.unsafe_get order k in
+      if Bytes.unsafe_get info.cls c = c_prov then begin
+        let p = scratch.next.(c) in
+        if p >= 0 then begin
+          let key = (p * n) + c in
+          let prev = Option.value ~default:0.0 (Itbl.find_opt volumes key) in
+          Itbl.replace volumes key (prev +. scratch.sub.(c))
+        end
+      end
+    done
   done;
   let out = Array.make n [] in
-  Hashtbl.iter (fun (p, c) v -> out.(p) <- (c, v) :: out.(p)) volumes;
-  Array.map (List.sort compare) out
+  Itbl.iter (fun key v -> out.(key / n) <- ((key mod n), v) :: out.(key / n)) volumes;
+  Array.map (List.sort (fun (c1, (_ : float)) (c2, _) -> Int.compare c1 c2)) out
 
 let all config statics state ~weight =
   let g = Route_static.graph statics in

@@ -16,13 +16,18 @@ let create ?n ?(seed = 42) () =
   let built_aug =
     lazy (Topology.Augment.augment_built built ~fraction:0.8 ~seed:(seed + 1))
   in
+  (* Sort tie rows under the tiebreak the experiments actually run with
+     (Config.default), so [Engine.run]'s [ensure_tiebreak] keeps the
+     primed cache instead of dropping and re-sorting it. *)
+  let tiebreak = Core.Config.default.tiebreak in
   {
     n;
     seed;
     built;
-    statics = Bgp.Route_static.create built.graph;
+    statics = Bgp.Route_static.create ~tiebreak built.graph;
     built_aug;
-    statics_aug = lazy (Bgp.Route_static.create (Lazy.force built_aug).graph);
+    statics_aug =
+      lazy (Bgp.Route_static.create ~tiebreak (Lazy.force built_aug).graph);
   }
 
 let graph t = t.built.graph

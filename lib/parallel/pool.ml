@@ -19,18 +19,144 @@ let run_slice ~init ~task lo hi =
   done;
   acc
 
+(* ------------------------------------------------------------------ *)
+(* Persistent worker bank.
+
+   [Domain.spawn] costs milliseconds on a loaded host — comparable to
+   an entire per-round sweep at Internet scale — so spawning fresh
+   domains per [map_reduce] call would be overhead-dominated for the
+   engine's per-round kernels. Instead, helper domains are spawned
+   once on first parallel use and then parked on a condition variable;
+   a call leases the whole bank, hands each worker its slice closure,
+   runs slice 0 itself and waits for the helpers to park again.
+
+   The bank is a pure execution strategy: slices and the left-fold
+   combine order are fixed by (workers, tasks) alone, so results are
+   bit-identical whether slices run on the bank, on freshly spawned
+   domains, or sequentially. Calls that cannot take the lease — a
+   nested call from inside a worker, a concurrent caller from another
+   domain, or a worker count beyond the bank cap — fall back to
+   spawning, preserving liveness. *)
+
+type bank_worker = {
+  wm : Mutex.t;
+  wcv : Condition.t;
+  mutable wjob : (unit -> unit) option; (* parked <-> pending *)
+  mutable wbusy : bool; (* set by the leaser, cleared by the worker *)
+}
+
+let max_bank_workers = 15
+let bank : bank_worker array ref = ref [||]
+let bank_leased = Atomic.make false
+let inside_bank_worker = Domain.DLS.new_key (fun () -> false)
+
+let bank_worker_loop w =
+  Mutex.lock w.wm;
+  while true do
+    match w.wjob with
+    | None -> Condition.wait w.wcv w.wm
+    | Some job ->
+        w.wjob <- None;
+        Mutex.unlock w.wm;
+        job ();
+        (* [job] captures its own exceptions; it never raises. *)
+        Mutex.lock w.wm;
+        w.wbusy <- false;
+        Condition.broadcast w.wcv
+  done
+
+(* Called only under the bank lease. *)
+let ensure_bank k =
+  let cur = !bank in
+  if Array.length cur >= k then cur
+  else begin
+    let grown =
+      Array.init k (fun i ->
+          if i < Array.length cur then cur.(i)
+          else begin
+            let w =
+              { wm = Mutex.create (); wcv = Condition.create (); wjob = None; wbusy = false }
+            in
+            ignore
+              (Domain.spawn (fun () ->
+                   Domain.DLS.set inside_bank_worker true;
+                   bank_worker_loop w));
+            w
+          end)
+    in
+    bank := grown;
+    grown
+  end
+
+(* Hand [run 0 .. run (k-1)] to parked workers. Returns false without
+   doing anything when the bank is unavailable; on true, the caller
+   owns the lease and must [bank_wait] to release it. *)
+let bank_try_submit k run =
+  if k > max_bank_workers || Domain.DLS.get inside_bank_worker then false
+  else if not (Atomic.compare_and_set bank_leased false true) then false
+  else begin
+    let ws = ensure_bank k in
+    for i = 0 to k - 1 do
+      let w = ws.(i) in
+      Mutex.lock w.wm;
+      w.wbusy <- true;
+      w.wjob <- Some (fun () -> run i);
+      Condition.broadcast w.wcv;
+      Mutex.unlock w.wm
+    done;
+    true
+  end
+
+(* Wait for the k submitted slices to finish and release the lease. *)
+let bank_wait k =
+  let ws = !bank in
+  for i = 0 to k - 1 do
+    let w = ws.(i) in
+    Mutex.lock w.wm;
+    while w.wbusy do
+      Condition.wait w.wcv w.wm
+    done;
+    Mutex.unlock w.wm
+  done;
+  Atomic.set bank_leased false
+
 let map_reduce ~workers ~tasks ~init ~task ~combine =
   if workers <= 1 || tasks <= 1 then run_slice ~init ~task 0 tasks
   else begin
     let workers = min workers tasks in
-    let spawned =
-      Array.init (workers - 1) (fun w ->
-          let lo, hi = slice ~workers ~tasks (w + 1) in
-          Domain.spawn (fun () -> run_slice ~init ~task lo hi))
+    let k = workers - 1 in
+    let results = Array.make k None in
+    let run i =
+      let lo, hi = slice ~workers ~tasks (i + 1) in
+      results.(i) <-
+        Some
+          (match run_slice ~init ~task lo hi with
+          | acc -> Ok acc
+          | exception e -> Error e)
     in
-    let lo, hi = slice ~workers ~tasks 0 in
-    let first = run_slice ~init ~task lo hi in
-    Array.fold_left (fun acc d -> combine acc (Domain.join d)) first spawned
+    let on_bank = bank_try_submit k run in
+    let spawned =
+      if on_bank then [||] else Array.init k (fun i -> Domain.spawn (fun () -> run i))
+    in
+    let first =
+      match run_slice ~init ~task (fst (slice ~workers ~tasks 0)) (snd (slice ~workers ~tasks 0)) with
+      | acc -> Ok acc
+      | exception e -> Error e
+    in
+    (* Always drain the helpers (and release the bank lease) before
+       propagating any failure. *)
+    if on_bank then bank_wait k else Array.iter Domain.join spawned;
+    let get = function
+      | Ok acc -> acc
+      | Error e -> raise e
+    in
+    let acc = ref (get first) in
+    for i = 0 to k - 1 do
+      match results.(i) with
+      | Some r -> acc := combine !acc (get r)
+      | None -> invalid_arg "Pool.map_reduce: missing slice result"
+    done;
+    !acc
   end
 
 let map_reduce_chunked ~workers ~tasks ~grain ~init ~task ~combine =

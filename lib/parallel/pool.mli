@@ -7,7 +7,16 @@
     with [workers = 1] (the default on a single-core host) everything
     runs in the calling domain and results are bit-identical to the
     parallel runs, because the reduction is a deterministic left
-    fold over worker index. *)
+    fold over worker index.
+
+    Helper domains are spawned once on first parallel use and then
+    parked between calls (a persistent bank), so a per-round sweep
+    pays a condition-variable wakeup instead of a multi-millisecond
+    [Domain.spawn] per call. The bank is purely an execution strategy:
+    slices and the reduction order depend only on [(workers, tasks)],
+    so results are identical whether slices run on the bank, on
+    freshly spawned domains (the fallback for nested or concurrent
+    calls), or serially. *)
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1 (clamped so a

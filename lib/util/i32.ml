@@ -1,0 +1,48 @@
+type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n
+
+let length (a : t) = Bigarray.Array1.dim a
+
+let get (a : t) i = Int32.to_int (Bigarray.Array1.get a i)
+let set (a : t) i v = Bigarray.Array1.set a i (Int32.of_int v)
+
+let unsafe_get (a : t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+let unsafe_set (a : t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+let fill (a : t) v = Bigarray.Array1.fill a (Int32.of_int v)
+
+let of_array arr =
+  let n = Array.length arr in
+  let a = create n in
+  for i = 0 to n - 1 do
+    set a i arr.(i)
+  done;
+  a
+
+let to_array (a : t) = Array.init (length a) (get a)
+
+let iter f (a : t) =
+  for i = 0 to length a - 1 do
+    f (get a i)
+  done
+
+let iteri f (a : t) =
+  for i = 0 to length a - 1 do
+    f i (get a i)
+  done
+
+let sub_to_array (a : t) ~pos ~len = Array.init len (fun k -> get a (pos + k))
+
+let blit_array arr (a : t) ~pos =
+  for k = 0 to Array.length arr - 1 do
+    set a (pos + k) arr.(k)
+  done
+
+let byte_size (a : t) = 4 * length a
+
+let equal (a : t) (b : t) =
+  length a = length b
+  &&
+  let rec loop i = i >= length a || (get a i = get b i && loop (i + 1)) in
+  loop 0

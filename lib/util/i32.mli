@@ -1,0 +1,36 @@
+(** Compact int32 vectors backed by [Bigarray].
+
+    Half the footprint of an [int array] on 64-bit hosts, stored
+    outside the OCaml heap: the GC never scans them, and domains can
+    read them concurrently without copying — the backbone of the
+    per-destination route statics at Internet scale. Values must fit
+    in 31 bits (node ids and CSR offsets always do). *)
+
+type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Uninitialized storage of the given length. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+
+val fill : t -> int -> unit
+
+val of_array : int array -> t
+val to_array : t -> int array
+val sub_to_array : t -> pos:int -> len:int -> int array
+val blit_array : int array -> t -> pos:int -> unit
+(** [blit_array src dst ~pos] writes [src] into [dst] starting at
+    [pos]. *)
+
+val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit
+
+val byte_size : t -> int
+(** Payload bytes: [4 * length]. *)
+
+val equal : t -> t -> bool

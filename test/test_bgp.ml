@@ -7,7 +7,6 @@ module Graph = Asgraph.Graph
 module Policy = Bgp.Policy
 module Route_static = Bgp.Route_static
 module Forest = Bgp.Forest
-module Csr = Nsutil.Csr
 
 let check = Alcotest.check
 let qtest ?(count = 200) name gen prop =
@@ -59,17 +58,17 @@ let test_static_small_dest_stub () =
   let info = Route_static.compute (small ()) 4 in
   check Alcotest.string "isp1 class" "customer" (klass info 1);
   check Alcotest.int "isp1 len" 1 (Route_static.length_of info 1);
-  check Alcotest.(list int) "isp1 tie" [ 4 ] (Csr.row_to_list info.tie 1);
+  check Alcotest.(list int) "isp1 tie" [ 4 ] (Route_static.tie_list info 1);
   check Alcotest.string "tier1 class" "customer" (klass info 0);
   check Alcotest.int "tier1 len" 2 (Route_static.length_of info 0);
   check Alcotest.(list int) "tier1 tie is the diamond" [ 1; 2 ]
-    (List.sort compare (Csr.row_to_list info.tie 0));
+    (List.sort compare (Route_static.tie_list info 0));
   check Alcotest.string "cp class" "peer" (klass info 3);
   check Alcotest.int "cp len" 3 (Route_static.length_of info 3);
   check Alcotest.string "other stub class" "provider" (klass info 5);
   check Alcotest.int "other stub len" 2 (Route_static.length_of info 5);
   check Alcotest.string "dest class" "self" (klass info 4);
-  check Alcotest.int "order head is dest" 4 info.order.(0)
+  check Alcotest.int "order head is dest" 4 (Route_static.order_get info 0)
 
 let test_static_small_dest_tier1 () =
   let info = Route_static.compute (small ()) 0 in
@@ -107,7 +106,7 @@ let test_static_unreachable () =
   let g = Graph.build ~n:3 ~cp_edges:[ (0, 1) ] ~peer_edges:[] ~cps:[] in
   let info = Route_static.compute g 0 in
   check Alcotest.bool "orphan unreachable" false (Route_static.reachable info 2);
-  check Alcotest.int "order only reachable" 2 (Array.length info.order);
+  check Alcotest.int "order only reachable" 2 (Route_static.order_length info);
   Alcotest.check_raises "length_of raises"
     (Invalid_argument "Route_static.length_of: 2 unreachable") (fun () ->
       ignore (Route_static.length_of info 2))
@@ -117,12 +116,10 @@ let test_static_order_sorted_by_length () =
   for d = 0 to Graph.n g - 1 do
     let info = Route_static.compute g d in
     let last = ref (-1) in
-    Array.iter
-      (fun i ->
+    Route_static.iter_order info (fun i ->
         let l = Route_static.length_of info i in
         check Alcotest.bool "ascending" true (l >= !last);
         last := l)
-      info.order
   done
 
 let test_static_cache () =
@@ -130,6 +127,150 @@ let test_static_cache () =
   let a = Route_static.get statics 4 in
   let b = Route_static.get statics 4 in
   check Alcotest.bool "cached instance reused" true (a == b)
+
+let info_equal (a : Route_static.dest_info) (b : Route_static.dest_info) =
+  a.dest = b.dest && Bytes.equal a.cls b.cls && Bytes.equal a.len b.len
+  && Nsutil.I32.equal a.tie_off b.tie_off
+  && Nsutil.I32.equal a.tie b.tie
+  && Nsutil.I32.equal a.order b.order
+  && a.max_len = b.max_len
+
+(* Eviction property: a bounded store may drop and recompute entries
+   at any time, but every [get] must return info bit-identical to a
+   fresh [compute] — and the byte budget must hold. *)
+let test_bounded_store_recompute_equals_cached () =
+  let params = Topology.Params.with_n Topology.Params.default 100 in
+  let built = Topology.Gen.generate { params with seed = 9 } in
+  let g = built.graph in
+  let n = Graph.n g in
+  let statics = Route_static.create ~budget_bytes:100_000 g in
+  check Alcotest.bool "store is bounded" true (Route_static.bounded statics);
+  Route_static.ensure_all statics (* must be a no-op under a budget *);
+  let rng = Nsutil.Prng.create ~seed:42 in
+  for _ = 1 to 400 do
+    let d = Nsutil.Prng.int rng n in
+    let cached = Route_static.get statics d in
+    let fresh = Route_static.compute g d in
+    check Alcotest.bool "get equals fresh compute" true (info_equal cached fresh)
+  done;
+  let st = Route_static.stats statics in
+  check Alcotest.bool "evictions occurred" true (st.evictions > 0);
+  check Alcotest.bool "some hits" true (st.hits > 0);
+  check Alcotest.bool "budget respected" true (st.cached_bytes <= st.budget_bytes);
+  (* Shrinking the budget to nothing trims the store immediately. *)
+  Route_static.set_budget_bytes statics 1;
+  let st = Route_static.stats statics in
+  check Alcotest.int "trimmed to empty" 0 st.cached;
+  (* And an unbounded budget restores plain-cache behavior. *)
+  Route_static.set_budget_bytes statics 0;
+  Route_static.ensure_all statics;
+  let st = Route_static.stats statics in
+  check Alcotest.int "prefill fills everything" n st.cached
+
+let test_ensure_tiebreak_drops_and_resorts () =
+  let g = small () in
+  let statics = Route_static.create g in
+  let a = Route_static.get statics 4 in
+  check Alcotest.bool "sorted for default" true
+    (Route_static.sorted_for a Policy.Lowest_id);
+  let tb = Policy.Hashed 0x5b9d in
+  Route_static.ensure_tiebreak statics tb;
+  let b = Route_static.get statics 4 in
+  check Alcotest.bool "entries dropped on policy change" true (not (a == b));
+  check Alcotest.bool "resorted for the new policy" true (Route_static.sorted_for b tb);
+  Route_static.ensure_tiebreak statics tb;
+  check Alcotest.bool "same policy keeps entries" true (b == Route_static.get statics 4)
+
+(* The compact layout against its declarative spec: for every
+   reachable non-destination node, the tiebreak row holds exactly the
+   neighbors (in the relationship its route class dictates) that are
+   one hop closer and export the required route class. *)
+let tie_row_spec g info d =
+  let ok = ref true in
+  let exports_cust j =
+    match Route_static.class_of info j with
+    | Bgp.Policy.Self | Bgp.Policy.Via_customer -> true
+    | _ -> false
+  in
+  for i = 0 to Graph.n g - 1 do
+    if i <> d && Route_static.reachable info i then begin
+      let want = Route_static.length_of info i - 1 in
+      let eligible j =
+        Route_static.reachable info j
+        && Route_static.length_of info j = want
+        &&
+        match Route_static.class_of info i with
+        | Bgp.Policy.Via_customer -> exports_cust j
+        | Bgp.Policy.Via_peer -> exports_cust j
+        | _ -> true
+      in
+      let expected = ref [] in
+      (match Route_static.class_of info i with
+      | Bgp.Policy.Via_customer ->
+          Graph.iter_customers g i (fun j -> if eligible j then expected := j :: !expected)
+      | Bgp.Policy.Via_peer ->
+          Graph.iter_peers g i (fun j -> if eligible j then expected := j :: !expected)
+      | _ ->
+          Graph.iter_providers g i (fun j -> if eligible j then expected := j :: !expected));
+      let expected = List.sort compare !expected in
+      let actual = List.sort compare (Route_static.tie_list info i) in
+      if expected <> actual then ok := false;
+      if Route_static.tie_size info i = 0 then ok := false
+    end
+  done;
+  !ok
+
+let static_gen =
+  QCheck2.Gen.(
+    let* g = Testkit.Graphgen.graph ~max_n:30 () in
+    let* d = int_bound (Graph.n g - 1) in
+    return (g, d))
+
+let test_tie_rows_match_spec =
+  qtest ~count:300 "tie rows hold exactly the eligible equal-best neighbors"
+    static_gen
+    (fun (g, d) -> tie_row_spec g (Route_static.compute g d) d)
+
+(* The pre-sorting invariant the fused forest kernel relies on: every
+   row is non-decreasing in the static tiebreak key, under both the
+   default and a hashed policy, and sorting never changes the
+   membership. *)
+let test_tie_rows_presorted =
+  qtest ~count:300 "tie rows are sorted by the static tiebreak key" static_gen
+    (fun (g, d) ->
+      List.for_all
+        (fun tb ->
+          let info = Route_static.compute ~tiebreak:tb g d in
+          Route_static.sorted_for info tb
+          &&
+          let ok = ref true in
+          Route_static.iter_order info (fun i ->
+              if i <> d then begin
+                let row = Route_static.tie_size info i in
+                for k = 1 to row - 1 do
+                  let kp = Policy.tiebreak_key tb i (Route_static.tie_get info i (k - 1)) in
+                  let kc = Policy.tiebreak_key tb i (Route_static.tie_get info i k) in
+                  if kp > kc then ok := false
+                done
+              end);
+          !ok)
+        [ Policy.Lowest_id; Policy.Hashed 0x5b9d ])
+
+let test_tie_sort_preserves_members =
+  qtest ~count:200 "tiebreak policy permutes rows, never changes membership"
+    static_gen
+    (fun (g, d) ->
+      let a = Route_static.compute ~tiebreak:Policy.Lowest_id g d in
+      let b = Route_static.compute ~tiebreak:(Policy.Hashed 0x5b9d) g d in
+      let ok = ref true in
+      if Route_static.order_length a <> Route_static.order_length b then ok := false;
+      for i = 0 to Graph.n g - 1 do
+        if
+          List.sort compare (Route_static.tie_list a i)
+          <> List.sort compare (Route_static.tie_list b i)
+        then ok := false
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Forest *)
@@ -204,14 +345,12 @@ let chosen_security (info : Route_static.dest_info) (scratch : Forest.scratch) ~
   let n = Array.length scratch.next in
   let cs = Bytes.make n '\000' in
   Bytes.set cs info.dest (Bytes.get secure info.dest);
-  Array.iteri
-    (fun k i ->
-      if k > 0 then begin
-        let nh = scratch.next.(i) in
-        if nh >= 0 && Bytes.get secure i = '\001' && Bytes.get cs nh = '\001' then
-          Bytes.set cs i '\001'
-      end)
-    info.order;
+  for k = 1 to Route_static.order_length info - 1 do
+    let i = Route_static.order_get info k in
+    let nh = scratch.next.(i) in
+    if nh >= 0 && Bytes.get secure i = '\001' && Bytes.get cs nh = '\001' then
+      Bytes.set cs i '\001'
+  done;
   cs
 
 let run_both (g, secure, use_secp, d) =
@@ -384,11 +523,9 @@ let test_secpath_monotone =
       Forest.compute info ~tiebreak:Policy.Lowest_id ~secure:secure2 ~use_secp:use_secp2
         ~weight s1;
       let ok = ref true in
-      Array.iter
-        (fun i ->
+      Route_static.iter_order info (fun i ->
           if Bytes.get before i = '\001' && Bytes.get s1.sec_path i <> '\001' then
-            ok := false)
-        info.order;
+            ok := false);
       !ok)
 
 (* ------------------------------------------------------------------ *)
@@ -482,6 +619,13 @@ let () =
           Alcotest.test_case "unreachable nodes" `Quick test_static_unreachable;
           Alcotest.test_case "order sorted by length" `Quick test_static_order_sorted_by_length;
           Alcotest.test_case "cache reuses instances" `Quick test_static_cache;
+          Alcotest.test_case "bounded store: get = fresh compute" `Quick
+            test_bounded_store_recompute_equals_cached;
+          Alcotest.test_case "ensure_tiebreak drops and resorts" `Quick
+            test_ensure_tiebreak_drops_and_resorts;
+          test_tie_rows_match_spec;
+          test_tie_rows_presorted;
+          test_tie_sort_preserves_members;
         ] );
       ( "forest",
         [

@@ -308,14 +308,12 @@ let test_netsim_matches_forest_security =
       let n = Graph.n g in
       let cs = Bytes.make n '\000' in
       Bytes.set cs d (Bytes.get secure d);
-      Array.iteri
-        (fun k i ->
-          if k > 0 then begin
-            let nh = scratch.Bgp.Forest.next.(i) in
-            if nh >= 0 && Bytes.get secure i = '\001' && Bytes.get cs nh = '\001' then
-              Bytes.set cs i '\001'
-          end)
-        info.order;
+      for k = 1 to Bgp.Route_static.order_length info - 1 do
+        let i = Bgp.Route_static.order_get info k in
+        let nh = scratch.Bgp.Forest.next.(i) in
+        if nh >= 0 && Bytes.get secure i = '\001' && Bytes.get cs nh = '\001' then
+          Bytes.set cs i '\001'
+      done;
       let ok = ref true in
       for u = 0 to n - 1 do
         if u <> d && Bgp.Route_static.reachable info u then

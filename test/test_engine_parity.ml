@@ -68,14 +68,16 @@ let parity ~expect scenario_name build_inputs =
   if List.length r1.rounds > 1 then
     Alcotest.(check bool) "cache reused destinations" true (r1.dest_reused > 0)
 
+let synthetic_outgoing_inputs () =
+  let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 11 } in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+  let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
+  (Core.Config.default, g, weight, early, [])
+
 let test_parity_synthetic_outgoing () =
-  parity ~expect:Engine.Stable "synthetic/outgoing" (fun () ->
-      let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 11 } in
-      let built = Topology.Gen.generate params in
-      let g = built.graph in
-      let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
-      let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
-      (Core.Config.default, g, weight, early, []))
+  parity ~expect:Engine.Stable "synthetic/outgoing" synthetic_outgoing_inputs
 
 let test_parity_synthetic_incoming () =
   parity ~expect:Engine.Stable "synthetic/incoming" (fun () ->
@@ -95,22 +97,62 @@ let test_parity_synthetic_incoming () =
       in
       (cfg, g, weight, early, []))
 
+let chicken_oscillation_inputs () =
+  let c = Gadgets.Chicken.build () in
+  (Gadgets.Chicken.config, c.graph, c.weight, c.early, c.frozen)
+
+let chicken_round_cap_inputs () =
+  let c = Gadgets.Chicken.build () in
+  ({ Gadgets.Chicken.config with max_rounds = 1 }, c.graph, c.weight, c.early, c.frozen)
+
 let test_parity_chicken_oscillation () =
   parity
     ~expect:(Engine.Oscillation { first_round = 0 })
-    "chicken/oscillation"
-    (fun () ->
-      let c = Gadgets.Chicken.build () in
-      (Gadgets.Chicken.config, c.graph, c.weight, c.early, c.frozen))
+    "chicken/oscillation" chicken_oscillation_inputs
 
 let test_parity_chicken_round_cap () =
-  parity ~expect:Engine.Max_rounds "chicken/max-rounds" (fun () ->
-      let c = Gadgets.Chicken.build () in
-      ( { Gadgets.Chicken.config with max_rounds = 1 },
-        c.graph,
-        c.weight,
-        c.early,
-        c.frozen ))
+  parity ~expect:Engine.Max_rounds "chicken/max-rounds" chicken_round_cap_inputs
+
+(* ------------------------------------------------------------------ *)
+(* Statics byte budget: a bounded store recomputes evicted entries on
+   demand, and [Route_static.compute] is pure — so any budget must be
+   result-invisible, for any worker count and all three terminations.
+   The statics counters in [result] are deliberately NOT compared:
+   they are the one field that legitimately depends on the budget. *)
+
+let budget_parity ~expect ?(check_evictions = false) ~budget_bytes scenario_name
+    build_inputs =
+  let run ~workers ~budget_bytes =
+    let cfg, g, weight, early, frozen = build_inputs () in
+    let statics = Bgp.Route_static.create ~budget_bytes g in
+    let state = State.create g ~early ~frozen in
+    Engine.run { cfg with Core.Config.workers } statics ~weight ~state
+  in
+  let reference = run ~workers:1 ~budget_bytes:0 in
+  check termination_t (scenario_name ^ " termination") expect reference.termination;
+  List.iter
+    (fun workers ->
+      let bounded = run ~workers ~budget_bytes in
+      check_result_equal reference bounded;
+      if check_evictions && workers = 1 then
+        Alcotest.(check bool)
+          (scenario_name ^ " tiny budget actually evicts")
+          true
+          (bounded.statics_evictions > 0))
+    [ 1; 4 ]
+
+let test_budget_parity_stable () =
+  budget_parity ~expect:Engine.Stable ~check_evictions:true ~budget_bytes:100_000
+    "budget/synthetic-outgoing" synthetic_outgoing_inputs
+
+let test_budget_parity_oscillation () =
+  budget_parity
+    ~expect:(Engine.Oscillation { first_round = 0 })
+    ~budget_bytes:4_096 "budget/chicken-oscillation" chicken_oscillation_inputs
+
+let test_budget_parity_round_cap () =
+  budget_parity ~expect:Engine.Max_rounds ~budget_bytes:4_096
+    "budget/chicken-max-rounds" chicken_round_cap_inputs
 
 (* ------------------------------------------------------------------ *)
 (* Property: the incremental per-destination cache equals from-scratch
@@ -225,6 +267,15 @@ let () =
             test_parity_chicken_oscillation;
           Alcotest.test_case "chicken gadget (round cap)" `Quick
             test_parity_chicken_round_cap;
+        ] );
+      ( "statics-budget",
+        [
+          Alcotest.test_case "tiny budget = unbounded (stable)" `Quick
+            test_budget_parity_stable;
+          Alcotest.test_case "tiny budget = unbounded (oscillation)" `Quick
+            test_budget_parity_oscillation;
+          Alcotest.test_case "tiny budget = unbounded (round cap)" `Quick
+            test_budget_parity_round_cap;
         ] );
       ( "incremental",
         [

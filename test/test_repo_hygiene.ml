@@ -1,0 +1,65 @@
+(* Repository hygiene: build artifacts must not be tracked.
+
+   [dune runtest] executes from the build sandbox, so the test walks
+   up to the checkout root (the directory holding [.git]) and asks git
+   which files it tracks under [_build/]. Anything tracked there is a
+   bug: artifacts churn on every build and bloat history. The test
+   skips silently when not run from a git checkout (release tarball)
+   or when git is unavailable. *)
+
+let rec find_root dir =
+  if Sys.file_exists (Filename.concat dir ".git") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_root parent
+
+let git_lines root args =
+  let cmd = Printf.sprintf "git -C %s %s 2>/dev/null" (Filename.quote root) args in
+  let ic = Unix.open_process_in cmd in
+  let rec collect acc =
+    match input_line ic with
+    | line -> collect (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = collect [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Some lines
+  | _ -> None
+
+let test_no_tracked_build_artifacts () =
+  match find_root (Sys.getcwd ()) with
+  | None -> () (* not a git checkout: nothing to enforce *)
+  | Some root -> (
+      match git_lines root "ls-files _build" with
+      | None -> () (* git unavailable *)
+      | Some files ->
+          Alcotest.(check (list string)) "files tracked under _build/" [] files)
+
+let test_gitignore_covers_build () =
+  match find_root (Sys.getcwd ()) with
+  | None -> ()
+  | Some root ->
+      let path = Filename.concat root ".gitignore" in
+      if Sys.file_exists path then begin
+        let ic = open_in path in
+        let rec has_build () =
+          match input_line ic with
+          | line -> String.trim line = "_build/" || has_build ()
+          | exception End_of_file -> false
+        in
+        let covered = has_build () in
+        close_in ic;
+        Alcotest.(check bool) ".gitignore lists _build/" true covered
+      end
+
+let () =
+  Alcotest.run "repo_hygiene"
+    [
+      ( "hygiene",
+        [
+          Alcotest.test_case "no tracked _build artifacts" `Quick
+            test_no_tracked_build_artifacts;
+          Alcotest.test_case ".gitignore covers _build/" `Quick
+            test_gitignore_covers_build;
+        ] );
+    ]

@@ -443,6 +443,54 @@ let test_faults_of_env () =
   | Some _ -> Alcotest.fail "malformed spec must yield None");
   Unix.putenv "SBGP_FAULTS" ""
 
+(* ------------------------------------------------------------------ *)
+(* I32: compact int32 vectors. *)
+
+let test_i32_roundtrip () =
+  let src = [| 0; 1; 5; 1073741823; -1073741824; -7 |] in
+  let v = Nsutil.I32.of_array src in
+  check Alcotest.int "length" (Array.length src) (Nsutil.I32.length v);
+  check Alcotest.(array int) "to_array round-trips" src (Nsutil.I32.to_array v);
+  Array.iteri (fun i x -> check Alcotest.int "get" x (Nsutil.I32.get v i)) src;
+  Nsutil.I32.set v 2 42;
+  check Alcotest.int "set visible" 42 (Nsutil.I32.get v 2)
+
+let test_i32_fill_blit_sub () =
+  let v = Nsutil.I32.create 8 in
+  Nsutil.I32.fill v (-1);
+  check Alcotest.(array int) "fill" (Array.make 8 (-1)) (Nsutil.I32.to_array v);
+  Nsutil.I32.blit_array [| 10; 20; 30 |] v ~pos:2;
+  check
+    Alcotest.(array int)
+    "blit_array at pos"
+    [| -1; -1; 10; 20; 30; -1; -1; -1 |]
+    (Nsutil.I32.to_array v);
+  check
+    Alcotest.(array int)
+    "sub_to_array" [| 20; 30; -1 |]
+    (Nsutil.I32.sub_to_array v ~pos:3 ~len:3)
+
+let test_i32_iter_bytes_equal () =
+  let v = Nsutil.I32.of_array [| 3; 1; 4; 1; 5 |] in
+  check Alcotest.int "byte_size = 4 * length" 20 (Nsutil.I32.byte_size v);
+  let sum = ref 0 in
+  Nsutil.I32.iter (fun x -> sum := !sum + x) v;
+  check Alcotest.int "iter visits all" 14 !sum;
+  let idx_dot = ref 0 in
+  Nsutil.I32.iteri (fun i x -> idx_dot := !idx_dot + (i * x)) v;
+  check Alcotest.int "iteri indices" 32 !idx_dot;
+  let w = Nsutil.I32.of_array (Nsutil.I32.to_array v) in
+  check Alcotest.bool "equal copies" true (Nsutil.I32.equal v w);
+  Nsutil.I32.set w 4 6;
+  check Alcotest.bool "content difference detected" false (Nsutil.I32.equal v w);
+  check Alcotest.bool "length difference detected" false
+    (Nsutil.I32.equal v (Nsutil.I32.create 4))
+
+let test_i32_qcheck_roundtrip =
+  qtest "i32 of_array/to_array round-trips"
+    QCheck2.Gen.(array_size (int_range 0 64) (int_range (-1000000) 1000000))
+    (fun src -> Nsutil.I32.to_array (Nsutil.I32.of_array src) = src)
+
 let () =
   Alcotest.run "nsutil"
     [
@@ -510,6 +558,13 @@ let () =
           Alcotest.test_case "parse_int accepts" `Quick test_env_parse_int_accepts;
           Alcotest.test_case "parse_int rejects" `Quick test_env_parse_int_rejects;
           Alcotest.test_case "int_var falls back" `Quick test_env_int_var_fallback;
+        ] );
+      ( "i32",
+        [
+          Alcotest.test_case "roundtrip and get/set" `Quick test_i32_roundtrip;
+          Alcotest.test_case "fill, blit, sub" `Quick test_i32_fill_blit_sub;
+          Alcotest.test_case "iter, byte_size, equal" `Quick test_i32_iter_bytes_equal;
+          test_i32_qcheck_roundtrip;
         ] );
       ( "faults",
         [
