@@ -332,31 +332,87 @@ let time_kernel ~min_time ~min_reps f =
   done;
   (Unix.gettimeofday () -. t0, !reps)
 
-let peak_rss_kb () =
-  match open_in "/proc/self/status" with
-  | exception Sys_error _ -> 0
-  | ic ->
-      let rec scan acc =
-        match input_line ic with
-        | exception End_of_file ->
-            close_in ic;
-            acc
-        | line ->
-            let acc =
-              if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
-                String.fold_left
-                  (fun a c -> if c >= '0' && c <= '9' then (a * 10) + Char.code c - 48 else a)
-                  0 line
-              else acc
-            in
-            scan acc
-      in
-      scan 0
-
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec at i = (i + nn <= nh) && (String.sub hay i nn = needle || at (i + 1)) in
   at 0
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("bench: " ^ m);
+      exit 1)
+    fmt
+
+(* Telemetry self-checks, gating [bench-smoke]: when --trace /
+   --metrics are active, the artifacts this very process emits must
+   hold up — parseable JSON, the engine's span names all present, the
+   traced engine runs decomposing into their phase spans, and registry
+   counters that only ever moved up. *)
+let validate_trace path =
+  let content = In_channel.with_open_text path In_channel.input_all in
+  let json =
+    match Nsobs.Jsonv.parse content with
+    | Ok j -> j
+    | Error e -> die "trace %s is not valid JSON (%s)" path e
+  in
+  let events =
+    match Option.bind (Nsobs.Jsonv.member "traceEvents" json) Nsobs.Jsonv.to_list with
+    | Some evs -> evs
+    | None -> die "trace %s has no traceEvents array" path
+  in
+  let name_of ev = Option.bind (Nsobs.Jsonv.member "name" ev) Nsobs.Jsonv.to_string in
+  let dur_of ev =
+    Option.value ~default:0.0
+      (Option.bind (Nsobs.Jsonv.member "dur" ev) Nsobs.Jsonv.to_float)
+  in
+  let total name =
+    List.fold_left
+      (fun acc ev -> if name_of ev = Some name then acc +. dur_of ev else acc)
+      0.0 events
+  in
+  List.iter
+    (fun required ->
+      if not (List.exists (fun ev -> name_of ev = Some required) events) then
+        die "trace %s is missing span %S" path required)
+    [
+      "engine.run"; "engine.round"; "engine.probe"; "engine.sweep"; "engine.reduce";
+      "engine.decide"; "statics.prefill";
+    ];
+  (* The pool and statics kernels trace outside any engine.run; within
+     the engine runs, the phase spans must account for (almost) all of
+     the wall clock — untraced gaps mean a hot section lost its span. *)
+  let run_us = total "engine.run" in
+  let phases_us =
+    total "engine.round" +. total "statics.prefill" +. total "engine.baseline"
+  in
+  let coverage = if run_us > 0.0 then phases_us /. run_us else 0.0 in
+  if run_us > 0.0 && coverage < 0.90 then
+    die "trace %s: phase spans cover %.1f%% of engine.run (< 90%%)" path
+      (100.0 *. coverage);
+  Printf.printf "trace self-check: %d events, phase coverage %.1f%% of engine.run\n%!"
+    (List.length events) (100.0 *. coverage)
+
+let validate_metrics path ~mid =
+  let after = Nsobs.Metrics.counters () in
+  List.iter
+    (fun (name, v0) ->
+      match List.assoc_opt name after with
+      | Some v1 when v1 >= v0 -> ()
+      | Some v1 -> die "metrics: counter %s went backwards (%d then %d)" name v0 v1
+      | None -> die "metrics: counter %s disappeared from the registry" name)
+    mid;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  List.iter
+    (fun key ->
+      if not (contains content key) then die "metrics %s is missing %s" path key)
+    ([
+       "engine_rounds_total"; "engine_flips_per_round_bucket"; "engine_dirty_set_size";
+       "statics_hit_total"; "statics_miss_total"; "statics_eviction_total";
+       "process_peak_rss_kb";
+     ]
+    @ if workers > 1 then [ "pool_domain_spawn_total" ] else []);
+  Printf.printf "metrics self-check: %d counters, all monotone\n%!" (List.length after)
 
 let run_json_bench ~path =
   let n = int_flag "--n" (if smoke then 120 else 1000) in
@@ -469,6 +525,9 @@ let run_json_bench ~path =
     Core.Engine.run cfg statics ~weight ~state
   in
   let engine_wall = Unix.gettimeofday () -. t0 in
+  (* Counter snapshot between the two engine runs: the final snapshot
+     taken by the self-check below must dominate it everywhere. *)
+  let counters_mid = Nsobs.Metrics.counters () in
   let rounds = Core.Engine.rounds_run result in
   let rounds_per_s = float_of_int rounds /. engine_wall in
   Printf.printf "\nengine run: %.3f s, %d rounds (%.3f rounds/s)\n%!" engine_wall rounds
@@ -519,7 +578,7 @@ let run_json_bench ~path =
     "  \"budget_differential\": {\"budget_bytes\": %d, \"evictions\": %d, \
      \"identical\": %b},\n"
     budget_bytes bounded.statics_evictions identical;
-  b "  \"peak_rss_kb\": %d\n" (peak_rss_kb ());
+  b "  \"peak_rss_kb\": %d\n" (Nsobs.Rss.peak_kb ());
   b "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -547,9 +606,18 @@ let run_json_bench ~path =
   if not identical then begin
     prerr_endline "bench: bounded-statics run diverged from the unbounded run";
     exit 1
-  end
+  end;
+  (match (Nsobs.Control.trace_path (), Nsobs.Control.metrics_path ()) with
+  | None, None -> ()
+  | t, m ->
+      Nsobs.Control.flush ();
+      Option.iter validate_trace t;
+      Option.iter (validate_metrics ~mid:counters_mid) m)
 
 let () =
+  Nsobs.Control.init ();
+  Option.iter Nsobs.Control.set_trace (str_flag "--trace");
+  Option.iter Nsobs.Control.set_metrics (str_flag "--metrics");
   let t0 = Unix.gettimeofday () in
   (match str_flag "--json" with
   | Some path -> run_json_bench ~path

@@ -163,6 +163,26 @@ let run_cmd =
              only speed and memory change. 0 (the default) defers to \
              $(b,SBGP_STATICS_MB), or unlimited if that is unset.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~doc:
+            "Record a span trace of the run and write it here as Chrome trace-event \
+             JSON (open in about:tracing or Perfetto). Equivalent to setting \
+             $(b,SBGP_TRACE). Tracing never changes results.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ]
+          ~doc:
+            "Collect run metrics (rounds, flips, cache and statics-store traffic, pool \
+             and checkpoint activity) and write them here as Prometheus-style text; a \
+             summary table is also printed. Equivalent to $(b,SBGP_METRICS).")
+  in
   let parse_adopters g spec =
     let prefix p s =
       if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
@@ -184,7 +204,9 @@ let run_cmd =
       end
   in
   let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers
-      checkpoint_path checkpoint_every resume retries statics_mb =
+      checkpoint_path checkpoint_every resume retries statics_mb trace metrics =
+    Option.iter Nsobs.Control.set_trace trace;
+    Option.iter Nsobs.Control.set_metrics metrics;
     let g =
       match caida with
       | None -> Experiments.Scenario.graph (Experiments.Scenario.create ~n ~seed ())
@@ -282,15 +304,23 @@ let run_cmd =
         st.cached result.statics_hits result.statics_misses result.statics_evictions
     else
       Printf.printf "statics: unbounded; %d destinations cached (%.1f MiB)\n" st.cached
-        (float_of_int st.cached_bytes /. 1048576.0)
+        (float_of_int st.cached_bytes /. 1048576.0);
+    (* Write telemetry now (rather than only at_exit) so the summary
+       table below reflects the flushed registry, RSS included. *)
+    Nsobs.Control.flush ();
+    if Nsobs.Metrics.enabled () then begin
+      Printf.printf "\nmetrics:\n";
+      Nsutil.Table.print (Nsobs.Metrics.summary ())
+    end
   in
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m o p ->
-          guard (fun () -> run a b c d e f g h i j k l m o p))
+      const (fun a b c d e f g h i j k l m o p q r ->
+          guard (fun () -> run a b c d e f g h i j k l m o p q r))
       $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
-      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ statics_mb)
+      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ statics_mb
+      $ trace $ metrics)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =
@@ -457,6 +487,7 @@ let tree_cmd =
   Cmd.v (Cmd.info "tree" ~doc) Term.(const (fun a b c d -> guard (fun () -> run a b c d)) $ n_arg $ seed_arg $ dest $ limit)
 
 let () =
+  Nsobs.Control.init ();
   let doc = "Market-driven S*BGP deployment simulator (Gill-Schapira-Goldberg, SIGCOMM'11)" in
   let info = Cmd.info "sbgp_sim" ~version:"1.0.0" ~doc in
   exit

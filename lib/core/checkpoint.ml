@@ -43,6 +43,45 @@ let () =
    handed back — unmarshaling untrusted bytes is never safe, so the
    checksum is the gate. *)
 
+(* Observability: spans and duration/size metrics around the disk
+   round-trips. Purely observational — framing and validation are
+   untouched. *)
+let m_writes =
+  lazy (Nsobs.Metrics.counter ~help:"checkpoint frames written" "checkpoint_write_total")
+let m_loads =
+  lazy
+    (Nsobs.Metrics.counter ~help:"checkpoint frames loaded successfully"
+       "checkpoint_load_total")
+let m_load_errors =
+  lazy
+    (Nsobs.Metrics.counter ~help:"checkpoint loads rejected (I/O or validation)"
+       "checkpoint_load_error_total")
+let m_bytes_written =
+  lazy
+    (Nsobs.Metrics.counter ~help:"checkpoint bytes written (framed)"
+       "checkpoint_bytes_written_total")
+let duration_buckets = [| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000. |]
+let m_write_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"checkpoint write duration (ms)"
+       ~buckets:duration_buckets "checkpoint_write_ms")
+let m_load_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"checkpoint load duration (ms)"
+       ~buckets:duration_buckets "checkpoint_load_ms")
+
+let timed hist f =
+  if Nsobs.Metrics.enabled () then begin
+    let t0 = Nsobs.Trace.now_us () in
+    let finish () =
+      Nsobs.Metrics.observe (Lazy.force hist) ((Nsobs.Trace.now_us () -. t0) /. 1000.0)
+    in
+    match f () with
+    | v -> finish (); v
+    | exception e -> finish (); raise e
+  end
+  else f ()
+
 let magic = "SBGPCKP1"
 let version = 1
 let digest_len = 32
@@ -63,6 +102,8 @@ let frame ~digest ~round ~payload =
   body ^ Sha256.digest_string body
 
 let write ?faults ~path ~digest ~round payload =
+  Nsobs.Trace.span ~cat:"checkpoint" "checkpoint.write" @@ fun () ->
+  timed m_write_ms @@ fun () ->
   let bytes = Bytes.of_string (frame ~digest ~round ~payload) in
   (* Fault injection: flip one payload byte *after* the checksum was
      computed — the canonical corruption a reader must reject. *)
@@ -79,7 +120,11 @@ let write ?faults ~path ~digest ~round payload =
       (fun () -> output_bytes oc bytes);
     Sys.rename tmp path
   with
-  | () -> ()
+  | () ->
+      if Nsobs.Metrics.enabled () then begin
+        Nsobs.Metrics.inc (Lazy.force m_writes);
+        Nsobs.Metrics.add (Lazy.force m_bytes_written) (Bytes.length bytes)
+      end
   | exception Sys_error m -> raise (Error (Io m))
 
 let read_file path =
@@ -94,7 +139,7 @@ let hex = Sha256.hex
    [err] builds the result explicitly. *)
 let err e : (int * string, error) result = Stdlib.Error e
 
-let load ~path ~digest =
+let load_frame ~path ~digest =
   if String.length digest <> digest_len then
     invalid_arg "Checkpoint.load: digest must be 32 raw bytes";
   match read_file path with
@@ -130,6 +175,16 @@ let load ~path ~digest =
           end
         end
       end
+
+let load ~path ~digest =
+  Nsobs.Trace.span ~cat:"checkpoint" "checkpoint.load" @@ fun () ->
+  timed m_load_ms @@ fun () ->
+  let r = load_frame ~path ~digest in
+  if Nsobs.Metrics.enabled () then
+    (match r with
+    | Ok _ -> Nsobs.Metrics.inc (Lazy.force m_loads)
+    | Stdlib.Error _ -> Nsobs.Metrics.inc (Lazy.force m_load_errors));
+  r
 
 let load_exn ~path ~digest =
   match load ~path ~digest with Ok v -> v | Stdlib.Error e -> raise (Error e)

@@ -4,6 +4,60 @@ module Route_static = Bgp.Route_static
 module Forest = Bgp.Forest
 module Pool = Parallel.Pool
 
+(* Observability hooks. Every hook sits behind Nsobs's static
+   [enabled] checks and only observes — spans time existing sections,
+   counters publish at round or end-of-run granularity — so an
+   instrumented run is bit-identical to an uninstrumented one
+   (test_obs proves it). *)
+let m_rounds =
+  lazy (Nsobs.Metrics.counter ~help:"deployment-game rounds executed" "engine_rounds_total")
+let m_flips_on =
+  lazy
+    (Nsobs.Metrics.counter ~help:"candidates that turned secure routing on"
+       "engine_flips_on_total")
+let m_flips_off =
+  lazy
+    (Nsobs.Metrics.counter ~help:"candidates that turned secure routing off"
+       "engine_flips_off_total")
+let m_flips_hist =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"simultaneous flips per round"
+       ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+       "engine_flips_per_round")
+let m_dirty_hist =
+  lazy
+    (Nsobs.Metrics.histogram
+       ~help:"incremental dirty-set size per round (destinations recomputed)"
+       ~buckets:[| 0.; 10.; 100.; 1000.; 10000.; 100000. |]
+       "engine_dirty_set_size")
+let m_round_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"wall time per round (ms)"
+       ~buckets:[| 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+       "engine_round_ms")
+let m_statics_hits =
+  lazy (Nsobs.Metrics.counter ~help:"route-statics store hits" "statics_hit_total")
+let m_statics_misses =
+  lazy
+    (Nsobs.Metrics.counter ~help:"route-statics store misses (rows built)"
+       "statics_miss_total")
+let m_statics_evictions =
+  lazy
+    (Nsobs.Metrics.counter ~help:"route-statics rows evicted by the byte budget"
+       "statics_eviction_total")
+let m_statics_bytes =
+  lazy
+    (Nsobs.Metrics.gauge ~help:"route-statics bytes cached at end of run"
+       "statics_cached_bytes")
+let m_dest_recomputed =
+  lazy
+    (Nsobs.Metrics.counter ~help:"destination forests recomputed"
+       "engine_dest_recomputed_total")
+let m_dest_reused =
+  lazy
+    (Nsobs.Metrics.counter ~help:"destination forests served from the incremental cache"
+       "engine_dest_reused_total")
+
 type round_record = {
   round : int;
   utilities : float array;
@@ -202,8 +256,9 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
      and — when unbounded — be complete before any fan-out: workers
      then only read it. Under a byte budget the prefill is a no-op and
      workers fill their shards lazily through [get]. *)
-  Route_static.ensure_tiebreak statics cfg.tiebreak;
-  Route_static.ensure_all ~workers statics;
+  Nsobs.Trace.span ~cat:"engine" "statics.prefill" (fun () ->
+      Route_static.ensure_tiebreak statics cfg.tiebreak;
+      Route_static.ensure_all ~workers statics);
   (* Stub customers per ISP, for projection filters. *)
   let stubs_of = Array.make n [] in
   for i = 0 to n - 1 do
@@ -262,7 +317,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
   let baseline, initial_secure_as, initial_secure_isp, state =
     match resume_from with
     | None ->
-        let baseline = compute_baseline () in
+        let baseline = Nsobs.Trace.span ~cat:"engine" "engine.baseline" compute_baseline in
         let init_as = State.secure_count state in
         let init_isp = State.secure_isp_count state in
         insert_seen 0 (State.copy state);
@@ -277,6 +332,9 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
         reused := p.p_reused;
         (p.p_baseline, p.p_initial_secure_as, p.p_initial_secure_isp, state)
   in
+  (* Metrics report what THIS process did: a resumed run publishes
+     deltas over the restored counters, not the checkpoint's totals. *)
+  let recomputed0 = !recomputed and reused0 = !reused in
   let remember round =
     let signature = State.signature state in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
@@ -310,6 +368,13 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
   let continue = ref true in
   while !continue && !round < cfg.max_rounds do
     incr round;
+    let round_args =
+      if Nsobs.Trace.enabled () then Some [ ("round", string_of_int !round) ] else None
+    in
+    let round_t0 = if Nsobs.Metrics.enabled () then Nsobs.Trace.now_us () else 0.0 in
+    (* The span covers the whole round body — through the checkpoint,
+       if one is due — so traced wall time decomposes into rounds. *)
+    Nsobs.Trace.span ~cat:"engine" ?args:round_args "engine.round" @@ fun () ->
     let secure = State.secure_bytes state in
     let use_secp = State.use_secp_bytes state ~stub_tiebreak:cfg.stub_tiebreak in
     Incremental.begin_round inc state;
@@ -330,7 +395,10 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
     let is_candidate = Array.make n false in
     List.iter (fun nc -> is_candidate.(nc) <- true) candidates;
     let was_on = Array.map (fun nc -> State.full state nc) candidates_arr in
-    let deltas = probe_deltas state ~secure ~use_secp ~was_on candidates_arr in
+    let deltas =
+      Nsobs.Trace.span ~cat:"engine" "engine.probe" (fun () ->
+          probe_deltas state ~secure ~use_secp ~was_on candidates_arr)
+    in
     (* Round-start snapshots: workers get private copies to flip. *)
     let sec0 = Bytes.copy secure in
     let secp0 = Bytes.copy use_secp in
@@ -340,6 +408,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
        routing tree actually changes. No shared mutation beyond
        per-destination slots. *)
     let changed_contrib : (int * float) list array = Array.make n [] in
+    Nsobs.Trace.span ~cat:"engine" "engine.sweep" (fun () ->
     ignore
       (Pool.map_reduce_chunked_supervised sv ~workers ~tasks:n ~grain
          ~init:(fun () ->
@@ -370,7 +439,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
                end)
              candidates_arr;
            changed_contrib.(d) <- List.rev !changed)
-         ~combine:(fun a _ -> a));
+         ~combine:(fun a _ -> a)));
     let dc = Incremental.dirty_count inc in
     recomputed := !recomputed + dc;
     reused := !reused + (n - dc);
@@ -378,6 +447,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
        the cached addend streams and fold the projections. *)
     let utilities = Array.make n 0.0 in
     let projected = Array.make n 0.0 in
+    Nsobs.Trace.span ~cat:"engine" "engine.reduce" (fun () ->
     for d = 0 to n - 1 do
       let e = Incremental.entry inc d in
       Utility.add_pairs e.pairs ~into:utilities;
@@ -398,10 +468,11 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
     (* Non-candidates project their current utility. *)
     for i = 0 to n - 1 do
       if not is_candidate.(i) then projected.(i) <- utilities.(i)
-    done;
+    done);
     (* Simultaneous flips per Eq. 3. *)
     let turned_on = ref [] in
     let turned_off = ref [] in
+    Nsobs.Trace.span ~cat:"engine" "engine.decide" (fun () ->
     List.iter
       (fun nc ->
         let threshold =
@@ -414,7 +485,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
         end)
       candidates;
     List.iter (fun nc -> ignore (State.enable state nc)) !turned_on;
-    List.iter (fun nc -> State.disable state nc) !turned_off;
+    List.iter (fun nc -> State.disable state nc) !turned_off);
     let record =
       {
         round = !round;
@@ -428,6 +499,16 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
       }
     in
     rounds := record :: !rounds;
+    if Nsobs.Metrics.enabled () then begin
+      Nsobs.Metrics.inc (Lazy.force m_rounds);
+      let on = List.length record.turned_on and off = List.length record.turned_off in
+      Nsobs.Metrics.add (Lazy.force m_flips_on) on;
+      Nsobs.Metrics.add (Lazy.force m_flips_off) off;
+      Nsobs.Metrics.observe (Lazy.force m_flips_hist) (float_of_int (on + off));
+      Nsobs.Metrics.observe (Lazy.force m_dirty_hist) (float_of_int dc);
+      Nsobs.Metrics.observe (Lazy.force m_round_ms)
+        ((Nsobs.Trace.now_us () -. round_t0) /. 1000.0)
+    end;
     if !turned_on = [] && !turned_off = [] then begin
       termination := Stable;
       continue := false
@@ -445,6 +526,22 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
     if !continue && !round < cfg.max_rounds then write_checkpoint ()
   done;
   let stats1 = Route_static.stats statics in
+  if Nsobs.Metrics.enabled () then begin
+    (* Store counters are racy under concurrent workers (diagnostics,
+       not results); clamp so a lost increment can't make a "delta"
+       negative and trip the counter invariant. *)
+    let delta a b = max 0 (a - b) in
+    Nsobs.Metrics.add (Lazy.force m_statics_hits)
+      (delta stats1.Route_static.hits stats0.Route_static.hits);
+    Nsobs.Metrics.add (Lazy.force m_statics_misses)
+      (delta stats1.Route_static.misses stats0.Route_static.misses);
+    Nsobs.Metrics.add (Lazy.force m_statics_evictions)
+      (delta stats1.Route_static.evictions stats0.Route_static.evictions);
+    Nsobs.Metrics.set (Lazy.force m_statics_bytes)
+      (float_of_int stats1.Route_static.cached_bytes);
+    Nsobs.Metrics.add (Lazy.force m_dest_recomputed) (delta !recomputed recomputed0);
+    Nsobs.Metrics.add (Lazy.force m_dest_reused) (delta !reused reused0)
+  end;
   {
     baseline;
     initial_secure_as;
@@ -474,7 +571,9 @@ let run ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
     | None -> null_digest
     | Some _ -> input_digest cfg statics ~weight ~state
   in
-  run_internal ~checkpoint ~faults ~digest ~resume_from:None cfg statics ~weight ~state
+  Nsobs.Trace.span ~cat:"engine" "engine.run" (fun () ->
+      run_internal ~checkpoint ~faults ~digest ~resume_from:None cfg statics ~weight
+        ~state)
 
 let resume ~from ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
   let faults = resolve_faults faults in
@@ -482,8 +581,9 @@ let resume ~from ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
   let round, payload = Checkpoint.load_exn ~path:from ~digest in
   let p = (Marshal.from_string payload 0 : progress) in
   if p.p_round <> round then raise (Checkpoint.Error Checkpoint.Corrupt);
-  run_internal ~checkpoint ~faults ~digest ~resume_from:(Some p) cfg statics ~weight
-    ~state
+  Nsobs.Trace.span ~cat:"engine" "engine.run" (fun () ->
+      run_internal ~checkpoint ~faults ~digest ~resume_from:(Some p) cfg statics
+        ~weight ~state)
 
 let secure_fraction result kind =
   let state = result.final in

@@ -61,7 +61,10 @@ let run_all ?only scenario =
 let run_streaming ?only scenario emit =
   List.iter
     (fun e ->
+      Nsobs.Log.info "experiment %s: %s" e.id e.title;
       let t0 = Unix.gettimeofday () in
-      let table = e.run scenario in
+      let table =
+        Nsobs.Trace.span ~cat:"experiment" ("exp." ^ e.id) (fun () -> e.run scenario)
+      in
       emit e table (Unix.gettimeofday () -. t0))
     (selected_of only)

@@ -11,6 +11,7 @@ let default_n () = Nsutil.Env.int_var ~name:"SBGP_N" ~min:50 ~default:500 ()
 
 let create ?n ?(seed = 42) () =
   let n = match n with Some v -> v | None -> default_n () in
+  Nsobs.Log.info "scenario: generating synthetic topology (n=%d, seed=%d)" n seed;
   let params = { (Topology.Params.with_n Topology.Params.default n) with seed } in
   let built = Topology.Gen.generate params in
   let built_aug =
@@ -47,6 +48,8 @@ let run_many_outcomes ?(augmented = false) t jobs =
   let g = Bgp.Route_static.graph statics in
   let jobs = Array.of_list jobs in
   let workers = min (Parallel.Pool.default_workers ()) (max 1 (Array.length jobs)) in
+  Nsobs.Log.info "scenario: running %d simulation job(s) on %d worker(s)"
+    (Array.length jobs) workers;
   (* Prime the shared per-destination cache; engine runs below get
      [workers = 1], so parallelism is across jobs and a job's engine
      only ever reads the cache. *)
@@ -66,7 +69,10 @@ let run_many_outcomes ?(augmented = false) t jobs =
         Core.Engine.run cfg statics ~weight ~state
       with
       | result -> Ok result
-      | exception e -> Error { job = i; error = Printexc.to_string e })
+      | exception e ->
+          let error = Printexc.to_string e in
+          Nsobs.Log.warn "scenario: job %d failed: %s" i error;
+          Error { job = i; error })
   |> Array.to_list
 
 let run_many ?augmented t jobs =

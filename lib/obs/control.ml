@@ -1,0 +1,50 @@
+let trace_env = "SBGP_TRACE"
+let metrics_env = "SBGP_METRICS"
+
+let trace_dest = ref None
+let metrics_dest = ref None
+
+let trace_path () = !trace_dest
+let metrics_path () = !metrics_dest
+
+let set_trace path =
+  trace_dest := Some path;
+  Trace.set_enabled true
+
+let set_metrics path =
+  metrics_dest := Some path;
+  Metrics.set_enabled true
+
+let flush ?(quiet = false) () =
+  (match !trace_dest with
+  | Some path when Trace.enabled () ->
+      Trace.write path;
+      if not quiet then
+        Log.info "wrote trace (%d events) to %s" (Trace.event_count ()) path
+  | _ -> ());
+  match !metrics_dest with
+  | Some path when Metrics.enabled () ->
+      Rss.publish ();
+      Metrics.write path;
+      if not quiet then Log.info "wrote metrics to %s" path
+  | _ -> ()
+
+let initialized = ref false
+
+let init () =
+  if not !initialized then begin
+    initialized := true;
+    Log.install_warning_hook ();
+    Log.set_level_from_env ();
+    (match Sys.getenv_opt trace_env with
+    | Some path when path <> "" -> set_trace path
+    | _ -> ());
+    (match Sys.getenv_opt metrics_env with
+    | Some path when path <> "" -> set_metrics path
+    | _ -> ());
+    (* Flush on any exit path: a crashed or interrupted run still
+       leaves its telemetry behind. Re-flushing after an explicit
+       flush just rewrites the same files (silently, to keep the
+       normal-exit log free of duplicates). *)
+    at_exit (fun () -> flush ~quiet:true ())
+  end

@@ -1,0 +1,35 @@
+(** Process-level observability wiring.
+
+    Binaries call {!init} once at startup: it routes the utility
+    layer's warnings through {!Log}, applies [SBGP_LOG_LEVEL], and —
+    when [SBGP_TRACE] / [SBGP_METRICS] name destination files —
+    enables the corresponding collector and registers an [at_exit]
+    {!flush} so telemetry survives crashes and early exits. CLI flags
+    ([--trace FILE], [--metrics FILE]) call {!set_trace} /
+    {!set_metrics} on top. With none of these set, {!init} leaves
+    every collector off: hot paths then pay only their static
+    [enabled] checks. *)
+
+val trace_env : string
+(** ["SBGP_TRACE"]. *)
+
+val metrics_env : string
+(** ["SBGP_METRICS"]. *)
+
+val init : unit -> unit
+(** Idempotent. *)
+
+val set_trace : string -> unit
+(** Enable tracing, to be written to this file at {!flush}. *)
+
+val set_metrics : string -> unit
+(** Enable the metrics registry, exposition written at {!flush}. *)
+
+val trace_path : unit -> string option
+val metrics_path : unit -> string option
+
+val flush : ?quiet:bool -> unit -> unit
+(** Write enabled collectors to their destinations (metrics flush
+    also samples RSS into the registry). Safe to call repeatedly;
+    [quiet] suppresses the info-level "wrote ..." lines (used by the
+    [at_exit] re-flush). *)

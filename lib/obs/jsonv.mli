@@ -1,0 +1,26 @@
+(** A minimal JSON reader for self-validation.
+
+    The trace and bench exporters check their own output and the
+    tests assert well-formedness; this covers exactly that need
+    without an external dependency. Strict on structure (rejects
+    truncation, trailing garbage, raw control characters); [\uXXXX]
+    escapes outside ASCII decode to ['?'] since the emitters only
+    produce ASCII. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string : t -> string option

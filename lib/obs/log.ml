@@ -1,0 +1,67 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+(* Warn by default: pre-observability stderr warnings stay visible,
+   progress chatter (info) and diagnostics (debug) are opt-in. *)
+let current = ref Warn
+
+let set_level l = current := l
+let level () = !current
+
+let enabled l = severity l <= severity !current
+
+(* One whole line per sink call, under a mutex: interleaved lines from
+   concurrent domains stay readable. *)
+let sink_mutex = Mutex.create ()
+
+let default_sink l msg =
+  Mutex.lock sink_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink_mutex)
+    (fun () ->
+      output_string stderr
+        (Printf.sprintf "[sbgp][%s] %s\n" (level_to_string l) msg);
+      flush stderr)
+
+let sink = ref default_sink
+
+let set_sink f = sink := f
+let reset_sink () = sink := default_sink
+
+let msg l s = if enabled l then !sink l s
+
+let logf l fmt = Printf.ksprintf (msg l) fmt
+
+let err fmt = logf Error fmt
+let warn fmt = logf Warn fmt
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt
+
+let env_var = "SBGP_LOG_LEVEL"
+
+let set_level_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some s -> (
+      match level_of_string s with
+      | Some l -> set_level l
+      | None ->
+          warn "ignoring %s=%S: expected quiet|error|warn|info|debug" env_var s)
+
+let install_warning_hook () =
+  Nsutil.Warnings.set_handler (fun s -> msg Warn s)

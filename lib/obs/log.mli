@@ -1,0 +1,49 @@
+(** Leveled logging for the whole simulator.
+
+    One process-global level and sink; call sites use printf-style
+    [err]/[warn]/[info]/[debug]. Messages below the current level are
+    dropped before reaching the sink (the format arguments are still
+    evaluated — guard genuinely hot call sites with {!enabled}). The
+    default sink writes ["[sbgp][warn] ..."] lines to stderr, one
+    whole line per call under a mutex so concurrent domains cannot
+    interleave partial lines.
+
+    The level defaults to [Warn] and is settable from the
+    [SBGP_LOG_LEVEL] environment variable ([quiet]/[error], [warn],
+    [info], [debug]); [quiet] keeps only errors. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** Would a message at this level currently be emitted? *)
+
+val level_of_string : string -> level option
+(** Case-insensitive; ["quiet"] maps to [Error]. *)
+
+val level_to_string : level -> string
+
+val err : ('a, unit, string, unit) format4 -> 'a
+val warn : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a
+
+val env_var : string
+(** ["SBGP_LOG_LEVEL"]. *)
+
+val set_level_from_env : unit -> unit
+(** Apply [SBGP_LOG_LEVEL] if set; a malformed value warns and leaves
+    the level unchanged. *)
+
+val install_warning_hook : unit -> unit
+(** Route {!Nsutil.Warnings} (the utility layer's fallback warnings,
+    e.g. malformed [SBGP_N]) through this logger at [Warn]. *)
+
+val set_sink : (level -> string -> unit) -> unit
+(** Replace the output sink (testing; capturing). The sink only sees
+    messages that passed the level filter. *)
+
+val reset_sink : unit -> unit
+(** Restore the stderr sink. *)

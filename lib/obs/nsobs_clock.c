@@ -1,0 +1,17 @@
+/* Monotonic clock for span tracing: CLOCK_MONOTONIC nanoseconds as a
+   float. A double's 53-bit mantissa holds ~104 days of nanoseconds
+   exactly, and far longer at the sub-microsecond precision spans
+   care about, so a float return keeps the OCaml side allocation-
+   simple (one boxed double) without an int64 box. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value nsobs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_double((double)ts.tv_sec * 1e9 + (double)ts.tv_nsec);
+}

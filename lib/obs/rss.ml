@@ -1,0 +1,56 @@
+(* Resident-set sampling from /proc/self/status (Linux). Moved here
+   from the bench harness so any layer (bench JSON, --metrics) can
+   report it through one tested helper. *)
+
+(* Parse one "Key:   12345 kB" line set: the first line starting with
+   [key ^ ":"] yields the concatenation of its digits. *)
+let parse_status_kb ~key text =
+  let prefix = key ^ ":" in
+  let plen = String.length prefix in
+  let lines = String.split_on_char '\n' text in
+  List.find_map
+    (fun line ->
+      if String.length line >= plen && String.sub line 0 plen = prefix then begin
+        let acc = ref 0 and seen = ref false in
+        String.iter
+          (fun c ->
+            if c >= '0' && c <= '9' then begin
+              seen := true;
+              acc := (!acc * 10) + (Char.code c - Char.code '0')
+            end)
+          (String.sub line plen (String.length line - plen));
+        if !seen then Some !acc else None
+      end
+      else None)
+    lines
+
+let read_status () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let buf = Buffer.create 2048 in
+          (try
+             while true do
+               Buffer.add_channel buf ic 1
+             done
+           with End_of_file -> ());
+          Some (Buffer.contents buf))
+
+let status_kb key =
+  match read_status () with
+  | None -> 0
+  | Some text -> Option.value ~default:0 (parse_status_kb ~key text)
+
+let peak_kb () = status_kb "VmHWM"
+let current_kb () = status_kb "VmRSS"
+
+let publish () =
+  Metrics.set
+    (Metrics.gauge ~help:"peak resident set size (VmHWM), KiB" "process_peak_rss_kb")
+    (float_of_int (peak_kb ()));
+  Metrics.set
+    (Metrics.gauge ~help:"current resident set size (VmRSS), KiB" "process_rss_kb")
+    (float_of_int (current_kb ()))

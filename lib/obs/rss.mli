@@ -1,0 +1,18 @@
+(** Resident-set-size sampling (Linux [/proc/self/status]).
+
+    Returns 0 where the proc file is unavailable, so callers can
+    report the value unconditionally. *)
+
+val peak_kb : unit -> int
+(** Peak RSS ([VmHWM]) in KiB; 0 if unknown. *)
+
+val current_kb : unit -> int
+(** Current RSS ([VmRSS]) in KiB; 0 if unknown. *)
+
+val parse_status_kb : key:string -> string -> int option
+(** Extract the KiB figure for [key] (e.g. ["VmHWM"]) from a
+    [/proc/<pid>/status]-formatted text. Exposed for unit testing. *)
+
+val publish : unit -> unit
+(** Record {!peak_kb} and {!current_kb} as the registry gauges
+    [process_peak_rss_kb] / [process_rss_kb]. *)

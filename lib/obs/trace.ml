@@ -1,0 +1,144 @@
+external monotonic_ns : unit -> float = "nsobs_monotonic_ns"
+
+let now_us () = monotonic_ns () /. 1e3
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+let dummy = { name = ""; cat = ""; ts_us = 0.0; dur_us = 0.0; tid = 0; args = [] }
+
+(* One append-only buffer per domain, reached through domain-local
+   state: recording a span never takes a lock and never touches
+   another domain's memory. The global registry mutex is held only
+   when a domain records its first event ever and at merge time. *)
+type buf = { btid : int; mutable events : event array; mutable len : int }
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { btid = (Domain.self () :> int); events = Array.make 256 dummy; len = 0 }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+(* The master switch. A plain bool ref: it is flipped before any
+   parallel section starts and only read (never written) on hot
+   paths, so a potentially stale read costs at most one span. *)
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+let set_enabled v = enabled_flag := v
+
+let add ~name ~cat ~ts_us ~dur_us ~args =
+  let b = Domain.DLS.get buf_key in
+  if b.len = Array.length b.events then begin
+    let bigger = Array.make (2 * b.len) dummy in
+    Array.blit b.events 0 bigger 0 b.len;
+    b.events <- bigger
+  end;
+  b.events.(b.len) <- { name; cat; ts_us; dur_us; tid = b.btid; args };
+  b.len <- b.len + 1
+
+let span ?(cat = "sbgp") ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () -> add ~name ~cat ~ts_us:t0 ~dur_us:(now_us () -. t0) ~args)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merge + export. Only safe to call while no other domain is
+   recording (between parallel sections / at end of run), which is
+   when flushing happens in practice. *)
+
+let events () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  let all =
+    List.concat_map (fun b -> Array.to_list (Array.sub b.events 0 b.len)) bufs
+  in
+  (* Chronological; on equal start the longer (enclosing) span first,
+     so stack-based consumers see parents before children. *)
+  List.sort
+    (fun a b ->
+      match compare a.ts_us b.ts_us with
+      | 0 -> compare b.dur_us a.dur_us
+      | c -> c)
+    all
+
+let event_count () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left (fun acc b -> acc + b.len) 0 bufs
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun b -> b.len <- 0) !registry;
+  Mutex.unlock registry_mutex
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome trace_event JSON (the "JSON Array Format" wrapped in an
+   object), complete events only: nesting is implied by timestamp
+   containment on the same (pid, tid) track, which is exactly how the
+   spans were recorded. Opens directly in about:tracing / Perfetto. *)
+let to_json () =
+  let evs = events () in
+  let buf = Buffer.create (4096 + (128 * List.length evs)) in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+           (escape e.name) (escape e.cat) e.ts_us e.dur_us e.tid);
+      if e.args <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+          e.args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json ()))

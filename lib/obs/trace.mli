@@ -1,0 +1,61 @@
+(** Span tracing: where does a run's wall clock go?
+
+    A span is one timed section — name, category, monotonic start,
+    duration, recording domain. Spans land in per-domain append-only
+    buffers (recording is lock-free and allocation-light; roughly a
+    clock read and one record per span) and are merged at flush into
+    Chrome [trace_event] JSON, which opens directly in
+    [about:tracing] or {{:https://ui.perfetto.dev}Perfetto}. Nesting
+    is implicit: a span whose [ts, ts+dur] interval contains
+    another's on the same domain is its parent, which is exactly how
+    nested {!span} calls record themselves.
+
+    Tracing is off by default. Every hook is behind a single static
+    {!enabled} check, so an untraced run pays one load+branch per
+    potential span — the differential tests in [test_obs] prove
+    results are bit-identical with tracing on, off, or absent. *)
+
+val now_us : unit -> float
+(** Monotonic clock in microseconds (CLOCK_MONOTONIC). Usable on its
+    own for duration metrics even when tracing is disabled. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Flip tracing. Enable before the work of interest; flipping inside
+    a parallel section may lose that section's first spans. *)
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when tracing is enabled, records a
+    complete event covering [f]'s execution on the calling domain
+    (recorded even if [f] raises, with the exception re-raised).
+    [args] are free-form key/values shown in the trace viewer. When
+    disabled this is exactly [f ()]. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** monotonic start, microseconds *)
+  dur_us : float;
+  tid : int;  (** recording domain id *)
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Merge every domain's buffer, sorted by start time (ties: longer
+    span first, so parents precede children). Call only while no
+    other domain is recording. *)
+
+val event_count : unit -> int
+
+val to_json : unit -> string
+(** The merged events as Chrome trace JSON
+    ([{"traceEvents": [...]}], complete events, microsecond
+    timestamps). *)
+
+val write : string -> unit
+(** {!to_json} to a file. *)
+
+val reset : unit -> unit
+(** Drop all recorded events (buffers stay registered, so domains
+    that already traced keep working). Testing hook. *)

@@ -1,3 +1,42 @@
+(* Observability: slice spans show per-worker busy periods (gaps =
+   idle/parked), park spans show bank waits, and the counters expose
+   how calls are served. Every hook hides behind a static
+   [Trace.enabled]/[Metrics.enabled] check, so unobserved runs pay a
+   load+branch per call, not per task. *)
+let m_spawns =
+  lazy
+    (Nsobs.Metrics.counter ~help:"helper domains spawned (bank growth + fallback)"
+       "pool_domain_spawn_total")
+
+let m_parks =
+  lazy (Nsobs.Metrics.counter ~help:"bank worker park events" "pool_park_total")
+
+let m_leases =
+  lazy
+    (Nsobs.Metrics.counter ~help:"parallel calls served by the parked worker bank"
+       "pool_bank_lease_total")
+
+let m_fallbacks =
+  lazy
+    (Nsobs.Metrics.counter
+       ~help:"parallel calls that fell back to fresh Domain.spawn"
+       "pool_spawn_fallback_total")
+
+let m_retries =
+  lazy
+    (Nsobs.Metrics.counter ~help:"supervised slice re-executions" "pool_retry_total")
+
+let m_slice_failures =
+  lazy
+    (Nsobs.Metrics.counter ~help:"supervised slice attempts that raised"
+       "pool_slice_fail_total")
+
+let m_bank_size =
+  lazy
+    (Nsobs.Metrics.gauge ~help:"helper domains parked in the bank" "pool_bank_workers")
+
+let slice_span f = Nsobs.Trace.span ~cat:"pool" "pool.slice" f
+
 let workers_of_domain_count c = max 1 (c - 1)
 
 let recommended_workers () = workers_of_domain_count (Domain.recommended_domain_count ())
@@ -54,7 +93,11 @@ let bank_worker_loop w =
   Mutex.lock w.wm;
   while true do
     match w.wjob with
-    | None -> Condition.wait w.wcv w.wm
+    | None ->
+        if Nsobs.Metrics.enabled () then Nsobs.Metrics.inc (Lazy.force m_parks);
+        (* The span covers the parked wait, so the trace shows each
+           worker's idle periods between leases. *)
+        Nsobs.Trace.span ~cat:"pool" "pool.park" (fun () -> Condition.wait w.wcv w.wm)
     | Some job ->
         w.wjob <- None;
         Mutex.unlock w.wm;
@@ -77,6 +120,7 @@ let ensure_bank k =
             let w =
               { wm = Mutex.create (); wcv = Condition.create (); wjob = None; wbusy = false }
             in
+            if Nsobs.Metrics.enabled () then Nsobs.Metrics.inc (Lazy.force m_spawns);
             ignore
               (Domain.spawn (fun () ->
                    Domain.DLS.set inside_bank_worker true;
@@ -85,6 +129,8 @@ let ensure_bank k =
           end)
     in
     bank := grown;
+    if Nsobs.Metrics.enabled () then
+      Nsobs.Metrics.set (Lazy.force m_bank_size) (float_of_int (Array.length grown));
     grown
   end
 
@@ -127,21 +173,33 @@ let map_reduce ~workers ~tasks ~init ~task ~combine =
     let k = workers - 1 in
     let results = Array.make k None in
     let run i =
-      let lo, hi = slice ~workers ~tasks (i + 1) in
-      results.(i) <-
-        Some
-          (match run_slice ~init ~task lo hi with
-          | acc -> Ok acc
-          | exception e -> Error e)
+      slice_span (fun () ->
+          let lo, hi = slice ~workers ~tasks (i + 1) in
+          results.(i) <-
+            Some
+              (match run_slice ~init ~task lo hi with
+              | acc -> Ok acc
+              | exception e -> Error e))
     in
     let on_bank = bank_try_submit k run in
+    if Nsobs.Metrics.enabled () then
+      if on_bank then Nsobs.Metrics.inc (Lazy.force m_leases)
+      else begin
+        Nsobs.Metrics.inc (Lazy.force m_fallbacks);
+        Nsobs.Metrics.add (Lazy.force m_spawns) k
+      end;
     let spawned =
       if on_bank then [||] else Array.init k (fun i -> Domain.spawn (fun () -> run i))
     in
     let first =
-      match run_slice ~init ~task (fst (slice ~workers ~tasks 0)) (snd (slice ~workers ~tasks 0)) with
-      | acc -> Ok acc
-      | exception e -> Error e
+      slice_span (fun () ->
+          match
+            run_slice ~init ~task
+              (fst (slice ~workers ~tasks 0))
+              (snd (slice ~workers ~tasks 0))
+          with
+          | acc -> Ok acc
+          | exception e -> Error e)
     in
     (* Always drain the helpers (and release the bank lease) before
        propagating any failure. *)
@@ -241,13 +299,23 @@ let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
   else begin
     let workers = max 1 (min workers tasks) in
     let results = Array.make workers None in
-    let attempt w = run_slice_guarded ~sv ~init ~task (fst (slice ~workers ~tasks w)) (snd (slice ~workers ~tasks w)) in
+    let attempt w =
+      slice_span (fun () ->
+          run_slice_guarded ~sv ~init ~task
+            (fst (slice ~workers ~tasks w))
+            (snd (slice ~workers ~tasks w)))
+    in
     let record failed w = function
       | Ok acc -> results.(w) <- Some acc
-      | Error (index, error) -> failed := (w, index, error) :: !failed
+      | Error (index, error) ->
+          if Nsobs.Metrics.enabled () then
+            Nsobs.Metrics.inc (Lazy.force m_slice_failures);
+          failed := (w, index, error) :: !failed
     in
     (* First attempt: the usual fan-out (slice 0 in the caller). *)
     let failed = ref [] in
+    if Nsobs.Metrics.enabled () && workers > 1 then
+      Nsobs.Metrics.add (Lazy.force m_spawns) (workers - 1);
     let spawned =
       Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> attempt (w + 1)))
     in
@@ -262,6 +330,10 @@ let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
       else begin
         List.iter
           (fun (_, index, error) ->
+            if Nsobs.Metrics.enabled () then
+              Nsobs.Metrics.inc (Lazy.force m_retries);
+            Nsobs.Log.warn "pool: retrying slice (task %d, attempt %d): %s"
+              index attempt_no error;
             match sv.on_retry with
             | Some f -> f ~attempt:attempt_no ~index ~error
             | None -> ())
@@ -271,6 +343,8 @@ let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
         let still = ref [] in
         if attempt_no <= sv.retries then begin
           (* Spawned re-execution, all failed slices concurrently. *)
+          if Nsobs.Metrics.enabled () then
+            Nsobs.Metrics.add (Lazy.force m_spawns) (List.length failed);
           let redo =
             List.map (fun (w, _, _) -> (w, Domain.spawn (fun () -> attempt w))) failed
           in

@@ -16,5 +16,5 @@ let int_var ~name ?(min = 1) ~default () =
   match parse_int ~name ~min ~default (Sys.getenv_opt name) with
   | Ok v -> v
   | Error warning ->
-      prerr_endline warning;
+      Warnings.emit warning;
       default

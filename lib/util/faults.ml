@@ -93,5 +93,5 @@ let of_env () =
       match parse_spec s with
       | Ok spec -> Some (of_spec spec)
       | Error warning ->
-          Printf.eprintf "warning: ignoring %s: %s\n%!" env_var warning;
+          Warnings.emit (Printf.sprintf "warning: ignoring %s: %s" env_var warning);
           None)

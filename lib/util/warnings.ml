@@ -1,0 +1,12 @@
+(* Warning sink for the utility layer. [Nsutil] sits below every other
+   library, so it cannot call the leveled logger ([Nsobs.Log]) directly;
+   instead warnings go through this replaceable handler. The default
+   preserves the historical behavior (one line to stderr); binaries
+   that initialize observability install the logger here, which makes
+   [SBGP_LOG_LEVEL=quiet] silence these too. *)
+
+let handler : (string -> unit) ref = ref prerr_endline
+
+let emit s = !handler s
+
+let set_handler f = handler := f

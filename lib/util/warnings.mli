@@ -1,0 +1,14 @@
+(** Replaceable warning sink for the utility layer.
+
+    [Nsutil] is the bottom of the library stack, so it cannot depend
+    on the leveled logger; modules like {!Env} and {!Faults} emit
+    their fallback warnings through {!emit} instead. By default a
+    warning is one [prerr_endline] — exactly the pre-observability
+    behavior. [Nsobs.Log.install_warning_hook] redirects the sink
+    through the logger so warnings obey [SBGP_LOG_LEVEL]. *)
+
+val emit : string -> unit
+(** Hand one warning line to the current handler. *)
+
+val set_handler : (string -> unit) -> unit
+(** Replace the handler (the default is [prerr_endline]). *)

@@ -1,0 +1,347 @@
+(* The observability layer (Nsobs): metrics registry semantics,
+   span recording across domains, exporter well-formedness — and the
+   differential guarantee the whole design rests on: instrumentation
+   enabled or disabled, an engine run's results are bit-identical. *)
+
+module Metrics = Nsobs.Metrics
+module Trace = Nsobs.Trace
+module Jsonv = Nsobs.Jsonv
+
+let check = Alcotest.check
+
+(* Each test leaves the collectors as it found them: off and empty. *)
+let scrubbed f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Metrics.set_enabled false;
+      Trace.reset ();
+      Metrics.reset ();
+      Nsobs.Log.reset_sink ();
+      Nsobs.Log.set_level Nsobs.Log.Warn)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry. *)
+
+let test_counter_basics () =
+  Metrics.set_enabled true;
+  let c = Metrics.counter "obs_test_total" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check Alcotest.int "counter value" 5 (Metrics.counter_value c);
+  (* Creation is idempotent by name: the second handle is the same
+     underlying counter. *)
+  let c' = Metrics.counter "obs_test_total" in
+  Metrics.inc c';
+  check Alcotest.int "shared by name" 6 (Metrics.counter_value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.add: counters only go up") (fun () -> Metrics.add c (-1));
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: obs_test_total already registered as another kind (wanted gauge)")
+    (fun () -> ignore (Metrics.gauge "obs_test_total"));
+  Alcotest.check_raises "invalid name rejected"
+    (Invalid_argument "Metrics: invalid metric name \"9bad name\"") (fun () ->
+      ignore (Metrics.counter "9bad name"))
+
+let test_histogram_buckets () =
+  Metrics.set_enabled true;
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "obs_test_hist" in
+  (* le semantics: an observation lands in the FIRST bucket whose
+     bound is >= the value; past the last bound it lands in +Inf. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 10.0 ];
+  check Alcotest.(array int) "per-bucket counts" [| 2; 2; 1; 1 |]
+    (Metrics.histogram_counts h);
+  check Alcotest.int "count" 6 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "sum" 18.0 (Metrics.histogram_sum h);
+  Alcotest.check_raises "buckets must ascend"
+    (Invalid_argument "Metrics.histogram: bucket bounds must be strictly ascending")
+    (fun () -> ignore (Metrics.histogram ~buckets:[| 2.0; 1.0 |] "obs_test_bad"))
+
+let test_disabled_is_inert () =
+  (* With the registry off, handles exist but updates are dropped —
+     the contract instrumented code relies on. *)
+  Metrics.set_enabled false;
+  let c = Metrics.counter "obs_test_off_total" in
+  let h = Metrics.histogram ~buckets:[| 1.0 |] "obs_test_off_hist" in
+  Metrics.inc c;
+  Metrics.add c 7;
+  Metrics.observe h 0.5;
+  check Alcotest.int "counter stayed zero" 0 (Metrics.counter_value c);
+  check Alcotest.int "histogram stayed empty" 0 (Metrics.histogram_count h)
+
+let test_prometheus_exposition () =
+  Metrics.set_enabled true;
+  let c = Metrics.counter ~help:"a test counter" "obs_exp_total" in
+  Metrics.add c 3;
+  let g = Metrics.gauge "obs_exp_gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] "obs_exp_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 100.0 ];
+  let text = Metrics.to_prometheus () in
+  let has needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub text i nn = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun line -> check Alcotest.bool line true (has line))
+    [
+      "# TYPE obs_exp_total counter";
+      "obs_exp_total 3";
+      "# HELP obs_exp_total a test counter";
+      "obs_exp_gauge 2.5";
+      "# TYPE obs_exp_hist histogram";
+      (* Cumulative buckets: 1 at le=1, 2 at le=10, 3 at +Inf. *)
+      "obs_exp_hist_bucket{le=\"1\"} 1";
+      "obs_exp_hist_bucket{le=\"10\"} 2";
+      "obs_exp_hist_bucket{le=\"+Inf\"} 3";
+      "obs_exp_hist_sum 105.5";
+      "obs_exp_hist_count 3";
+    ];
+  (* The summary table carries one row per metric. *)
+  check Alcotest.int "summary rows" 3 (Nsutil.Table.row_count (Metrics.summary ()))
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing. *)
+
+let test_span_disabled_passthrough () =
+  Trace.set_enabled false;
+  let r = Trace.span "untraced" (fun () -> 41 + 1) in
+  check Alcotest.int "result" 42 r;
+  check Alcotest.int "no events recorded" 0 (Trace.event_count ())
+
+let test_span_nesting_across_domains () =
+  Trace.set_enabled true;
+  (* Four domains, each recording outer > middle > inner nested spans:
+     the merged view must keep every domain's spans properly nested
+     and globally ordered by start time. *)
+  let work tag () =
+    Trace.span ~cat:"test" ("outer." ^ tag) (fun () ->
+        Trace.span ~cat:"test" ("middle." ^ tag) (fun () ->
+            Trace.span ~cat:"test" ("inner." ^ tag) (fun () -> Sys.opaque_identity 0)))
+  in
+  let domains = List.init 3 (fun i -> Domain.spawn (work (string_of_int (i + 1)))) in
+  ignore (work "0" ());
+  List.iter (fun d -> ignore (Domain.join d)) domains;
+  let events = Trace.events () in
+  check Alcotest.int "3 spans x 4 domains" 12 (List.length events);
+  (* Sorted by start time, parents before children on ties. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Trace.ts_us <= b.Trace.ts_us && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "events sorted by start" true (sorted events);
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.tid) events)
+  in
+  check Alcotest.int "4 distinct recording domains" 4 (List.length tids);
+  let find name = List.find (fun e -> e.Trace.name = name) events in
+  let contains outer inner =
+    outer.Trace.ts_us <= inner.Trace.ts_us
+    && outer.ts_us +. outer.dur_us >= inner.ts_us +. inner.dur_us
+    && outer.tid = inner.tid
+  in
+  List.iter
+    (fun tag ->
+      let o = find ("outer." ^ tag)
+      and m = find ("middle." ^ tag)
+      and i = find ("inner." ^ tag) in
+      check Alcotest.bool ("outer contains middle " ^ tag) true (contains o m);
+      check Alcotest.bool ("middle contains inner " ^ tag) true (contains m i))
+    [ "0"; "1"; "2"; "3" ]
+
+let test_span_records_on_raise () =
+  Trace.set_enabled true;
+  (match Trace.span "raising" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  check Alcotest.int "span recorded despite raise" 1 (Trace.event_count ())
+
+let test_trace_json_well_formed () =
+  Trace.set_enabled true;
+  Trace.span ~cat:"test" ~args:[ ("k", "v\"with\\escapes") ] "json.span" (fun () -> ());
+  Trace.span ~cat:"test" "json.other" (fun () -> ());
+  let json = Jsonv.parse_exn (Trace.to_json ()) in
+  let events = Option.get (Option.bind (Jsonv.member "traceEvents" json) Jsonv.to_list) in
+  check Alcotest.int "two events" 2 (List.length events);
+  List.iter
+    (fun ev ->
+      check Alcotest.(option string) "complete event" (Some "X")
+        (Option.bind (Jsonv.member "ph" ev) Jsonv.to_string);
+      List.iter
+        (fun field ->
+          check Alcotest.bool (field ^ " is numeric") true
+            (Option.is_some (Option.bind (Jsonv.member field ev) Jsonv.to_float)))
+        [ "ts"; "dur"; "pid"; "tid" ])
+    events;
+  let named = List.find (fun ev ->
+      Option.bind (Jsonv.member "name" ev) Jsonv.to_string = Some "json.span") events in
+  let args = Option.get (Jsonv.member "args" named) in
+  check Alcotest.(option string) "args round-trip" (Some "v\"with\\escapes")
+    (Option.bind (Jsonv.member "k" args) Jsonv.to_string)
+
+(* ------------------------------------------------------------------ *)
+(* RSS sampling. *)
+
+let test_rss_parse () =
+  let text = "Name:\tsim\nVmHWM:\t  12345 kB\nVmRSS:\t   6789 kB\n" in
+  check Alcotest.(option int) "VmHWM" (Some 12345)
+    (Nsobs.Rss.parse_status_kb ~key:"VmHWM" text);
+  check Alcotest.(option int) "VmRSS" (Some 6789)
+    (Nsobs.Rss.parse_status_kb ~key:"VmRSS" text);
+  check Alcotest.(option int) "missing key" None
+    (Nsobs.Rss.parse_status_kb ~key:"VmPeak" text)
+
+let test_rss_publish () =
+  Metrics.set_enabled true;
+  Nsobs.Rss.publish ();
+  (* On Linux both gauges are live; elsewhere they exist and hold 0. *)
+  match Metrics.value "process_peak_rss_kb" with
+  | None -> Alcotest.fail "process_peak_rss_kb not registered"
+  | Some v ->
+      if Sys.file_exists "/proc/self/status" then
+        check Alcotest.bool "peak RSS positive" true (v > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Leveled logging. *)
+
+let test_log_levels () =
+  let buf = Buffer.create 64 in
+  Nsobs.Log.set_sink (fun _level msg -> Buffer.add_string buf (msg ^ "\n"));
+  Nsobs.Log.set_level Nsobs.Log.Warn;
+  Nsobs.Log.debug "dropped %d" 1;
+  Nsobs.Log.info "dropped too";
+  Nsobs.Log.warn "kept %s" "warn";
+  Nsobs.Log.err "kept err";
+  check Alcotest.string "warn level output" "kept warn\nkept err\n" (Buffer.contents buf);
+  Buffer.clear buf;
+  (* SBGP_LOG_LEVEL=quiet maps to errors only. *)
+  check Alcotest.bool "quiet parses" true
+    (Nsobs.Log.level_of_string "quiet" = Some Nsobs.Log.Error);
+  Nsobs.Log.set_level Nsobs.Log.Error;
+  Nsobs.Log.warn "silenced";
+  Nsobs.Log.err "alarm";
+  check Alcotest.string "quiet keeps errors" "alarm\n" (Buffer.contents buf)
+
+let test_warning_hook_routes_to_log () =
+  let buf = Buffer.create 64 in
+  Nsobs.Log.set_sink (fun _ msg -> Buffer.add_string buf msg);
+  Nsobs.Log.set_level Nsobs.Log.Warn;
+  Nsobs.Log.install_warning_hook ();
+  Nsutil.Warnings.emit "util-layer warning";
+  check Alcotest.string "routed" "util-layer warning" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonv. *)
+
+let test_jsonv () =
+  let ok s = match Jsonv.parse s with Ok v -> v | Error e -> Alcotest.fail e in
+  (match ok {|{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}|} with
+  | Jsonv.Obj fields ->
+      check Alcotest.int "fields" 4 (List.length fields);
+      check Alcotest.(option (float 0.0)) "number" (Some 2.5)
+        (Option.bind (List.assoc "a" fields |> Jsonv.to_list) (fun l ->
+             Jsonv.to_float (List.nth l 1)))
+  | _ -> Alcotest.fail "expected object");
+  List.iter
+    (fun bad ->
+      match Jsonv.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\" 1}"; "[1] trailing"; "\"unterminated"; "nul" ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential guarantee: instrumentation cannot change results. *)
+
+let result_equal (a : Core.Engine.result) (b : Core.Engine.result) =
+  check Alcotest.bool "baseline bit-identical" true (a.baseline = b.baseline);
+  check Alcotest.int "round count" (List.length a.rounds) (List.length b.rounds);
+  List.iter2
+    (fun (ra : Core.Engine.round_record) (rb : Core.Engine.round_record) ->
+      check Alcotest.bool
+        (Printf.sprintf "round %d bit-identical" ra.round)
+        true
+        (ra.round = rb.round && ra.utilities = rb.utilities
+        && ra.projected = rb.projected && ra.turned_on = rb.turned_on
+        && ra.turned_off = rb.turned_off && ra.secure_as = rb.secure_as
+        && ra.secure_isp = rb.secure_isp && ra.secure_stub = rb.secure_stub))
+    a.rounds b.rounds;
+  check Alcotest.bool "termination" true (a.termination = b.termination);
+  check Alcotest.bool "final state" true (Core.State.equal_full a.final b.final);
+  check Alcotest.int "dest_recomputed" a.dest_recomputed b.dest_recomputed;
+  check Alcotest.int "dest_reused" a.dest_reused b.dest_reused
+
+(* The same synthetic scenario as test_engine_parity, at both worker
+   counts the tier-1 suite pins. *)
+let engine_run ~workers () =
+  let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 11 } in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+  let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
+  let statics = Bgp.Route_static.create g in
+  let state = Core.State.create g ~early in
+  Core.Engine.run { Core.Config.default with workers } statics ~weight ~state
+
+(* Both worker counts in ONE test case: the engine's metric handles
+   are process-lifetime (forced lazily on first use), so the registry
+   must not be reset between the two instrumented runs. *)
+let test_engine_parity_instrumented () =
+  List.iter
+    (fun workers ->
+      Trace.set_enabled false;
+      Metrics.set_enabled false;
+      let plain = engine_run ~workers () in
+      let rounds0 =
+        Option.value ~default:0.0 (Metrics.value "engine_rounds_total")
+      in
+      Trace.set_enabled true;
+      Metrics.set_enabled true;
+      let traced = engine_run ~workers () in
+      Trace.set_enabled false;
+      Metrics.set_enabled false;
+      result_equal plain traced;
+      (* And the telemetry side actually observed the run. *)
+      check Alcotest.bool "spans recorded" true (Trace.event_count () > 0);
+      let rounds1 =
+        Option.value ~default:0.0 (Metrics.value "engine_rounds_total")
+      in
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "rounds counted (workers %d)" workers)
+        (float_of_int (List.length traced.rounds))
+        (rounds1 -. rounds0))
+    [ 1; 4 ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick (scrubbed f) in
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          tc "counter basics" test_counter_basics;
+          tc "histogram bucket boundaries" test_histogram_buckets;
+          tc "disabled registry is inert" test_disabled_is_inert;
+          tc "prometheus exposition" test_prometheus_exposition;
+        ] );
+      ( "trace",
+        [
+          tc "disabled span is passthrough" test_span_disabled_passthrough;
+          tc "nesting and order across 4 domains" test_span_nesting_across_domains;
+          tc "span survives raise" test_span_records_on_raise;
+          tc "chrome JSON well-formed" test_trace_json_well_formed;
+        ] );
+      ( "rss",
+        [ tc "proc status parsing" test_rss_parse; tc "publish gauges" test_rss_publish ] );
+      ( "log",
+        [
+          tc "level filtering" test_log_levels;
+          tc "warning hook routes util warnings" test_warning_hook_routes_to_log;
+        ] );
+      ("jsonv", [ tc "parse and reject" test_jsonv ]);
+      ( "differential",
+        [
+          tc "engine bit-identical, instrumentation on/off (workers 1 and 4)"
+            test_engine_parity_instrumented;
+        ] );
+    ]

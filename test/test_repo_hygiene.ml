@@ -52,6 +52,47 @@ let test_gitignore_covers_build () =
         Alcotest.(check bool) ".gitignore lists _build/" true covered
       end
 
+(* Run artifacts the binaries generate in place — checkpoints, bench
+   JSON, telemetry traces and metrics dumps — must be ignored, never
+   tracked: they differ per machine and per run. *)
+let generated_patterns =
+  [ "ckpt.*"; "bench_smoke.json"; "*.prom"; "*.trace.json" ]
+
+let test_gitignore_covers_generated_artifacts () =
+  match find_root (Sys.getcwd ()) with
+  | None -> ()
+  | Some root ->
+      let path = Filename.concat root ".gitignore" in
+      if Sys.file_exists path then begin
+        let ic = open_in path in
+        let rec lines acc =
+          match input_line ic with
+          | line -> lines (String.trim line :: acc)
+          | exception End_of_file -> acc
+        in
+        let patterns = lines [] in
+        close_in ic;
+        List.iter
+          (fun p ->
+            Alcotest.(check bool)
+              (Printf.sprintf ".gitignore lists %s" p)
+              true (List.mem p patterns))
+          generated_patterns
+      end
+
+let test_no_tracked_generated_artifacts () =
+  match find_root (Sys.getcwd ()) with
+  | None -> ()
+  | Some root -> (
+      match
+        git_lines root
+          "ls-files -- 'ckpt.*' '*.prom' '*.trace.json' 'bench_smoke.json' \
+           '*.bench'"
+      with
+      | None -> ()
+      | Some files ->
+          Alcotest.(check (list string)) "tracked generated artifacts" [] files)
+
 let () =
   Alcotest.run "repo_hygiene"
     [
@@ -61,5 +102,9 @@ let () =
             test_no_tracked_build_artifacts;
           Alcotest.test_case ".gitignore covers _build/" `Quick
             test_gitignore_covers_build;
+          Alcotest.test_case ".gitignore covers generated artifacts" `Quick
+            test_gitignore_covers_generated_artifacts;
+          Alcotest.test_case "no tracked generated artifacts" `Quick
+            test_no_tracked_generated_artifacts;
         ] );
     ]
