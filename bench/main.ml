@@ -414,6 +414,67 @@ let validate_metrics path ~mid =
     @ if workers > 1 then [ "pool_domain_spawn_total" ] else []);
   Printf.printf "metrics self-check: %d counters, all monotone\n%!" (List.length after)
 
+(* --compare PATH: regression gate against a committed
+   BENCH_engine.json. ns_per_op is scale-normalized, so a seconds-scale
+   smoke run can be diffed against the committed full-scale numbers;
+   kernels present in only one file (the w4 rows when the smoke run
+   uses fewer workers, say) are skipped. A fresh kernel slower than
+   tolerance x committed fails the run; SBGP_BENCH_TOLERANCE overrides
+   the default 2.0. *)
+let kernel_ns ~path json =
+  match Option.bind (Nsobs.Jsonv.member "kernels" json) Nsobs.Jsonv.to_list with
+  | None -> die "%s has no kernels array" path
+  | Some ks ->
+      List.filter_map
+        (fun k ->
+          match
+            ( Option.bind (Nsobs.Jsonv.member "name" k) Nsobs.Jsonv.to_string,
+              Option.bind (Nsobs.Jsonv.member "ns_per_op" k) Nsobs.Jsonv.to_float )
+          with
+          | Some name, Some ns -> Some (name, ns)
+          | _ -> None)
+        ks
+
+let compare_bench ~fresh_path ~committed_path =
+  let tolerance =
+    match Option.bind (Sys.getenv_opt "SBGP_BENCH_TOLERANCE") float_of_string_opt with
+    | Some t when t > 0.0 -> t
+    | _ -> 2.0
+  in
+  let parse path =
+    let content = In_channel.with_open_text path In_channel.input_all in
+    match Nsobs.Jsonv.parse content with
+    | Ok j -> j
+    | Error e -> die "cannot parse %s: %s" path e
+  in
+  let fresh = kernel_ns ~path:fresh_path (parse fresh_path) in
+  let committed = kernel_ns ~path:committed_path (parse committed_path) in
+  let checked = ref 0 and failed = ref [] in
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name committed with
+      | None -> ()
+      | Some ns0 ->
+          incr checked;
+          let ratio = if ns0 > 0.0 then ns /. ns0 else 0.0 in
+          Printf.printf "compare %-16s %12.1f vs committed %12.1f ns/op (%.2fx)\n%!" name
+            ns ns0 ratio;
+          if ratio > tolerance then failed := (name, ratio) :: !failed)
+    fresh;
+  if !checked = 0 then
+    die "no kernels in common between %s and %s" fresh_path committed_path;
+  match !failed with
+  | [] ->
+      Printf.printf "bench compare: %d kernels within %.1fx of %s\n%!" !checked tolerance
+        committed_path
+  | l ->
+      List.iter
+        (fun (name, r) ->
+          Printf.eprintf "bench: %s regressed %.2fx (> %.1fx) vs %s\n" name r tolerance
+            committed_path)
+        l;
+      exit 1
+
 let run_json_bench ~path =
   let n = int_flag "--n" (if smoke then 120 else 1000) in
   let seed = 3 in
@@ -470,6 +531,43 @@ let run_json_bench ~path =
   record "forest_sweep_w1" ~ops:n (sweep 1);
   if workers > 1 then
     record (Printf.sprintf "forest_sweep_w%d" workers) ~ops:n (sweep workers);
+  (* Fan-out proof: the multi-worker rows above are only honest if
+     distinct domains actually run chunks (on a single-core host the
+     timings are near-identical either way, which is expected hardware
+     behavior, not a scheduling bug). Each worker's [init] CAS-pushes
+     its domain id; claiming workers > 1 with every chunk on one
+     domain is turned into a hard failure. The sweep goes through the
+     dynamic scheduler here because that is the engine's path. *)
+  let fanout_domains =
+    let ids = Atomic.make [] in
+    let note () =
+      let id = (Domain.self () :> int) in
+      let rec push () =
+        let cur = Atomic.get ids in
+        if (not (List.mem id cur)) && not (Atomic.compare_and_set ids cur (id :: cur))
+        then push ()
+      in
+      push ()
+    in
+    ignore
+      (Parallel.Pool.map_reduce_dynamic_supervised Parallel.Pool.no_supervision ~workers
+         ~tasks:n ~grain:8
+         ~init:(fun () ->
+           note ();
+           (Bgp.Forest.make_scratch n, ref 0.0))
+         ~task:(fun (scratch, acc) d ->
+           let info = Bgp.Route_static.get statics d in
+           Bgp.Forest.compute info ~tiebreak ~secure ~use_secp ~weight scratch;
+           acc := !acc +. scratch.Bgp.Forest.sub.(d))
+         ~combine:(fun (s, a) (_, b) ->
+           a := !a +. !b;
+           (s, a)));
+    List.length (Atomic.get ids)
+  in
+  Printf.printf "sweep fan-out: %d workers -> %d distinct domains\n%!" workers
+    fanout_domains;
+  if workers > 1 && fanout_domains < 2 then
+    die "sweep claims %d workers but only %d domain participated" workers fanout_domains;
   (* Flip probe: for every destination, would any of <= 64 candidate
      ISPs' flips change the routing — a scan of the candidate's tie
      row for a secure member, as in the engine's incremental
@@ -518,6 +616,85 @@ let run_json_bench ~path =
   let pairs = n * ncand in
   record "flip_probe_w1" ~ops:pairs (flip 1);
   if workers > 1 then record (Printf.sprintf "flip_probe_w%d" workers) ~ops:pairs (flip workers);
+  (* Flip kernels: the engine's per-candidate probe, both ways. Up to
+     32 insecure ISP candidates; each probe flips the candidate's
+     secure/use_secp bytes, evaluates its utility contribution under
+     the flipped forest, and reverts. [flip_full] recomputes the
+     forest from scratch per probe (the engine's Flip_full fallback);
+     [flip_repair] computes one base forest per destination and
+     repairs/undoes it per probe (Flip_delta). Destinations are
+     strided so the full-recompute arm stays seconds-scale; both arms
+     walk the identical (destination, candidate) set, so the ratio is
+     honest, and their contributions must agree bit for bit. *)
+  let flip_cands =
+    let acc = ref [] and c = ref 0 in
+    for i = 0 to n - 1 do
+      if !c < 32 && Asgraph.Graph.is_isp g i && Bytes.get secure i = '\000' then begin
+        incr c;
+        acc := i :: !acc
+      end
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let nfc = Array.length flip_cands in
+  let stride = max 1 (n / 125) in
+  let flip_dests =
+    Array.of_list (List.filter (fun d -> d mod stride = 0) (List.init n (fun d -> d)))
+  in
+  let nfd = Array.length flip_dests in
+  let fsec = Bytes.copy secure and fsecp = Bytes.copy use_secp in
+  let toggle nc =
+    Bytes.set fsec nc (if Bytes.get fsec nc = '\000' then '\001' else '\000');
+    Bytes.set fsecp nc (if Bytes.get fsecp nc = '\000' then '\001' else '\000')
+  in
+  let base = Bgp.Forest.make_scratch n in
+  let probe_scratch = Bgp.Forest.make_scratch n in
+  let rep = Bgp.Forest.make_repairer n in
+  let seeds = Array.make 1 0 in
+  let model = cfg.Core.Config.model in
+  let flip_full out () =
+    for di = 0 to nfd - 1 do
+      let d = flip_dests.(di) in
+      let info = Bgp.Route_static.get statics d in
+      for k = 0 to nfc - 1 do
+        let nc = flip_cands.(k) in
+        toggle nc;
+        Bgp.Forest.compute info ~tiebreak ~secure:fsec ~use_secp:fsecp ~weight
+          probe_scratch;
+        out.((di * nfc) + k) <-
+          Core.Utility.contribution model g info probe_scratch ~weight nc;
+        toggle nc
+      done
+    done
+  in
+  let flip_repair out () =
+    for di = 0 to nfd - 1 do
+      let d = flip_dests.(di) in
+      let info = Bgp.Route_static.get statics d in
+      Bgp.Forest.compute info ~tiebreak ~secure:fsec ~use_secp:fsecp ~weight base;
+      for k = 0 to nfc - 1 do
+        let nc = flip_cands.(k) in
+        toggle nc;
+        seeds.(0) <- nc;
+        Bgp.Forest.repair info ~tiebreak ~secure:fsec ~use_secp:fsecp ~weight ~seeds base
+          rep;
+        out.((di * nfc) + k) <- Core.Utility.contribution model g info base ~weight nc;
+        Bgp.Forest.undo base rep;
+        toggle nc
+      done
+    done
+  in
+  let probes = nfd * nfc in
+  let out_full = Array.make (max 1 probes) 0.0 in
+  let out_repair = Array.make (max 1 probes) 0.0 in
+  record "flip_full_w1" ~ops:probes (fun () -> flip_full out_full ());
+  record "flip_repair_w1" ~ops:probes (fun () -> flip_repair out_repair ());
+  for p = 0 to probes - 1 do
+    if Int64.bits_of_float out_full.(p) <> Int64.bits_of_float out_repair.(p) then
+      die "flip kernels diverge at probe %d: full=%.17g repair=%.17g" p out_full.(p)
+        out_repair.(p)
+  done;
+  Printf.printf "flip differential: %d probes, full = repair bit-for-bit\n%!" probes;
   (* One full engine run at the configured worker count. *)
   let t0 = Unix.gettimeofday () in
   let result =
@@ -568,6 +745,7 @@ let run_json_bench ~path =
         (if i = nk - 1 then "" else ","))
     ordered;
   b "  ],\n";
+  b "  \"sweep_fanout\": {\"workers\": %d, \"domains\": %d},\n" workers fanout_domains;
   b
     "  \"engine\": {\"workers\": %d, \"rounds\": %d, \"wall_s\": %.3f, \
      \"rounds_per_s\": %.3f, \"statics_hits\": %d, \"statics_misses\": %d, \
@@ -598,6 +776,9 @@ let run_json_bench ~path =
       "\"statics_build\"";
       "\"forest_sweep_w1\"";
       "\"flip_probe_w1\"";
+      "\"flip_full_w1\"";
+      "\"flip_repair_w1\"";
+      "\"sweep_fanout\"";
       "\"ns_per_op\"";
       "\"rounds_per_s\"";
       "\"budget_differential\"";
@@ -612,7 +793,10 @@ let run_json_bench ~path =
   | t, m ->
       Nsobs.Control.flush ();
       Option.iter validate_trace t;
-      Option.iter (validate_metrics ~mid:counters_mid) m)
+      Option.iter (validate_metrics ~mid:counters_mid) m);
+  Option.iter
+    (fun committed -> compare_bench ~fresh_path:path ~committed_path:committed)
+    (str_flag "--compare")
 
 let () =
   Nsobs.Control.init ();

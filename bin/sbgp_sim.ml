@@ -153,6 +153,26 @@ let run_cmd =
             "Retry budget for failed worker slices in the per-round sweep (final attempt \
              runs serially). Never affects results, only survival.")
   in
+  let flip_kernel =
+    let kernel_conv =
+      Arg.conv
+        ( (fun s ->
+            match Core.Config.flip_kernel_of_string s with
+            | Some k -> Ok k
+            | None -> Error (`Msg (Printf.sprintf "expected 'full' or 'delta', got %S" s))),
+          fun fmt k -> Format.pp_print_string fmt (Core.Config.flip_kernel_to_string k) )
+    in
+    Arg.(
+      value
+      & opt kernel_conv Core.Config.default.flip_kernel
+      & info [ "flip-kernel" ]
+          ~doc:
+            "Flip kernel for the per-candidate probes of the sweep: $(b,delta) repairs \
+             the destination's base forest in place and undoes the repair after each \
+             probe; $(b,full) recomputes the forest from scratch per probe. Results are \
+             bit-identical either way; only speed changes. The default honours \
+             \\$(b,SBGP_FLIP_KERNEL).")
+  in
   let statics_mb =
     Arg.(
       value & opt int 0
@@ -204,7 +224,7 @@ let run_cmd =
       end
   in
   let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers
-      checkpoint_path checkpoint_every resume retries statics_mb trace metrics =
+      checkpoint_path checkpoint_every resume retries flip_kernel statics_mb trace metrics =
     Option.iter Nsobs.Control.set_trace trace;
     Option.iter Nsobs.Control.set_metrics metrics;
     let g =
@@ -234,6 +254,7 @@ let run_cmd =
         allow_turn_off = model = Core.Config.Incoming;
         workers = max 1 workers;
         retries = max 0 retries;
+        flip_kernel;
       }
     in
     if resume && checkpoint_path = None then begin
@@ -316,11 +337,11 @@ let run_cmd =
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m o p q r ->
-          guard (fun () -> run a b c d e f g h i j k l m o p q r))
+      const (fun a b c d e f g h i j k l m o p q r s ->
+          guard (fun () -> run a b c d e f g h i j k l m o p q r s))
       $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
-      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ statics_mb
-      $ trace $ metrics)
+      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ flip_kernel
+      $ statics_mb $ trace $ metrics)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =

@@ -90,6 +90,243 @@ let compute (info : Route_static.dest_info) ~tiebreak ~secure ~use_secp ~weight 
     if nh >= 0 then sub.(nh) <- sub.(nh) +. sub.(i)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Incremental repair (the delta flip kernel).
+
+   A probe flips the participation bytes of a handful of nodes; almost
+   all of the forest is unchanged. [repair] starts from a scratch that
+   holds the *base* forest (computed under the pre-flip bytes), seeds a
+   frontier at exactly the flipped nodes, and re-runs the two passes
+   only over nodes whose decision can actually change:
+
+   Pass 1 (ascending path length). A node's decision reads only its own
+   [secure]/[use_secp] bytes and the [sec_path] flags of its tiebreak
+   members (all at length - 1). So a node needs re-deciding iff it was
+   flipped itself, or a tie member's [sec_path] changed — which the
+   member discovers when *it* is re-decided, pushing its dependents via
+   the reverse tie CSR one level up. Level buckets (intrusive linked
+   lists) keep the visit order ascending, matching [compute]'s Pass 1.
+
+   Pass 2 (descending path length). When a node's [next] changes, both
+   the old and the new parent's subtree sums change; a changed sum
+   propagates to that node's own parent. Instead of accumulating float
+   deltas (not associativity-safe), each affected parent's [sub] is
+   re-summed from scratch as weight + children, walking its reverse tie
+   row — whose members are stored in descending [order] position, the
+   exact order [compute]'s Pass 2 folded them in. Same addends, same
+   order: bit-identical floats.
+
+   Every touched node's prior [next]/[sec_path]/[sub] is recorded once
+   in an undo log, so [undo] restores the base forest exactly and the
+   scratch can serve many probes per destination. *)
+
+type repairer = {
+  lvl_head1 : int array;  (* per-level list heads, pass 1; -1 = empty *)
+  lvl_head2 : int array;
+  link1 : int array;  (* per-node intrusive next pointers *)
+  link2 : int array;
+  inq1 : Bytes.t;  (* membership flags, cleared by [undo] *)
+  inq2 : Bytes.t;
+  logged : Bytes.t;
+  mutable log_node : int array;
+  mutable log_next : int array;
+  mutable log_sub : float array;
+  mutable log_sec : Bytes.t;
+  mutable log_len : int;
+}
+
+let make_repairer n =
+  let levels = Route_static.max_path_len + 2 in
+  {
+    lvl_head1 = Array.make levels (-1);
+    lvl_head2 = Array.make levels (-1);
+    link1 = Array.make n (-1);
+    link2 = Array.make n (-1);
+    inq1 = Bytes.make n '\000';
+    inq2 = Bytes.make n '\000';
+    logged = Bytes.make n '\000';
+    log_node = Array.make 64 0;
+    log_next = Array.make 64 0;
+    log_sub = Array.make 64 0.0;
+    log_sec = Bytes.make 64 '\000';
+    log_len = 0;
+  }
+
+let grow_log r =
+  let cap = Array.length r.log_node in
+  let cap' = 2 * cap in
+  let node' = Array.make cap' 0 in
+  Array.blit r.log_node 0 node' 0 cap;
+  r.log_node <- node';
+  let next' = Array.make cap' 0 in
+  Array.blit r.log_next 0 next' 0 cap;
+  r.log_next <- next';
+  let sub' = Array.make cap' 0.0 in
+  Array.blit r.log_sub 0 sub' 0 cap;
+  r.log_sub <- sub';
+  let sec' = Bytes.make cap' '\000' in
+  Bytes.blit r.log_sec 0 sec' 0 cap;
+  r.log_sec <- sec'
+
+let log_once r scratch i =
+  if Bytes.unsafe_get r.logged i = '\000' then begin
+    Bytes.unsafe_set r.logged i '\001';
+    let len = r.log_len in
+    if len = Array.length r.log_node then grow_log r;
+    Array.unsafe_set r.log_node len i;
+    Array.unsafe_set r.log_next len scratch.next.(i);
+    Array.unsafe_set r.log_sub len scratch.sub.(i);
+    Bytes.unsafe_set r.log_sec len (Bytes.unsafe_get scratch.sec_path i);
+    r.log_len <- len + 1
+  end
+
+let touched_count r = r.log_len
+
+let push1 r len i =
+  if Bytes.unsafe_get r.inq1 i = '\000' then begin
+    Bytes.unsafe_set r.inq1 i '\001';
+    let l = Char.code (Bytes.unsafe_get len i) in
+    r.link1.(i) <- r.lvl_head1.(l);
+    r.lvl_head1.(l) <- i
+  end
+
+let push2 r len i =
+  if Bytes.unsafe_get r.inq2 i = '\000' then begin
+    Bytes.unsafe_set r.inq2 i '\001';
+    let l = Char.code (Bytes.unsafe_get len i) in
+    r.link2.(i) <- r.lvl_head2.(l);
+    r.lvl_head2.(l) <- i
+  end
+
+let repair (info : Route_static.dest_info) ~tiebreak ~secure ~use_secp ~weight
+    ~seeds scratch r =
+  let tie_off = info.Route_static.tie_off in
+  let tie = info.Route_static.tie in
+  let rev_off = info.Route_static.tie_rev_off in
+  let rev = info.Route_static.tie_rev in
+  let len = info.Route_static.len in
+  let d = info.Route_static.dest in
+  let { next; sec_path; sub; _ } = scratch in
+  let sorted = Route_static.sorted_for info tiebreak in
+  Array.iter
+    (fun s -> if Route_static.reachable info s then push1 r len s)
+    seeds;
+  (* Pass 1, ascending: re-decide each frontier node; a [sec_path]
+     change enqueues its reverse-tie dependents (one level deeper), a
+     [next] change enqueues old and new parent for Pass 2. *)
+  for l = 0 to info.Route_static.max_len do
+    let node = ref r.lvl_head1.(l) in
+    r.lvl_head1.(l) <- -1;
+    while !node >= 0 do
+      let i = !node in
+      log_once r scratch i;
+      if i = d then begin
+        let ns = Bytes.unsafe_get secure d in
+        if Bytes.unsafe_get sec_path d <> ns then begin
+          Bytes.unsafe_set sec_path d ns;
+          for k = I32.unsafe_get rev_off d to I32.unsafe_get rev_off (d + 1) - 1 do
+            push1 r len (I32.unsafe_get rev k)
+          done
+        end
+      end
+      else begin
+        let lo = I32.unsafe_get tie_off i in
+        let hi = I32.unsafe_get tie_off (i + 1) in
+        (* Decide [i] exactly as [compute]'s Pass 1 does. *)
+        let new_sec = ref '\000' in
+        let new_next = ref (-1) in
+        if sorted then begin
+          let first_sec = ref (-1) in
+          let p = ref lo in
+          while !first_sec < 0 && !p < hi do
+            let j = I32.unsafe_get tie !p in
+            if Bytes.unsafe_get sec_path j = '\001' then first_sec := j;
+            incr p
+          done;
+          if !first_sec >= 0 then begin
+            new_sec := Bytes.unsafe_get secure i;
+            new_next :=
+              (if Bytes.unsafe_get use_secp i = '\001' then !first_sec
+               else I32.unsafe_get tie lo)
+          end
+          else new_next := (if hi > lo then I32.unsafe_get tie lo else -1)
+        end
+        else begin
+          let secure_exists = ref false in
+          for p = lo to hi - 1 do
+            if Bytes.unsafe_get sec_path (I32.unsafe_get tie p) = '\001' then
+              secure_exists := true
+          done;
+          if !secure_exists then new_sec := Bytes.unsafe_get secure i;
+          let restrict = !secure_exists && Bytes.unsafe_get use_secp i = '\001' in
+          let best = ref (-1) in
+          let best_key = ref max_int in
+          for p = lo to hi - 1 do
+            let j = I32.unsafe_get tie p in
+            if (not restrict) || Bytes.unsafe_get sec_path j = '\001' then begin
+              let key = Policy.tiebreak_key tiebreak i j in
+              if !best < 0 || key < !best_key then begin
+                best := j;
+                best_key := key
+              end
+            end
+          done;
+          new_next := !best
+        end;
+        if Bytes.unsafe_get sec_path i <> !new_sec then begin
+          Bytes.unsafe_set sec_path i !new_sec;
+          for k = I32.unsafe_get rev_off i to I32.unsafe_get rev_off (i + 1) - 1 do
+            push1 r len (I32.unsafe_get rev k)
+          done
+        end;
+        if next.(i) <> !new_next then begin
+          let old = next.(i) in
+          next.(i) <- !new_next;
+          if old >= 0 then push2 r len old;
+          if !new_next >= 0 then push2 r len !new_next
+        end
+      end;
+      node := r.link1.(i)
+    done
+  done;
+  (* Pass 2, descending: re-sum each affected parent's subtree from
+     scratch (weight + children via the reverse tie row, which is in
+     descending order position — [compute]'s exact fold order); a
+     changed sum propagates to the parent's own parent. *)
+  for l = info.Route_static.max_len downto 0 do
+    let node = ref r.lvl_head2.(l) in
+    r.lvl_head2.(l) <- -1;
+    while !node >= 0 do
+      let p = !node in
+      log_once r scratch p;
+      let s = ref (Array.unsafe_get weight p) in
+      for k = I32.unsafe_get rev_off p to I32.unsafe_get rev_off (p + 1) - 1 do
+        let j = I32.unsafe_get rev k in
+        if next.(j) = p then s := !s +. Array.unsafe_get sub j
+      done;
+      if !s <> sub.(p) then begin
+        sub.(p) <- !s;
+        if p <> d then begin
+          let q = next.(p) in
+          if q >= 0 then push2 r len q
+        end
+      end;
+      node := r.link2.(p)
+    done
+  done
+
+let undo scratch r =
+  for k = 0 to r.log_len - 1 do
+    let i = Array.unsafe_get r.log_node k in
+    scratch.next.(i) <- Array.unsafe_get r.log_next k;
+    Bytes.unsafe_set scratch.sec_path i (Bytes.unsafe_get r.log_sec k);
+    scratch.sub.(i) <- Array.unsafe_get r.log_sub k;
+    Bytes.unsafe_set r.logged i '\000';
+    Bytes.unsafe_set r.inq1 i '\000';
+    Bytes.unsafe_set r.inq2 i '\000'
+  done;
+  r.log_len <- 0
+
 let path_to_dest (info : Route_static.dest_info) scratch src =
   if not (Route_static.reachable info src) then []
   else begin

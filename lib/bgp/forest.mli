@@ -31,6 +31,51 @@ val compute :
     only when the stubs-break-ties assumption is on). A path is secure
     iff every AS on it is secure, including both endpoints. *)
 
+(** {2 Incremental repair (the delta flip kernel)}
+
+    A probe flips the participation bytes of a handful of nodes; the
+    forest is almost entirely unchanged. {!repair} starts from a
+    scratch holding the {e base} forest (as produced by {!compute}
+    under the pre-flip bytes), seeds a frontier at exactly the flipped
+    nodes, and re-decides a node iff it was flipped itself or a
+    tiebreak member's [sec_path] flag changed — propagating outward by
+    level via the reverse tie CSR. Subtree sums of affected parents
+    are re-summed from scratch in {!compute}'s exact Pass-2 addition
+    order (the reverse tie rows are stored in descending order
+    position), so the repaired scratch is bit-identical to a full
+    recompute under the flipped bytes. An undo log records each
+    touched node's prior values once; {!undo} restores the base
+    forest exactly, so one scratch serves many probes. *)
+
+type repairer
+(** Reusable frontier + undo-log workspace; one per worker. *)
+
+val make_repairer : int -> repairer
+(** Workspace for graphs of [n] nodes. *)
+
+val repair :
+  Route_static.dest_info ->
+  tiebreak:Policy.tiebreak ->
+  secure:Bytes.t ->
+  use_secp:Bytes.t ->
+  weight:float array ->
+  seeds:int array ->
+  scratch ->
+  repairer ->
+  unit
+(** Repair [scratch] — which must hold the base forest for this
+    destination — into the forest for the current [secure]/[use_secp]
+    bytes. [seeds] are the nodes whose bytes differ from the base
+    (unreachable seeds are ignored). The repairer must be quiescent
+    (fresh, or after {!undo}). *)
+
+val undo : scratch -> repairer -> unit
+(** Restore [scratch] to the base forest it held before {!repair} and
+    reset the repairer for the next probe. *)
+
+val touched_count : repairer -> int
+(** Number of nodes the last {!repair} touched (valid until {!undo}). *)
+
 val path_to_dest : Route_static.dest_info -> scratch -> int -> int list
 (** The chosen AS path [src; ...; dest], empty if unreachable. *)
 

@@ -8,6 +8,8 @@ type dest_info = {
   len : Bytes.t;
   tie_off : I32.t;
   tie : I32.t;
+  tie_rev_off : I32.t;
+  tie_rev : I32.t;
   order : I32.t;
   tb : Policy.tiebreak;
   max_len : int;
@@ -219,12 +221,43 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
   for k = 0 to reachable_count - 1 do
     I32.unsafe_set order k order_full.(k)
   done;
+  (* Reverse tiebreak adjacency: row [j] lists every node whose tie
+     set contains [j], ordered by DESCENDING position in [order] — the
+     exact order Pass 2 of the forest kernel folds child subtrees into
+     parents, so an incremental repair that re-sums one parent's
+     subtree walks the same addends in the same order (bit-identical
+     floats). *)
+  let rev_count = Array.make n 0 in
+  for k = 0 to !total - 1 do
+    let j = I32.unsafe_get tie k in
+    rev_count.(j) <- rev_count.(j) + 1
+  done;
+  let tie_rev_off = I32.create (n + 1) in
+  let rt = ref 0 in
+  for i = 0 to n - 1 do
+    I32.unsafe_set tie_rev_off i !rt;
+    rt := !rt + rev_count.(i)
+  done;
+  I32.unsafe_set tie_rev_off n !rt;
+  let tie_rev = I32.create !rt in
+  let cursor = rev_count in
+  for i = 0 to n - 1 do
+    cursor.(i) <- I32.unsafe_get tie_rev_off i
+  done;
+  for k = reachable_count - 1 downto 1 do
+    let i = order_full.(k) in
+    for p = I32.unsafe_get tie_off i to I32.unsafe_get tie_off (i + 1) - 1 do
+      let j = I32.unsafe_get tie p in
+      I32.unsafe_set tie_rev cursor.(j) i;
+      cursor.(j) <- cursor.(j) + 1
+    done
+  done;
   let max_len = Array.fold_left (fun acc v -> if v < inf then max acc v else acc) 0 bl in
   let len = Bytes.make n '\000' in
   for i = 0 to n - 1 do
     if bl.(i) < inf then Bytes.set len i (Char.chr bl.(i))
   done;
-  { dest = d; cls; len; tie_off; tie; order; tb = tiebreak; max_len }
+  { dest = d; cls; len; tie_off; tie; tie_rev_off; tie_rev; order; tb = tiebreak; max_len }
 
 let class_of info i = Policy.class_of_char (Bytes.get info.cls i)
 
@@ -277,7 +310,10 @@ let tie_mem info i v = tie_exists info i (fun x -> x = v)
 let info_bytes info =
   Bytes.length info.cls + Bytes.length info.len
   + I32.byte_size info.tie_off
-  + I32.byte_size info.tie + I32.byte_size info.order + 128
+  + I32.byte_size info.tie
+  + I32.byte_size info.tie_rev_off
+  + I32.byte_size info.tie_rev
+  + I32.byte_size info.order + 128
 
 (* ------------------------------------------------------------------ *)
 (* The whole-graph statics store: lazily filled, optionally bounded.

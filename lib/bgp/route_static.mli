@@ -25,11 +25,22 @@ type dest_info = private {
   tie : Nsutil.I32.t;
       (** CSR data: tiebreak-set members, each row sorted ascending by
           [Policy.tiebreak_key tb i] *)
+  tie_rev_off : Nsutil.I32.t;  (** reverse-CSR offsets, length [n + 1] *)
+  tie_rev : Nsutil.I32.t;
+      (** reverse tiebreak adjacency: row [j] lists every node whose
+          tie set contains [j], in {e descending} [order] position —
+          the order Pass 2 of {!Forest.compute} folds child subtrees
+          into parents, so {!Forest.repair} re-sums a parent's subtree
+          with bit-identical float addition order *)
   order : Nsutil.I32.t;
       (** reachable nodes in ascending path length; [order.(0) = dest] *)
   tb : Policy.tiebreak;  (** the policy the tie rows are sorted under *)
   max_len : int;
 }
+
+val max_path_len : int
+(** Upper bound on any stored path length (254 — lengths live in one
+    byte). *)
 
 val compute : ?tiebreak:Policy.tiebreak -> Asgraph.Graph.t -> int -> dest_info
 (** Static info for one destination; O(V + E). Tie rows are sorted

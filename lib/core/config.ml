@@ -1,5 +1,7 @@
 type utility_model = Outgoing | Incoming
 
+type flip_kernel = Flip_full | Flip_delta
+
 type t = {
   theta : float;
   theta_off : float;
@@ -15,7 +17,23 @@ type t = {
   jitter_seed : int;
   workers : int;
   retries : int;
+  flip_kernel : flip_kernel;
 }
+
+let flip_kernel_of_env () =
+  match Sys.getenv_opt "SBGP_FLIP_KERNEL" with
+  | None | Some "" -> Flip_delta
+  | Some s -> (
+      match String.lowercase_ascii s with
+      | "delta" -> Flip_delta
+      | "full" -> Flip_full
+      | _ ->
+          Printf.eprintf
+            "sbgp: warning: SBGP_FLIP_KERNEL=%s is neither \"full\" nor \
+             \"delta\"; using delta\n\
+             %!"
+            s;
+          Flip_delta)
 
 let default =
   {
@@ -33,6 +51,7 @@ let default =
     jitter_seed = 1;
     workers = Parallel.Pool.default_workers ();
     retries = 2;
+    flip_kernel = flip_kernel_of_env ();
   }
 
 let incoming = { default with model = Incoming; allow_turn_off = true }
@@ -40,3 +59,13 @@ let incoming = { default with model = Incoming; allow_turn_off = true }
 let utility_model_to_string = function
   | Outgoing -> "outgoing"
   | Incoming -> "incoming"
+
+let flip_kernel_to_string = function
+  | Flip_full -> "full"
+  | Flip_delta -> "delta"
+
+let flip_kernel_of_string s =
+  match String.lowercase_ascii s with
+  | "full" -> Some Flip_full
+  | "delta" -> Some Flip_delta
+  | _ -> None

@@ -4,6 +4,17 @@ type utility_model =
   | Outgoing  (** Eq. 1: traffic forwarded *to* customers *)
   | Incoming  (** Eq. 2: traffic received *from* customers *)
 
+type flip_kernel =
+  | Flip_full
+      (** probe each admitted candidate with a full O(t·N)
+          {!Bgp.Forest.compute} (the PR 1–3 behavior; kept as a
+          reference/fallback path) *)
+  | Flip_delta
+      (** probe with {!Bgp.Forest.repair}: start from the
+          destination's base forest and re-decide only the frontier
+          the flip actually reaches — bit-identical results, an order
+          of magnitude less work per probe *)
+
 type t = {
   theta : float;  (** deployment threshold of Eq. 3, e.g. 0.05 *)
   theta_off : float;  (** threshold for disabling (same rule, flip down) *)
@@ -37,6 +48,13 @@ type t = {
       (** per-slice retry budget for the supervised engine sweeps
           (see {!Parallel.Pool.supervision}); like [workers], has no
           effect on results — only on whether a faulty run survives. *)
+  flip_kernel : flip_kernel;
+      (** which candidate-probe kernel the sweep uses; results are
+          bit-identical for both (enforced by the parity suite), so —
+          like [workers] — it is excluded from checkpoint digests.
+          Defaults to [Flip_delta], overridable via the
+          [SBGP_FLIP_KERNEL] environment variable ([full] or
+          [delta]). *)
 }
 
 val default : t
@@ -48,3 +66,8 @@ val incoming : t
     enabled. *)
 
 val utility_model_to_string : utility_model -> string
+
+val flip_kernel_to_string : flip_kernel -> string
+
+val flip_kernel_of_string : string -> flip_kernel option
+(** Case-insensitive ["full"] / ["delta"]; [None] otherwise. *)

@@ -113,7 +113,7 @@ let grain = 8
    round-start forest's secure-route flags for [d] (possibly cached
    from an earlier round). *)
 let flip_changes_dest ~cfg ~g ~secure ~(info : Route_static.dest_info) ~sec_path
-    ~stubs_of ~was_on nc =
+    ~(stubs : Csr.t) ~was_on nc =
   let d = info.dest in
   if not was_on then begin
     let stub_reroutes s =
@@ -127,7 +127,20 @@ let flip_changes_dest ~cfg ~g ~secure ~(info : Route_static.dest_info) ~sec_path
     else if tie_has_secure info sec_path nc then true
     else
       cfg.Config.stub_tiebreak
-      && List.exists (fun s -> (not (sec_of secure s)) && stub_reroutes s) stubs_of.(nc)
+      && begin
+           (* [nc]'s stub customers, straight off the CSR row: this
+              scan runs per (destination, candidate) pair, so no boxed
+              lists or closures. *)
+           let off = stubs.Csr.offsets and dat = stubs.Csr.data in
+           let hi = Array.unsafe_get off (nc + 1) in
+           let rec loop k =
+             k < hi
+             && ((let s = Array.unsafe_get dat k in
+                  (not (sec_of secure s)) && stub_reroutes s)
+                || loop (k + 1))
+           in
+           loop (Array.unsafe_get off nc)
+         end
   end
   else begin
     (* Turning off removes only nc's own participation (stub upgrades
@@ -178,6 +191,21 @@ let apply_delta bytes_sec bytes_secp edits =
       Bytes.set bytes_secp i u)
     edits
 
+(* Per-worker sweep workspace. [ws_base] holds the base (round-start)
+   forest of destination [ws_have_base], lazily (re)computed — under
+   the delta kernel one base compute is amortized over every admitted
+   candidate probe of that destination; [ws_flip] is the full kernel's
+   probe target; [ws_sec]/[ws_secp] are the worker's private
+   participation byte copies the probe deltas are applied to. *)
+type sweep_ws = {
+  ws_base : Forest.scratch;
+  ws_flip : Forest.scratch;
+  ws_rep : Forest.repairer;
+  ws_sec : Bytes.t;
+  ws_secp : Bytes.t;
+  mutable ws_have_base : int;  (* destination resident in ws_base; -1 = none *)
+}
+
 type checkpoint_spec = { path : string; every : int }
 
 (* The full cross-round memory of a run, as checkpointed every K
@@ -202,11 +230,12 @@ type progress = {
 }
 
 (* SHA-256 over every input that determines results: config fields
-   (except [workers]/[retries], which provably do not affect
-   results — the statics byte budget is likewise excluded, since a
-   bounded store only trades recompute for memory), topology, traffic
-   weights and the initial deployment state. A checkpoint resumes
-   only against the digest it was written under. *)
+   (except [workers]/[retries]/[flip_kernel], which provably do not
+   affect results — the parity suite holds full-vs-delta kernels
+   bit-identical, and the statics byte budget is likewise excluded,
+   since a bounded store only trades recompute for memory), topology,
+   traffic weights and the initial deployment state. A checkpoint
+   resumes only against the digest it was written under. *)
 let input_digest (cfg : Config.t) statics ~weight ~state =
   let g = Route_static.graph statics in
   let ctx = Scrypto.Sha256.init () in
@@ -259,15 +288,18 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
   Nsobs.Trace.span ~cat:"engine" "statics.prefill" (fun () ->
       Route_static.ensure_tiebreak statics cfg.tiebreak;
       Route_static.ensure_all ~workers statics);
-  (* Stub customers per ISP, for projection filters. *)
-  let stubs_of = Array.make n [] in
-  for i = 0 to n - 1 do
-    if Graph.is_isp g i then begin
-      let acc = ref [] in
-      Graph.iter_customers g i (fun c -> if Graph.is_stub g c then acc := c :: !acc);
-      stubs_of.(i) <- !acc
-    end
-  done;
+  (* Stub customers per ISP, for projection filters; packed into a CSR
+     so the per-(destination, candidate) admission scan walks a flat
+     row instead of a boxed list. *)
+  let stubs =
+    let acc = Array.make n [] in
+    for i = 0 to n - 1 do
+      if Graph.is_isp g i then
+        Graph.iter_customers g i (fun c ->
+            if Graph.is_stub g c then acc.(i) <- c :: acc.(i))
+    done;
+    Csr.of_rev_lists acc
+  in
   (* Baseline: utilities before deployment began (empty state). The
      parallel phase computes per-destination addend streams; the
      serial replay in destination order performs the same float
@@ -366,6 +398,15 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
   in
   let termination = ref Max_rounds in
   let continue = ref true in
+  (* Flat (destination × candidate) probe-result buffers, grown on
+     demand and reused across rounds: slot [d * ncand + ci] holds the
+     changed contribution, with a parallel changed-slot flag. The
+     flags are a byte per slot rather than a bitset on purpose —
+     worker domains write disjoint slots concurrently, and distinct
+     byte writes never race, while two bits of one bitset word
+     would. *)
+  let contrib_buf = ref [||] in
+  let changed_buf = ref Bytes.empty in
   while !continue && !round < cfg.max_rounds do
     incr round;
     let round_args =
@@ -403,42 +444,96 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
     let sec0 = Bytes.copy secure in
     let secp0 = Bytes.copy use_secp in
     let model = cfg.model in
+    let kernel = cfg.flip_kernel in
+    (* The repair frontier seeds: exactly the nodes each candidate's
+       byte delta touches. *)
+    let seed_nodes =
+      Array.map (fun dl -> Array.map (fun (i, _, _) -> i) dl.after) deltas
+    in
+    let ncand = Array.length candidates_arr in
+    let need = n * ncand in
+    if Array.length !contrib_buf < need then contrib_buf := Array.make need 0.0;
+    if Bytes.length !changed_buf < need then changed_buf := Bytes.make need '\000'
+    else Bytes.fill !changed_buf 0 need '\000';
+    let contrib = !contrib_buf in
+    let changed = !changed_buf in
     (* Parallel sweep over destinations: recompute dirty forests
        (updating the cache) and evaluate the candidate flips whose
-       routing tree actually changes. No shared mutation beyond
-       per-destination slots. *)
-    let changed_contrib : (int * float) list array = Array.make n [] in
+       routing tree actually changes. Dynamically scheduled — workers
+       claim destination chunks off an atomic counter, so a
+       destination with many admitted probes delays only the worker
+       that drew it. All sweep outputs are per-(destination[,
+       candidate]) slots and the accumulators are ignored, so the
+       nondeterministic chunk→worker assignment is result-invisible;
+       the serial reduction below stays in destination order. *)
     Nsobs.Trace.span ~cat:"engine" "engine.sweep" (fun () ->
     ignore
-      (Pool.map_reduce_chunked_supervised sv ~workers ~tasks:n ~grain
+      (Pool.map_reduce_dynamic_supervised sv ~workers ~tasks:n ~grain
          ~init:(fun () ->
-           (Forest.make_scratch n, Forest.make_scratch n, Bytes.copy sec0, Bytes.copy secp0))
-         ~task:(fun (base, flip, sec, secp) d ->
+           {
+             ws_base = Forest.make_scratch n;
+             ws_flip = Forest.make_scratch n;
+             ws_rep = Forest.make_repairer n;
+             ws_sec = Bytes.copy sec0;
+             ws_secp = Bytes.copy secp0;
+             ws_have_base = -1;
+           })
+         ~task:(fun ws d ->
            let info = Route_static.get statics d in
            let e =
              if Incremental.is_dirty inc d then begin
-               Forest.compute info ~tiebreak ~secure:sec ~use_secp:secp ~weight base;
-               let pairs = Utility.contribution_pairs model g info base ~weight in
-               Incremental.store inc d ~sec_path:base.Forest.sec_path ~pairs;
+               Forest.compute info ~tiebreak ~secure:ws.ws_sec ~use_secp:ws.ws_secp
+                 ~weight ws.ws_base;
+               ws.ws_have_base <- d;
+               let pairs = Utility.contribution_pairs model g info ws.ws_base ~weight in
+               Incremental.store inc d ~sec_path:ws.ws_base.Forest.sec_path ~pairs;
                Incremental.entry inc d
              end
              else Incremental.entry inc d
            in
-           let changed = ref [] in
+           let row = d * ncand in
            Array.iteri
              (fun ci nc ->
                if
                  flip_changes_dest ~cfg ~g ~secure:sec0 ~info ~sec_path:e.sec_path
-                   ~stubs_of ~was_on:was_on.(ci) nc
+                   ~stubs ~was_on:was_on.(ci) nc
                then begin
-                 apply_delta sec secp deltas.(ci).after;
-                 Forest.compute info ~tiebreak ~secure:sec ~use_secp:secp ~weight flip;
-                 let c = Utility.contribution model g info flip ~weight nc in
-                 apply_delta sec secp deltas.(ci).before;
-                 changed := (nc, c) :: !changed
+                 let c =
+                   match kernel with
+                   | Config.Flip_full ->
+                       apply_delta ws.ws_sec ws.ws_secp deltas.(ci).after;
+                       Forest.compute info ~tiebreak ~secure:ws.ws_sec
+                         ~use_secp:ws.ws_secp ~weight ws.ws_flip;
+                       let c =
+                         Utility.contribution model g info ws.ws_flip ~weight nc
+                       in
+                       apply_delta ws.ws_sec ws.ws_secp deltas.(ci).before;
+                       c
+                   | Config.Flip_delta ->
+                       (* One base forest per destination, amortized
+                          over its admitted probes; clean destinations
+                          compute it lazily on the first hit (the
+                          cache stores addend streams, not forests). *)
+                       if ws.ws_have_base <> d then begin
+                         Forest.compute info ~tiebreak ~secure:ws.ws_sec
+                           ~use_secp:ws.ws_secp ~weight ws.ws_base;
+                         ws.ws_have_base <- d
+                       end;
+                       apply_delta ws.ws_sec ws.ws_secp deltas.(ci).after;
+                       Forest.repair info ~tiebreak ~secure:ws.ws_sec
+                         ~use_secp:ws.ws_secp ~weight ~seeds:seed_nodes.(ci)
+                         ws.ws_base ws.ws_rep;
+                       let c =
+                         Utility.contribution model g info ws.ws_base ~weight nc
+                       in
+                       Forest.undo ws.ws_base ws.ws_rep;
+                       apply_delta ws.ws_sec ws.ws_secp deltas.(ci).before;
+                       c
+                 in
+                 Array.unsafe_set contrib (row + ci) c;
+                 Bytes.unsafe_set changed (row + ci) '\001'
                end)
-             candidates_arr;
-           changed_contrib.(d) <- List.rev !changed)
+             candidates_arr)
          ~combine:(fun a _ -> a)));
     let dc = Incremental.dirty_count inc in
     recomputed := !recomputed + dc;
@@ -447,23 +542,24 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
        the cached addend streams and fold the projections. *)
     let utilities = Array.make n 0.0 in
     let projected = Array.make n 0.0 in
+    let cand_slot = Array.map (fun nc -> Incremental.isp_slot inc nc) candidates_arr in
     Nsobs.Trace.span ~cat:"engine" "engine.reduce" (fun () ->
     for d = 0 to n - 1 do
       let e = Incremental.entry inc d in
       Utility.add_pairs e.pairs ~into:utilities;
-      (* [changed_contrib.(d)] is a subsequence of [candidates]: merge
-         walk, unchanged pairs take the cached base contribution. *)
-      let rec proj cands changed =
-        match (cands, changed) with
-        | [], _ -> ()
-        | nc :: cs, (mc, c) :: rest when mc = nc ->
-            projected.(nc) <- projected.(nc) +. c;
-            proj cs rest
-        | nc :: cs, changed ->
-            projected.(nc) <- projected.(nc) +. Incremental.base_contribution inc e nc;
-            proj cs changed
-      in
-      proj candidates changed_contrib.(d)
+      (* Unchanged (destination, candidate) slots take the cached base
+         contribution; same per-destination candidate order as the
+         sweep, so the float additions replay exactly. *)
+      let row = d * ncand in
+      for ci = 0 to ncand - 1 do
+        let nc = Array.unsafe_get candidates_arr ci in
+        let c =
+          if Bytes.unsafe_get changed (row + ci) = '\001' then
+            Array.unsafe_get contrib (row + ci)
+          else Incremental.row_value e (Array.unsafe_get cand_slot ci)
+        in
+        projected.(nc) <- projected.(nc) +. c
+      done
     done;
     (* Non-candidates project their current utility. *)
     for i = 0 to n - 1 do

@@ -79,3 +79,7 @@ let restore t s =
 let base_contribution t e nc =
   let s = t.isp_index.(nc) in
   if s < 0 then 0.0 else e.row.(s)
+
+let isp_slot t nc = t.isp_index.(nc)
+
+let row_value e s = if s < 0 then 0.0 else Array.unsafe_get e.row s

@@ -68,3 +68,14 @@ val base_contribution : t -> entry -> int -> float
     the cached equivalent of {!Utility.contribution} on the base
     forest (bit-equal under [Outgoing]; equal up to addend regrouping
     under [Incoming]). *)
+
+val isp_slot : t -> int -> int
+(** The node's compact ISP slot, [-1] for non-ISPs. Pre-resolving the
+    slot once per round lets the reduce loop read {!row_value}
+    directly instead of paying the per-(destination, candidate)
+    indirection of {!base_contribution}. *)
+
+val row_value : entry -> int -> float
+(** [row_value e s] is the summed contribution in slot [s] ([0.0] for
+    [s < 0]) — [base_contribution t e nc] with the slot lookup
+    hoisted. *)

@@ -6,16 +6,28 @@ module Forest = Bgp.Forest
 let c_cust = Bgp.Policy.class_to_char Bgp.Policy.Via_customer
 let c_prov = Bgp.Policy.class_to_char Bgp.Policy.Via_provider
 
+(* Runs once per admitted (destination, candidate) probe — the inner
+   loop of the engine sweep — so the [Incoming] case walks the
+   customers CSR by direct offset range (same order as
+   [Graph.iter_customers], closure-free). Reads only [next]/[sub]:
+   a {!Forest.repair}ed scratch is bit-identical to a recomputed one,
+   so both flip kernels produce the same float here. *)
 let contribution model g (info : Route_static.dest_info) (scratch : Forest.scratch)
     ~weight n =
   match model with
   | Config.Outgoing ->
       if Bytes.get info.cls n = c_cust then scratch.sub.(n) -. weight.(n) else 0.0
   | Config.Incoming ->
+      let off = g.Graph.customers.Nsutil.Csr.offsets in
+      let dat = g.Graph.customers.Nsutil.Csr.data in
+      let next = scratch.Forest.next and sub = scratch.Forest.sub in
+      let cls = info.cls in
       let acc = ref 0.0 in
-      Graph.iter_customers g n (fun c ->
-          if scratch.next.(c) = n && Bytes.get info.cls c = c_prov then
-            acc := !acc +. scratch.sub.(c));
+      for k = Array.unsafe_get off n to Array.unsafe_get off (n + 1) - 1 do
+        let c = Array.unsafe_get dat k in
+        if next.(c) = n && Bytes.unsafe_get cls c = c_prov then
+          acc := !acc +. Array.unsafe_get sub c
+      done;
       !acc
 
 let accumulate model _g (info : Route_static.dest_info) (scratch : Forest.scratch)

@@ -377,3 +377,148 @@ let map_reduce_chunked_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
   let grain = max 1 grain in
   let workers = max 1 (min workers (tasks / grain)) in
   map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic (self-scheduled) distribution: workers repeatedly claim the
+   next [grain]-sized contiguous chunk off a shared atomic counter, so
+   a heavy-tailed task — one destination with many admitted candidate
+   probes — delays only the worker that drew it instead of the whole
+   static slice behind it. Which worker runs which chunk (and hence
+   how tasks partition into accumulators) is nondeterministic, so the
+   deterministic-results contract is narrower than [map_reduce]'s:
+   callers must either publish per-task side results keyed by index
+   (and ignore the accumulators, as the engine sweep and [map_array]
+   do) or use a reduction that is invariant under task regrouping.
+
+   Supervision is chunk-grained: an exception is attributed to the
+   failing task index, the chunk is re-executed (spawned retries, then
+   one final serial attempt) from a fresh accumulator, and surviving
+   failures aggregate into [Supervision_failed]. A re-executed chunk
+   overwrites its per-index results with identical values. *)
+
+let run_chunk_guarded ~sv ~task acc lo hi =
+  let i = ref lo in
+  try
+    while !i < hi do
+      (match sv.faults with Some f -> Nsutil.Faults.trip f "pool.task" | None -> ());
+      task acc !i;
+      incr i
+    done;
+    None
+  with e -> Some (!i, Printexc.to_string e)
+
+let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine =
+  if tasks <= 0 then init ()
+  else begin
+    let grain = max 1 grain in
+    let nchunks = (tasks + grain - 1) / grain in
+    let workers = max 1 (min workers nchunks) in
+    if workers = 1 then map_reduce_supervised sv ~workers:1 ~tasks ~init ~task ~combine
+    else begin
+      let next_chunk = Atomic.make 0 in
+      let accs = Array.make workers None in
+      let failures = Array.make workers [] in
+      let worker w =
+        slice_span (fun () ->
+            let acc = init () in
+            let continue = ref true in
+            while !continue do
+              let c = Atomic.fetch_and_add next_chunk 1 in
+              if c >= nchunks then continue := false
+              else begin
+                let lo = c * grain in
+                let hi = min tasks (lo + grain) in
+                match run_chunk_guarded ~sv ~task acc lo hi with
+                | None -> ()
+                | Some (index, error) ->
+                    if Nsobs.Metrics.enabled () then
+                      Nsobs.Metrics.inc (Lazy.force m_slice_failures);
+                    failures.(w) <- (lo, hi, index, error) :: failures.(w)
+              end
+            done;
+            accs.(w) <- Some acc)
+      in
+      let k = workers - 1 in
+      let on_bank = bank_try_submit k (fun i -> worker (i + 1)) in
+      if Nsobs.Metrics.enabled () then
+        if on_bank then Nsobs.Metrics.inc (Lazy.force m_leases)
+        else begin
+          Nsobs.Metrics.inc (Lazy.force m_fallbacks);
+          Nsobs.Metrics.add (Lazy.force m_spawns) k
+        end;
+      let spawned =
+        if on_bank then [||]
+        else Array.init k (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+      in
+      worker 0;
+      if on_bank then bank_wait k else Array.iter Domain.join spawned;
+      (* Chunk-grained retries; each re-execution folds into a fresh
+         accumulator appended after the worker accumulators. *)
+      let retry_accs = ref [] in
+      let attempt_chunk (lo, hi) =
+        let acc = init () in
+        match run_chunk_guarded ~sv ~task acc lo hi with
+        | None -> Ok acc
+        | Some (index, error) -> Error (lo, hi, index, error)
+      in
+      let record still = function
+        | Ok acc -> retry_accs := acc :: !retry_accs
+        | Error ((_, _, _, _) as f) ->
+            if Nsobs.Metrics.enabled () then
+              Nsobs.Metrics.inc (Lazy.force m_slice_failures);
+            still := f :: !still
+      in
+      let rec retry attempt_no failed =
+        if failed = [] then []
+        else if attempt_no > sv.retries + 1 then
+          List.map
+            (fun (_, _, index, error) ->
+              { index; attempts = sv.retries + 1; error })
+            failed
+        else begin
+          List.iter
+            (fun (_, _, index, error) ->
+              if Nsobs.Metrics.enabled () then
+                Nsobs.Metrics.inc (Lazy.force m_retries);
+              Nsobs.Log.warn "pool: retrying chunk (task %d, attempt %d): %s"
+                index attempt_no error;
+              match sv.on_retry with
+              | Some f -> f ~attempt:attempt_no ~index ~error
+              | None -> ())
+            failed;
+          if sv.backoff > 0.0 then
+            Thread.delay (sv.backoff *. Float.of_int (1 lsl (attempt_no - 2)));
+          let still = ref [] in
+          if attempt_no <= sv.retries then begin
+            if Nsobs.Metrics.enabled () then
+              Nsobs.Metrics.add (Lazy.force m_spawns) (List.length failed);
+            let redo =
+              List.map
+                (fun (lo, hi, _, _) -> Domain.spawn (fun () -> attempt_chunk (lo, hi)))
+                failed
+            in
+            List.iter (fun d -> record still (Domain.join d)) redo
+          end
+          else
+            List.iter (fun (lo, hi, _, _) -> record still (attempt_chunk (lo, hi))) failed;
+          retry (attempt_no + 1) !still
+        end
+      in
+      let failed0 = List.concat_map List.rev (Array.to_list failures) in
+      let dead = retry 2 failed0 in
+      if dead <> [] then
+        raise
+          (Supervision_failed (List.sort (fun a b -> compare a.index b.index) dead));
+      let get w =
+        match accs.(w) with
+        | Some acc -> acc
+        | None -> invalid_arg "Pool.map_reduce_dynamic_supervised: missing accumulator"
+      in
+      let acc = ref (get 0) in
+      for w = 1 to workers - 1 do
+        acc := combine !acc (get w)
+      done;
+      List.iter (fun a -> acc := combine !acc a) (List.rev !retry_accs);
+      !acc
+    end
+  end

@@ -130,3 +130,29 @@ val map_reduce_chunked_supervised :
   combine:('acc -> 'acc -> 'acc) ->
   'acc
 (** {!map_reduce_chunked} under a supervision policy. *)
+
+val map_reduce_dynamic_supervised :
+  supervision ->
+  workers:int ->
+  tasks:int ->
+  grain:int ->
+  init:(unit -> 'acc) ->
+  task:('acc -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Dynamic (self-scheduled) variant: workers repeatedly claim the
+    next [grain]-sized contiguous chunk off a shared atomic counter
+    until the index space is exhausted, so one heavy-tailed task — a
+    destination with many admitted candidate probes, say — delays
+    only the worker that drew it, not the whole static slice behind
+    it. Which worker runs which chunk is {e nondeterministic}; the
+    deterministic-results contract is therefore narrower than
+    {!map_reduce}'s: the caller must either publish per-task side
+    results keyed by index and ignore the accumulators (as the engine
+    sweep does), or use a reduction invariant under regrouping of
+    tasks into accumulators. With [workers = 1] this degrades to
+    {!map_reduce_supervised}, i.e. a serial in-order fold.
+    Supervision is chunk-grained: failed chunks re-execute from fresh
+    accumulators (appended after the worker accumulators in the final
+    fold), and failures surviving the budget raise
+    {!Supervision_failed}. *)

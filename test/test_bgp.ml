@@ -529,6 +529,126 @@ let test_secpath_monotone =
       !ok)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental repair: [Forest.repair] from the base forest must equal
+   a from-scratch [Forest.compute] under the flipped bytes — parents,
+   sec_path flags and subtree weights all bit-for-bit (subtree floats
+   compared through their IEEE bits) — and [Forest.undo] must restore
+   the base forest exactly. Each generated case drives a SEQUENCE of
+   probe flips through one reused scratch + repairer, the way an
+   engine worker does; with 150 cases per tiebreak path the two
+   properties cover >= 300 (graph x flip-sequence) scenarios. *)
+
+let scratch_bitwise_equal (a : Forest.scratch) (b : Forest.scratch) n =
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if a.next.(i) <> b.next.(i) then ok := false;
+    if Bytes.get a.sec_path i <> Bytes.get b.sec_path i then ok := false;
+    if Int64.bits_of_float a.sub.(i) <> Int64.bits_of_float b.sub.(i) then ok := false
+  done;
+  !ok
+
+let repair_case_gen =
+  QCheck2.Gen.(
+    let* g = Testkit.Graphgen.graph ~max_n:40 () in
+    let* secure, use_secp = Testkit.Graphgen.secure_state g in
+    let* d = int_bound (Graph.n g - 1) in
+    let* flips =
+      list_size (int_range 1 3) (list_size (int_range 1 4) (int_bound (Graph.n g - 1)))
+    in
+    return (g, secure, use_secp, d, flips))
+
+(* [tiebreak = Lowest_id] exercises the pre-sorted fast path (the
+   statics are built under Lowest_id); any other policy forces the
+   generic key-scan path in both [compute] and [repair]. *)
+let repair_matches_recompute ~tiebreak (g, secure0, use_secp0, d, flips) =
+  let n = Graph.n g in
+  let info = Route_static.compute g d in
+  let weight = Array.init n (fun i -> 1.0 +. (0.25 *. float_of_int i)) in
+  let secure = Bytes.copy secure0 in
+  let use_secp = Bytes.copy use_secp0 in
+  let live = Forest.make_scratch n in
+  Forest.compute info ~tiebreak ~secure ~use_secp ~weight live;
+  let base_next = Array.copy live.next in
+  let base_sec = Bytes.copy live.sec_path in
+  let base_sub = Array.copy live.sub in
+  let rep = Forest.make_repairer n in
+  let fresh = Forest.make_scratch n in
+  let ok = ref true in
+  let toggle b i =
+    Bytes.set b i (if Bytes.get b i = '\001' then '\000' else '\001')
+  in
+  (* Deterministic pseudo-choice so the revert repeats the toggles. *)
+  let apply_flip flip =
+    List.iter
+      (fun i ->
+        toggle secure i;
+        if i mod 3 <> 0 then toggle use_secp i)
+      flip
+  in
+  List.iter
+    (fun flip ->
+      apply_flip flip;
+      Forest.repair info ~tiebreak ~secure ~use_secp ~weight
+        ~seeds:(Array.of_list flip) live rep;
+      Forest.compute info ~tiebreak ~secure ~use_secp ~weight fresh;
+      if not (scratch_bitwise_equal live fresh n) then ok := false;
+      (* Contributions read only next/sub, so they must agree too —
+         for every ISP, under both utility models. *)
+      for i = 0 to n - 1 do
+        if Graph.is_isp g i then
+          List.iter
+            (fun model ->
+              let a = Core.Utility.contribution model g info live ~weight i in
+              let b = Core.Utility.contribution model g info fresh ~weight i in
+              if Int64.bits_of_float a <> Int64.bits_of_float b then ok := false)
+            [ Core.Config.Outgoing; Core.Config.Incoming ]
+      done;
+      Forest.undo live rep;
+      apply_flip flip;
+      (* The undo must restore the base forest bit-for-bit. *)
+      for i = 0 to n - 1 do
+        if live.next.(i) <> base_next.(i) then ok := false;
+        if Bytes.get live.sec_path i <> Bytes.get base_sec i then ok := false;
+        if Int64.bits_of_float live.sub.(i) <> Int64.bits_of_float base_sub.(i) then
+          ok := false
+      done)
+    flips;
+  !ok
+
+let test_repair_matches_recompute_sorted =
+  qtest ~count:150 "repair = recompute (pre-sorted tie rows)" repair_case_gen
+    (repair_matches_recompute ~tiebreak:Policy.Lowest_id)
+
+let test_repair_matches_recompute_generic =
+  qtest ~count:150 "repair = recompute (generic tiebreak path)" repair_case_gen
+    (repair_matches_recompute ~tiebreak:(Policy.Hashed 0x2f))
+
+let test_repair_noop_flip () =
+  (* Seeding nodes whose bytes did NOT change must repair to the same
+     forest and undo cleanly (the conservative-admission case). *)
+  let g = small () in
+  let n = Graph.n g in
+  let info = Route_static.compute g 4 in
+  let weight = Array.make n 1.0 in
+  let secure = Bytes.make n '\000' in
+  Bytes.set secure 0 '\001';
+  Bytes.set secure 2 '\001';
+  let use_secp = Bytes.copy secure in
+  let live = Forest.make_scratch n in
+  Forest.compute info ~tiebreak:Policy.Lowest_id ~secure ~use_secp ~weight live;
+  let fresh = Forest.make_scratch n in
+  Forest.compute info ~tiebreak:Policy.Lowest_id ~secure ~use_secp ~weight fresh;
+  let rep = Forest.make_repairer n in
+  Forest.repair info ~tiebreak:Policy.Lowest_id ~secure ~use_secp ~weight
+    ~seeds:[| 0; 2; 5 |] live rep;
+  check Alcotest.bool "no-op repair leaves the forest" true
+    (scratch_bitwise_equal live fresh n);
+  check Alcotest.bool "seeds were visited" true (Forest.touched_count rep > 0);
+  Forest.undo live rep;
+  check Alcotest.bool "undo after no-op" true (scratch_bitwise_equal live fresh n);
+  check Alcotest.int "log drained" 0 (Forest.touched_count rep)
+
+(* ------------------------------------------------------------------ *)
 (* Flexsim: the configurable-SecP-position fixed point. *)
 
 let test_flexsim_tiebreak_matches_forest =
@@ -646,6 +766,13 @@ let () =
           test_paths_valley_free;
           test_forest_paths_consistent;
           test_secpath_monotone;
+        ] );
+      ( "repair",
+        [
+          test_repair_matches_recompute_sorted;
+          test_repair_matches_recompute_generic;
+          Alcotest.test_case "no-op flip repairs and undoes cleanly" `Quick
+            test_repair_noop_flip;
         ] );
       ( "flexsim",
         [

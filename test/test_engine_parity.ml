@@ -79,23 +79,25 @@ let synthetic_outgoing_inputs () =
 let test_parity_synthetic_outgoing () =
   parity ~expect:Engine.Stable "synthetic/outgoing" synthetic_outgoing_inputs
 
+let synthetic_incoming_inputs () =
+  let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 5 } in
+  let built = Topology.Gen.generate params in
+  let g = built.graph in
+  let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
+  let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
+  let cfg =
+    {
+      Core.Config.default with
+      model = Core.Config.Incoming;
+      allow_turn_off = true;
+      theta = 0.02;
+      theta_off = 0.02;
+    }
+  in
+  (cfg, g, weight, early, [])
+
 let test_parity_synthetic_incoming () =
-  parity ~expect:Engine.Stable "synthetic/incoming" (fun () ->
-      let params = { (Topology.Params.with_n Topology.Params.default 120) with seed = 5 } in
-      let built = Topology.Gen.generate params in
-      let g = built.graph in
-      let weight = Traffic.Weights.assign g ~cp_fraction:0.1 in
-      let early = built.cps @ Asgraph.Metrics.top_by_degree g 5 in
-      let cfg =
-        {
-          Core.Config.default with
-          model = Core.Config.Incoming;
-          allow_turn_off = true;
-          theta = 0.02;
-          theta_off = 0.02;
-        }
-      in
-      (cfg, g, weight, early, []))
+  parity ~expect:Engine.Stable "synthetic/incoming" synthetic_incoming_inputs
 
 let chicken_oscillation_inputs () =
   let c = Gadgets.Chicken.build () in
@@ -112,6 +114,47 @@ let test_parity_chicken_oscillation () =
 
 let test_parity_chicken_round_cap () =
   parity ~expect:Engine.Max_rounds "chicken/max-rounds" chicken_round_cap_inputs
+
+(* ------------------------------------------------------------------ *)
+(* Flip-kernel differential: the delta-repair probe kernel
+   ([Forest.repair] from the destination's base forest) must produce
+   results bit-identical to the full-recompute kernel, at both a
+   serial and a parallel worker count, across all three terminations
+   and both utility models. The workers=1/full run is the reference:
+   it is the PR 1-3 code path. *)
+
+let kernel_differential ~expect scenario_name build_inputs =
+  let run workers flip_kernel =
+    let cfg, g, weight, early, frozen = build_inputs () in
+    let statics = Bgp.Route_static.create g in
+    let state = State.create g ~early ~frozen in
+    Engine.run { cfg with Core.Config.workers; flip_kernel } statics ~weight ~state
+  in
+  let reference = run 1 Core.Config.Flip_full in
+  check termination_t (scenario_name ^ " termination") expect reference.termination;
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun kernel -> check_result_equal reference (run workers kernel))
+        [ Core.Config.Flip_full; Core.Config.Flip_delta ])
+    [ 1; 4 ]
+
+let test_kernel_differential_stable () =
+  kernel_differential ~expect:Engine.Stable "kernel/synthetic-outgoing"
+    synthetic_outgoing_inputs
+
+let test_kernel_differential_incoming () =
+  kernel_differential ~expect:Engine.Stable "kernel/synthetic-incoming"
+    synthetic_incoming_inputs
+
+let test_kernel_differential_oscillation () =
+  kernel_differential
+    ~expect:(Engine.Oscillation { first_round = 0 })
+    "kernel/chicken-oscillation" chicken_oscillation_inputs
+
+let test_kernel_differential_round_cap () =
+  kernel_differential ~expect:Engine.Max_rounds "kernel/chicken-max-rounds"
+    chicken_round_cap_inputs
 
 (* ------------------------------------------------------------------ *)
 (* Statics byte budget: a bounded store recomputes evicted entries on
@@ -267,6 +310,17 @@ let () =
             test_parity_chicken_oscillation;
           Alcotest.test_case "chicken gadget (round cap)" `Quick
             test_parity_chicken_round_cap;
+        ] );
+      ( "flip-kernel",
+        [
+          Alcotest.test_case "full = delta (stable)" `Quick
+            test_kernel_differential_stable;
+          Alcotest.test_case "full = delta (incoming + turn-off)" `Quick
+            test_kernel_differential_incoming;
+          Alcotest.test_case "full = delta (oscillation)" `Quick
+            test_kernel_differential_oscillation;
+          Alcotest.test_case "full = delta (round cap)" `Quick
+            test_kernel_differential_round_cap;
         ] );
       ( "statics-budget",
         [

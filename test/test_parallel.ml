@@ -295,6 +295,147 @@ let test_supervised_engine_parity_under_faults () =
   check Alcotest.(array (float 0.0)) "bit-identical floats" clean faulted;
   check Alcotest.int "faults fired" 2 (Nsutil.Faults.fired faults)
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic (self-scheduled) map/reduce *)
+
+(* The dynamic scheduler's determinism contract is narrower: chunk->
+   worker assignment is nondeterministic, so these tests exercise the
+   two sanctioned usage patterns — per-index slot publication (the
+   engine sweep's shape) and regrouping-invariant reductions. *)
+
+let dynamic_slots sv workers tasks grain f =
+  let out = Array.make (max tasks 1) 0 in
+  ignore
+    (Pool.map_reduce_dynamic_supervised sv ~workers ~tasks ~grain
+       ~init:(fun () -> ())
+       ~task:(fun () i -> out.(i) <- f i)
+       ~combine:(fun () () -> ()));
+  out
+
+let test_dynamic_per_index_slots () =
+  (* Per-index slot publication must equal Array.init for every
+     (workers, tasks, grain) shape, including uneven tails where the
+     last chunk is shorter than the grain. *)
+  let f i = (i * 7) + 3 in
+  List.iter
+    (fun (workers, tasks, grain) ->
+      let expected = Array.init (max tasks 1) (fun i -> if i < tasks then f i else 0) in
+      check
+        Alcotest.(array int)
+        (Printf.sprintf "workers=%d tasks=%d grain=%d" workers tasks grain)
+        expected
+        (dynamic_slots Pool.no_supervision workers tasks grain f))
+    [ (1, 100, 8); (3, 17, 4); (4, 100, 8); (4, 3, 8); (7, 97, 1); (2, 64, 64) ]
+
+let test_dynamic_sum_regrouping_invariant () =
+  (* An integer sum is invariant under regrouping of tasks into
+     accumulators, so it is safe under dynamic scheduling and must
+     match the closed form for any worker count. *)
+  let tasks = 500 in
+  let expected = tasks * (tasks - 1) / 2 in
+  List.iter
+    (fun workers ->
+      let total =
+        !(Pool.map_reduce_dynamic_supervised Pool.no_supervision ~workers ~tasks ~grain:8
+            ~init:(fun () -> ref 0)
+            ~task:(fun acc i -> acc := !acc + i)
+            ~combine:(fun a b ->
+              a := !a + !b;
+              a))
+      in
+      check Alcotest.int (Printf.sprintf "workers=%d" workers) expected total)
+    [ 1; 2; 4; 7 ]
+
+let test_dynamic_workers1_in_order () =
+  (* workers = 1 degrades to the serial supervised fold: tasks run in
+     ascending index order, so even order-sensitive accumulators are
+     safe there. *)
+  let tasks = 53 in
+  let r =
+    !(Pool.map_reduce_dynamic_supervised Pool.no_supervision ~workers:1 ~tasks ~grain:4
+        ~init:(fun () -> ref [])
+        ~task:(fun acc i -> acc := !acc @ [ i ])
+        ~combine:(fun a b ->
+          a := !a @ !b;
+          a))
+  in
+  check Alcotest.(list int) "ascending" (List.init tasks (fun i -> i)) r
+
+let test_dynamic_zero_tasks () =
+  let r =
+    Pool.map_reduce_dynamic_supervised Pool.no_supervision ~workers:4 ~tasks:0 ~grain:8
+      ~init:(fun () -> ref 0)
+      ~task:(fun _ _ -> Alcotest.fail "task called with zero tasks")
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a)
+  in
+  check Alcotest.int "bare accumulator" 0 !r
+
+let test_dynamic_failure_attribution () =
+  (* With a zero retry budget a deterministically cursed index must
+     surface in Supervision_failed, attributed by task index. *)
+  match
+    Pool.map_reduce_dynamic_supervised
+      (Pool.supervision ~retries:0 ~backoff:0.0 ())
+      ~workers:4 ~tasks:64 ~grain:8
+      ~init:(fun () -> ref 0)
+      ~task:(fun acc i -> if i = 42 then failwith "task 42 is cursed" else acc := !acc + i)
+      ~combine:(fun a b ->
+        a := !a + !b;
+        a)
+  with
+  | _ -> Alcotest.fail "expected Supervision_failed"
+  | exception Pool.Supervision_failed [ { Pool.index; error; _ } ] ->
+      check Alcotest.int "failing index" 42 index;
+      check Alcotest.bool "error preserved" true
+        (String.length error > 0
+        &&
+        let rec find i =
+          i + 6 <= String.length error && (String.sub error i 6 = "cursed" || find (i + 1))
+        in
+        find 0)
+  | exception Pool.Supervision_failed l ->
+      Alcotest.failf "expected exactly one failure, got %d" (List.length l)
+
+let test_dynamic_retries_recover () =
+  (* A transient failure — fails on first execution of index 19, then
+     succeeds on re-execution — must be absorbed by chunk retries, with
+     every slot still correct. *)
+  let first = Atomic.make true in
+  let out = Array.make 64 (-1) in
+  ignore
+    (Pool.map_reduce_dynamic_supervised
+       (Pool.supervision ~retries:2 ~backoff:0.0 ())
+       ~workers:4 ~tasks:64 ~grain:8
+       ~init:(fun () -> ())
+       ~task:(fun () i ->
+         if i = 19 && Atomic.compare_and_set first true false then
+           failwith "transient fault at 19";
+         out.(i) <- i * 2)
+       ~combine:(fun () () -> ()));
+  check Alcotest.(array int) "all slots published" (Array.init 64 (fun i -> i * 2)) out;
+  check Alcotest.bool "the fault actually fired" true (not (Atomic.get first))
+
+let test_dynamic_float_parity_under_faults () =
+  (* Per-index float slots are bit-identical between a clean run and a
+     fault-injected run with retries: re-running an index overwrites
+     its slot with the same value. *)
+  let run sv =
+    let out = Array.make 300 0.0 in
+    ignore
+      (Pool.map_reduce_dynamic_supervised sv ~workers:4 ~tasks:300 ~grain:8
+         ~init:(fun () -> ())
+         ~task:(fun () i -> out.(i) <- 1.0 /. float_of_int (i + 1))
+         ~combine:(fun () () -> ()));
+    out
+  in
+  let clean = run Pool.no_supervision in
+  let faults = Nsutil.Faults.create ~rate:0.05 ~budget:3 ~seed:17 () in
+  let faulted = run (Pool.supervision ~retries:2 ~backoff:0.0 ~faults ()) in
+  check Alcotest.(array (float 0.0)) "bit-identical floats" clean faulted;
+  check Alcotest.int "faults fired" 3 (Nsutil.Faults.fired faults)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -325,5 +466,19 @@ let () =
             test_supervised_multiple_failures_aggregated;
           Alcotest.test_case "float parity under faults" `Quick
             test_supervised_engine_parity_under_faults;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "per-index slots = Array.init" `Quick
+            test_dynamic_per_index_slots;
+          Alcotest.test_case "regrouping-invariant sum" `Quick
+            test_dynamic_sum_regrouping_invariant;
+          Alcotest.test_case "workers=1 is in-order serial" `Quick
+            test_dynamic_workers1_in_order;
+          Alcotest.test_case "zero tasks" `Quick test_dynamic_zero_tasks;
+          Alcotest.test_case "failure attribution" `Quick test_dynamic_failure_attribution;
+          Alcotest.test_case "retries recover" `Quick test_dynamic_retries_recover;
+          Alcotest.test_case "float parity under faults" `Quick
+            test_dynamic_float_parity_under_faults;
         ] );
     ]
