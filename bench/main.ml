@@ -514,6 +514,45 @@ let run_json_bench ~path =
       let s = Bgp.Route_static.create ~tiebreak g in
       Bgp.Route_static.ensure_all s;
       s);
+  (* Statics repair: migrate the warm store across a growth delta and
+     undo, so every repetition sees the same warm pre-churn store.
+     ns/op is per churned edge; against statics_build's
+     per-destination cost this is the full-rebuild-vs-repair gap per
+     unit of churn. The batch is deliberately large (2n fresh
+     stubs): every patched entry pays an O(n) fixed rewrite of its
+     offset arrays no matter how small the delta, so per-edge cost
+     only reflects the repair kernel once the stub-linear work
+     dominates that floor. Small-batch behaviour (the ~15% Section 8.4
+     epoch shape) is covered by the churn differential suite and the
+     evolution experiment's epoch timings, where one repair still
+     replaces a full per-epoch rebuild. *)
+  let grown, delta =
+    Topology.Evolve.grow_delta g
+      ~new_stubs:(max 1 (2 * n))
+      ~secure_bias:2.0
+      ~is_secure:(fun i -> i mod 2 = 0)
+      ~seed:7
+  in
+  record "statics_repair" ~ops:(Asgraph.Graph.delta_edge_count delta) (fun () ->
+      let j = Bgp.Route_static.rebase ~kernel:Bgp.Route_static.Delta ~workers statics ~delta grown in
+      Bgp.Route_static.undo_rebase statics j;
+      j);
+  (* Bitwise cross-check, one kept rebase: every destination of the
+     churned graph must serve a record info_equal to a fresh compute,
+     then the undo hands the sections below their warm pre-churn
+     store back. *)
+  let crosscheck = Bgp.Route_static.rebase ~kernel:Bgp.Route_static.Delta ~workers statics ~delta grown in
+  for d = 0 to Asgraph.Graph.n grown - 1 do
+    if
+      not
+        (Bgp.Route_static.info_equal
+           (Bgp.Route_static.get statics d)
+           (Bgp.Route_static.compute ~tiebreak grown d))
+    then die "statics_repair diverges from compute at destination %d" d
+  done;
+  Bgp.Route_static.undo_rebase statics crosscheck;
+  Printf.printf "statics repair differential: %d destinations bit-identical\n%!"
+    (Asgraph.Graph.n grown);
   (* Forest sweep: one full per-round sweep (all destinations) through
      the fused kernel, per-worker scratch — the shape of the engine's
      inner loop. *)
@@ -774,6 +813,7 @@ let run_json_bench ~path =
     [
       "\"schema\": \"sbgp-bench-v1\"";
       "\"statics_build\"";
+      "\"statics_repair\"";
       "\"forest_sweep_w1\"";
       "\"flip_probe_w1\"";
       "\"flip_full_w1\"";

@@ -352,7 +352,24 @@ let exp_cmd =
     Arg.(
       value & opt (some string) None & info [ "csv-dir" ] ~doc:"Also write one CSV per table.")
   in
-  let run n seed ids csv_dir =
+  let statics_kernel =
+    Arg.(
+      value
+      & opt (some (enum [ ("full", Bgp.Route_static.Full); ("delta", Bgp.Route_static.Delta) ])) None
+      & info [ "statics-kernel" ]
+          ~doc:
+            "How the route-statics store is maintained across the topology-churn epochs \
+             of the $(b,evolution) experiment: $(b,delta) migrates the warm store \
+             through the growth delta, repairing only destinations the churn reaches; \
+             $(b,full) rebuilds every destination each epoch. Results are bit-identical \
+             either way; only epoch time changes. Equivalent to exporting \
+             $(b,SBGP_STATICS_KERNEL); unset, that variable (default $(b,delta)) \
+             applies.")
+  in
+  let run n seed ids csv_dir statics_kernel =
+    Option.iter
+      (fun k -> Unix.putenv "SBGP_STATICS_KERNEL" (Bgp.Route_static.kernel_to_string k))
+      statics_kernel;
     let scenario = Experiments.Scenario.create ~n ~seed () in
     let only = if ids = [] then None else Some ids in
     let unknown =
@@ -372,7 +389,10 @@ let exp_cmd =
           csv_dir)
   in
   let doc = "Regenerate the paper's tables and figures." in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const (fun a b c d -> guard (fun () -> run a b c d)) $ n_arg $ seed_arg $ ids $ csv_dir)
+  Cmd.v (Cmd.info "exp" ~doc)
+    Term.(
+      const (fun a b c d e -> guard (fun () -> run a b c d e))
+      $ n_arg $ seed_arg $ ids $ csv_dir $ statics_kernel)
 
 let list_cmd =
   let run () =

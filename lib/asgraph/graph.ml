@@ -123,3 +123,70 @@ let rel_to_string = function
   | Customer -> "customer"
   | Peer -> "peer"
   | Provider -> "provider"
+
+(* ------------------------------------------------------------------ *)
+(* Topology deltas (Section 8.4 churn). *)
+
+type op =
+  | Edge_add of (int * int) * rel
+  | Edge_remove of (int * int) * rel
+  | Set_cp of int * bool
+
+type delta = { base_n : int; grown : int; ops : op list }
+
+let delta_edge_count d =
+  List.fold_left
+    (fun acc op -> match op with Edge_add _ | Edge_remove _ -> acc + 1 | Set_cp _ -> acc)
+    0 d.ops
+
+(* Normalize an op's (a, b) pair to a (provider, customer) pair for
+   customer-provider edges; peer pairs stay as given. *)
+let cp_pair (a, b) rel_ =
+  match rel_ with
+  | Customer -> (a, b)
+  | Provider -> (b, a)
+  | Peer -> invalid_arg "Graph.cp_pair: peer edge"
+
+let apply_delta t (d : delta) =
+  if d.base_n <> t.n then
+    malformed "delta base_n %d does not match graph of %d nodes" d.base_n t.n;
+  if d.grown < 0 then malformed "delta grown is negative";
+  let n' = t.n + d.grown in
+  let key a b = if a < b then (a, b) else (b, a) in
+  let removed = Hashtbl.create 16 in
+  let cp_adds = ref [] and peer_adds = ref [] in
+  let cp_flag = Array.make n' false in
+  List.iter (fun cp -> cp_flag.(cp) <- true) (nodes_of_class t As_class.Cp);
+  List.iter
+    (fun op ->
+      match op with
+      | Edge_add ((a, b), Peer) -> peer_adds := (a, b) :: !peer_adds
+      | Edge_add (pair, rel_) -> cp_adds := cp_pair pair rel_ :: !cp_adds
+      | Edge_remove ((a, b), rel_) ->
+          if a < 0 || a >= t.n || b < 0 || b >= t.n then
+            malformed "removal (%d, %d) references a node outside the base graph" a b;
+          if rel t a b <> Some rel_ then
+            malformed "removal (%d, %d) does not match an existing %s edge" a b
+              (rel_to_string rel_);
+          Hashtbl.replace removed (key a b) ()
+      | Set_cp (v, flag) ->
+          if v < 0 || v >= n' then malformed "Set_cp node %d out of range [0, %d)" v n';
+          cp_flag.(v) <- flag)
+    d.ops;
+  let keep (a, b) = not (Hashtbl.mem removed (key a b)) in
+  let base_cp = ref [] and base_peer = ref [] in
+  List.iter
+    (fun (pair, rel_) ->
+      match rel_ with
+      | Customer -> if keep pair then base_cp := pair :: !base_cp
+      | Peer -> if keep pair then base_peer := pair :: !base_peer
+      | Provider -> assert false)
+    (edges t);
+  let cps = ref [] in
+  for v = n' - 1 downto 0 do
+    if cp_flag.(v) then cps := v :: !cps
+  done;
+  build ~n:n'
+    ~cp_edges:(List.rev !base_cp @ List.rev !cp_adds)
+    ~peer_edges:(List.rev !base_peer @ List.rev !peer_adds)
+    ~cps:!cps

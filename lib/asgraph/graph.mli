@@ -72,3 +72,46 @@ val edges : t -> ((int * int) * rel) list
     as [((a, b), Peer)]. *)
 
 val rel_to_string : rel -> string
+
+(** {2 Topology deltas}
+
+    A [delta] is a small, explicit description of topology churn
+    relative to a base graph: edges inserted or withdrawn, nodes
+    appended at the end of the id space, and content-provider
+    participation toggles. Deltas drive the Section 8.4 evolution
+    epochs and the incremental statics repair in
+    {!Bgp.Route_static}. *)
+
+type op =
+  | Edge_add of (int * int) * rel
+      (** [Edge_add ((a, b), r)]: [b] becomes [r] of [a] — [Customer]
+          pairs are [(provider, customer)], [Provider] pairs the
+          reverse, [Peer] pairs unordered. *)
+  | Edge_remove of (int * int) * rel
+      (** Withdraw an existing base-graph edge; the pair and
+          annotation must match ({!rel}[ g a b = Some r]), else
+          {!apply_delta} raises {!Malformed}. *)
+  | Set_cp of int * bool
+      (** Toggle content-provider participation. The node must have no
+          customers in the resulting graph. *)
+
+type delta = {
+  base_n : int;  (** node count of the graph the delta applies to *)
+  grown : int;  (** new nodes appended: ids [base_n .. base_n + grown - 1] *)
+  ops : op list;
+}
+
+val delta_edge_count : delta -> int
+(** Number of edge insertions plus withdrawals in the delta (the
+    "churned edge" count used by the bench harness). *)
+
+val apply_delta : t -> delta -> t
+(** [apply_delta g d] is the graph after the churn described by [d]:
+    [n g + d.grown] nodes, base edges minus removals plus additions
+    (appended after the surviving base edges, so existing CSR row
+    order is preserved and new members sit at row ends), and classes
+    re-derived from the updated customer sets and CP flags. Raises
+    {!Malformed} under the same conditions as {!build}, or when a
+    removal does not name an existing edge, or when [d.base_n] does
+    not match [g]. New nodes with no ops mentioning them are isolated
+    stubs. *)

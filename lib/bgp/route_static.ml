@@ -315,6 +315,487 @@ let info_bytes info =
   + I32.byte_size info.tie_rev
   + I32.byte_size info.order + 128
 
+let info_equal a b =
+  a.dest = b.dest
+  && Policy.tiebreak_equal a.tb b.tb
+  && a.max_len = b.max_len
+  && Bytes.equal a.cls b.cls
+  && Bytes.equal a.len b.len
+  && I32.equal a.tie_off b.tie_off
+  && I32.equal a.tie b.tie
+  && I32.equal a.tie_rev_off b.tie_rev_off
+  && I32.equal a.tie_rev b.tie_rev
+  && I32.equal a.order b.order
+
+(* ------------------------------------------------------------------ *)
+(* Incremental repair under topology churn (DESIGN.md section 10).
+
+   [repair_surgical] patches one destination's statics across a
+   {!Graph.delta} without rerunning the three-stage computation,
+   whenever the delta provably cannot alter any existing node's class,
+   length or tie row for this destination. Two facts carry the proof:
+
+   - An appended stub (a new node that only becomes the *customer* of
+     existing providers) has no customers and no peers, so it exports
+     no customer route and is nobody's provider or peer: stage 1's
+     provider-link BFS and stage 2's peer scans never read it, and in
+     stage 3 it is a leaf of the bucket queue — its own best length is
+     [min provider length + 1] and it pushes nothing. Every existing
+     byte of the statics is untouched; the stub only appends CSR rows
+     and splices into the order and the reverse-tiebreak layout.
+
+   - Routes to [d] propagate exclusively through nodes that already
+     hold a route to [d]. An edge op whose endpoints are both
+     unreachable (in the pre-delta statics) can therefore never create
+     or destroy a route for anyone: the reachable set's adjacency is
+     unchanged, so the fixed point is unchanged. (This argument is
+     joint across the delta's ops: it holds because *every* non-stub
+     op in a surgical delta has only unreachable endpoints, and stub
+     attachments never extend reachability among existing nodes.)
+
+   Everything else — an insert or withdrawal touching a reachable
+   node, class/participation toggles aside (the statics never read
+   [Graph.klass]), edges among new nodes — falls back to a full
+   {!compute} via {!repair}. The frontier of the delta is thus exact:
+   destinations whose trees the churn cannot reach share their statics
+   physically; reached ones are either patched in O(copy) or rebuilt. *)
+
+type kernel = Full | Delta
+
+let kernel_to_string = function Full -> "full" | Delta -> "delta"
+
+let kernel_of_string = function
+  | "full" -> Some Full
+  | "delta" -> Some Delta
+  | _ -> None
+
+let kernel_of_env () =
+  match Sys.getenv_opt "SBGP_STATICS_KERNEL" with
+  | None | Some "" -> Delta
+  | Some s -> (
+      match kernel_of_string (String.lowercase_ascii (String.trim s)) with
+      | Some k -> k
+      | None ->
+          Printf.eprintf
+            "sbgp: invalid SBGP_STATICS_KERNEL=%S (expected full|delta); using delta\n%!" s;
+          Delta)
+
+(* Direct element primitives for the repair kernels below. The
+   classic (non-flambda) compiler does not inline the [I32] accessors
+   across modules, and repair touches enough int32 elements per entry
+   that the out-of-line calls triple its cost; same-unit helpers
+   specialize down to single loads and stores. *)
+let ba_get (a : I32.t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+let ba_set (a : I32.t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+(* Bump allocator over large slab chunks. The GC paces major work on
+   custom-block bytes, so allocating each migrated entry's arrays as
+   its own Bigarray makes a store-wide rebase allocation-dominated —
+   the per-entry blocks cost an order of magnitude more than the
+   patch work they hold. A slab hands out sub-slices of multi-MB
+   chunks instead. Entries allocated from a slab share the chunks'
+   lifetime, so [rebase] only uses one for unbounded stores, where
+   nothing is ever evicted and the chunks die exactly when the next
+   rebase (or drop) releases the migrated entries; bounded stores
+   keep per-entry arenas so eviction keeps releasing real memory. *)
+type slab = { mutable s_chunk : I32.t; mutable s_pos : int }
+
+let slab_chunk_words = 1 lsl 20 (* 4 MB of int32 per chunk *)
+let slab_create () = { s_chunk = I32.create 0; s_pos = 0 }
+
+let slab_alloc sl len =
+  if sl.s_pos + len > I32.length sl.s_chunk then begin
+    sl.s_chunk <- I32.create (max slab_chunk_words len);
+    sl.s_pos <- 0
+  end;
+  let s = Bigarray.Array1.sub sl.s_chunk sl.s_pos len in
+  sl.s_pos <- sl.s_pos + len;
+  s
+
+(* Per-delta repair context: everything that does not depend on the
+   destination — op classification and reusable scratch buffers — is
+   hoisted here so a store [rebase] pays for it once, not once per
+   resident entry (the per-entry patch must stay within a small
+   multiple of its memcpy floor for repair to beat rebuild per unit of
+   churn). The scratch is only valid within one [repair_with_ctx]
+   call; [rebase] is single-threaded by contract, and the public
+   [repair]/[repair_surgical] build a fresh context per call. *)
+type repair_ctx = {
+  rx_g : Graph.t;  (* the churned graph *)
+  rx_delta : Graph.delta;
+  rx_eligible : bool;
+      (* false: some op (an edge among new nodes, say) disqualifies
+         the surgical path for every destination *)
+  rx_endpoints : int array;
+      (* base-graph endpoints of the non-stub-attach edge ops: a
+         destination is surgical iff none of them is reachable *)
+  (* scratch, reused across calls *)
+  rx_s_len : int array;  (* grown: appended-node length, 0 = unreachable *)
+  rx_stubs : int array;  (* grown: reachable stubs, ascending (length, id) *)
+  rx_cnt : int array;  (* 256 counting-sort buckets over lengths *)
+  rx_row_off : int array;  (* grown + 1: per-stub tie-row offsets *)
+  rx_row : int array;  (* flattened stub tie rows *)
+  rx_slot_stub : int array;  (* owning stub of each flattened tie slot *)
+  rx_row_buf : int array;  (* tie-row sort buffers, max new-node degree *)
+  rx_key_buf : int array;
+  rx_ex_count : int array;  (* base_n: appended rev-row members per provider *)
+  rx_ex_head : int array;  (* base_n: provider's extras head slot, -1 = none *)
+  rx_ex_next : int array;  (* next slot in a provider's extras list *)
+  rx_pdat : int array;
+      (* appended slice of the provider CSR, each stub's row pre-sorted
+         by (tiebreak key, CSR position) — a filtered subset of a row
+         is then already in stable tiebreak order, so per-destination
+         tie rows need no sorting at all *)
+  rx_sorted_for : Policy.tiebreak option ref;  (* policy [rx_pdat] is sorted under *)
+  rx_alloc : int -> I32.t;  (* arena allocator for patched entries *)
+}
+
+(* Tiebreak-policy equality at the only granularity that matters here:
+   rank tables compare by identity (they are mutable). *)
+let tb_same a b =
+  match (a, b) with
+  | Policy.Lowest_id, Policy.Lowest_id -> true
+  | Policy.Hashed x, Policy.Hashed y -> x = y
+  | Policy.Ranked r1, Policy.Ranked r2 -> r1 == r2
+  | _ -> false
+
+let make_repair_ctx g' (delta : Graph.delta) =
+  let base_n = delta.Graph.base_n in
+  let n' = Graph.n g' in
+  if n' <> base_n + delta.Graph.grown then
+    invalid_arg "Route_static.repair: graph does not match delta";
+  let eligible = ref true in
+  let endpoints = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Graph.Set_cp _ -> () (* classes are never read by [compute] *)
+      | Graph.Edge_add ((p, c), Graph.Customer) when p < base_n && c >= base_n ->
+          () (* stub attach: recovered from the provider CSR below *)
+      | Graph.Edge_add ((c, p), Graph.Provider) when p < base_n && c >= base_n -> ()
+      | Graph.Edge_add ((a, b), _) | Graph.Edge_remove ((a, b), _) ->
+          if a >= base_n || b >= base_n then eligible := false
+          else endpoints := a :: b :: !endpoints)
+    delta.Graph.ops;
+  let grown = delta.Graph.grown in
+  let prov_off = g'.Graph.providers.Csr.offsets in
+  let cap = prov_off.(n') - prov_off.(base_n) in
+  let maxdeg = ref 1 in
+  for s = base_n to n' - 1 do
+    maxdeg := max !maxdeg (prov_off.(s + 1) - prov_off.(s))
+  done;
+  {
+    rx_g = g';
+    rx_delta = delta;
+    rx_eligible = !eligible;
+    rx_endpoints = Array.of_list !endpoints;
+    rx_s_len = Array.make (max 1 grown) 0;
+    rx_stubs = Array.make (max 1 grown) 0;
+    rx_cnt = Array.make 256 0;
+    rx_row_off = Array.make (grown + 1) 0;
+    rx_row = Array.make (max 1 cap) 0;
+    rx_slot_stub = Array.make (max 1 cap) 0;
+    rx_row_buf = Array.make !maxdeg 0;
+    rx_key_buf = Array.make !maxdeg 0;
+    rx_ex_count = Array.make (max 1 base_n) 0;
+    rx_ex_head = Array.make (max 1 base_n) (-1);
+    rx_ex_next = Array.make (max 1 cap) (-1);
+    rx_pdat = Array.make (max 1 cap) 0;
+    rx_sorted_for = ref None;
+    rx_alloc = I32.create;
+  }
+
+(* Sort every appended stub's provider row once per (context,
+   policy): [sort_row] is stable over CSR position, so any subset of a
+   pre-sorted row — the providers achieving the minimum length for one
+   destination — is exactly the row the per-destination sort used to
+   produce. This hoists all tiebreak-key evaluation out of the
+   per-destination patch loop. *)
+let rx_prepare_rows rx tb =
+  match !(rx.rx_sorted_for) with
+  | Some tb0 when tb_same tb0 tb -> ()
+  | _ ->
+      let g' = rx.rx_g in
+      let base_n = rx.rx_delta.Graph.base_n in
+      let n' = Graph.n g' in
+      let prov_off = g'.Graph.providers.Csr.offsets
+      and prov_dat = g'.Graph.providers.Csr.data in
+      let pbase = prov_off.(base_n) in
+      let pdat = rx.rx_pdat in
+      for st = base_n to n' - 1 do
+        let lo = prov_off.(st) - pbase in
+        let c = prov_off.(st + 1) - pbase - lo in
+        if c > 0 then begin
+          Array.blit prov_dat (lo + pbase) rx.rx_row_buf 0 c;
+          if c > 1 then sort_row tb st rx.rx_row_buf rx.rx_key_buf c;
+          Array.blit rx.rx_row_buf 0 pdat lo c
+        end
+      done;
+      rx.rx_sorted_for := Some tb
+
+let repair_with_ctx rx info =
+  let delta = rx.rx_delta in
+  let base_n = delta.Graph.base_n in
+  if Bytes.length info.cls <> base_n then
+    invalid_arg "Route_static.repair: dest_info does not match delta.base_n";
+  let reach i = i < base_n && Bytes.unsafe_get info.cls i <> c_unreach in
+  let surgical = ref rx.rx_eligible in
+  let ep = rx.rx_endpoints in
+  let ne = Array.length ep in
+  let i = ref 0 in
+  while !surgical && !i < ne do
+    if reach (Array.unsafe_get ep !i) then surgical := false;
+    incr i
+  done;
+  if not !surgical then None
+  else if delta.Graph.grown = 0 then Some info (* nothing the tree can see changed *)
+  else begin
+    let g' = rx.rx_g in
+    let n' = Graph.n g' in
+    let grown = delta.Graph.grown in
+    rx_prepare_rows rx info.tb;
+    let prov_off = g'.Graph.providers.Csr.offsets in
+    let pbase = prov_off.(base_n) in
+    let pdat = rx.rx_pdat in
+    (* One pass over the appended stubs fuses three jobs: each stub's
+       class/length (min reachable provider + 1 — exactly the key at
+       which stage 3's bucket queue would first pop it), the new
+       cls/len bytes, and the stub's tiebreak row (the providers that
+       achieve the minimum, in provider-CSR order, tiebreak-sorted
+       like every other row). Every provider of an appended stub is an
+       existing node (make_repair_ctx routed anything else to the
+       fallback), so reachability is one byte read. *)
+    let s_len = rx.rx_s_len in
+    let cls = Bytes.make n' c_unreach in
+    Bytes.blit info.cls 0 cls 0 base_n;
+    let len = Bytes.make n' '\000' in
+    Bytes.blit info.len 0 len 0 base_n;
+    let row_off = rx.rx_row_off
+    and row = rx.rx_row
+    and slot_stub = rx.rx_slot_stub in
+    let olen = info.len in
+    let w = ref 0 in
+    row_off.(0) <- 0;
+    let d0 = info.dest in
+    for s = base_n to n' - 1 do
+      let klo = prov_off.(s) - pbase and khi = prov_off.(s + 1) - pbase in
+      (* One argmin-collect pass: a strictly shorter provider resets
+         the row, an equal one appends — [pdat] rows are pre-sorted, so
+         the surviving row is born in stable tiebreak order with no
+         per-destination sort. Reachability is one byte: an unwritten
+         length byte is 0, and the only reachable node of length 0 is
+         the destination itself. *)
+      let first = !w in
+      let best = ref inf in
+      for k = klo to khi - 1 do
+        let p = Array.unsafe_get pdat k in
+        let l = Char.code (Bytes.unsafe_get olen p) in
+        if l > 0 || p = d0 then
+          if l < !best then begin
+            best := l;
+            w := first;
+            row.(first) <- p;
+            slot_stub.(first) <- s;
+            w := first + 1
+          end
+          else if l = !best then begin
+            row.(!w) <- p;
+            slot_stub.(!w) <- s;
+            incr w
+          end
+      done;
+      let j = s - base_n in
+      if !best < inf && !best + 1 <= max_path_len then begin
+        s_len.(j) <- !best + 1;
+        Bytes.unsafe_set cls s c_prov;
+        Bytes.unsafe_set len s (Char.unsafe_chr (!best + 1))
+      end
+      else begin
+        s_len.(j) <- 0;
+        w := first
+      end;
+      row_off.(j + 1) <- !w
+    done;
+    (* Reachable stubs in ascending (length, id): their relative order
+       in the new [order], where each sits after every existing node of
+       equal length ([Order.by_small_key] is stable by id and all
+       appended ids exceed all existing ids). Counting sort over the
+       one-byte lengths; filling in ascending id keeps equal lengths
+       id-sorted. *)
+    let cnt = rx.rx_cnt in
+    Array.fill cnt 0 256 0;
+    for j = 0 to grown - 1 do
+      let l = s_len.(j) in
+      if l > 0 then cnt.(l) <- cnt.(l) + 1
+    done;
+    let acc = ref 0 in
+    for l = 1 to 255 do
+      let c = cnt.(l) in
+      cnt.(l) <- !acc;
+      acc := !acc + c
+    done;
+    let nstub = !acc in
+    let stubs = rx.rx_stubs in
+    for j = 0 to grown - 1 do
+      let l = s_len.(j) in
+      if l > 0 then begin
+        stubs.(cnt.(l)) <- base_n + j;
+        cnt.(l) <- cnt.(l) + 1
+      end
+    done;
+    let extra_total = !w in
+    let old_total = I32.length info.tie in
+    let old_reach = I32.length info.order in
+    let old_rev_total = I32.length info.tie_rev in
+    (* The five int32 arrays come from the context's allocator: plain
+       [I32.create] for one-off repairs and bounded stores (eviction
+       keeps releasing real memory), slab sub-slices for store-wide
+       rebases (see [slab]). *)
+    let sz_off = n' + 1 in
+    let sz_tie = old_total + extra_total in
+    let sz_rev = old_rev_total + extra_total in
+    let sz_order = old_reach + nstub in
+    let tie_off = rx.rx_alloc sz_off in
+    let tie = rx.rx_alloc sz_tie in
+    let tie_rev_off = rx.rx_alloc sz_off in
+    let tie_rev = rx.rx_alloc sz_rev in
+    let order = rx.rx_alloc sz_order in
+    I32.blit ~src:info.tie_off ~src_pos:0 ~dst:tie_off ~dst_pos:0 ~len:(base_n + 1);
+    for j = 1 to grown do
+      ba_set tie_off (base_n + j) (old_total + row_off.(j))
+    done;
+    I32.blit ~src:info.tie ~src_pos:0 ~dst:tie ~dst_pos:0 ~len:old_total;
+    for k = 0 to extra_total - 1 do
+      ba_set tie (old_total + k) row.(k)
+    done;
+    (* Order: splice the stubs in after the existing nodes of their
+       length. Stubs share few distinct lengths, so the merge runs one
+       binary search and one wholesale chunk copy per distinct length,
+       then appends that length's run of stubs. *)
+    let cursor = ref 0 and out = ref 0 in
+    let idx = ref 0 in
+    while !idx < nstub do
+      let l = s_len.(stubs.(!idx) - base_n) in
+      let stop = ref (!idx + 1) in
+      while !stop < nstub && s_len.(stubs.(!stop) - base_n) = l do incr stop done;
+      let lo = ref !cursor and hi = ref old_reach in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Char.code (Bytes.unsafe_get info.len (ba_get info.order mid)) <= l then lo := mid + 1 else hi := mid
+      done;
+      let ins = !lo in
+      I32.blit ~src:info.order ~src_pos:!cursor ~dst:order ~dst_pos:!out
+        ~len:(ins - !cursor);
+      out := !out + (ins - !cursor);
+      cursor := ins;
+      for k = !idx to !stop - 1 do
+        ba_set order !out stubs.(k);
+        incr out
+      done;
+      idx := !stop
+    done;
+    I32.blit ~src:info.order ~src_pos:!cursor ~dst:order ~dst_pos:!out
+      ~len:(old_reach - !cursor);
+    (* Reverse tiebreak CSR: only the stub providers' rows gain
+       members. Rows are ordered by descending order position, which
+       over the new order is descending (length, id) — appended ids
+       exceed existing ones, so a stub sorts after (= higher position
+       than) every existing node of its length. Walking the stubs in
+       ascending position and pushing each onto its providers' linked
+       extras leaves every list descending; one pass over the
+       providers then copies unchanged row ranges wholesale and merges
+       the changed rows in place. *)
+    let ex_count = rx.rx_ex_count
+    and ex_head = rx.rx_ex_head
+    and ex_next = rx.rx_ex_next in
+    for idx = 0 to nstub - 1 do
+      let j = stubs.(idx) - base_n in
+      for k = row_off.(j) to row_off.(j + 1) - 1 do
+        let p = row.(k) in
+        ex_count.(p) <- ex_count.(p) + 1;
+        ex_next.(k) <- ex_head.(p);
+        ex_head.(p) <- k
+      done
+    done;
+    let pos_gt a b =
+      let la = Char.code (Bytes.unsafe_get len a)
+      and lb = Char.code (Bytes.unsafe_get len b) in
+      la > lb || (la = lb && a > b)
+    in
+    let sh = ref 0 in
+    let prev_end = ref 0 in
+    for p = 0 to base_n - 1 do
+      ba_set tie_rev_off p (ba_get info.tie_rev_off p + !sh);
+      if ex_count.(p) > 0 then begin
+        let p_lo = ba_get info.tie_rev_off p
+        and p_hi = ba_get info.tie_rev_off (p + 1) in
+        let sh0 = !sh in
+        for i = !prev_end to p_lo - 1 do
+          Bigarray.Array1.unsafe_set tie_rev (i + sh0)
+            (Bigarray.Array1.unsafe_get info.tie_rev i)
+        done;
+        let wr = ref (p_lo + !sh) in
+        let ex = ref ex_head.(p) in
+        let k = ref p_lo in
+        while !k < p_hi || !ex >= 0 do
+          let take_stub =
+            !ex >= 0
+            && (!k >= p_hi
+               || pos_gt slot_stub.(!ex) (ba_get info.tie_rev !k))
+          in
+          if take_stub then begin
+            ba_set tie_rev !wr slot_stub.(!ex);
+            ex := ex_next.(!ex)
+          end
+          else begin
+            ba_set tie_rev !wr (ba_get info.tie_rev !k);
+            incr k
+          end;
+          incr wr
+        done;
+        sh := !sh + ex_count.(p);
+        prev_end := p_hi
+      end
+    done;
+    I32.blit ~src:info.tie_rev ~src_pos:!prev_end ~dst:tie_rev
+      ~dst_pos:(!prev_end + !sh) ~len:(old_rev_total - !prev_end);
+    let tail = old_rev_total + extra_total in
+    for i = base_n to n' do
+      ba_set tie_rev_off i tail
+    done;
+    (* Reset the provider-indexed scratch for the next call; [ex_next]
+       may stay stale, it is only read behind a live head. *)
+    for k = 0 to extra_total - 1 do
+      let p = row.(k) in
+      ex_count.(p) <- 0;
+      ex_head.(p) <- -1
+    done;
+    let max_len = ref info.max_len in
+    for j = 0 to grown - 1 do
+      if s_len.(j) > !max_len then max_len := s_len.(j)
+    done;
+    Some
+      {
+        dest = info.dest;
+        cls;
+        len;
+        tie_off;
+        tie;
+        tie_rev_off;
+        tie_rev;
+        order;
+        tb = info.tb;
+        max_len = !max_len;
+      }
+  end
+
+let repair_surgical g' ~delta info = repair_with_ctx (make_repair_ctx g' delta) info
+
+let repair g' ~delta info =
+  match repair_surgical g' ~delta info with
+  | Some info' -> info'
+  | None -> compute ~tiebreak:info.tb g' info.dest
+
 (* ------------------------------------------------------------------ *)
 (* The whole-graph statics store: lazily filled, optionally bounded.
 
@@ -349,11 +830,11 @@ type shard = {
 }
 
 type t = {
-  g : Graph.t;
-  slots : dest_info option array;
-  ref_bits : Bytes.t;
-  shards : shard array;
-  shard_idx : Bytes.t;  (** destination -> owning shard (≤ 16 shards) *)
+  mutable g : Graph.t;
+  mutable slots : dest_info option array;
+  mutable ref_bits : Bytes.t;
+  mutable shards : shard array;
+  mutable shard_idx : Bytes.t;  (** destination -> owning shard (≤ 16 shards) *)
   mutable tiebreak : Policy.tiebreak;
 }
 
@@ -365,14 +846,10 @@ let default_budget_bytes () =
   let mb = Nsutil.Env.int_var ~name:"SBGP_STATICS_MB" ~min:0 ~default:0 () in
   if mb <= 0 then max_int else mb * 1024 * 1024
 
-let create ?budget_bytes ?(tiebreak = Policy.Lowest_id) g =
-  let n = Graph.n g in
+(* Fresh slot space, shard stripes and counters for an [n]-node graph;
+   shared between [create] and [rebase]. *)
+let skeleton ~budget n =
   let s = num_shards n in
-  let budget =
-    match budget_bytes with
-    | Some b -> if b <= 0 then max_int else b
-    | None -> default_budget_bytes ()
-  in
   let per_shard = if budget = max_int then max_int else max 1 (budget / s) in
   let shards =
     Array.init s (fun k ->
@@ -395,7 +872,16 @@ let create ?budget_bytes ?(tiebreak = Policy.Lowest_id) g =
         Bytes.set shard_idx d (Char.chr k)
       done)
     shards;
-  { g; slots = Array.make n None; ref_bits = Bytes.make n '\000'; shards; shard_idx; tiebreak }
+  (Array.make n None, Bytes.make n '\000', shards, shard_idx)
+
+let create ?budget_bytes ?(tiebreak = Policy.Lowest_id) g =
+  let budget =
+    match budget_bytes with
+    | Some b -> if b <= 0 then max_int else b
+    | None -> default_budget_bytes ()
+  in
+  let slots, ref_bits, shards, shard_idx = skeleton ~budget (Graph.n g) in
+  { g; slots; ref_bits; shards; shard_idx; tiebreak }
 
 let graph t = t.g
 
@@ -541,6 +1027,129 @@ let ensure_all ?(workers = 1) t =
 (* Under a budget, prefilling would only evict what it just built:
    leave the store to fill lazily, trading recompute for memory. *)
 
+(* ------------------------------------------------------------------ *)
+(* Rebasing the store across a topology delta. The store swaps in a
+   fresh slot space sized for the new graph and, under the [Delta]
+   kernel, migrates every resident entry through [repair_surgical]:
+   shared and patched entries are re-inserted through the normal
+   budget accounting (so eviction state stays exact), entries the
+   churn actually reaches are dropped for lazy recompute against the
+   new graph. The returned journal snapshots the pre-rebase store —
+   slots, reference bits, shards and shard map are never mutated after
+   the swap, so [undo_rebase] is an O(1) pointer restore, mirroring
+   the once-per-node undo log of [Forest.repair] one level up. *)
+
+type rebase_stats = { shared : int; patched : int; dropped : int }
+
+type journal = {
+  j_g : Graph.t;
+  j_slots : dest_info option array;
+  j_ref_bits : Bytes.t;
+  j_shards : shard array;
+  j_shard_idx : Bytes.t;
+  j_tiebreak : Policy.tiebreak;
+  j_stats : rebase_stats;
+  j_changed : int list;
+}
+
+let rebase ?kernel ?(workers = 1) t ~delta g' =
+  let kernel = match kernel with Some k -> k | None -> kernel_of_env () in
+  let base_n = delta.Graph.base_n in
+  if Graph.n t.g <> base_n then
+    invalid_arg "Route_static.rebase: store does not match delta.base_n";
+  if Graph.n g' <> base_n + delta.Graph.grown then
+    invalid_arg "Route_static.rebase: graph does not match delta";
+  let old_g = t.g
+  and old_slots = t.slots
+  and old_ref = t.ref_bits
+  and old_shards = t.shards
+  and old_idx = t.shard_idx in
+  let budget =
+    if bounded t then
+      Array.fold_left
+        (fun a s -> if s.budget = max_int then a else a + s.budget)
+        0 t.shards
+    else max_int
+  in
+  let slots, ref_bits, shards, shard_idx = skeleton ~budget (Graph.n g') in
+  t.g <- g';
+  t.slots <- slots;
+  t.ref_bits <- ref_bits;
+  t.shards <- shards;
+  t.shard_idx <- shard_idx;
+  let shared = ref 0
+  and patched = ref 0
+  and dropped = ref 0
+  and changed = ref [] in
+  (match kernel with
+  | Full ->
+      (* Everything rebuilds lazily; conservatively report every
+         destination as changed. *)
+      for d = base_n - 1 downto 0 do
+        (match old_slots.(d) with Some _ -> incr dropped | None -> ());
+        changed := d :: !changed
+      done
+  | Delta ->
+      (* Phase 1, parallel: pure per-entry repair — the migration is
+         memory-bound (each resident entry is read and its patched
+         copy written), so it fans out across domains; each worker
+         slice builds its own context (op classification + patch
+         scratch, per-delta not per-entry). Phase 2, serial: inserts
+         in the same fixed order as a serial rebase, so budget
+         accounting, eviction state and stats are bit-identical at
+         any worker count. *)
+      let results = Array.make (max 1 base_n) None in
+      if base_n > 0 then
+        Parallel.Pool.map_reduce_chunked ~workers ~tasks:base_n ~grain:32
+          ~init:(fun () ->
+            let rx = make_repair_ctx g' delta in
+            if bounded t then rx else { rx with rx_alloc = slab_alloc (slab_create ()) })
+          ~task:(fun rx d ->
+            match old_slots.(d) with
+            | None -> ()
+            | Some info -> results.(d) <- Some (repair_with_ctx rx info))
+          ~combine:(fun rx _ -> rx)
+        |> ignore;
+      for d = base_n - 1 downto 0 do
+        match results.(d) with
+        | None ->
+            (* Never computed: nothing to migrate, and nothing proves
+               it unchanged either. *)
+            changed := d :: !changed
+        | Some (Some info') ->
+            insert t d info';
+            if (match old_slots.(d) with Some info -> info' == info | None -> false)
+            then incr shared
+            else begin
+              incr patched;
+              changed := d :: !changed
+            end
+        | Some None ->
+            incr dropped;
+            changed := d :: !changed
+      done);
+  {
+    j_g = old_g;
+    j_slots = old_slots;
+    j_ref_bits = old_ref;
+    j_shards = old_shards;
+    j_shard_idx = old_idx;
+    j_tiebreak = t.tiebreak;
+    j_stats = { shared = !shared; patched = !patched; dropped = !dropped };
+    j_changed = !changed;
+  }
+
+let undo_rebase t j =
+  t.g <- j.j_g;
+  t.slots <- j.j_slots;
+  t.ref_bits <- j.j_ref_bits;
+  t.shards <- j.j_shards;
+  t.shard_idx <- j.j_shard_idx;
+  t.tiebreak <- j.j_tiebreak
+
+let rebase_stats j = j.j_stats
+let rebase_changed j = j.j_changed
+
 module Dirty = struct
   type statics = t
 
@@ -550,6 +1159,7 @@ module Dirty = struct
     { statics; flags = Bytes.make (Graph.n statics.g) '\001' }
 
   let is_dirty t d = Bytes.get t.flags d = '\001'
+  let mark t d = Bytes.set t.flags d '\001'
 
   let invalidate t ~changed ~secure =
     if changed <> [] then begin

@@ -75,6 +75,49 @@ val info_bytes : dest_info -> int
 (** Approximate resident size of one record, in bytes — the unit of
     the statics byte budget. *)
 
+val info_equal : dest_info -> dest_info -> bool
+(** Bit-for-bit equality of two records: destination, tiebreak policy,
+    class and length bytes, tie CSR (offsets and pre-sorted rows),
+    reverse tiebreak CSR, and the length-sorted order. The contract of
+    the incremental repair path: [repair] must be [info_equal] to a
+    fresh {!compute} on the churned graph. *)
+
+(** {2 Incremental repair under topology churn} *)
+
+type kernel = Full | Delta
+(** Statics maintenance strategy across a {!Asgraph.Graph.delta}:
+    [Full] rebuilds from scratch, [Delta] patches per-destination
+    records surgically where the churn provably cannot reach the
+    destination's routing tree and falls back to {!compute} elsewhere.
+    Both produce bit-identical results; selected by
+    [SBGP_STATICS_KERNEL] / [--statics-kernel]. *)
+
+val kernel_of_env : unit -> kernel
+(** Reads [SBGP_STATICS_KERNEL] ([full] or [delta]); defaults to
+    [Delta], warning once on an invalid value. *)
+
+val kernel_of_string : string -> kernel option
+val kernel_to_string : kernel -> string
+
+val repair : Asgraph.Graph.t -> delta:Asgraph.Graph.delta -> dest_info -> dest_info
+(** [repair g' ~delta info] is the statics of [info.dest] on the
+    churned graph [g' = apply_delta g delta], given the statics on the
+    pre-churn graph [g]. Bit-identical ({!info_equal}) to
+    [compute ~tiebreak:info.tb g' info.dest]. Destinations whose
+    routing tree the delta cannot reach are patched in O(copy) —
+    appended stubs are spliced into the CSR rows, tie permutation,
+    reverse CSR and length order without recomputation — otherwise the
+    record is rebuilt by {!compute}. The input [info] is never
+    mutated. Raises [Invalid_argument] if [info] or [g'] do not match
+    [delta]. *)
+
+val repair_surgical :
+  Asgraph.Graph.t -> delta:Asgraph.Graph.delta -> dest_info -> dest_info option
+(** The patch-only half of {!repair}: [None] when the delta reaches
+    the destination's tree and a full rebuild is required. [Some info]
+    (physically shared) when the delta provably cannot affect this
+    destination at all. *)
+
 (** {2 The whole-graph store} *)
 
 type t
@@ -129,6 +172,57 @@ val ensure_all : ?workers:int -> t -> unit
     — prefilling would only evict what it just built; workers fill
     shards lazily through {!get}. *)
 
+(** {2 Rebasing across topology churn} *)
+
+type rebase_stats = {
+  shared : int;  (** resident entries untouched by the delta, kept as-is *)
+  patched : int;  (** resident entries repaired surgically *)
+  dropped : int;  (** resident entries the churn reached, left for lazy recompute *)
+}
+
+type journal
+(** Snapshot of the pre-rebase store, for {!undo_rebase}. O(1) — the
+    rebase never mutates the superseded slot space. *)
+
+val rebase :
+  ?kernel:kernel ->
+  ?workers:int ->
+  t ->
+  delta:Asgraph.Graph.delta ->
+  Asgraph.Graph.t ->
+  journal
+(** [rebase t ~delta g'] retargets the store at the churned graph
+    [g' = apply_delta (graph t) delta] in place: fresh slot space and
+    shard stripes sized for [g'] (the total byte budget is preserved),
+    then — under the [Delta] kernel (default {!kernel_of_env}) — every
+    resident entry is migrated through {!repair_surgical}, re-inserted
+    through the normal budget accounting so eviction state stays
+    exact. The migration itself fans out over [workers] domains
+    (default 1); inserts stay serial in a fixed order, so the
+    resulting store is bit-identical at any worker count. Entries the
+    churn reaches are dropped and recompute lazily
+    against [g'] on their next {!get}, as do entries under [Full].
+    After a rebase the store never serves pre-churn info. Hit/miss/
+    eviction counters restart from zero. Not thread-safe: call between
+    engine runs, never concurrently with {!get}. Raises
+    [Invalid_argument] when store or graph do not match [delta]. *)
+
+val undo_rebase : t -> journal -> unit
+(** Restore the store to its exact pre-rebase state (slots, reference
+    bits, shard accounts, graph, tiebreak). Only meaningful with the
+    journal of the store's most recent rebase. *)
+
+val rebase_stats : journal -> rebase_stats
+
+val rebase_changed : journal -> int list
+(** Destinations (of the pre-churn graph, ascending) whose static info
+    is not provably unchanged by the delta: patched or dropped
+    entries, plus destinations that were not resident at rebase time.
+    The complement — destinations omitted here — kept physically
+    identical info, so any per-destination derived cache (forests,
+    utility contributions) remains valid for them; feed this list to
+    {!Core.Incremental.note_churn}. *)
+
 (** Cross-round dirty-destination tracking for deployment-state
     caches. A consumer that caches *per-destination* derived data
     (routing forests, utility contributions) keyed on the deployment
@@ -162,6 +256,11 @@ module Dirty : sig
   val reset : t -> unit
   (** Mark every destination clean (call once the consumer has
       recomputed its cache for the current state). *)
+
+  val mark : t -> int -> unit
+  (** Mark one destination dirty unconditionally — used for topology
+      churn, where the destination's static info (not just the
+      deployment state) changed. *)
 
   val is_dirty : t -> int -> bool
   val dirty_count : t -> int

@@ -18,6 +18,7 @@ type t = {
   workers : int;
   retries : int;
   flip_kernel : flip_kernel;
+  statics_kernel : Bgp.Route_static.kernel;
 }
 
 let flip_kernel_of_env () =
@@ -52,6 +53,7 @@ let default =
     workers = Parallel.Pool.default_workers ();
     retries = 2;
     flip_kernel = flip_kernel_of_env ();
+    statics_kernel = Bgp.Route_static.kernel_of_env ();
   }
 
 let incoming = { default with model = Incoming; allow_turn_off = true }

@@ -55,6 +55,17 @@ type t = {
           Defaults to [Flip_delta], overridable via the
           [SBGP_FLIP_KERNEL] environment variable ([full] or
           [delta]). *)
+  statics_kernel : Bgp.Route_static.kernel;
+      (** how the per-destination statics store is maintained across
+          topology churn (the Section 8.4 evolution epochs):
+          [Full] rebuilds every destination each epoch, [Delta]
+          migrates the warm store through
+          {!Bgp.Route_static.rebase}, repairing only destinations the
+          churn reaches. Bit-identical results (enforced by the churn
+          differential in the parity suite), so — like [flip_kernel] —
+          it is excluded from checkpoint digests. Defaults to [Delta],
+          overridable via [SBGP_STATICS_KERNEL] ([full] or [delta])
+          or [--statics-kernel]. *)
 }
 
 val default : t

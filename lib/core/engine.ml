@@ -230,8 +230,9 @@ type progress = {
 }
 
 (* SHA-256 over every input that determines results: config fields
-   (except [workers]/[retries]/[flip_kernel], which provably do not
-   affect results — the parity suite holds full-vs-delta kernels
+   (except [workers]/[retries]/[flip_kernel]/[statics_kernel], which
+   provably do not affect results — the parity suite holds
+   full-vs-delta flip kernels and full-vs-delta statics maintenance
    bit-identical, and the statics byte budget is likewise excluded,
    since a bounded store only trades recompute for memory), topology,
    traffic weights and the initial deployment state. A checkpoint

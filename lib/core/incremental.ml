@@ -13,6 +13,10 @@ type t = {
   entries : entry option array;
   isp_index : int array;
   isp_count : int;
+  mutable pending_churn : int list;
+      (* destinations whose *static* info changed under a topology
+         delta (same node count), to be force-marked dirty at the next
+         [begin_round] on top of the state diff *)
 }
 
 let create statics =
@@ -32,7 +36,13 @@ let create statics =
     entries = Array.make n None;
     isp_index;
     isp_count = !count;
+    pending_churn = [];
   }
+
+let note_churn t ~changed =
+  if Array.length t.entries <> Graph.n (Route_static.graph t.statics) then
+    invalid_arg "Incremental.note_churn: cache does not match the store's graph";
+  t.pending_churn <- List.rev_append changed t.pending_churn
 
 let begin_round t state =
   if State.marked state then begin
@@ -40,6 +50,12 @@ let begin_round t state =
     Route_static.Dirty.invalidate t.dirty
       ~changed:(State.changed_since_mark state)
       ~secure:(State.secure_bytes state)
+  end;
+  (* Topology churn marks unconditionally: the destination's statics
+     changed, so its forest can change regardless of the state diff. *)
+  if t.pending_churn <> [] then begin
+    List.iter (fun d -> Route_static.Dirty.mark t.dirty d) t.pending_churn;
+    t.pending_churn <- []
   end;
   State.mark state
 

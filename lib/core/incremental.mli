@@ -36,9 +36,22 @@ val create : Bgp.Route_static.t -> t
 
 val begin_round : t -> State.t -> unit
 (** Mark destinations whose forest can change given the state's byte
-    diff since the previous call, then re-mark the state. The first
-    call leaves everything dirty. Call once per round, before the
-    sweep, with the state at its round-start value. *)
+    diff since the previous call (plus any destinations queued by
+    {!note_churn}), then re-mark the state. The first call leaves
+    everything dirty. Call once per round, before the sweep, with the
+    state at its round-start value. *)
+
+val note_churn : t -> changed:int list -> unit
+(** Queue destinations whose *static* info changed under a topology
+    delta that preserved the node count — the
+    {!Bgp.Route_static.rebase_changed} list after a
+    {!Bgp.Route_static.rebase} of the cache's store. They are marked
+    dirty unconditionally at the next {!begin_round}: their forests
+    can change even when the deployment state did not. Destinations
+    absent from the list keep physically identical statics, so their
+    cached entries replay bit-identically across the churn. Raises
+    [Invalid_argument] if the store's graph no longer matches the
+    cache's node count (a growing delta requires a fresh {!create}). *)
 
 val is_dirty : t -> int -> bool
 val dirty_count : t -> int

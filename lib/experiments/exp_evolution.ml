@@ -17,7 +17,12 @@ module Evolution = struct
   let secure_bias = 2.0
 
   let run (s : Scenario.t) =
-    let cfg = Core.Config.default in
+    (* Re-read the statics kernel here (not at module init) so
+       [--statics-kernel], which exports SBGP_STATICS_KERNEL just
+       before the experiments run, takes effect. *)
+    let cfg =
+      { Core.Config.default with statics_kernel = Bgp.Route_static.kernel_of_env () }
+    in
     let t =
       Table.create
         ~header:
@@ -28,11 +33,20 @@ module Evolution = struct
             "secure ISPs";
             "new stubs on secure ISPs";
             "rounds";
+            "statics misses";
+            "epoch s";
           ]
     in
     let early = Scenario.case_study_adopters s in
-    let rec epoch k g full_isps =
-      let statics = Bgp.Route_static.create g in
+    (* One statics store lives across all epochs. Under the delta
+       statics kernel (the default) each epoch boundary rebases it
+       through the growth delta — only destinations the new stubs can
+       reach are touched, the rest carry over — instead of rebuilding
+       every destination from scratch; under [Full] the store is
+       recreated each epoch. Results are bit-identical either way
+       (parity suite, churn differential). *)
+    let rec epoch k g statics full_isps =
+      let t0 = Unix.gettimeofday () in
       let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
       let state = Core.State.create g ~early in
       List.iter
@@ -41,11 +55,10 @@ module Evolution = struct
             ignore (Core.State.enable state i))
         full_isps;
       let result = Core.Engine.run cfg statics ~weight ~state in
+      let dt = Unix.gettimeofday () -. t0 in
       let n = Graph.n g in
       (* How many of this epoch's newly added stubs landed on a secure
          provider? (Epoch 0 has none.) *)
-      let base_n = s.n in
-      ignore base_n;
       let secure_frac_row new_on_secure =
         Table.add_row t
           [
@@ -55,6 +68,8 @@ module Evolution = struct
             Table.cell_pct (Core.Engine.secure_fraction result `Isp);
             new_on_secure;
             string_of_int (Core.Engine.rounds_run result);
+            string_of_int result.statics_misses;
+            Printf.sprintf "%.3f" dt;
           ]
       in
       if k >= epochs then secure_frac_row "-"
@@ -64,12 +79,21 @@ module Evolution = struct
           if Graph.is_isp g i && Core.State.full result.final i then
             full_after := i :: !full_after
         done;
-        let grown =
-          Topology.Evolve.grow g
+        let grown, delta =
+          Topology.Evolve.grow_delta g
             ~new_stubs:(max 1 (int_of_float (growth_fraction *. float_of_int n)))
             ~secure_bias
             ~is_secure:(fun i -> Core.State.secure result.final i)
             ~seed:(100 + k)
+        in
+        let statics =
+          match cfg.statics_kernel with
+          | Bgp.Route_static.Delta ->
+              ignore
+                (Bgp.Route_static.rebase ~kernel:Bgp.Route_static.Delta
+                   ~workers:cfg.workers statics ~delta grown);
+              statics
+          | Bgp.Route_static.Full -> Bgp.Route_static.create grown
         in
         (* Count new stubs with at least one secure provider. *)
         let on_secure = ref 0 in
@@ -83,9 +107,10 @@ module Evolution = struct
         secure_frac_row
           (Printf.sprintf "%d/%d (%s)" !on_secure added
              (Table.cell_pct (float_of_int !on_secure /. float_of_int (max 1 added))));
-        epoch (k + 1) grown !full_after
+        epoch (k + 1) grown statics !full_after
       end
     in
-    epoch 0 (Scenario.graph s) [];
+    let g0 = Scenario.graph s in
+    epoch 0 g0 (Bgp.Route_static.create g0) [];
     t
 end

@@ -1,7 +1,7 @@
 module Graph = Asgraph.Graph
 module Prng = Nsutil.Prng
 
-let grow g ~new_stubs ~secure_bias ~is_secure ~seed =
+let grow_delta g ~new_stubs ~secure_bias ~is_secure ~seed =
   if secure_bias < 0.0 then invalid_arg "Evolve.grow: negative bias";
   let n = Graph.n g in
   let rng = Prng.create ~seed in
@@ -24,23 +24,19 @@ let grow g ~new_stubs ~secure_bias ~is_secure ~seed =
     in
     scan 0 0.0
   in
-  let cp_edges = ref [] in
-  let peer_edges = ref [] in
-  List.iter
-    (fun ((a, b), rel) ->
-      match rel with
-      | Graph.Customer -> cp_edges := (a, b) :: !cp_edges
-      | Graph.Peer -> peer_edges := (a, b) :: !peer_edges
-      | Graph.Provider -> assert false)
-    (Graph.edges g);
+  let ops = ref [] in
   for s = n to n + new_stubs - 1 do
     let wanted = 1 + (if Prng.float rng 1.0 < 0.4 then 1 else 0) in
     let first = pick () in
-    cp_edges := (first, s) :: !cp_edges;
+    ops := Graph.Edge_add ((first, s), Graph.Customer) :: !ops;
     if wanted = 2 then begin
       let second = pick () in
-      if second <> first then cp_edges := (second, s) :: !cp_edges
+      if second <> first then
+        ops := Graph.Edge_add ((second, s), Graph.Customer) :: !ops
     end
   done;
-  Graph.build ~n:(n + new_stubs) ~cp_edges:!cp_edges ~peer_edges:!peer_edges
-    ~cps:(Graph.nodes_of_class g Asgraph.As_class.Cp)
+  let delta = { Graph.base_n = n; grown = new_stubs; ops = List.rev !ops } in
+  (Graph.apply_delta g delta, delta)
+
+let grow g ~new_stubs ~secure_bias ~is_secure ~seed =
+  fst (grow_delta g ~new_stubs ~secure_bias ~is_secure ~seed)

@@ -21,3 +21,15 @@ val grow :
     [(customer_degree + 1) * (1 + secure_bias)] if [is_secure] holds
     for it, [(customer_degree + 1)] otherwise. [secure_bias = 0]
     recovers plain preferential attachment. *)
+
+val grow_delta :
+  Asgraph.Graph.t ->
+  new_stubs:int ->
+  secure_bias:float ->
+  is_secure:(int -> bool) ->
+  seed:int ->
+  Asgraph.Graph.t * Asgraph.Graph.delta
+(** Like {!grow}, but also returns the explicit {!Asgraph.Graph.delta}
+    (stub-attachment [Edge_add] ops) relating the grown graph to [g] —
+    the input to {!Bgp.Route_static.rebase}, which migrates a warm
+    statics store across the epoch instead of rebuilding it. *)

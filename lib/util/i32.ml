@@ -2,13 +2,13 @@ type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 let create n : t = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n
 
-let length (a : t) = Bigarray.Array1.dim a
+let[@inline] length (a : t) = Bigarray.Array1.dim a
 
-let get (a : t) i = Int32.to_int (Bigarray.Array1.get a i)
-let set (a : t) i v = Bigarray.Array1.set a i (Int32.of_int v)
+let[@inline] get (a : t) i = Int32.to_int (Bigarray.Array1.get a i)
+let[@inline] set (a : t) i v = Bigarray.Array1.set a i (Int32.of_int v)
 
-let unsafe_get (a : t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
-let unsafe_set (a : t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+let[@inline] unsafe_get (a : t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline] unsafe_set (a : t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
 
 let fill (a : t) v = Bigarray.Array1.fill a (Int32.of_int v)
 
@@ -46,3 +46,25 @@ let equal (a : t) (b : t) =
   &&
   let rec loop i = i >= length a || (get a i = get b i && loop (i + 1)) in
   loop 0
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len > 0 then begin
+    if
+      src_pos < 0 || dst_pos < 0
+      || src_pos + len > length src
+      || dst_pos + len > length dst
+    then invalid_arg "I32.blit";
+    (* [Array1.sub] allocates two custom blocks per call, each costing
+       hundreds of ns in allocation and GC pacing; a plain element
+       loop runs at ~1-2 ns/elem, so memcpy through subs only pays for
+       itself from roughly a thousand elements up. *)
+    if len < 1024 then
+      for i = 0 to len - 1 do
+        Bigarray.Array1.unsafe_set dst (dst_pos + i)
+          (Bigarray.Array1.unsafe_get src (src_pos + i))
+      done
+    else
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub src src_pos len)
+        (Bigarray.Array1.sub dst dst_pos len)
+  end

@@ -34,3 +34,7 @@ val byte_size : t -> int
 (** Payload bytes: [4 * length]. *)
 
 val equal : t -> t -> bool
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies [len] elements;
+    a memcpy under the hood. [len = 0] is a no-op. *)

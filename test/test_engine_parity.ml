@@ -157,6 +157,69 @@ let test_kernel_differential_round_cap () =
     chicken_round_cap_inputs
 
 (* ------------------------------------------------------------------ *)
+(* Statics-kernel churn differential: an engine run on a churned graph
+   must be bit-identical whether its statics store is created fresh on
+   the churned graph (the reference) or migrated across the growth
+   delta from a warm pre-churn store via [Route_static.rebase] — under
+   both the [Full] and the [Delta] statics kernel, at a serial and a
+   parallel worker count, across all three terminations. The appended
+   stubs carry zero traffic weight, so the scenario keeps its expected
+   termination: a zero-weight leaf only adds [+. 0.0] utility addends
+   and no transit paths. *)
+
+let churn_differential ~expect scenario_name build_inputs =
+  let build_churned () =
+    let cfg, g, weight, early, frozen = build_inputs () in
+    let n = Asgraph.Graph.n g in
+    let grown, delta =
+      Topology.Evolve.grow_delta g
+        ~new_stubs:(max 1 (n / 8))
+        ~secure_bias:1.5
+        ~is_secure:(fun i -> i mod 2 = 0)
+        ~seed:9
+    in
+    let weight' = Array.make (Asgraph.Graph.n grown) 0.0 in
+    Array.blit weight 0 weight' 0 n;
+    (cfg, g, delta, grown, weight', early, frozen)
+  in
+  let run_fresh workers =
+    let cfg, _, _, grown, weight, early, frozen = build_churned () in
+    let statics = Bgp.Route_static.create grown in
+    let state = State.create grown ~early ~frozen in
+    Engine.run { cfg with Core.Config.workers } statics ~weight ~state
+  in
+  let run_rebased workers kernel =
+    let cfg, g, delta, grown, weight, early, frozen = build_churned () in
+    let statics = Bgp.Route_static.create g in
+    (* Warm the store on the PRE-churn graph, then migrate it. *)
+    Bgp.Route_static.ensure_all statics;
+    ignore (Bgp.Route_static.rebase ~kernel statics ~delta grown);
+    let state = State.create grown ~early ~frozen in
+    Engine.run { cfg with Core.Config.workers } statics ~weight ~state
+  in
+  let reference = run_fresh 1 in
+  check termination_t (scenario_name ^ " termination") expect reference.termination;
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun kernel -> check_result_equal reference (run_rebased workers kernel))
+        [ Bgp.Route_static.Full; Bgp.Route_static.Delta ])
+    [ 1; 4 ]
+
+let test_churn_differential_stable () =
+  churn_differential ~expect:Engine.Stable "churn/synthetic-outgoing"
+    synthetic_outgoing_inputs
+
+let test_churn_differential_oscillation () =
+  churn_differential
+    ~expect:(Engine.Oscillation { first_round = 0 })
+    "churn/chicken-oscillation" chicken_oscillation_inputs
+
+let test_churn_differential_round_cap () =
+  churn_differential ~expect:Engine.Max_rounds "churn/chicken-max-rounds"
+    chicken_round_cap_inputs
+
+(* ------------------------------------------------------------------ *)
 (* Statics byte budget: a bounded store recomputes evicted entries on
    demand, and [Route_static.compute] is pure — so any budget must be
    result-invisible, for any worker count and all three terminations.
@@ -321,6 +384,15 @@ let () =
             test_kernel_differential_oscillation;
           Alcotest.test_case "full = delta (round cap)" `Quick
             test_kernel_differential_round_cap;
+        ] );
+      ( "statics-churn",
+        [
+          Alcotest.test_case "fresh = rebased store (stable)" `Quick
+            test_churn_differential_stable;
+          Alcotest.test_case "fresh = rebased store (oscillation)" `Quick
+            test_churn_differential_oscillation;
+          Alcotest.test_case "fresh = rebased store (round cap)" `Quick
+            test_churn_differential_round_cap;
         ] );
       ( "statics-budget",
         [
