@@ -553,6 +553,23 @@ let run_json_bench ~path =
   Bgp.Route_static.undo_rebase statics crosscheck;
   Printf.printf "statics repair differential: %d destinations bit-identical\n%!"
     (Asgraph.Graph.n grown);
+  (* Checkpoint churn: what one epoch boundary pays for durability —
+     snapshot the warm store, frame and write it as a churn record
+     through the checksummed checkpoint protocol, then load it back
+     and restore a store from it (the resume half). ns/op is per
+     snapshotted destination, which keeps the smoke-vs-committed
+     compare roughly scale-normalized (each record also grows with n,
+     so the per-destination figure still rises with scale — compare
+     ratios sit below 1 like statics_build's). *)
+  let ckpt_path = Filename.temp_file "sbgp_bench_ckpt" ".snap" in
+  let ckpt_digest = Scrypto.Sha256.digest_string "bench-churn-checkpoint" in
+  record "checkpoint_churn" ~ops:n (fun () ->
+      Core.Checkpoint.write ~kind:Core.Checkpoint.Churn ~path:ckpt_path
+        ~digest:ckpt_digest ~round:1
+        (Bgp.Route_static.snapshot statics);
+      let frame = Core.Checkpoint.load_exn ~path:ckpt_path ~digest:ckpt_digest in
+      Bgp.Route_static.of_snapshot g frame.Core.Checkpoint.payload);
+  Sys.remove ckpt_path;
   (* Forest sweep: one full per-round sweep (all destinations) through
      the fused kernel, per-worker scratch — the shape of the engine's
      inner loop. *)
@@ -814,6 +831,7 @@ let run_json_bench ~path =
       "\"schema\": \"sbgp-bench-v1\"";
       "\"statics_build\"";
       "\"statics_repair\"";
+      "\"checkpoint_churn\"";
       "\"forest_sweep_w1\"";
       "\"flip_probe_w1\"";
       "\"flip_full_w1\"";

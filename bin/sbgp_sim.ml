@@ -20,7 +20,36 @@ let guard f =
       Printf.eprintf "error: %s\n" m;
       exit 2
   | Core.Checkpoint.Error e ->
-      Printf.eprintf "error: checkpoint: %s\n" (Core.Checkpoint.error_to_string e);
+      (* Each typed checkpoint error gets one actionable line: what is
+         wrong with the snapshot and what to do about it. *)
+      let hint =
+        match e with
+        | Core.Checkpoint.Io _ ->
+            "check that the --checkpoint path exists and is readable/writable"
+        | Core.Checkpoint.Bad_magic ->
+            "this is not a checkpoint file; point --checkpoint at a snapshot \
+             this tool wrote"
+        | Core.Checkpoint.Unsupported_version _ ->
+            "the snapshot was written by a newer build; rerun without --resume \
+             to start over"
+        | Core.Checkpoint.Unsupported_kind 1 ->
+            "this is a churn-run snapshot; resume it through the evolution \
+             runner ('exp evolution'), not 'run --resume'"
+        | Core.Checkpoint.Unsupported_kind _ ->
+            "the snapshot's record kind is unknown to this build; rerun \
+             without --resume to start over"
+        | Core.Checkpoint.Truncated ->
+            "the file was cut short (full disk or interrupted copy?); rerun \
+             without --resume to start over"
+        | Core.Checkpoint.Corrupt ->
+            "the integrity checksum does not match; the file was damaged \
+             after writing — rerun without --resume to start over"
+        | Core.Checkpoint.Config_mismatch _ ->
+            "the snapshot belongs to a different run; pass exactly the \
+             original -n/--seed/--theta/... parameters (and topology)"
+      in
+      Printf.eprintf "error: checkpoint: %s\nhint: %s\n"
+        (Core.Checkpoint.error_to_string e) hint;
       exit 2
   | Parallel.Pool.Supervision_failed failures ->
       Printf.eprintf "error: %d worker slice(s) failed past the retry budget" (List.length failures);
@@ -153,6 +182,29 @@ let run_cmd =
             "Retry budget for failed worker slices in the per-round sweep (final attempt \
              runs serially). Never affects results, only survival.")
   in
+  let task_timeout_ms =
+    Arg.(
+      value
+      & opt int Core.Config.default.task_timeout_ms
+      & info [ "task-timeout-ms" ]
+          ~doc:
+            "Hang watchdog: a sweep slice silent for this many milliseconds is \
+             cancelled and retried under the $(b,--retries) budget. 0 disables \
+             the watchdog. Never affects results, only survival. The default \
+             honours \\$(b,SBGP_TASK_TIMEOUT_MS).")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Degrade gracefully instead of crashing: repeated supervision \
+             failures and invalid statics records demote the affected \
+             destinations to the full (reference) kernels, and failed \
+             checkpoint writes are skipped with a warning. Results stay \
+             bit-identical; demotion and skip counts are reported. Equivalent \
+             to \\$(b,SBGP_DEGRADE=1).")
+  in
   let flip_kernel =
     let kernel_conv =
       Arg.conv
@@ -224,7 +276,8 @@ let run_cmd =
       end
   in
   let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers
-      checkpoint_path checkpoint_every resume retries flip_kernel statics_mb trace metrics =
+      checkpoint_path checkpoint_every resume retries task_timeout_ms degrade flip_kernel
+      statics_mb trace metrics =
     Option.iter Nsobs.Control.set_trace trace;
     Option.iter Nsobs.Control.set_metrics metrics;
     let g =
@@ -254,6 +307,8 @@ let run_cmd =
         allow_turn_off = model = Core.Config.Incoming;
         workers = max 1 workers;
         retries = max 0 retries;
+        task_timeout_ms = max 0 task_timeout_ms;
+        degrade = degrade || Core.Config.default.degrade;
         flip_kernel;
       }
     in
@@ -312,6 +367,15 @@ let run_cmd =
     Printf.printf "sweep: %d workers; %d destination recomputes, %d cache hits (%.1f%%)\n"
       cfg.workers result.dest_recomputed result.dest_reused
       (100.0 *. Core.Engine.cache_hit_rate result);
+    if result.demotions > 0 || result.checkpoint_skips > 0 then
+      Printf.printf
+        "degraded: %d destination(s) demoted to the full kernels, %d checkpoint \
+         write(s) skipped (results unaffected)\n"
+        result.demotions result.checkpoint_skips;
+    (* On a snapshot-restored resume the engine swaps in the store
+       rebuilt from the checkpoint; report the store the run actually
+       used, not the handle created above. *)
+    let statics = result.Core.Engine.statics_store in
     let st = Bgp.Route_static.stats statics in
     if Bgp.Route_static.bounded statics then
       (* Counters are best-effort under parallel sweeps (racy
@@ -337,11 +401,11 @@ let run_cmd =
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m o p q r s ->
-          guard (fun () -> run a b c d e f g h i j k l m o p q r s))
+      const (fun a b c d e f g h i j k l m o p q r s t u ->
+          guard (fun () -> run a b c d e f g h i j k l m o p q r s t u))
       $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
-      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ flip_kernel
-      $ statics_mb $ trace $ metrics)
+      $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ task_timeout_ms
+      $ degrade $ flip_kernel $ statics_mb $ trace $ metrics)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =

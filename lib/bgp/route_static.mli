@@ -118,6 +118,19 @@ val repair_surgical :
     (physically shared) when the delta provably cannot affect this
     destination at all. *)
 
+val check_info : Asgraph.Graph.t -> dest_info -> (unit, string) result
+(** Cheap structural self-check of one record against its graph — the
+    degradation ladder's invariant probe. Verifies, in O(record size):
+    CSR offset monotonicity and bounds for both tie CSRs, that [order]
+    is a duplicate-free ascending-length permutation of exactly the
+    reachable nodes starting at [dest], that [max_len] matches the
+    last order entry, that every tie member is in range, and that
+    [tie_rev] is the exact transpose of [tie] (compared as a multiset
+    of (row, member) pairs via an order-insensitive sum/xor digest —
+    collisions are possible in principle but not constructible by the
+    single-byte corruptions the fault harness injects). [Error reason]
+    names the first violated invariant. *)
+
 (** {2 The whole-graph store} *)
 
 type t
@@ -178,6 +191,13 @@ type rebase_stats = {
   shared : int;  (** resident entries untouched by the delta, kept as-is *)
   patched : int;  (** resident entries repaired surgically *)
   dropped : int;  (** resident entries the churn reached, left for lazy recompute *)
+  invalid : int;
+      (** patched entries that failed the {!check_info} structural
+          validation and were dropped for lazy recompute instead of
+          being inserted — the degradation ladder's per-destination
+          [delta -> full] statics demotion. Always [0] unless a fault
+          plan (site [statics.repair]) or a real repair bug corrupts a
+          patched record. *)
 }
 
 type journal
@@ -187,6 +207,7 @@ type journal
 val rebase :
   ?kernel:kernel ->
   ?workers:int ->
+  ?faults:Nsutil.Faults.t ->
   t ->
   delta:Asgraph.Graph.delta ->
   Asgraph.Graph.t ->
@@ -202,6 +223,13 @@ val rebase :
     resulting store is bit-identical at any worker count. Entries the
     churn reaches are dropped and recompute lazily
     against [g'] on their next {!get}, as do entries under [Full].
+    Every surgically patched record is structurally validated
+    ({!check_info}) before insertion; a record that fails — possible
+    only under fault injection (site [statics.repair], which corrupts
+    a freshly patched, never shared, record) or a repair bug — is
+    dropped for lazy recompute and counted in [rebase_stats.invalid]:
+    the outcome stays bit-identical because {!compute} is the
+    reference the patch is contracted to equal.
     After a rebase the store never serves pre-churn info. Hit/miss/
     eviction counters restart from zero. Not thread-safe: call between
     engine runs, never concurrently with {!get}. Raises
@@ -213,6 +241,32 @@ val undo_rebase : t -> journal -> unit
     journal of the store's most recent rebase. *)
 
 val rebase_stats : journal -> rebase_stats
+
+val revalidate : t -> (int * string) list
+(** Checkpoint-boundary rung of the degradation ladder: run
+    {!check_info} over every resident record, drop the ones that fail
+    (their destinations recompute lazily — the [Full]-kernel behavior)
+    and return [(dest, reason)] for each drop, ascending. Results stay
+    bit-identical because {!compute} is the reference. Empty on a
+    healthy store. Not thread-safe. *)
+
+(** {3 Snapshots for churn-consistent checkpoints} *)
+
+val snapshot : t -> string
+(** Serialize the store's full warm state — resident records,
+    reference bits, shard budgets/hands and the hit/miss/eviction
+    counters, and the tiebreak policy — as an opaque blob, so a churn
+    run resumed from a checkpoint reports byte-identical statics
+    statistics to an uninterrupted one. The graph is {e not} included;
+    pair the blob with however the caller persists/recomputes its
+    graph. *)
+
+val of_snapshot : Asgraph.Graph.t -> string -> t
+(** Rebuild a store from {!snapshot} output onto [g], which must have
+    the node count the snapshot was taken under (raises
+    [Invalid_argument] otherwise). The blob is a [Marshal] image:
+    callers must gate it behind an integrity check
+    ({!Core.Checkpoint} does) before handing it here. *)
 
 val rebase_changed : journal -> int list
 (** Destinations (of the pre-churn graph, ascending) whose static info

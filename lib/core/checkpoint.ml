@@ -1,9 +1,18 @@
 module Sha256 = Scrypto.Sha256
 
+type kind = Engine | Churn
+
+let kind_to_string = function Engine -> "engine" | Churn -> "churn"
+let kind_code = function Engine -> 0 | Churn -> 1
+let kind_of_code = function 0 -> Some Engine | 1 -> Some Churn | _ -> None
+
+type frame = { round : int; kind : kind; version : int; payload : string }
+
 type error =
   | Io of string
   | Bad_magic
   | Unsupported_version of int
+  | Unsupported_kind of int
   | Truncated
   | Corrupt
   | Config_mismatch of { expected : string; found : string }
@@ -14,6 +23,7 @@ let error_to_string = function
   | Io m -> Printf.sprintf "checkpoint I/O error: %s" m
   | Bad_magic -> "not a checkpoint file (bad magic)"
   | Unsupported_version v -> Printf.sprintf "unsupported checkpoint version %d" v
+  | Unsupported_kind k -> Printf.sprintf "unsupported checkpoint record kind %d" k
   | Truncated -> "truncated checkpoint file"
   | Corrupt -> "corrupt checkpoint file (checksum mismatch)"
   | Config_mismatch { expected; found } ->
@@ -30,12 +40,17 @@ let () =
 (* On-disk layout, all integers big-endian:
 
      magic   "SBGPCKP1"                        8 bytes
-     version u16 (= 1)                         2 bytes
+     version u16 (= 2)                         2 bytes
+     kind    u16 (0 = engine, 1 = churn)       2 bytes   (version >= 2)
      digest  config/topology SHA-256          32 bytes
      round   u32                               4 bytes
      length  payload bytes, u64                8 bytes
      payload                                   (length)
      footer  SHA-256 of everything above      32 bytes
+
+   Version 1 frames (no kind field) still load, implying an engine
+   record — the version bump is backward-compatible so pre-existing
+   snapshots on disk stay resumable.
 
    The footer authenticates the frame against torn writes and bit
    rot; the digest ties the snapshot to the inputs that produced it.
@@ -83,17 +98,21 @@ let timed hist f =
   else f ()
 
 let magic = "SBGPCKP1"
-let version = 1
+let version = 2
 let digest_len = 32
-let header_len = 8 + 2 + digest_len + 4 + 8
+
+(* Header length per frame version: v1 has no kind field. *)
+let header_len_v v = 8 + 2 + (if v >= 2 then 2 else 0) + digest_len + 4 + 8
+let header_len = header_len_v version
 let footer_len = digest_len
 
-let frame ~digest ~round ~payload =
+let frame_bytes ~kind ~digest ~round ~payload =
   if String.length digest <> digest_len then
     invalid_arg "Checkpoint.write: digest must be 32 raw bytes";
   let buf = Buffer.create (header_len + String.length payload + footer_len) in
   Buffer.add_string buf magic;
   Buffer.add_uint16_be buf version;
+  Buffer.add_uint16_be buf (kind_code kind);
   Buffer.add_string buf digest;
   Buffer.add_int32_be buf (Int32.of_int round);
   Buffer.add_int64_be buf (Int64.of_int (String.length payload));
@@ -101,12 +120,21 @@ let frame ~digest ~round ~payload =
   let body = Buffer.contents buf in
   body ^ Sha256.digest_string body
 
-let write ?faults ~path ~digest ~round payload =
+let write ?faults ?(kind = Engine) ~path ~digest ~round payload =
   Nsobs.Trace.span ~cat:"checkpoint" "checkpoint.write" @@ fun () ->
   timed m_write_ms @@ fun () ->
-  let bytes = Bytes.of_string (frame ~digest ~round ~payload) in
-  (* Fault injection: flip one payload byte *after* the checksum was
-     computed — the canonical corruption a reader must reject. *)
+  (* Fault injection, site [checkpoint.io]: the write call itself
+     fails — the typed error a caller's degradation path must absorb
+     without losing the previous valid snapshot (which the tmp+rename
+     protocol never touched). *)
+  (match faults with
+  | Some f when Nsutil.Faults.fires f "checkpoint.io" <> None ->
+      raise (Error (Io "injected fault (site checkpoint.io)"))
+  | _ -> ());
+  let bytes = Bytes.of_string (frame_bytes ~kind ~digest ~round ~payload) in
+  (* Fault injection, site [checkpoint.corrupt]: flip one payload byte
+     *after* the checksum was computed — the canonical corruption a
+     reader must reject. *)
   (match faults with
   | Some f when Nsutil.Faults.fires f "checkpoint.corrupt" <> None ->
       let i = header_len + (String.length payload / 2) in
@@ -137,7 +165,7 @@ let hex = Sha256.hex
 
 (* The [Error] exception shadows [result]'s constructor in this file;
    [err] builds the result explicitly. *)
-let err e : (int * string, error) result = Stdlib.Error e
+let err e : (frame, error) result = Stdlib.Error e
 
 let load_frame ~path ~digest =
   if String.length digest <> digest_len then
@@ -152,26 +180,48 @@ let load_frame ~path ~digest =
       else if len < 10 then err Truncated
       else begin
         let v = String.get_uint16_be s 8 in
-        if v <> version then err (Unsupported_version v)
-        else if len < header_len + footer_len then err Truncated
+        if v < 1 || v > version then err (Unsupported_version v)
         else begin
-          let payload_len = Int64.to_int (String.get_int64_be s (8 + 2 + digest_len + 4)) in
-          let total = header_len + payload_len + footer_len in
-          if payload_len < 0 || len < total then err Truncated
-          else if len > total then err Corrupt
+          let header_len = header_len_v v in
+          (* Offset of the digest field; the kind (v2+) sits between
+             the version and the digest. *)
+          let kind_off = 10 in
+          let digest_off = if v >= 2 then 12 else 10 in
+          if len < header_len + footer_len then err Truncated
           else begin
-            let body = String.sub s 0 (header_len + payload_len) in
-            let footer = String.sub s (header_len + payload_len) footer_len in
-            if not (String.equal (Sha256.digest_string body) footer) then err Corrupt
-            else begin
-              let found = String.sub s 10 digest_len in
-              if not (String.equal found digest) then
-                err (Config_mismatch { expected = hex digest; found = hex found })
-              else begin
-                let round = Int32.to_int (String.get_int32_be s (10 + digest_len)) in
-                Ok (round, String.sub s header_len payload_len)
-              end
-            end
+            let kind_code = if v >= 2 then String.get_uint16_be s kind_off else 0 in
+            match kind_of_code kind_code with
+            | None -> err (Unsupported_kind kind_code)
+            | Some kind ->
+                let payload_len =
+                  Int64.to_int (String.get_int64_be s (digest_off + digest_len + 4))
+                in
+                let total = header_len + payload_len + footer_len in
+                if payload_len < 0 || len < total then err Truncated
+                else if len > total then err Corrupt
+                else begin
+                  let body = String.sub s 0 (header_len + payload_len) in
+                  let footer = String.sub s (header_len + payload_len) footer_len in
+                  if not (String.equal (Sha256.digest_string body) footer) then
+                    err Corrupt
+                  else begin
+                    let found = String.sub s digest_off digest_len in
+                    if not (String.equal found digest) then
+                      err (Config_mismatch { expected = hex digest; found = hex found })
+                    else begin
+                      let round =
+                        Int32.to_int (String.get_int32_be s (digest_off + digest_len))
+                      in
+                      Ok
+                        {
+                          round;
+                          kind;
+                          version = v;
+                          payload = String.sub s header_len payload_len;
+                        }
+                    end
+                  end
+                end
           end
         end
       end

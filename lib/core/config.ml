@@ -19,6 +19,8 @@ type t = {
   retries : int;
   flip_kernel : flip_kernel;
   statics_kernel : Bgp.Route_static.kernel;
+  task_timeout_ms : int;
+  degrade : bool;
 }
 
 let flip_kernel_of_env () =
@@ -54,6 +56,9 @@ let default =
     retries = 2;
     flip_kernel = flip_kernel_of_env ();
     statics_kernel = Bgp.Route_static.kernel_of_env ();
+    task_timeout_ms =
+      Nsutil.Env.int_var ~name:"SBGP_TASK_TIMEOUT_MS" ~min:0 ~default:0 ();
+    degrade = false;
   }
 
 let incoming = { default with model = Incoming; allow_turn_off = true }

@@ -66,6 +66,25 @@ type t = {
           it is excluded from checkpoint digests. Defaults to [Delta],
           overridable via [SBGP_STATICS_KERNEL] ([full] or [delta])
           or [--statics-kernel]. *)
+  task_timeout_ms : int;
+      (** watchdog deadline for the supervised engine sweeps
+          ({!Parallel.Pool.supervision}): a worker slice making no
+          progress for this long is cancelled and re-executed. [0]
+          (the default) disables the watchdog. Like [workers] and
+          [retries], has no effect on results — only on whether a
+          hung run recovers — so it is excluded from checkpoint
+          digests. Defaults to [SBGP_TASK_TIMEOUT_MS] (milliseconds)
+          when set. *)
+  degrade : bool;
+      (** graceful-degradation ladder (default off): on repeated
+          supervision failure of the sweep, or on a CSR invariant
+          violation in a statics record, the engine demotes the
+          delta flip/statics kernels to their full counterparts for
+          the affected destinations and continues — recording the
+          demotions in {!Engine.result} — instead of crashing. Off,
+          those conditions raise as before. Bit-identical results
+          either way (the full kernels are the reference), so it is
+          excluded from checkpoint digests. *)
 }
 
 val default : t

@@ -57,6 +57,16 @@ let m_dest_reused =
   lazy
     (Nsobs.Metrics.counter ~help:"destination forests served from the incremental cache"
        "engine_dest_reused_total")
+let m_demotions =
+  lazy
+    (Nsobs.Metrics.counter
+       ~help:"destinations demoted delta->full by the degradation ladder"
+       "engine_demotion_total")
+let m_checkpoint_skips =
+  lazy
+    (Nsobs.Metrics.counter
+       ~help:"checkpoint writes skipped on I/O failure under the degradation ladder"
+       "engine_checkpoint_skip_total")
 
 type round_record = {
   round : int;
@@ -83,6 +93,9 @@ type result = {
   statics_hits : int;
   statics_misses : int;
   statics_evictions : int;
+  demotions : int;
+  checkpoint_skips : int;
+  statics_store : Route_static.t;
 }
 
 let sec_of bytes i = Bytes.unsafe_get bytes i = '\001'
@@ -208,6 +221,12 @@ type sweep_ws = {
 
 type checkpoint_spec = { path : string; every : int }
 
+(* A checkpoint consumer that frames and persists the payload itself —
+   the churn runner wraps engine progress into [Checkpoint.Churn]
+   frames together with its epoch cursor, so one file covers the whole
+   evolution run. *)
+type snapshot_sink = { s_every : int; s_save : round:int -> payload:string -> unit }
+
 (* The full cross-round memory of a run, as checkpointed every K
    rounds: the deployment state (with its mark snapshot), the
    oscillation table in insertion order, the round records and stats
@@ -227,7 +246,51 @@ type progress = {
   p_initial_secure_as : int;
   p_initial_secure_isp : int;
   p_inc : string;
+  p_statics : string option;
+      (** {!Route_static.snapshot} of the warm statics store at
+          checkpoint time — resuming restores the store (resident
+          records, eviction state {e and} hit/miss counters), so a
+          resumed run reports statistics byte-identical to an
+          uninterrupted one. [None] only in records converted from
+          version-1 frames. *)
+  p_statics_base : (int * int * int) option;
+      (** (hits, misses, evictions) of the store when the original run
+          started — the baseline the run's reported statics deltas are
+          taken against, which the restored store's counters alone
+          cannot recover. *)
 }
+
+(* The version-1 payload layout (pre statics snapshot), kept so frames
+   written before the version bump still resume. [Marshal] encodes the
+   layout, not the field names. *)
+type progress_v1 = {
+  q_round : int;
+  q_state : string;
+  q_seen : (int * string) list;
+  q_rounds_rev : round_record list;
+  q_recomputed : int;
+  q_reused : int;
+  q_baseline : float array;
+  q_initial_secure_as : int;
+  q_initial_secure_isp : int;
+  q_inc : string;
+}
+
+let progress_of_v1 (q : progress_v1) =
+  {
+    p_round = q.q_round;
+    p_state = q.q_state;
+    p_seen = q.q_seen;
+    p_rounds_rev = q.q_rounds_rev;
+    p_recomputed = q.q_recomputed;
+    p_reused = q.q_reused;
+    p_baseline = q.q_baseline;
+    p_initial_secure_as = q.q_initial_secure_as;
+    p_initial_secure_isp = q.q_initial_secure_isp;
+    p_inc = q.q_inc;
+    p_statics = None;
+    p_statics_base = None;
+  }
 
 (* SHA-256 over every input that determines results: config fields
    (except [workers]/[retries]/[flip_kernel]/[statics_kernel], which
@@ -265,30 +328,62 @@ let input_digest (cfg : Config.t) statics ~weight ~state =
   feed (State.serialize state);
   Scrypto.Sha256.finalize ctx
 
-let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) statics
-    ~weight ~state =
+let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
+    statics ~weight ~state =
   let g = Route_static.graph statics in
+  (* Churn-consistent resume: version-2 snapshots carry the warm
+     statics store; rebind [statics] to the restored store so the
+     resumed run serves exactly the residency — and reports exactly
+     the hit/miss counters — the interrupted run would have. *)
+  let statics, statics_restored, resumed_base =
+    match resume_from with
+    | Some p -> (
+        match p.p_statics with
+        | Some s -> (Route_static.of_snapshot g s, true, p.p_statics_base)
+        | None -> (statics, false, p.p_statics_base))
+    | None -> (statics, false, None)
+  in
   let n = Graph.n g in
   let tiebreak = cfg.tiebreak in
   let workers = max 1 (min cfg.workers n) in
   (* Supervision for the engine's fan-outs: worker failures retry per
-     slice ([Config.retries]) and degrade to serial re-execution —
-     re-running a slice recomputes identical per-destination values,
-     so faults never change results. *)
-  let sv = Pool.supervision ~retries:(max 0 cfg.retries) ?faults () in
+     slice ([Config.retries], capped-exponential backoff with jitter)
+     and degrade to serial re-execution; [Config.task_timeout_ms] arms
+     the hang watchdog on top. Re-running a slice recomputes identical
+     per-destination values, so faults never change results. *)
+  let sv =
+    Pool.supervision ~retries:(max 0 cfg.retries) ~jitter_seed:cfg.jitter_seed
+      ~timeout_ms:cfg.task_timeout_ms ?faults ()
+  in
   (* Statics hit/miss/eviction counters are reported as per-run
      deltas. They are best-effort under concurrent workers (racy
      increments) and depend on the byte budget — diagnostics, not part
      of the deterministic result. *)
   let stats0 = Route_static.stats statics in
+  (* The baseline the result's statics deltas are reported against: on
+     a snapshot-restored resume it is the counters the *original* run
+     started from, so the resumed result equals the uninterrupted
+     one. *)
+  let base_hits, base_misses, base_evictions =
+    match resumed_base with
+    | Some (h, m, e) -> (h, m, e)
+    | None ->
+        ( stats0.Route_static.hits,
+          stats0.Route_static.misses,
+          stats0.Route_static.evictions )
+  in
   (* The store must serve tie rows sorted under this run's tiebreak
      (dropping stale entries if a previous run used another policy),
      and — when unbounded — be complete before any fan-out: workers
      then only read it. Under a byte budget the prefill is a no-op and
-     workers fill their shards lazily through [get]. *)
-  Nsobs.Trace.span ~cat:"engine" "statics.prefill" (fun () ->
-      Route_static.ensure_tiebreak statics cfg.tiebreak;
-      Route_static.ensure_all ~workers statics);
+     workers fill their shards lazily through [get]. A snapshot-
+     restored store already went through both at the original run's
+     start (the digest pins the tiebreak), and re-running the prefill
+     would skew the restored hit counters. *)
+  if not statics_restored then
+    Nsobs.Trace.span ~cat:"engine" "statics.prefill" (fun () ->
+        Route_static.ensure_tiebreak statics cfg.tiebreak;
+        Route_static.ensure_all ~workers statics);
   (* Stub customers per ISP, for projection filters; packed into a CSR
      so the per-(destination, candidate) admission scan walks a flat
      row instead of a boxed list. *)
@@ -346,6 +441,25 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
   let reused = ref 0 in
   let rounds = ref [] in
   let round = ref 0 in
+  (* Degradation-ladder state (process-local diagnostics, not part of
+     checkpoints: a fault-free resumed run re-derives zero of both).
+     [demoted.(d) = '\001'] pins destination [d] to the full flip
+     kernel for the rest of the run — bit-identical by the kernel
+     parity contract, so a demotion changes robustness, never
+     results. *)
+  let demoted = Bytes.make n '\000' in
+  let demotions = ref 0 in
+  let checkpoint_skips = ref 0 in
+  let demote d reason =
+    if Bytes.get demoted d <> '\001' then begin
+      Bytes.set demoted d '\001';
+      incr demotions;
+      if Nsobs.Metrics.enabled () then Nsobs.Metrics.inc (Lazy.force m_demotions);
+      Nsutil.Warnings.emit
+        (Printf.sprintf
+           "sbgp: engine: demoting destination %d to the full kernels (%s)" d reason)
+    end
+  in
   (* Fresh start or checkpoint restore. *)
   let baseline, initial_secure_as, initial_secure_isp, state =
     match resume_from with
@@ -378,24 +492,60 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
         None
   in
   let write_checkpoint () =
-    match checkpoint with
-    | Some { path; every } when !round mod max 1 every = 0 ->
-        let p =
-          {
-            p_round = !round;
-            p_state = State.serialize state;
-            p_seen = List.rev_map (fun (r, s) -> (r, State.serialize s)) !seen_order;
-            p_rounds_rev = !rounds;
-            p_recomputed = !recomputed;
-            p_reused = !reused;
-            p_baseline = baseline;
-            p_initial_secure_as = initial_secure_as;
-            p_initial_secure_isp = initial_secure_isp;
-            p_inc = Incremental.snapshot inc;
-          }
-        in
-        Checkpoint.write ?faults ~path ~digest ~round:!round (Marshal.to_string p [])
-    | _ -> ()
+    let due every = !round mod max 1 every = 0 in
+    let checkpoint_due =
+      match checkpoint with Some { every; _ } -> due every | None -> false
+    in
+    let sink_due =
+      match sink with Some { s_every; _ } -> due s_every | None -> false
+    in
+    if checkpoint_due || sink_due then begin
+      (* Checkpoint-boundary rung of the degradation ladder: validate
+         every resident statics record before snapshotting it, so a
+         corrupt record can neither persist into the snapshot nor keep
+         serving the run — its destination recomputes lazily (the full
+         statics kernel for that destination). *)
+      if cfg.degrade then
+        List.iter
+          (fun (d, reason) -> demote d ("invalid statics record: " ^ reason))
+          (Route_static.revalidate statics);
+      let p =
+        {
+          p_round = !round;
+          p_state = State.serialize state;
+          p_seen = List.rev_map (fun (r, s) -> (r, State.serialize s)) !seen_order;
+          p_rounds_rev = !rounds;
+          p_recomputed = !recomputed;
+          p_reused = !reused;
+          p_baseline = baseline;
+          p_initial_secure_as = initial_secure_as;
+          p_initial_secure_isp = initial_secure_isp;
+          p_inc = Incremental.snapshot inc;
+          p_statics = Some (Route_static.snapshot statics);
+          p_statics_base = Some (base_hits, base_misses, base_evictions);
+        }
+      in
+      let payload = Marshal.to_string p [] in
+      (match checkpoint with
+      | Some { path; _ } when checkpoint_due -> (
+          try Checkpoint.write ?faults ~path ~digest ~round:!round payload with
+          | Checkpoint.Error (Checkpoint.Io m) when cfg.degrade ->
+              (* The tmp+rename protocol left the previous snapshot
+                 intact; losing one snapshot interval is strictly
+                 better than losing the run. *)
+              incr checkpoint_skips;
+              if Nsobs.Metrics.enabled () then
+                Nsobs.Metrics.inc (Lazy.force m_checkpoint_skips);
+              Nsutil.Warnings.emit
+                (Printf.sprintf
+                   "sbgp: engine: checkpoint write failed (%s); continuing on the \
+                    previous snapshot"
+                   m))
+      | _ -> ());
+      match sink with
+      | Some { s_save; _ } when sink_due -> s_save ~round:!round ~payload
+      | _ -> ()
+    end
   in
   let termination = ref Max_rounds in
   let continue = ref true in
@@ -467,7 +617,7 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
        candidate]) slots and the accumulators are ignored, so the
        nondeterministic chunk→worker assignment is result-invisible;
        the serial reduction below stays in destination order. *)
-    Nsobs.Trace.span ~cat:"engine" "engine.sweep" (fun () ->
+    let run_sweep () =
     ignore
       (Pool.map_reduce_dynamic_supervised sv ~workers ~tasks:n ~grain
          ~init:(fun () ->
@@ -499,6 +649,13 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
                  flip_changes_dest ~cfg ~g ~secure:sec0 ~info ~sec_path:e.sec_path
                    ~stubs ~was_on:was_on.(ci) nc
                then begin
+                 (* The ladder pins demoted destinations to the full
+                    kernel; identical values either way (kernel
+                    parity), so a demotion is result-invisible. *)
+                 let kernel =
+                   if Bytes.unsafe_get demoted d = '\001' then Config.Flip_full
+                   else kernel
+                 in
                  let c =
                    match kernel with
                    | Config.Flip_full ->
@@ -535,7 +692,27 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
                  Bytes.unsafe_set changed (row + ci) '\001'
                end)
              candidates_arr)
-         ~combine:(fun a _ -> a)));
+         ~combine:(fun a _ -> a))
+    in
+    (* Sweep rung of the degradation ladder: when supervision fails
+       beyond the retry budget and degradation is on, demote the dead
+       destinations to the full kernels and re-run the sweep (at most
+       twice) instead of crashing. Re-running overwrites the same
+       per-(destination, candidate) slots with the same values —
+       idempotent by construction — so a rescued sweep is bit-identical
+       to an undisturbed one. *)
+    let rec sweep_ladder attempt =
+      try run_sweep () with
+      | Pool.Supervision_failed fs when cfg.degrade && attempt < 2 ->
+          List.iter
+            (fun (f : Pool.failure) ->
+              if f.Pool.index >= 0 && f.Pool.index < n then
+                demote f.Pool.index ("supervision failure: " ^ f.Pool.error))
+            fs;
+          Bytes.fill changed 0 need '\000';
+          sweep_ladder (attempt + 1)
+    in
+    Nsobs.Trace.span ~cat:"engine" "engine.sweep" (fun () -> sweep_ladder 0);
     let dc = Incremental.dirty_count inc in
     recomputed := !recomputed + dc;
     reused := !reused + (n - dc);
@@ -648,9 +825,12 @@ let run_internal ~checkpoint ~faults ~digest ~resume_from (cfg : Config.t) stati
     termination = !termination;
     dest_recomputed = !recomputed;
     dest_reused = !reused;
-    statics_hits = stats1.Route_static.hits - stats0.Route_static.hits;
-    statics_misses = stats1.Route_static.misses - stats0.Route_static.misses;
-    statics_evictions = stats1.Route_static.evictions - stats0.Route_static.evictions;
+    statics_hits = stats1.Route_static.hits - base_hits;
+    statics_misses = stats1.Route_static.misses - base_misses;
+    statics_evictions = stats1.Route_static.evictions - base_evictions;
+    demotions = !demotions;
+    checkpoint_skips = !checkpoint_skips;
+    statics_store = statics;
   }
 
 let null_digest = String.make 32 '\000'
@@ -659,27 +839,54 @@ let resolve_faults = function
   | Some _ as f -> f
   | None -> Nsutil.Faults.of_env ()
 
-let run ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
+let run ?checkpoint ?sink ?faults (cfg : Config.t) statics ~weight ~state =
   let faults = resolve_faults faults in
   (* The input digest walks the whole topology; only pay for it when
-     snapshots will actually be written. *)
+     snapshots will actually be written. Sink payloads are framed (and
+     digest-bound) by the sink's owner. *)
   let digest =
     match checkpoint with
     | None -> null_digest
     | Some _ -> input_digest cfg statics ~weight ~state
   in
   Nsobs.Trace.span ~cat:"engine" "engine.run" (fun () ->
-      run_internal ~checkpoint ~faults ~digest ~resume_from:None cfg statics ~weight
-        ~state)
+      run_internal ~checkpoint ~sink ~faults ~digest ~resume_from:None cfg statics
+        ~weight ~state)
 
-let resume ~from ?checkpoint ?faults (cfg : Config.t) statics ~weight ~state =
+let resume ~from ?checkpoint ?sink ?faults (cfg : Config.t) statics ~weight ~state =
   let faults = resolve_faults faults in
   let digest = input_digest cfg statics ~weight ~state in
-  let round, payload = Checkpoint.load_exn ~path:from ~digest in
-  let p = (Marshal.from_string payload 0 : progress) in
-  if p.p_round <> round then raise (Checkpoint.Error Checkpoint.Corrupt);
+  let frame = Checkpoint.load_exn ~path:from ~digest in
+  (match frame.Checkpoint.kind with
+  | Checkpoint.Engine -> ()
+  | Checkpoint.Churn ->
+      (* A churn-run snapshot (kind code 1) belongs to the evolution
+         runner, not the engine — reject it with the typed error the
+         CLI turns into a hint. *)
+      raise (Checkpoint.Error (Checkpoint.Unsupported_kind 1)));
+  let p =
+    if frame.Checkpoint.version >= 2 then
+      (Marshal.from_string frame.Checkpoint.payload 0 : progress)
+    else
+      progress_of_v1 (Marshal.from_string frame.Checkpoint.payload 0 : progress_v1)
+  in
+  if p.p_round <> frame.Checkpoint.round then
+    raise (Checkpoint.Error Checkpoint.Corrupt);
   Nsobs.Trace.span ~cat:"engine" "engine.run" (fun () ->
-      run_internal ~checkpoint ~faults ~digest ~resume_from:(Some p) cfg statics
+      run_internal ~checkpoint ~sink ~faults ~digest ~resume_from:(Some p) cfg statics
+        ~weight ~state)
+
+let resume_of_payload ~payload ?checkpoint ?sink ?faults (cfg : Config.t) statics
+    ~weight ~state =
+  let faults = resolve_faults faults in
+  let digest =
+    match checkpoint with
+    | None -> null_digest
+    | Some _ -> input_digest cfg statics ~weight ~state
+  in
+  let p = (Marshal.from_string payload 0 : progress) in
+  Nsobs.Trace.span ~cat:"engine" "engine.run" (fun () ->
+      run_internal ~checkpoint ~sink ~faults ~digest ~resume_from:(Some p) cfg statics
         ~weight ~state)
 
 let secure_fraction result kind =

@@ -50,11 +50,41 @@ type result = {
           report (slightly) different values. *)
   statics_misses : int;  (** statics-store recomputes (incl. the initial fill) *)
   statics_evictions : int;  (** statics entries evicted to stay in budget *)
+  demotions : int;
+      (** destinations the degradation ladder pinned to the full
+          flip/statics kernels during this process's run — after
+          repeated supervision failure of their sweep slice, or after
+          their statics record failed the checkpoint-boundary
+          {!Bgp.Route_static.check_info} validation. Always [0] when
+          [Config.degrade] is off (those conditions raise instead).
+          Diagnostics like the statics counters: demotions change
+          robustness, never results (the full kernels are the
+          bit-identical reference). *)
+  checkpoint_skips : int;
+      (** checkpoint writes that failed with an I/O error and were
+          skipped under [Config.degrade] (the previous snapshot
+          survives); [0] otherwise — without degradation the error
+          propagates. *)
+  statics_store : Bgp.Route_static.t;
+      (** the store the run actually used: the caller's, except on a
+          snapshot-restored resume, where it is the store rebuilt from
+          the checkpoint — callers that carry the warm store forward
+          (the churn runner, across epochs) must take it from here. *)
 }
 
 type checkpoint_spec = {
   path : string;  (** snapshot file, atomically replaced *)
   every : int;  (** snapshot every K completed rounds (clamped to >= 1) *)
+}
+
+type snapshot_sink = {
+  s_every : int;  (** hand progress over every K completed rounds *)
+  s_save : round:int -> payload:string -> unit;
+      (** receives the serialized engine progress; the sink owns
+          framing and persistence. The churn runner wraps the payload
+          (plus its epoch cursor) into a [Checkpoint.Churn] frame, so
+          one snapshot file covers a whole evolution run, including
+          mid-epoch engine state. *)
 }
 
 val input_digest :
@@ -67,6 +97,7 @@ val input_digest :
 
 val run :
   ?checkpoint:checkpoint_spec ->
+  ?sink:snapshot_sink ->
   ?faults:Nsutil.Faults.t ->
   Config.t ->
   Bgp.Route_static.t ->
@@ -93,8 +124,18 @@ val run :
 
     [checkpoint] snapshots the engine's complete cross-round memory
     (state, oscillation table, round records, counters, incremental
-    cache) to [path] every [every] completed rounds, whenever another
-    round is still coming — see {!Checkpoint} for the file format.
+    cache, {e and} the warm statics store with its hit/miss counters)
+    to [path] every [every] completed rounds, whenever another round
+    is still coming — see {!Checkpoint} for the file format. [sink]
+    receives the same serialized progress on its own cadence, for
+    callers (the churn runner) that frame and persist it themselves.
+
+    With [Config.task_timeout_ms > 0] the sweeps also run under the
+    {!Parallel.Pool} hang watchdog; with [Config.degrade] the
+    degradation ladder turns repeated supervision failures, invalid
+    statics records and checkpoint I/O errors into per-destination
+    kernel demotions / skipped snapshots (counted in the result)
+    instead of exceptions.
 
     [faults] is the fault-injection plan threaded into the sweeps and
     the checkpoint writer; it defaults to the [SBGP_FAULTS]
@@ -103,6 +144,7 @@ val run :
 val resume :
   from:string ->
   ?checkpoint:checkpoint_spec ->
+  ?sink:snapshot_sink ->
   ?faults:Nsutil.Faults.t ->
   Config.t ->
   Bgp.Route_static.t ->
@@ -118,11 +160,32 @@ val resume :
     with the corresponding typed {!Checkpoint.error}, never a crash
     or a silently wrong resume.
 
-    Because the snapshot restores the full cross-round memory, the
+    Because the snapshot restores the full cross-round memory —
+    including, in version-2 frames, the warm statics store — the
     result is structurally identical — float-for-float, including
-    the cache counters — to the uninterrupted run, for any worker
-    count. Pass [checkpoint] to keep snapshotting the resumed run
-    (possibly to the same path). *)
+    the cache {e and} statics counters — to the uninterrupted run,
+    for any worker count. Version-1 frames (no statics snapshot)
+    still resume with the caller's store, as before. A
+    [Checkpoint.Churn]-kind snapshot is rejected with
+    {!Checkpoint.Error} [(Unsupported_kind _)] — resume those with
+    the evolution runner. Pass [checkpoint] to keep snapshotting the
+    resumed run (possibly to the same path). *)
+
+val resume_of_payload :
+  payload:string ->
+  ?checkpoint:checkpoint_spec ->
+  ?sink:snapshot_sink ->
+  ?faults:Nsutil.Faults.t ->
+  Config.t ->
+  Bgp.Route_static.t ->
+  weight:float array ->
+  state:State.t ->
+  result
+(** {!resume} from a progress payload a {!snapshot_sink} captured
+    earlier, instead of a framed file. The caller is responsible for
+    having authenticated the bytes (the churn runner's frames go
+    through {!Checkpoint.load} first): the payload is a [Marshal]
+    blob and unmarshaling untrusted bytes is unsafe. *)
 
 val secure_fraction : result -> [ `As | `Isp ] -> float
 (** Fraction of ASes (resp. ISPs) secure at termination. *)

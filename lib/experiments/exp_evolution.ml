@@ -2,19 +2,16 @@
    the case-study dynamics stabilize, the graph grows (new stubs
    multihome, preferentially to secure ISPs when the market rewards
    security), routing state is rebuilt, and the dynamics continue —
-   epoch after epoch. *)
+   epoch after epoch. The mechanics live in {!Evolution_run} (the
+   checkpointable churn runner); this experiment renders its epoch
+   summaries. *)
 
 module Table = Nsutil.Table
-module Graph = Asgraph.Graph
 
 module Evolution = struct
   let id = "evolution"
   let title =
     "Section 8.4: deployment across graph-growth epochs (new stubs prefer secure ISPs)"
-
-  let epochs = 3
-  let growth_fraction = 0.15
-  let secure_bias = 2.0
 
   let run (s : Scenario.t) =
     (* Re-read the statics kernel here (not at module init) so
@@ -22,6 +19,10 @@ module Evolution = struct
        before the experiments run, takes effect. *)
     let cfg =
       { Core.Config.default with statics_kernel = Bgp.Route_static.kernel_of_env () }
+    in
+    let outcome =
+      Evolution_run.run Evolution_run.default_params cfg (Scenario.graph s)
+        ~early:(Scenario.case_study_adopters s)
     in
     let t =
       Table.create
@@ -37,80 +38,23 @@ module Evolution = struct
             "epoch s";
           ]
     in
-    let early = Scenario.case_study_adopters s in
-    (* One statics store lives across all epochs. Under the delta
-       statics kernel (the default) each epoch boundary rebases it
-       through the growth delta — only destinations the new stubs can
-       reach are touched, the rest carry over — instead of rebuilding
-       every destination from scratch; under [Full] the store is
-       recreated each epoch. Results are bit-identical either way
-       (parity suite, churn differential). *)
-    let rec epoch k g statics full_isps =
-      let t0 = Unix.gettimeofday () in
-      let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
-      let state = Core.State.create g ~early in
-      List.iter
-        (fun i ->
-          if (not (Core.State.pinned state i)) && i < Graph.n g && Graph.is_isp g i then
-            ignore (Core.State.enable state i))
-        full_isps;
-      let result = Core.Engine.run cfg statics ~weight ~state in
-      let dt = Unix.gettimeofday () -. t0 in
-      let n = Graph.n g in
-      (* How many of this epoch's newly added stubs landed on a secure
-         provider? (Epoch 0 has none.) *)
-      let secure_frac_row new_on_secure =
+    List.iter
+      (fun (e : Evolution_run.epoch_summary) ->
         Table.add_row t
           [
-            string_of_int k;
-            string_of_int n;
-            Table.cell_pct (Core.Engine.secure_fraction result `As);
-            Table.cell_pct (Core.Engine.secure_fraction result `Isp);
-            new_on_secure;
-            string_of_int (Core.Engine.rounds_run result);
-            string_of_int result.statics_misses;
-            Printf.sprintf "%.3f" dt;
-          ]
-      in
-      if k >= epochs then secure_frac_row "-"
-      else begin
-        let full_after = ref [] in
-        for i = 0 to n - 1 do
-          if Graph.is_isp g i && Core.State.full result.final i then
-            full_after := i :: !full_after
-        done;
-        let grown, delta =
-          Topology.Evolve.grow_delta g
-            ~new_stubs:(max 1 (int_of_float (growth_fraction *. float_of_int n)))
-            ~secure_bias
-            ~is_secure:(fun i -> Core.State.secure result.final i)
-            ~seed:(100 + k)
-        in
-        let statics =
-          match cfg.statics_kernel with
-          | Bgp.Route_static.Delta ->
-              ignore
-                (Bgp.Route_static.rebase ~kernel:Bgp.Route_static.Delta
-                   ~workers:cfg.workers statics ~delta grown);
-              statics
-          | Bgp.Route_static.Full -> Bgp.Route_static.create grown
-        in
-        (* Count new stubs with at least one secure provider. *)
-        let on_secure = ref 0 in
-        let added = Graph.n grown - n in
-        for stub = n to Graph.n grown - 1 do
-          let hit = ref false in
-          Graph.iter_providers grown stub (fun p ->
-              if (not !hit) && Core.State.secure result.final p then hit := true);
-          if !hit then incr on_secure
-        done;
-        secure_frac_row
-          (Printf.sprintf "%d/%d (%s)" !on_secure added
-             (Table.cell_pct (float_of_int !on_secure /. float_of_int (max 1 added))));
-        epoch (k + 1) grown statics !full_after
-      end
-    in
-    let g0 = Scenario.graph s in
-    epoch 0 g0 (Bgp.Route_static.create g0) [];
+            string_of_int e.e_epoch;
+            string_of_int e.e_nodes;
+            Table.cell_pct e.e_secure_as;
+            Table.cell_pct e.e_secure_isp;
+            (match e.e_new_on_secure with
+            | None -> "-"
+            | Some (on_secure, added) ->
+                Printf.sprintf "%d/%d (%s)" on_secure added
+                  (Table.cell_pct (float_of_int on_secure /. float_of_int (max 1 added))));
+            string_of_int e.e_rounds;
+            string_of_int e.e_statics_misses;
+            Printf.sprintf "%.3f" e.e_seconds;
+          ])
+      outcome.Evolution_run.summaries;
     t
 end

@@ -35,6 +35,11 @@ let m_bank_size =
   lazy
     (Nsobs.Metrics.gauge ~help:"helper domains parked in the bank" "pool_bank_workers")
 
+let m_watchdog_cancels =
+  lazy
+    (Nsobs.Metrics.counter ~help:"stalled slices cancelled by the watchdog"
+       "pool_watchdog_cancel_total")
+
 let slice_span f = Nsobs.Trace.span ~cat:"pool" "pool.slice" f
 
 let workers_of_domain_count c = max 1 (c - 1)
@@ -269,39 +274,207 @@ let () =
 type supervision = {
   retries : int;
   backoff : float;
+  backoff_cap : float;
+  jitter_seed : int;
+  timeout_ms : int;
   faults : Nsutil.Faults.t option;
   on_retry : (attempt:int -> index:int -> error:string -> unit) option;
 }
 
-let supervision ?(retries = 2) ?(backoff = 0.005) ?faults ?on_retry () =
-  { retries = max 0 retries; backoff = Float.max 0.0 backoff; faults; on_retry }
+let supervision ?(retries = 2) ?(backoff = 0.005) ?(backoff_cap = 0.25)
+    ?(jitter_seed = 0) ?(timeout_ms = 0) ?faults ?on_retry () =
+  {
+    retries = max 0 retries;
+    backoff = Float.max 0.0 backoff;
+    backoff_cap = Float.max 0.0 backoff_cap;
+    jitter_seed;
+    timeout_ms = max 0 timeout_ms;
+    faults;
+    on_retry;
+  }
 
 let no_supervision = supervision ~retries:0 ~backoff:0.0 ()
 
-(* One guarded slice execution: trips the fault plan before each task,
-   converts any exception into the failing index. The partially-built
-   accumulator is discarded; tasks may have published per-index side
-   results, which re-execution overwrites with identical values. *)
-let run_slice_guarded ~sv ~init ~task lo hi =
+(* Capped exponential backoff with deterministic jitter: the k-th
+   re-attempt of the slice owning task [index] sleeps
+   [min cap (backoff * 2^(k-2)) * (0.5 + 0.5 * u)], where [u] is a
+   pure hash of (jitter_seed, attempt, index). Retrying slices
+   therefore never synchronize their sleeps (each index draws its own
+   jitter) while the schedule stays reproducible run to run. *)
+let backoff_delay sv ~attempt ~index =
+  if sv.backoff <= 0.0 then 0.0
+  else begin
+    let exp =
+      Float.min sv.backoff_cap
+        (sv.backoff *. Float.of_int (1 lsl min 20 (max 0 (attempt - 2))))
+    in
+    let u =
+      float_of_int (Nsutil.Prng.mix2 (Nsutil.Prng.mix2 sv.jitter_seed attempt) index)
+      /. 4.611686018427387904e18 (* 2^62 *)
+    in
+    exp *. (0.5 +. (0.5 *. u))
+  end
+
+let sleep_before_retry sv ~attempt ~index =
+  let d = backoff_delay sv ~attempt ~index in
+  if d > 0.0 then Thread.delay d
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: per-slice-execution heartbeat words, polled by a monitor
+   thread. A domain cannot be killed, so cancellation is cooperative:
+   the guarded loops increment their tracker's heartbeat before every
+   task and abandon the slice (raising {!Watchdog_timeout}) once the
+   monitor flags it cancelled, feeding the ordinary retry machinery.
+   The one in-tree hang — the [pool.hang] fault site — polls its
+   tracker's cancel flag while "hung", so even a mid-task stall
+   unwinds as soon as the watchdog fires. Real (non-injected) mid-task
+   hangs that never reach a task boundary cannot be reclaimed; the
+   timeout must exceed the worst single-task latency. *)
+
+exception Watchdog_timeout
+
+let () =
+  Printexc.register_printer (function
+    | Watchdog_timeout ->
+        Some "Pool.Watchdog_timeout (watchdog cancelled a stalled slice)"
+    | _ -> None)
+
+type tracker = {
+  t_hb : int Atomic.t;  (* incremented before every task *)
+  t_cancel : bool Atomic.t;  (* set by the monitor, read by the worker *)
+  t_done : bool Atomic.t;  (* slice finished; monitor stops watching *)
+  mutable t_last : int;  (* monitor-private: last heartbeat seen *)
+  mutable t_since : float;  (* monitor-private: when it was seen *)
+}
+
+let tracker_cancelled = function
+  | Some t -> Atomic.get t.t_cancel
+  | None -> false
+
+let tracker_finish = function Some t -> Atomic.set t.t_done true | None -> ()
+
+(* Runs [f mk] under a monitor thread when the policy arms a timeout;
+   [mk ()] registers a fresh tracker for one slice execution. With no
+   timeout, [mk] yields no tracker and the guarded loops skip all
+   heartbeat work. The monitor scans every few milliseconds (cheap: a
+   handful of atomic loads), so joining it at the end adds bounded
+   latency to the call. *)
+let with_watchdog sv f =
+  if sv.timeout_ms <= 0 then f (fun () -> None)
+  else begin
+    let timeout = float_of_int sv.timeout_ms /. 1000.0 in
+    let reg_m = Mutex.create () in
+    let reg = ref [] in
+    let stop = Atomic.make false in
+    let mk () =
+      let t =
+        {
+          t_hb = Atomic.make 0;
+          t_cancel = Atomic.make false;
+          t_done = Atomic.make false;
+          t_last = 0;
+          t_since = Unix.gettimeofday ();
+        }
+      in
+      Mutex.lock reg_m;
+      reg := t :: !reg;
+      Mutex.unlock reg_m;
+      Some t
+    in
+    let period = Float.max 0.001 (Float.min 0.005 (timeout /. 4.0)) in
+    let monitor =
+      Thread.create
+        (fun () ->
+          while not (Atomic.get stop) do
+            Thread.delay period;
+            let now = Unix.gettimeofday () in
+            Mutex.lock reg_m;
+            List.iter
+              (fun t ->
+                if not (Atomic.get t.t_done || Atomic.get t.t_cancel) then begin
+                  let hb = Atomic.get t.t_hb in
+                  if hb <> t.t_last then begin
+                    t.t_last <- hb;
+                    t.t_since <- now
+                  end
+                  else if now -. t.t_since > timeout then begin
+                    Atomic.set t.t_cancel true;
+                    if Nsobs.Metrics.enabled () then
+                      Nsobs.Metrics.inc (Lazy.force m_watchdog_cancels);
+                    Nsobs.Log.warn "pool: watchdog cancelled a stalled slice (> %d ms)"
+                      sv.timeout_ms
+                  end
+                end)
+              !reg;
+            Mutex.unlock reg_m
+          done)
+        ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Thread.join monitor)
+      (fun () -> f mk)
+  end
+
+(* The [pool.hang] fault: stall (polling our own cancel flag) until
+   the watchdog fires, then unwind like any injected fault. With no
+   watchdog armed the hang degrades to an immediate raise — it must
+   never deadlock a run that cannot cancel it. *)
+let simulate_hang tracker ~shot =
+  (match tracker with
+  | Some t ->
+      while not (Atomic.get t.t_cancel) do
+        Thread.delay 0.001
+      done
+  | None -> ());
+  raise (Nsutil.Faults.Injected { site = "pool.hang"; shot })
+
+let check_task_boundary ~sv ~tracker =
+  (match tracker with
+  | Some t ->
+      if Atomic.get t.t_cancel then raise Watchdog_timeout;
+      Atomic.incr t.t_hb
+  | None -> ());
+  match sv.faults with
+  | Some f -> (
+      Nsutil.Faults.trip f "pool.task";
+      match Nsutil.Faults.fires f "pool.hang" with
+      | Some shot -> simulate_hang tracker ~shot
+      | None -> ())
+  | None -> ()
+
+(* One guarded slice execution: checks cancellation and trips the
+   fault plan before each task, converts any exception into the
+   failing index. The partially-built accumulator is discarded; tasks
+   may have published per-index side results, which re-execution
+   overwrites with identical values. *)
+let run_slice_guarded ~sv ~tracker ~init ~task lo hi =
   let acc = init () in
   let i = ref lo in
-  try
+  match
     while !i < hi do
-      (match sv.faults with Some f -> Nsutil.Faults.trip f "pool.task" | None -> ());
+      check_task_boundary ~sv ~tracker;
       task acc !i;
       incr i
-    done;
-    Ok acc
-  with e -> Error (!i, Printexc.to_string e)
+    done
+  with
+  | () ->
+      tracker_finish tracker;
+      Ok acc
+  | exception e ->
+      tracker_finish tracker;
+      Error (!i, Printexc.to_string e)
 
 let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
   if tasks <= 0 then init ()
-  else begin
+  else
+    with_watchdog sv @@ fun mk_tracker ->
     let workers = max 1 (min workers tasks) in
     let results = Array.make workers None in
     let attempt w =
       slice_span (fun () ->
-          run_slice_guarded ~sv ~init ~task
+          run_slice_guarded ~sv ~tracker:(mk_tracker ()) ~init ~task
             (fst (slice ~workers ~tasks w))
             (snd (slice ~workers ~tasks w)))
     in
@@ -338,21 +511,31 @@ let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
             | Some f -> f ~attempt:attempt_no ~index ~error
             | None -> ())
           failed;
-        if sv.backoff > 0.0 then
-          Thread.delay (sv.backoff *. Float.of_int (1 lsl (attempt_no - 2)));
         let still = ref [] in
         if attempt_no <= sv.retries then begin
-          (* Spawned re-execution, all failed slices concurrently. *)
+          (* Spawned re-execution, all failed slices concurrently; each
+             retry domain sleeps its own jittered backoff first, so
+             retry storms cannot synchronize across slices. *)
           if Nsobs.Metrics.enabled () then
             Nsobs.Metrics.add (Lazy.force m_spawns) (List.length failed);
           let redo =
-            List.map (fun (w, _, _) -> (w, Domain.spawn (fun () -> attempt w))) failed
+            List.map
+              (fun (w, index, _) ->
+                ( w,
+                  Domain.spawn (fun () ->
+                      sleep_before_retry sv ~attempt:attempt_no ~index;
+                      attempt w) ))
+              failed
           in
           List.iter (fun (w, d) -> record still w (Domain.join d)) redo
         end
         else
           (* Final attempt: serial, in the calling domain. *)
-          List.iter (fun (w, _, _) -> record still w (attempt w)) failed;
+          List.iter
+            (fun (w, index, _) ->
+              sleep_before_retry sv ~attempt:attempt_no ~index;
+              record still w (attempt w))
+            failed;
         retry (attempt_no + 1) !still
       end
     in
@@ -371,7 +554,6 @@ let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
       acc := combine !acc (get w)
     done;
     !acc
-  end
 
 let map_reduce_chunked_supervised sv ~workers ~tasks ~grain ~init ~task ~combine =
   let grain = max 1 grain in
@@ -394,13 +576,19 @@ let map_reduce_chunked_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
    failing task index, the chunk is re-executed (spawned retries, then
    one final serial attempt) from a fresh accumulator, and surviving
    failures aggregate into [Supervision_failed]. A re-executed chunk
-   overwrites its per-index results with identical values. *)
+   overwrites its per-index results with identical values.
 
-let run_chunk_guarded ~sv ~task acc lo hi =
+   A watchdog-cancelled worker stops claiming chunks and exits; the
+   chunk it was executing joins the failure list like any raising
+   chunk, and any chunks left unclaimed (every live worker may have
+   been cancelled) are drained by the calling domain after the join —
+   no task index is ever silently skipped. *)
+
+let run_chunk_guarded ~sv ~tracker ~task acc lo hi =
   let i = ref lo in
   try
     while !i < hi do
-      (match sv.faults with Some f -> Nsutil.Faults.trip f "pool.task" | None -> ());
+      check_task_boundary ~sv ~tracker;
       task acc !i;
       incr i
     done;
@@ -413,29 +601,38 @@ let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
     let grain = max 1 grain in
     let nchunks = (tasks + grain - 1) / grain in
     let workers = max 1 (min workers nchunks) in
-    if workers = 1 then map_reduce_supervised sv ~workers:1 ~tasks ~init ~task ~combine
-    else begin
+    if workers = 1 then
+      (* Serial in-order fold; {!map_reduce_supervised} arms its own
+         watchdog when the policy has a timeout. *)
+      map_reduce_supervised sv ~workers:1 ~tasks ~init ~task ~combine
+    else
+      with_watchdog sv @@ fun mk_tracker ->
       let next_chunk = Atomic.make 0 in
       let accs = Array.make workers None in
       let failures = Array.make workers [] in
       let worker w =
         slice_span (fun () ->
+            let tracker = mk_tracker () in
             let acc = init () in
             let continue = ref true in
             while !continue do
-              let c = Atomic.fetch_and_add next_chunk 1 in
-              if c >= nchunks then continue := false
+              if tracker_cancelled tracker then continue := false
               else begin
-                let lo = c * grain in
-                let hi = min tasks (lo + grain) in
-                match run_chunk_guarded ~sv ~task acc lo hi with
-                | None -> ()
-                | Some (index, error) ->
-                    if Nsobs.Metrics.enabled () then
-                      Nsobs.Metrics.inc (Lazy.force m_slice_failures);
-                    failures.(w) <- (lo, hi, index, error) :: failures.(w)
+                let c = Atomic.fetch_and_add next_chunk 1 in
+                if c >= nchunks then continue := false
+                else begin
+                  let lo = c * grain in
+                  let hi = min tasks (lo + grain) in
+                  match run_chunk_guarded ~sv ~tracker ~task acc lo hi with
+                  | None -> ()
+                  | Some (index, error) ->
+                      if Nsobs.Metrics.enabled () then
+                        Nsobs.Metrics.inc (Lazy.force m_slice_failures);
+                      failures.(w) <- (lo, hi, index, error) :: failures.(w)
+                end
               end
             done;
+            tracker_finish tracker;
             accs.(w) <- Some acc)
       in
       let k = workers - 1 in
@@ -456,10 +653,15 @@ let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
          accumulator appended after the worker accumulators. *)
       let retry_accs = ref [] in
       let attempt_chunk (lo, hi) =
+        let tracker = mk_tracker () in
         let acc = init () in
-        match run_chunk_guarded ~sv ~task acc lo hi with
-        | None -> Ok acc
-        | Some (index, error) -> Error (lo, hi, index, error)
+        let r =
+          match run_chunk_guarded ~sv ~tracker ~task acc lo hi with
+          | None -> Ok acc
+          | Some (index, error) -> Error (lo, hi, index, error)
+        in
+        tracker_finish tracker;
+        r
       in
       let record still = function
         | Ok acc -> retry_accs := acc :: !retry_accs
@@ -468,6 +670,20 @@ let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
               Nsobs.Metrics.inc (Lazy.force m_slice_failures);
             still := f :: !still
       in
+      (* Cancelled workers may have exited with the chunk counter short
+         of the end: drain the leftovers in the calling domain (through
+         the same accumulator/failure machinery) before retrying, so no
+         index is silently dropped. *)
+      let drained = ref [] in
+      let rec drain () =
+        let c = Atomic.fetch_and_add next_chunk 1 in
+        if c < nchunks then begin
+          let lo = c * grain in
+          record drained (attempt_chunk (lo, min tasks (lo + grain)));
+          drain ()
+        end
+      in
+      drain ();
       let rec retry attempt_no failed =
         if failed = [] then []
         else if attempt_no > sv.retries + 1 then
@@ -486,25 +702,32 @@ let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
               | Some f -> f ~attempt:attempt_no ~index ~error
               | None -> ())
             failed;
-          if sv.backoff > 0.0 then
-            Thread.delay (sv.backoff *. Float.of_int (1 lsl (attempt_no - 2)));
           let still = ref [] in
           if attempt_no <= sv.retries then begin
             if Nsobs.Metrics.enabled () then
               Nsobs.Metrics.add (Lazy.force m_spawns) (List.length failed);
             let redo =
               List.map
-                (fun (lo, hi, _, _) -> Domain.spawn (fun () -> attempt_chunk (lo, hi)))
+                (fun (lo, hi, index, _) ->
+                  Domain.spawn (fun () ->
+                      sleep_before_retry sv ~attempt:attempt_no ~index;
+                      attempt_chunk (lo, hi)))
                 failed
             in
             List.iter (fun d -> record still (Domain.join d)) redo
           end
           else
-            List.iter (fun (lo, hi, _, _) -> record still (attempt_chunk (lo, hi))) failed;
+            List.iter
+              (fun (lo, hi, index, _) ->
+                sleep_before_retry sv ~attempt:attempt_no ~index;
+                record still (attempt_chunk (lo, hi)))
+              failed;
           retry (attempt_no + 1) !still
         end
       in
-      let failed0 = List.concat_map List.rev (Array.to_list failures) in
+      let failed0 =
+        List.concat_map List.rev (Array.to_list failures) @ List.rev !drained
+      in
       let dead = retry 2 failed0 in
       if dead <> [] then
         raise
@@ -520,5 +743,4 @@ let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
       done;
       List.iter (fun a -> acc := combine !acc a) (List.rev !retry_accs);
       !acc
-    end
   end

@@ -90,25 +90,57 @@ exception Supervision_failed of failure list
 (** Raised (in the calling domain) when slices still fail after the
     retry budget; carries every dead slice, sorted by task index. *)
 
+exception Watchdog_timeout
+(** Raised {e inside} a guarded slice when the watchdog cancelled it;
+    callers never see it directly — it surfaces as the [error] string
+    of a {!failure} once the retry budget is spent. *)
+
 type supervision
 
 val supervision :
   ?retries:int ->
   ?backoff:float ->
+  ?backoff_cap:float ->
+  ?jitter_seed:int ->
+  ?timeout_ms:int ->
   ?faults:Nsutil.Faults.t ->
   ?on_retry:(attempt:int -> index:int -> error:string -> unit) ->
   unit ->
   supervision
 (** A supervision policy: up to [retries] re-attempts per failed slice
-    (default 2) beyond the first, sleeping [backoff * 2^(k-1)] seconds
-    before the k-th re-attempt (default 5ms); the last allowed attempt
-    always runs serially in the calling domain. [faults] is tripped
-    before every task — the deterministic fault-injection hook.
-    [on_retry] observes each re-attempt (logging, counters). *)
+    (default 2) beyond the first; the last allowed attempt always runs
+    serially in the calling domain. Before the k-th re-attempt of the
+    slice owning task [index], the retrying domain sleeps a capped
+    exponential backoff with deterministic jitter —
+    [min backoff_cap (backoff * 2^(k-2)) * (0.5 + 0.5 * u)] with [u] a
+    pure hash of [(jitter_seed, k, index)] (defaults: 5ms base, 250ms
+    cap, seed 0) — so concurrent retries never synchronize into a
+    storm yet replay identically run to run.
+
+    [timeout_ms > 0] arms the watchdog (default off): a monitor thread
+    polls per-slice heartbeat words and cancels any slice that makes
+    no progress for longer than the timeout; the cancelled slice
+    unwinds cooperatively (at its next task boundary, or immediately
+    for the [pool.hang] fault) and re-executes through the ordinary
+    retry machinery, preserving bit-identical results. The timeout
+    must exceed the worst single-task latency: heartbeats tick once
+    per task, so a slow-but-live task is indistinguishable from a
+    hang between boundaries.
+
+    [faults] is tripped before every task — the deterministic
+    fault-injection hook (sites [pool.task], raising, and [pool.hang],
+    stalling until cancelled — or raising immediately when no watchdog
+    is armed). [on_retry] observes each re-attempt (logging,
+    counters). *)
 
 val no_supervision : supervision
-(** Zero retries, no faults: failures raise {!Supervision_failed}
-    after the first attempt, with attribution. *)
+(** Zero retries, no faults, no watchdog: failures raise
+    {!Supervision_failed} after the first attempt, with attribution. *)
+
+val backoff_delay : supervision -> attempt:int -> index:int -> float
+(** The exact pre-retry sleep (seconds) the policy prescribes for the
+    given attempt number and task index — exposed so the
+    backoff/jitter schedule is testable. *)
 
 val map_reduce_supervised :
   supervision ->
@@ -155,4 +187,7 @@ val map_reduce_dynamic_supervised :
     Supervision is chunk-grained: failed chunks re-execute from fresh
     accumulators (appended after the worker accumulators in the final
     fold), and failures surviving the budget raise
-    {!Supervision_failed}. *)
+    {!Supervision_failed}. Under an armed watchdog a cancelled worker
+    stops claiming chunks; the calling domain drains any chunks left
+    unclaimed after the join, so every task index is executed exactly
+    as in a fault-free run. *)

@@ -49,6 +49,15 @@ let check_result_equal (a : Engine.result) (b : Engine.result) =
   check Alcotest.int "dest_recomputed" a.dest_recomputed b.dest_recomputed;
   check Alcotest.int "dest_reused" a.dest_reused b.dest_reused
 
+(* Statics-store counters match too — meaningful for the resume
+   differentials at workers = 1 (v2 snapshots restore the warm store),
+   but NOT for fault-retry runs, where re-executed slices legitimately
+   re-touch the store. *)
+let check_statics_counters_equal (a : Engine.result) (b : Engine.result) =
+  check Alcotest.int "statics_hits" a.statics_hits b.statics_hits;
+  check Alcotest.int "statics_misses" a.statics_misses b.statics_misses;
+  check Alcotest.int "statics_evictions" a.statics_evictions b.statics_evictions
+
 (* ------------------------------------------------------------------ *)
 (* Framing unit tests. *)
 
@@ -82,15 +91,17 @@ let test_frame_roundtrip () =
       let payload = "the quick brown payload \x00\x01\x02" in
       Checkpoint.write ~path ~digest:digest_a ~round:42 payload;
       (match Checkpoint.load ~path ~digest:digest_a with
-      | Ok (round, p) ->
-          check Alcotest.int "round" 42 round;
-          check Alcotest.string "payload" payload p
+      | Ok f ->
+          check Alcotest.int "round" 42 f.Checkpoint.round;
+          check Alcotest.string "payload" payload f.Checkpoint.payload;
+          check Alcotest.int "version" 2 f.Checkpoint.version;
+          check Alcotest.bool "kind" true (f.Checkpoint.kind = Checkpoint.Engine)
       | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
       (* Overwrite with a later snapshot: load sees only the newest. *)
       Checkpoint.write ~path ~digest:digest_a ~round:43 "later";
       (match Checkpoint.load_exn ~path ~digest:digest_a with
-      | 43, "later" -> ()
-      | r, p -> Alcotest.failf "unexpected (%d, %S)" r p);
+      | { Checkpoint.round = 43; payload = "later"; _ } -> ()
+      | f -> Alcotest.failf "unexpected (%d, %S)" f.Checkpoint.round f.Checkpoint.payload);
       check Alcotest.bool "no tmp file left behind" false
         (Sys.file_exists (path ^ ".tmp")))
 
@@ -180,8 +191,78 @@ let test_injected_corruption_detected () =
       (* Budget spent: the next write is clean and loads fine. *)
       Checkpoint.write ~faults ~path ~digest:digest_a ~round:2 "clean";
       match Checkpoint.load_exn ~path ~digest:digest_a with
-      | 2, "clean" -> ()
-      | r, p -> Alcotest.failf "unexpected (%d, %S)" r p)
+      | { Checkpoint.round = 2; payload = "clean"; _ } -> ()
+      | f -> Alcotest.failf "unexpected (%d, %S)" f.Checkpoint.round f.Checkpoint.payload)
+
+let test_churn_kind_roundtrip () =
+  with_temp (fun path ->
+      Checkpoint.write ~kind:Checkpoint.Churn ~path ~digest:digest_a ~round:5 "epochs";
+      match Checkpoint.load_exn ~path ~digest:digest_a with
+      | { Checkpoint.kind = Checkpoint.Churn; round = 5; payload = "epochs"; version = 2 }
+        -> ()
+      | f ->
+          Alcotest.failf "unexpected %s frame (%d, %S)"
+            (Checkpoint.kind_to_string f.Checkpoint.kind)
+            f.Checkpoint.round f.Checkpoint.payload)
+
+(* A version-1 frame, byte for byte as the pre-churn code wrote it:
+   no kind field between version and digest. *)
+let v1_frame ~digest ~round payload =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SBGPCKP1";
+  Buffer.add_uint16_be buf 1;
+  Buffer.add_string buf digest;
+  Buffer.add_int32_be buf (Int32.of_int round);
+  Buffer.add_int64_be buf (Int64.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  let body = Buffer.contents buf in
+  body ^ Scrypto.Sha256.digest_string body
+
+let test_v1_frame_still_loads () =
+  with_temp (fun path ->
+      write_file path (v1_frame ~digest:digest_a ~round:9 "old payload");
+      (match Checkpoint.load ~path ~digest:digest_a with
+      | Ok f ->
+          check Alcotest.int "round" 9 f.Checkpoint.round;
+          check Alcotest.string "payload" "old payload" f.Checkpoint.payload;
+          check Alcotest.int "version" 1 f.Checkpoint.version;
+          check Alcotest.bool "v1 implies engine" true
+            (f.Checkpoint.kind = Checkpoint.Engine)
+      | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
+      (* The v1 checks still fail closed. *)
+      write_file path (v1_frame ~digest:digest_b ~round:9 "old payload");
+      expect_error "v1 digest mismatch"
+        (function Checkpoint.Config_mismatch _ -> true | _ -> false)
+        (Checkpoint.load ~path ~digest:digest_a))
+
+let test_unknown_kind_rejected () =
+  with_temp (fun path ->
+      Checkpoint.write ~path ~digest:digest_a ~round:1 "payload";
+      let bytes = Bytes.of_string (read_file path) in
+      (* Kind is a big-endian u16 right after the version. *)
+      Bytes.set bytes 10 '\x00';
+      Bytes.set bytes 11 '\x07';
+      write_file path (Bytes.to_string bytes);
+      expect_error "unknown record kind"
+        (function Checkpoint.Unsupported_kind 7 -> true | _ -> false)
+        (Checkpoint.load ~path ~digest:digest_a))
+
+let test_injected_io_failure () =
+  (* Site checkpoint.io: the write raises a typed Io error before
+     touching the filesystem, so the previous snapshot survives. *)
+  with_temp (fun path ->
+      Checkpoint.write ~path ~digest:digest_a ~round:1 "survivor";
+      let faults =
+        Faults.of_plan
+          [ (Some "checkpoint.io", { Faults.seed = 3; rate = 1.0; budget = 1; after = 0 }) ]
+      in
+      (match Checkpoint.write ~faults ~path ~digest:digest_a ~round:2 "doomed" with
+      | _ -> Alcotest.fail "expected the injected I/O fault to raise"
+      | exception Checkpoint.Error (Checkpoint.Io _) -> ());
+      check Alcotest.int "io fault fired" 1 (Faults.fired faults);
+      match Checkpoint.load_exn ~path ~digest:digest_a with
+      | { Checkpoint.round = 1; payload = "survivor"; _ } -> ()
+      | f -> Alcotest.failf "unexpected (%d, %S)" f.Checkpoint.round f.Checkpoint.payload)
 
 (* ------------------------------------------------------------------ *)
 (* Engine-level differentials. *)
@@ -229,7 +310,8 @@ let test_kill_and_resume_identical () =
           check Alcotest.bool "a snapshot survives the crash" true (Sys.file_exists path);
           let cfg, statics, weight, state = build_inputs () in
           let resumed = Engine.resume ~from:path cfg statics ~weight ~state in
-          check_result_equal reference resumed))
+          check_result_equal reference resumed;
+          check_statics_counters_equal reference resumed))
     (List.sort_uniq compare [ 1; rounds - 1 ])
 
 let test_resume_from_completed_run_tail () =
@@ -245,7 +327,8 @@ let test_resume_from_completed_run_tail () =
       check_result_equal reference first;
       let cfg, statics, weight, state = build_inputs () in
       let resumed = Engine.resume ~from:path cfg statics ~weight ~state in
-      check_result_equal reference resumed)
+      check_result_equal reference resumed;
+      check_statics_counters_equal reference resumed)
 
 let test_faulted_retried_run_identical () =
   let reference = clean_run () in
@@ -323,6 +406,10 @@ let () =
           Alcotest.test_case "config mismatch" `Quick test_load_config_mismatch;
           Alcotest.test_case "injected corruption detected" `Quick
             test_injected_corruption_detected;
+          Alcotest.test_case "churn kind roundtrip" `Quick test_churn_kind_roundtrip;
+          Alcotest.test_case "v1 frame still loads" `Quick test_v1_frame_still_loads;
+          Alcotest.test_case "unknown kind rejected" `Quick test_unknown_kind_rejected;
+          Alcotest.test_case "injected io failure" `Quick test_injected_io_failure;
         ] );
       ( "engine",
         [

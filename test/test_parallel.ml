@@ -436,6 +436,87 @@ let test_dynamic_float_parity_under_faults () =
   check Alcotest.(array (float 0.0)) "bit-identical floats" clean faulted;
   check Alcotest.int "faults fired" 3 (Nsutil.Faults.fired faults)
 
+(* ------------------------------------------------------------------ *)
+(* Watchdog: hang detection, cancellation, and the backoff schedule *)
+
+let hang_plan ~after =
+  (* [pool.hang] is a scoped-only site: it must be named to fire, so a
+     plan for it can never disturb the [pool.task] shot schedule. *)
+  Nsutil.Faults.of_plan
+    [ (Some "pool.hang", { Nsutil.Faults.seed = 7; rate = 1.0; budget = 1; after }) ]
+
+let test_watchdog_recovers_hung_task () =
+  (* One injected hang stalls a slice until the watchdog cancels it;
+     the retry re-executes the slice and the sum is unchanged. *)
+  let tasks = 100 in
+  let expected = tasks * (tasks - 1) / 2 in
+  let faults = hang_plan ~after:20 in
+  let retried = ref [] in
+  let sv =
+    Pool.supervision ~retries:2 ~backoff:0.0 ~timeout_ms:50 ~faults
+      ~on_retry:(fun ~attempt:_ ~index:_ ~error -> retried := error :: !retried)
+      ()
+  in
+  check Alcotest.int "sum unchanged" expected (sum_supervised sv 4 tasks);
+  check Alcotest.int "the hang fired" 1 (Nsutil.Faults.fired faults);
+  check Alcotest.bool "a retry absorbed the cancelled slice" true (!retried <> [])
+
+let test_watchdog_unarmed_hang_degrades () =
+  (* With no timeout armed the injected hang must degrade to an
+     immediate raise — never a deadlock — and the retry machinery
+     absorbs it like any other fault. *)
+  let tasks = 64 in
+  let sv = Pool.supervision ~retries:2 ~backoff:0.0 ~faults:(hang_plan ~after:5) () in
+  check Alcotest.int "sum unchanged" (tasks * (tasks - 1) / 2) (sum_supervised sv 4 tasks)
+
+let test_watchdog_dynamic_drain () =
+  (* The self-scheduled path: a hang in one chunk is cancelled, the
+     calling domain drains the chunks the cancelled worker never
+     claimed, and the retry republishes the failed chunk's slots — no
+     index lost, every slot correct (per-index slots, the engine
+     sweep's contract). *)
+  let tasks = 120 in
+  let out = Array.make tasks (-1) in
+  let sv =
+    Pool.supervision ~retries:2 ~backoff:0.0 ~timeout_ms:50 ~faults:(hang_plan ~after:30) ()
+  in
+  ignore
+    (Pool.map_reduce_dynamic_supervised sv ~workers:4 ~tasks ~grain:8
+       ~init:(fun () -> ())
+       ~task:(fun () i -> out.(i) <- i * 3)
+       ~combine:(fun () () -> ()));
+  check Alcotest.(array int) "all slots published" (Array.init tasks (fun i -> i * 3)) out
+
+let test_backoff_delay_schedule () =
+  (* The retry sleep schedule is a pure function of (jitter_seed,
+     attempt, index): reproducible run to run, capped, and decorrelated
+     across indices. *)
+  let mk () = Pool.supervision ~retries:5 ~backoff:0.1 ~backoff_cap:0.3 ~jitter_seed:42 () in
+  let a = mk () and b = mk () in
+  for attempt = 1 to 6 do
+    for index = 0 to 3 do
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "deterministic attempt=%d index=%d" attempt index)
+        (Pool.backoff_delay a ~attempt ~index)
+        (Pool.backoff_delay b ~attempt ~index)
+    done
+  done;
+  (* Exponential base: attempt 2 doubles to attempt 3 before the cap
+     bites; the jitter factor lives in [0.5, 1.0]. *)
+  let d2 = Pool.backoff_delay a ~attempt:2 ~index:0 in
+  check Alcotest.bool "positive" true (d2 > 0.0);
+  check Alcotest.bool "within base" true (d2 >= 0.05 && d2 <= 0.1);
+  (* Far attempts saturate at the cap (times the jitter factor). *)
+  let d9 = Pool.backoff_delay a ~attempt:9 ~index:0 in
+  check Alcotest.bool "capped" true (d9 <= 0.3 && d9 >= 0.15);
+  (* Distinct indices draw distinct jitter: retrying slices never
+     synchronize their sleeps. *)
+  check Alcotest.bool "decorrelated across indices" true
+    (Pool.backoff_delay a ~attempt:4 ~index:1 <> Pool.backoff_delay a ~attempt:4 ~index:2);
+  (* backoff = 0 disables sleeping entirely. *)
+  check (Alcotest.float 0.0) "zero backoff" 0.0
+    (Pool.backoff_delay (Pool.supervision ~retries:2 ~backoff:0.0 ()) ~attempt:5 ~index:0)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -466,6 +547,14 @@ let () =
             test_supervised_multiple_failures_aggregated;
           Alcotest.test_case "float parity under faults" `Quick
             test_supervised_engine_parity_under_faults;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "hung task recovered" `Quick test_watchdog_recovers_hung_task;
+          Alcotest.test_case "unarmed hang degrades" `Quick
+            test_watchdog_unarmed_hang_degrades;
+          Alcotest.test_case "dynamic drain under hang" `Quick test_watchdog_dynamic_drain;
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_delay_schedule;
         ] );
       ( "dynamic",
         [

@@ -428,6 +428,69 @@ let test_faults_parse_spec () =
       | Error e -> check Alcotest.bool "message non-empty" true (String.length e > 0))
     [ ""; "x"; "7:"; "7:2.0"; "7:-0.1"; "7:0.5:-1"; "7:0.5:1:-2"; "7:0.5:1:2:3" ]
 
+let test_faults_parse_plan () =
+  (* Multi-site grammar: [site=]seed:rate[:budget[:after]], semicolons
+     between cells, at most one default (unscoped) cell. *)
+  (match Faults.parse_plan "3:0.5;pool.hang=7:1.0:1:40" with
+  | Ok
+      [
+        (None, { Faults.seed = 3; rate = 0.5; budget = 1; after = 0 });
+        (Some "pool.hang", { Faults.seed = 7; rate = 1.0; budget = 1; after = 40 });
+      ] ->
+      ()
+  | Ok cells -> Alcotest.failf "unexpected plan shape (%d cells)" (List.length cells)
+  | Error e -> Alcotest.failf "plan rejected: %s" e);
+  List.iter
+    (fun s ->
+      match Faults.parse_plan s with
+      | Ok _ -> Alcotest.failf "%S accepted" s
+      | Error e -> check Alcotest.bool "message non-empty" true (String.length e > 0))
+    [ ""; ";;"; "=7"; "pool.hang="; "pool.hang=oops"; "3:0.5;bad" ]
+
+let test_faults_scoped_only_sites () =
+  (* The default cell arms every legacy and ad-hoc site, but NEVER the
+     destructive post-legacy sites — those fire only when named, so an
+     old single-cell plan's shot schedule cannot shift. *)
+  let t = Faults.of_plan [ (None, { Faults.seed = 1; rate = 1.0; budget = 8; after = 0 }) ] in
+  check Alcotest.bool "ad-hoc site uses the default cell" true
+    (Option.is_some (Faults.fires t "anything"));
+  List.iter
+    (fun site ->
+      check Alcotest.bool (site ^ " never falls back") false
+        (Option.is_some (Faults.fires t site)))
+    [ "pool.hang"; "checkpoint.io"; "statics.repair"; "evolve.delta" ];
+  (* A scoped cell fires for its site and nothing else. *)
+  let s =
+    Faults.of_plan [ (Some "pool.hang", { Faults.seed = 1; rate = 1.0; budget = 1; after = 0 }) ]
+  in
+  check Alcotest.bool "other sites silent" false (Option.is_some (Faults.fires s "pool.task"));
+  check Alcotest.bool "named site fires" true (Option.is_some (Faults.fires s "pool.hang"))
+
+let test_faults_unknown_site_warns () =
+  let captured = ref [] in
+  Nsutil.Warnings.set_handler (fun m -> captured := m :: !captured);
+  Fun.protect
+    ~finally:(fun () ->
+      Nsutil.Warnings.set_handler prerr_endline;
+      Unix.putenv "SBGP_FAULTS" "")
+    (fun () ->
+      Unix.putenv "SBGP_FAULTS" "nosuchsite=1:1.0";
+      (match Faults.of_env () with
+      | Some _ -> ()
+      | None -> Alcotest.fail "a typo'd site must still build the plan");
+      check Alcotest.bool "warned about the unknown site" true
+        (List.exists
+           (fun m ->
+             let has sub =
+               let n = String.length sub in
+               let rec go i =
+                 i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             has "unknown fault site" && has "nosuchsite")
+           !captured))
+
 let test_faults_of_env () =
   Unix.putenv "SBGP_FAULTS" "5:1.0:2";
   (match Faults.of_env () with
@@ -573,6 +636,9 @@ let () =
           Alcotest.test_case "after arming" `Quick test_faults_after_arming;
           Alcotest.test_case "trip raises" `Quick test_faults_trip_raises;
           Alcotest.test_case "parse_spec" `Quick test_faults_parse_spec;
+          Alcotest.test_case "parse_plan" `Quick test_faults_parse_plan;
+          Alcotest.test_case "scoped-only sites" `Quick test_faults_scoped_only_sites;
+          Alcotest.test_case "unknown site warns" `Quick test_faults_unknown_site_warns;
           Alcotest.test_case "of_env" `Quick test_faults_of_env;
         ] );
     ]
