@@ -781,6 +781,85 @@ let run_json_bench ~path =
   Printf.printf
     "budget differential: %d-byte store, %d evictions, identical dynamics: %b\n%!"
     budget_bytes bounded.statics_evictions identical;
+  (* Telemetry overhead: the identical engine scenario with the full
+     observability pipeline live — metrics registry, phase histograms,
+     journal to a scratch file, loopback scrape endpoint — against
+     everything off. The instrumented run's per-round ns lands in the
+     kernels array, so --compare tracks it like any other kernel; the
+     on-vs-off ratio is additionally hard-gated at full scale (< 3%,
+     SBGP_OBS_TOLERANCE overrides). Best-of-k walls on both arms keep
+     scheduler noise out of a percent-level comparison, and the two
+     arms must agree on rounds, baseline and termination: telemetry
+     is observational or it is a bug. *)
+  let obs_engine () =
+    let state = Core.State.create g ~early in
+    Core.Engine.run cfg statics ~weight ~state
+  in
+  let best_of k f =
+    ignore (Sys.opaque_identity (f ()));
+    let best = ref infinity in
+    for _ = 1 to k do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let obs_reps = 3 in
+  let metrics_were = Nsobs.Metrics.enabled () in
+  Nsobs.Metrics.set_enabled false;
+  let result_off = obs_engine () in
+  let wall_off = best_of obs_reps obs_engine in
+  let journal_tmp, journal_opened =
+    if Nsobs.Journal.enabled () then ("", false)
+    else begin
+      let p = Filename.temp_file "sbgp_bench_journal" ".jsonl" in
+      (match Nsobs.Journal.open_path p with
+      | Ok () -> ()
+      | Error e -> die "obs_overhead: cannot open journal %s: %s" p e);
+      (p, true)
+    end
+  in
+  Nsobs.Metrics.set_enabled true;
+  let server =
+    match Nsobs.Serve.start ~port:0 () with
+    | Ok s -> Some s
+    | Error e ->
+        Printf.eprintf "bench: obs_overhead runs without a scrape endpoint (%s)\n%!" e;
+        None
+  in
+  let result_on = obs_engine () in
+  let wall_on = best_of obs_reps obs_engine in
+  Option.iter Nsobs.Serve.stop server;
+  if journal_opened then begin
+    Nsobs.Journal.close ();
+    Sys.remove journal_tmp
+  end;
+  Nsobs.Metrics.set_enabled metrics_were;
+  if
+    not
+      (result_off.Core.Engine.rounds = result_on.Core.Engine.rounds
+      && result_off.baseline = result_on.baseline
+      && result_off.termination = result_on.termination)
+  then die "obs_overhead: telemetry-on engine run diverged from telemetry-off";
+  let obs_rounds = max 1 (Core.Engine.rounds_run result_on) in
+  let ns_on = wall_on *. 1e9 /. float_of_int obs_rounds in
+  Printf.printf "%-20s %10.3f ms/rep %12.1f ns/op  (%d reps)\n%!" "obs_overhead"
+    (wall_on *. 1e3) ns_on obs_reps;
+  kernels := ("obs_overhead", obs_rounds, obs_reps, wall_on, ns_on) :: !kernels;
+  let overhead = (wall_on -. wall_off) /. wall_off in
+  let obs_tolerance =
+    match Option.bind (Sys.getenv_opt "SBGP_OBS_TOLERANCE") float_of_string_opt with
+    | Some t when t > 0.0 -> t
+    | _ -> 0.03
+  in
+  Printf.printf
+    "telemetry overhead: %.3f s off vs %.3f s on (%+.2f%%), identical dynamics\n%!"
+    wall_off wall_on (100.0 *. overhead);
+  if (not smoke) && overhead > obs_tolerance then
+    die "telemetry overhead %.2f%% exceeds %.1f%% budget" (100.0 *. overhead)
+      (100.0 *. obs_tolerance);
   let buf = Buffer.create 2048 in
   let b fmt = Printf.bprintf buf fmt in
   b "{\n";
@@ -812,7 +891,7 @@ let run_json_bench ~path =
     "  \"budget_differential\": {\"budget_bytes\": %d, \"evictions\": %d, \
      \"identical\": %b},\n"
     budget_bytes bounded.statics_evictions identical;
-  b "  \"peak_rss_kb\": %d\n" (Nsobs.Rss.peak_kb ());
+  b "  \"peak_rss_kb\": %d\n" (Option.value ~default:0 (Nsobs.Rss.peak_kb ()));
   b "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -836,6 +915,7 @@ let run_json_bench ~path =
       "\"flip_probe_w1\"";
       "\"flip_full_w1\"";
       "\"flip_repair_w1\"";
+      "\"obs_overhead\"";
       "\"sweep_fanout\"";
       "\"ns_per_op\"";
       "\"rounds_per_s\"";

@@ -255,6 +255,39 @@ let run_cmd =
              and checkpoint activity) and write them here as Prometheus-style text; a \
              summary table is also printed. Equivalent to $(b,SBGP_METRICS).")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ]
+          ~doc:
+            "Append a structured JSONL run journal here (round start/end, \
+             checkpoint and resilience events, timestamped): readable with \
+             $(b,jq), crash-safe up to the last event, and the input of \
+             $(b,--obs-report). Equivalent to $(b,SBGP_JOURNAL).")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ]
+          ~doc:
+            "Serve $(b,GET /metrics) (Prometheus exposition) and \
+             $(b,GET /healthz) (round progress, uptime, degradation state) on \
+             this loopback port while the run executes; 0 picks an ephemeral \
+             port. Implies metrics collection. Equivalent to \
+             $(b,SBGP_METRICS_PORT).")
+  in
+  let obs_report =
+    Arg.(
+      value & flag
+      & info [ "obs-report" ]
+          ~doc:
+            "Print a one-screen run health report at the end (rounds/s trend, \
+             p50/p99 phase latencies, resilience-event totals), folding the \
+             journal — including history from interrupted attempts — with \
+             this run's metrics.")
+  in
   let parse_adopters g spec =
     let prefix p s =
       if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
@@ -277,9 +310,21 @@ let run_cmd =
   in
   let run n seed theta x model adopters_spec no_stub_tiebreak csv caida workers
       checkpoint_path checkpoint_every resume retries task_timeout_ms degrade flip_kernel
-      statics_mb trace metrics =
+      statics_mb trace metrics journal metrics_port obs_report =
     Option.iter Nsobs.Control.set_trace trace;
     Option.iter Nsobs.Control.set_metrics metrics;
+    Option.iter Nsobs.Control.set_journal journal;
+    (* --obs-report wants quantiles; make sure histograms collect even
+       when no --metrics file was named. *)
+    if obs_report then Nsobs.Metrics.set_enabled true;
+    (match metrics_port with
+    | Some p ->
+        Nsobs.Control.set_metrics_port p;
+        Option.iter
+          (fun bound ->
+            Printf.printf "metrics: serving http://127.0.0.1:%d/metrics\n%!" bound)
+          (Nsobs.Control.server_port ())
+    | None -> ());
     let g =
       match caida with
       | None -> Experiments.Scenario.graph (Experiments.Scenario.create ~n ~seed ())
@@ -316,6 +361,14 @@ let run_cmd =
       Printf.eprintf "error: --resume requires --checkpoint PATH\n";
       exit 2
     end;
+    (* On resume, surface the interrupted run's history (the journal
+       appends across attempts) before this attempt adds to it. *)
+    if resume then (
+      match Nsobs.Control.journal_path () with
+      | Some jp when Sys.file_exists jp ->
+          Printf.printf "-- history from %s --\n%s--\n%!" jp
+            (Nsobs.Report.render ~journal_path:jp ())
+      | _ -> ());
     let checkpoint =
       Option.map
         (fun path -> { Core.Engine.path; every = max 1 checkpoint_every })
@@ -393,19 +446,25 @@ let run_cmd =
     (* Write telemetry now (rather than only at_exit) so the summary
        table below reflects the flushed registry, RSS included. *)
     Nsobs.Control.flush ();
-    if Nsobs.Metrics.enabled () then begin
+    if Nsobs.Metrics.enabled () && Nsobs.Control.metrics_path () <> None then begin
       Printf.printf "\nmetrics:\n";
       Nsutil.Table.print (Nsobs.Metrics.summary ())
+    end;
+    if obs_report then begin
+      print_newline ();
+      print_string
+        (Nsobs.Report.render ?journal_path:(Nsobs.Control.journal_path ()) ())
     end
   in
   let doc = "Run one S*BGP deployment simulation." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k l m o p q r s t u ->
-          guard (fun () -> run a b c d e f g h i j k l m o p q r s t u))
+      const (fun a b c d e f g h i j k l m o p q r s t u v w x ->
+          guard (fun () -> run a b c d e f g h i j k l m o p q r s t u v w x))
       $ n_arg $ seed_arg $ theta $ x $ model $ adopters $ no_stub_tiebreak $ csv $ caida
       $ workers $ checkpoint_path $ checkpoint_every $ resume $ retries $ task_timeout_ms
-      $ degrade $ flip_kernel $ statics_mb $ trace $ metrics)
+      $ degrade $ flip_kernel $ statics_mb $ trace $ metrics $ journal $ metrics_port
+      $ obs_report)
 
 (* exp: regenerate a table/figure. *)
 let exp_cmd =

@@ -152,7 +152,14 @@ let write ?faults ?(kind = Engine) ~path ~digest ~round payload =
       if Nsobs.Metrics.enabled () then begin
         Nsobs.Metrics.inc (Lazy.force m_writes);
         Nsobs.Metrics.add (Lazy.force m_bytes_written) (Bytes.length bytes)
-      end
+      end;
+      if Nsobs.Journal.enabled () then
+        Nsobs.Journal.event "checkpoint_write"
+          [
+            ("kind", Nsobs.Journal.Str (kind_to_string kind));
+            ("round", Nsobs.Journal.Int round);
+            ("bytes", Nsobs.Journal.Int (Bytes.length bytes));
+          ]
   | exception Sys_error m -> raise (Error (Io m))
 
 let read_file path =
@@ -234,6 +241,17 @@ let load ~path ~digest =
     (match r with
     | Ok _ -> Nsobs.Metrics.inc (Lazy.force m_loads)
     | Stdlib.Error _ -> Nsobs.Metrics.inc (Lazy.force m_load_errors));
+  if Nsobs.Journal.enabled () then
+    (match r with
+    | Ok f ->
+        Nsobs.Journal.event "checkpoint_load"
+          [
+            ("kind", Nsobs.Journal.Str (kind_to_string f.kind));
+            ("round", Nsobs.Journal.Int f.round);
+          ]
+    | Stdlib.Error e ->
+        Nsobs.Journal.event "checkpoint_load_error"
+          [ ("error", Nsobs.Journal.Str (error_to_string e)) ]);
   r
 
 let load_exn ~path ~digest =

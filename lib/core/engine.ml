@@ -61,12 +61,43 @@ let m_demotions =
   lazy
     (Nsobs.Metrics.counter
        ~help:"destinations demoted delta->full by the degradation ladder"
-       "engine_demotion_total")
+       "engine_demotions_total")
 let m_checkpoint_skips =
   lazy
     (Nsobs.Metrics.counter
        ~help:"checkpoint writes skipped on I/O failure under the degradation ladder"
-       "engine_checkpoint_skip_total")
+       "engine_checkpoint_skips_total")
+
+(* Per-phase wall-time histograms (tentpole c): observed around the
+   existing trace spans, same sites, same guard discipline. Bucket
+   grid shared across phases so dashboards can overlay them. *)
+let phase_buckets = [| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let m_probe_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"flip byte-delta capture per round (ms)"
+       ~buckets:phase_buckets "engine_probe_ms")
+let m_sweep_ms =
+  lazy
+    (Nsobs.Metrics.histogram
+       ~help:"parallel sweep (dirty recompute + flip repair) per round (ms)"
+       ~buckets:phase_buckets "engine_sweep_ms")
+let m_reduce_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"serial deterministic reduction per round (ms)"
+       ~buckets:phase_buckets "engine_reduce_ms")
+let m_statics_build_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"statics store prefill (ms)"
+       ~buckets:phase_buckets "statics_build_ms")
+let m_current_round =
+  lazy
+    (Nsobs.Metrics.gauge ~help:"round currently executing" "engine_current_round")
+
+(* Time a section into [h] when metrics are on; otherwise exactly the
+   thunk (no clock reads, no lazy forcing). *)
+let timed h f =
+  if Nsobs.Metrics.enabled () then Nsobs.Metrics.timed (Lazy.force h) f else f ()
 
 type round_record = {
   round : int;
@@ -381,9 +412,10 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
      start (the digest pins the tiebreak), and re-running the prefill
      would skew the restored hit counters. *)
   if not statics_restored then
-    Nsobs.Trace.span ~cat:"engine" "statics.prefill" (fun () ->
-        Route_static.ensure_tiebreak statics cfg.tiebreak;
-        Route_static.ensure_all ~workers statics);
+    timed m_statics_build_ms (fun () ->
+        Nsobs.Trace.span ~cat:"engine" "statics.prefill" (fun () ->
+            Route_static.ensure_tiebreak statics cfg.tiebreak;
+            Route_static.ensure_all ~workers statics));
   (* Stub customers per ISP, for projection filters; packed into a CSR
      so the per-(destination, candidate) admission scan walks a flat
      row instead of a boxed list. *)
@@ -455,6 +487,9 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
       Bytes.set demoted d '\001';
       incr demotions;
       if Nsobs.Metrics.enabled () then Nsobs.Metrics.inc (Lazy.force m_demotions);
+      if Nsobs.Journal.enabled () then
+        Nsobs.Journal.event "demotion"
+          [ ("dest", Nsobs.Journal.Int d); ("reason", Nsobs.Journal.Str reason) ];
       Nsutil.Warnings.emit
         (Printf.sprintf
            "sbgp: engine: demoting destination %d to the full kernels (%s)" d reason)
@@ -482,6 +517,15 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
   (* Metrics report what THIS process did: a resumed run publishes
      deltas over the restored counters, not the checkpoint's totals. *)
   let recomputed0 = !recomputed and reused0 = !reused in
+  if Nsobs.Journal.enabled () then
+    Nsobs.Journal.event
+      (if resume_from = None then "run_start" else "run_resume")
+      [
+        ("n", Nsobs.Journal.Int n);
+        ("workers", Nsobs.Journal.Int workers);
+        ("round", Nsobs.Journal.Int !round);
+        ("max_rounds", Nsobs.Journal.Int cfg.max_rounds);
+      ];
   let remember round =
     let signature = State.signature state in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
@@ -536,6 +580,10 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
               incr checkpoint_skips;
               if Nsobs.Metrics.enabled () then
                 Nsobs.Metrics.inc (Lazy.force m_checkpoint_skips);
+              if Nsobs.Journal.enabled () then
+                Nsobs.Journal.event "checkpoint_skip"
+                  [ ("round", Nsobs.Journal.Int !round);
+                    ("error", Nsobs.Journal.Str m) ];
               Nsutil.Warnings.emit
                 (Printf.sprintf
                    "sbgp: engine: checkpoint write failed (%s); continuing on the \
@@ -563,7 +611,15 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     let round_args =
       if Nsobs.Trace.enabled () then Some [ ("round", string_of_int !round) ] else None
     in
-    let round_t0 = if Nsobs.Metrics.enabled () then Nsobs.Trace.now_us () else 0.0 in
+    let round_t0 =
+      if Nsobs.Metrics.enabled () || Nsobs.Journal.enabled () then
+        Nsobs.Trace.now_us ()
+      else 0.0
+    in
+    if Nsobs.Metrics.enabled () then
+      Nsobs.Metrics.set (Lazy.force m_current_round) (float_of_int !round);
+    if Nsobs.Journal.enabled () then
+      Nsobs.Journal.event "round_start" [ ("round", Nsobs.Journal.Int !round) ];
     (* The span covers the whole round body — through the checkpoint,
        if one is due — so traced wall time decomposes into rounds. *)
     Nsobs.Trace.span ~cat:"engine" ?args:round_args "engine.round" @@ fun () ->
@@ -588,8 +644,9 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     List.iter (fun nc -> is_candidate.(nc) <- true) candidates;
     let was_on = Array.map (fun nc -> State.full state nc) candidates_arr in
     let deltas =
-      Nsobs.Trace.span ~cat:"engine" "engine.probe" (fun () ->
-          probe_deltas state ~secure ~use_secp ~was_on candidates_arr)
+      timed m_probe_ms (fun () ->
+          Nsobs.Trace.span ~cat:"engine" "engine.probe" (fun () ->
+              probe_deltas state ~secure ~use_secp ~was_on candidates_arr))
     in
     (* Round-start snapshots: workers get private copies to flip. *)
     let sec0 = Bytes.copy secure in
@@ -712,7 +769,8 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
           Bytes.fill changed 0 need '\000';
           sweep_ladder (attempt + 1)
     in
-    Nsobs.Trace.span ~cat:"engine" "engine.sweep" (fun () -> sweep_ladder 0);
+    timed m_sweep_ms (fun () ->
+        Nsobs.Trace.span ~cat:"engine" "engine.sweep" (fun () -> sweep_ladder 0));
     let dc = Incremental.dirty_count inc in
     recomputed := !recomputed + dc;
     reused := !reused + (n - dc);
@@ -721,6 +779,7 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     let utilities = Array.make n 0.0 in
     let projected = Array.make n 0.0 in
     let cand_slot = Array.map (fun nc -> Incremental.isp_slot inc nc) candidates_arr in
+    timed m_reduce_ms (fun () ->
     Nsobs.Trace.span ~cat:"engine" "engine.reduce" (fun () ->
     for d = 0 to n - 1 do
       let e = Incremental.entry inc d in
@@ -742,7 +801,7 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     (* Non-candidates project their current utility. *)
     for i = 0 to n - 1 do
       if not is_candidate.(i) then projected.(i) <- utilities.(i)
-    done);
+    done));
     (* Simultaneous flips per Eq. 3. *)
     let turned_on = ref [] in
     let turned_off = ref [] in
@@ -783,6 +842,16 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
       Nsobs.Metrics.observe (Lazy.force m_round_ms)
         ((Nsobs.Trace.now_us () -. round_t0) /. 1000.0)
     end;
+    if Nsobs.Journal.enabled () then
+      Nsobs.Journal.event "round_end"
+        [
+          ("round", Nsobs.Journal.Int !round);
+          ("on", Nsobs.Journal.Int (List.length record.turned_on));
+          ("off", Nsobs.Journal.Int (List.length record.turned_off));
+          ("dirty", Nsobs.Journal.Int dc);
+          ("secure_as", Nsobs.Journal.Int record.secure_as);
+          ("wall_ms", Nsobs.Journal.Float ((Nsobs.Trace.now_us () -. round_t0) /. 1000.0));
+        ];
     if !turned_on = [] && !turned_off = [] then begin
       termination := Stable;
       continue := false
@@ -816,6 +885,26 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     Nsobs.Metrics.add (Lazy.force m_dest_recomputed) (delta !recomputed recomputed0);
     Nsobs.Metrics.add (Lazy.force m_dest_reused) (delta !reused reused0)
   end;
+  if Nsobs.Journal.enabled () then
+    Nsobs.Journal.event "run_end"
+      [
+        ( "termination",
+          Nsobs.Journal.Str
+            (match !termination with
+            | Stable -> "stable"
+            | Oscillation { first_round } ->
+                Printf.sprintf "oscillation@%d" first_round
+            | Max_rounds -> "max_rounds") );
+        ("rounds", Nsobs.Journal.Int !round);
+        (* Statics store deltas for this run (hit/miss/eviction). *)
+        ("statics_hits", Nsobs.Journal.Int (stats1.Route_static.hits - base_hits));
+        ( "statics_misses",
+          Nsobs.Journal.Int (stats1.Route_static.misses - base_misses) );
+        ( "statics_evictions",
+          Nsobs.Journal.Int (stats1.Route_static.evictions - base_evictions) );
+        ("demotions", Nsobs.Journal.Int !demotions);
+        ("checkpoint_skips", Nsobs.Journal.Int !checkpoint_skips);
+      ];
   {
     baseline;
     initial_secure_as;

@@ -17,6 +17,16 @@ module Engine = Core.Engine
 module Checkpoint = Core.Checkpoint
 module Faults = Nsutil.Faults
 
+(* Statics churn-repair timing lands here rather than in
+   [Route_static] itself: lib/bgp deliberately has no nsobs
+   dependency, and this call site is the only epoch-boundary rebase
+   path. *)
+let m_rebase_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"statics store churn rebase (ms)"
+       ~buckets:[| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+       "statics_rebase_ms")
+
 type params = {
   epochs : int;
   growth_fraction : float;
@@ -91,6 +101,12 @@ let run_epochs ~params ~(cfg : Config.t) ~faults ~checkpoint ~digest ~early ~sta
   let summaries_rev = ref summaries_rev in
   let rec epoch k g statics full_isps engine_payload =
     let t0 = Unix.gettimeofday () in
+    if Nsobs.Journal.enabled () then
+      Nsobs.Journal.event "epoch_start"
+        [
+          ("epoch", Nsobs.Journal.Int k);
+          ("nodes", Nsobs.Journal.Int (Graph.n g));
+        ];
     let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
     let state = State.create g ~early in
     List.iter
@@ -134,6 +150,16 @@ let run_epochs ~params ~(cfg : Config.t) ~faults ~checkpoint ~digest ~early ~sta
     let statics = result.Engine.statics_store in
     let dt = Unix.gettimeofday () -. t0 in
     let n = Graph.n g in
+    if Nsobs.Journal.enabled () then
+      Nsobs.Journal.event "epoch_end"
+        [
+          ("epoch", Nsobs.Journal.Int k);
+          ("nodes", Nsobs.Journal.Int n);
+          ("rounds", Nsobs.Journal.Int (Engine.rounds_run result));
+          ("seconds", Nsobs.Journal.Float dt);
+          ("statics_misses", Nsobs.Journal.Int result.Engine.statics_misses);
+          ("demotions", Nsobs.Journal.Int result.Engine.demotions);
+        ];
     let summary ~new_on_secure =
       {
         e_epoch = k;
@@ -172,8 +198,12 @@ let run_epochs ~params ~(cfg : Config.t) ~faults ~checkpoint ~digest ~early ~sta
         match cfg.statics_kernel with
         | Route_static.Delta -> (
             let j =
-              Route_static.rebase ~kernel:Route_static.Delta ~workers:cfg.workers
-                ?faults statics ~delta grown
+              (if Nsobs.Metrics.enabled () then
+                 Nsobs.Metrics.timed (Lazy.force m_rebase_ms)
+               else fun f -> f ())
+                (fun () ->
+                  Route_static.rebase ~kernel:Route_static.Delta
+                    ~workers:cfg.workers ?faults statics ~delta grown)
             in
             (* Fault site evolve.delta: the epoch migration is declared
                failed after the fact. Recovery exercises the journal —

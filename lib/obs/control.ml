@@ -1,5 +1,7 @@
 let trace_env = "SBGP_TRACE"
 let metrics_env = "SBGP_METRICS"
+let journal_env = "SBGP_JOURNAL"
+let metrics_port_env = "SBGP_METRICS_PORT"
 
 let trace_dest = ref None
 let metrics_dest = ref None
@@ -15,19 +17,97 @@ let set_metrics path =
   metrics_dest := Some path;
   Metrics.set_enabled true
 
+(* --------------------------------------------------------------- *)
+(* Output-sink failures are telemetry problems, not run problems:
+   the policy everywhere below is warn-and-continue (the same
+   skip-and-count spirit as checkpoint Io degradation), with a typed
+   record so tests and callers can see exactly what was dropped. *)
+
+type sink = Trace_sink | Metrics_sink | Journal_sink | Endpoint_sink
+
+type sink_error = { sink : sink; dest : string; reason : string }
+
+let sink_name = function
+  | Trace_sink -> "trace"
+  | Metrics_sink -> "metrics"
+  | Journal_sink -> "journal"
+  | Endpoint_sink -> "metrics endpoint"
+
+let sink_error_message e =
+  Printf.sprintf "obs: dropped %s output to %s: %s (run results unaffected)"
+    (sink_name e.sink) e.dest e.reason
+
+let failures : sink_error list ref = ref []
+
+let sink_failures () = List.rev !failures
+
+let m_sink_failures =
+  lazy
+    (Metrics.counter ~help:"telemetry sink writes dropped (warn-and-continue)"
+       "obs_sink_failures_total")
+
+let report_sink_error e =
+  failures := e :: !failures;
+  Metrics.inc (Lazy.force m_sink_failures);
+  Log.warn "%s" (sink_error_message e)
+
+(* Run a sink write; absorb and report anything the filesystem can
+   throw at us instead of crashing the run at exit. *)
+let attempt sink dest f =
+  try f () with
+  | Sys_error reason -> report_sink_error { sink; dest; reason }
+  | Unix.Unix_error (err, fn, _) ->
+      report_sink_error
+        { sink; dest; reason = Printf.sprintf "%s: %s" fn (Unix.error_message err) }
+
+(* --------------------------------------------------------------- *)
+(* Journal + scrape endpoint. *)
+
+let set_journal path =
+  match Journal.open_path path with
+  | Ok () -> ()
+  | Error reason -> report_sink_error { sink = Journal_sink; dest = path; reason }
+
+let journal_path () = Journal.path ()
+
+let server : Serve.t option ref = ref None
+
+let server_port () = Option.map Serve.port !server
+
+let set_metrics_port port =
+  Metrics.set_enabled true;
+  match !server with
+  | Some _ -> ()
+  | None -> (
+      match Serve.start ~port () with
+      | Ok t ->
+          server := Some t;
+          Log.info "obs: serving /metrics and /healthz on 127.0.0.1:%d"
+            (Serve.port t)
+      | Error reason ->
+          report_sink_error
+            { sink = Endpoint_sink; dest = Printf.sprintf "port %d" port; reason })
+
+let stop_server () =
+  Option.iter Serve.stop !server;
+  server := None
+
 let flush ?(quiet = false) () =
   (match !trace_dest with
   | Some path when Trace.enabled () ->
-      Trace.write path;
-      if not quiet then
-        Log.info "wrote trace (%d events) to %s" (Trace.event_count ()) path
+      attempt Trace_sink path (fun () ->
+          Trace.write path;
+          if not quiet then
+            Log.info "wrote trace (%d events) to %s" (Trace.event_count ()) path)
   | _ -> ());
-  match !metrics_dest with
+  (match !metrics_dest with
   | Some path when Metrics.enabled () ->
-      Rss.publish ();
-      Metrics.write path;
-      if not quiet then Log.info "wrote metrics to %s" path
-  | _ -> ()
+      attempt Metrics_sink path (fun () ->
+          Rss.publish ();
+          Metrics.write path;
+          if not quiet then Log.info "wrote metrics to %s" path)
+  | _ -> ());
+  if Journal.enabled () then Journal.flush ()
 
 let initialized = ref false
 
@@ -42,9 +122,24 @@ let init () =
     (match Sys.getenv_opt metrics_env with
     | Some path when path <> "" -> set_metrics path
     | _ -> ());
+    (match Sys.getenv_opt journal_env with
+    | Some path when path <> "" -> set_journal path
+    | _ -> ());
+    (match Sys.getenv_opt metrics_port_env with
+    | Some s when s <> "" -> (
+        match int_of_string_opt s with
+        | Some p when p >= 0 && p < 65536 -> set_metrics_port p
+        | _ ->
+            Log.warn "obs: ignoring %s=%s (want a port number)" metrics_port_env
+              s)
+    | _ -> ());
     (* Flush on any exit path: a crashed or interrupted run still
        leaves its telemetry behind. Re-flushing after an explicit
        flush just rewrites the same files (silently, to keep the
-       normal-exit log free of duplicates). *)
-    at_exit (fun () -> flush ~quiet:true ())
+       normal-exit log free of duplicates). The journal is closed for
+       good here — its flusher thread must not outlive the process
+       teardown. *)
+    at_exit (fun () ->
+        flush ~quiet:true ();
+        Journal.close ())
   end

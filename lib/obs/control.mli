@@ -2,19 +2,30 @@
 
     Binaries call {!init} once at startup: it routes the utility
     layer's warnings through {!Log}, applies [SBGP_LOG_LEVEL], and —
-    when [SBGP_TRACE] / [SBGP_METRICS] name destination files —
-    enables the corresponding collector and registers an [at_exit]
-    {!flush} so telemetry survives crashes and early exits. CLI flags
-    ([--trace FILE], [--metrics FILE]) call {!set_trace} /
-    {!set_metrics} on top. With none of these set, {!init} leaves
-    every collector off: hot paths then pay only their static
-    [enabled] checks. *)
+    when [SBGP_TRACE] / [SBGP_METRICS] / [SBGP_JOURNAL] /
+    [SBGP_METRICS_PORT] are set — enables the corresponding
+    collector, journal or scrape endpoint and registers an [at_exit]
+    {!flush} so telemetry survives crashes and early exits. CLI
+    flags ([--trace FILE], [--metrics FILE], [--journal FILE],
+    [--metrics-port P]) call the matching setters on top. With none
+    of these set, {!init} leaves every collector off: hot paths then
+    pay only their static [enabled] checks.
+
+    Telemetry output failures never take the run down: every sink
+    write is wrapped in warn-and-continue with a typed
+    {!sink_error}, counted in [obs_sink_failures_total]. *)
 
 val trace_env : string
 (** ["SBGP_TRACE"]. *)
 
 val metrics_env : string
 (** ["SBGP_METRICS"]. *)
+
+val journal_env : string
+(** ["SBGP_JOURNAL"]. *)
+
+val metrics_port_env : string
+(** ["SBGP_METRICS_PORT"]. *)
 
 val init : unit -> unit
 (** Idempotent. *)
@@ -25,11 +36,43 @@ val set_trace : string -> unit
 val set_metrics : string -> unit
 (** Enable the metrics registry, exposition written at {!flush}. *)
 
+val set_journal : string -> unit
+(** Open the run journal on this file (append) and start its flusher
+    thread. An unopenable destination warns and continues. *)
+
+val set_metrics_port : int -> unit
+(** Enable metrics and start the loopback scrape endpoint ({!Serve})
+    on this port (0 = ephemeral, see {!server_port}). A bind failure
+    warns and continues. No-op if an endpoint is already up. *)
+
 val trace_path : unit -> string option
 val metrics_path : unit -> string option
+val journal_path : unit -> string option
+
+val server_port : unit -> int option
+(** The bound scrape-endpoint port, when one is serving. *)
+
+val stop_server : unit -> unit
+(** Stop the scrape endpoint (tests; normal runs let it live until
+    process exit). *)
+
+type sink = Trace_sink | Metrics_sink | Journal_sink | Endpoint_sink
+
+type sink_error = { sink : sink; dest : string; reason : string }
+(** One dropped telemetry write: which sink, where it was writing,
+    and the underlying OS reason. *)
+
+val sink_error_message : sink_error -> string
+(** The rendered warning, e.g. ["obs: dropped metrics output to
+    /bad/path: No such file or directory (run results
+    unaffected)"]. *)
+
+val sink_failures : unit -> sink_error list
+(** Every failure absorbed so far, oldest first. *)
 
 val flush : ?quiet:bool -> unit -> unit
 (** Write enabled collectors to their destinations (metrics flush
-    also samples RSS into the registry). Safe to call repeatedly;
-    [quiet] suppresses the info-level "wrote ..." lines (used by the
-    [at_exit] re-flush). *)
+    also samples RSS into the registry; the journal's buffers are
+    drained). Output failures warn and continue. Safe to call
+    repeatedly; [quiet] suppresses the info-level "wrote ..." lines
+    (used by the [at_exit] re-flush). *)

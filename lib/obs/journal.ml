@@ -1,0 +1,182 @@
+(* The structured run journal: timestamped JSONL events appended to a
+   file while the run executes, so an operator (or the health report)
+   can replay what the engine did — and a killed run leaves its
+   history behind.
+
+   Shape mirrors Trace: recording is per-domain (a domain-local
+   buffer, no cross-domain memory traffic on the hot path) and a
+   background systhread drains every buffer to the file on a short
+   period. Events are pre-encoded to their final JSON line at record
+   time, so draining is just ordering and writing. Each drained line
+   is appended with a single O_APPEND write — a kill can at worst
+   truncate the line in flight, never interleave or damage earlier
+   lines, which keeps the journal parseable up to the last complete
+   event. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+let fmt_float v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let encode_line ~ts ev fields =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "{\"ts\":%.6f,\"ev\":\"%s\"" ts (Jsonv.escape ev);
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf buf ",\"%s\":" (Jsonv.escape k);
+      match v with
+      | Str s -> Printf.bprintf buf "\"%s\"" (Jsonv.escape s)
+      | Int i -> Printf.bprintf buf "%d" i
+      | Float f -> Buffer.add_string buf (fmt_float f)
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false"))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain buffers. Unlike Trace these take a tiny per-buffer
+   mutex: events are round-granularity (tens per second, not
+   millions), and the mutex lets the flusher thread drain a buffer
+   that another domain is still appending to. *)
+
+type buf = { bm : Mutex.t; mutable lines : (float * string) list (* reversed *) }
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { bm = Mutex.create (); lines = [] } in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+let recorded = Atomic.make 0
+let events_recorded () = Atomic.get recorded
+
+let event ev fields =
+  if !enabled_flag then begin
+    let ts = Unix.gettimeofday () in
+    let line = encode_line ~ts ev fields in
+    let b = Domain.DLS.get buf_key in
+    Mutex.lock b.bm;
+    b.lines <- (ts, line) :: b.lines;
+    Mutex.unlock b.bm;
+    Atomic.incr recorded
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sink + flusher thread. *)
+
+type sink = {
+  fd : Unix.file_descr;
+  s_path : string;
+  mutable running : bool;
+  mutable thread : Thread.t option;
+}
+
+let sink : sink option ref = ref None
+let sink_mutex = Mutex.create ()
+
+let path () =
+  Mutex.lock sink_mutex;
+  let p = Option.map (fun s -> s.s_path) !sink in
+  Mutex.unlock sink_mutex;
+  p
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd data off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let drain_into fd =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  let batch =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.bm;
+        let taken = b.lines in
+        b.lines <- [];
+        Mutex.unlock b.bm;
+        List.rev taken)
+      bufs
+  in
+  (* Near-chronological on disk: order the batch by record time. Lines
+     from different flush periods can still straddle slightly, which
+     readers (the report, jq) tolerate — every line is self-stamped. *)
+  let batch = List.sort (fun (a, _) (b, _) -> compare a b) batch in
+  List.iter (fun (_, line) -> write_line fd line) batch
+
+let flush () =
+  Mutex.lock sink_mutex;
+  let s = !sink in
+  Mutex.unlock sink_mutex;
+  match s with
+  | Some s -> ( try drain_into s.fd with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ()
+
+let flusher s () =
+  while s.running do
+    Thread.delay 0.2;
+    (try drain_into s.fd with Unix.Unix_error _ | Sys_error _ -> ())
+  done
+
+let open_path p =
+  Mutex.lock sink_mutex;
+  let r =
+    match !sink with
+    | Some s when s.s_path = p -> Ok () (* idempotent re-open *)
+    | Some s -> Error (Printf.sprintf "journal already open on %s" s.s_path)
+    | None -> (
+        match Unix.openfile p [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 with
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        | fd ->
+            let s = { fd; s_path = p; running = true; thread = None } in
+            s.thread <- Some (Thread.create (flusher s) ());
+            sink := Some s;
+            enabled_flag := true;
+            Ok ())
+  in
+  Mutex.unlock sink_mutex;
+  r
+
+let close () =
+  Mutex.lock sink_mutex;
+  let s = !sink in
+  sink := None;
+  Mutex.unlock sink_mutex;
+  match s with
+  | None -> ()
+  | Some s ->
+      enabled_flag := false;
+      s.running <- false;
+      Option.iter Thread.join s.thread;
+      (try drain_into s.fd with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Unix.close s.fd with Unix.Unix_error _ -> ())
+
+(* Testing hook: forget buffered-but-unflushed events (e.g. recorded
+   while no sink was open in a scrubbed test). *)
+let reset () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun b ->
+      Mutex.lock b.bm;
+      b.lines <- [];
+      Mutex.unlock b.bm)
+    bufs;
+  Atomic.set recorded 0

@@ -1,0 +1,45 @@
+(** The structured run journal: timestamped JSONL events.
+
+    Each event is one line — [{"ts":<unix seconds>,"ev":"<type>",
+    ...fields}] — appended to the journal file by a background
+    flusher thread. Recording buffers per domain (like {!Trace}) and
+    pre-encodes the line immediately, so the hot-path cost while
+    enabled is one small allocation plus a per-domain mutex, and
+    exactly one load+branch while disabled. Appends are line-atomic:
+    a killed run's journal stays parseable up to the last complete
+    event. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+val enabled : unit -> bool
+(** True between a successful {!open_path} and {!close}. *)
+
+val open_path : string -> (unit, string) result
+(** Open (append mode) the journal file, start the flusher thread and
+    enable recording. Re-opening the same path is a no-op; a
+    different path while open is an error, as is an unwritable
+    destination — callers are expected to warn and continue. *)
+
+val close : unit -> unit
+(** Stop the flusher, drain every buffer, close the file, disable
+    recording. Idempotent. *)
+
+val path : unit -> string option
+
+val event : string -> (string * value) list -> unit
+(** Record one event (no-op while disabled). Safe from any domain. *)
+
+val flush : unit -> unit
+(** Drain all per-domain buffers to the file now (the flusher thread
+    does this every ~200 ms on its own). *)
+
+val events_recorded : unit -> int
+(** Events accepted since start (or {!reset}), flushed or not. *)
+
+val encode_line : ts:float -> string -> (string * value) list -> string
+(** The line encoder, exposed for schema tests. Non-finite floats
+    encode as [null]. *)
+
+val reset : unit -> unit
+(** Testing hook: drop buffered (unflushed) events and zero the
+    recorded count. Does not touch an open sink. *)

@@ -186,3 +186,23 @@ let member key = function
 let to_list = function Arr xs -> Some xs | _ -> None
 let to_float = function Num v -> Some v | _ -> None
 let to_string = function Str s -> Some s | _ -> None
+
+(* The matching emitter-side escape, shared by every JSON writer in
+   the layer (trace, journal, healthz). Inverse of [parse_string] for
+   the byte values we can produce: everything below 0x20 goes out as
+   an escape this parser decodes back to the same byte. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -24,3 +24,9 @@ val member : string -> t -> t option
 val to_list : t -> t list option
 val to_float : t -> float option
 val to_string : t -> string option
+
+val escape : string -> string
+(** Escape a byte string for inclusion inside a JSON string literal
+    (no surrounding quotes). Round-trips through {!parse} for any
+    input: quotes, backslashes and control bytes become the standard
+    escapes. Shared by the trace and journal emitters. *)

@@ -167,6 +167,12 @@ let value name =
   | Some (G g) -> Some g.g_v
   | Some (H h) -> Some (float_of_int (histogram_count h))
 
+let find_histogram name =
+  Mutex.lock table_mutex;
+  let m = Hashtbl.find_opt table name in
+  Mutex.unlock table_mutex;
+  match m with Some (H h) -> Some h | _ -> None
+
 let reset () =
   Mutex.lock table_mutex;
   Hashtbl.reset table;
@@ -256,3 +262,46 @@ let write path =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_prometheus ()))
+
+(* ------------------------------------------------------------------ *)
+(* Derived helpers. *)
+
+external monotonic_ns : unit -> float = "nsobs_monotonic_ns"
+
+let timed h f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () -> observe h ((monotonic_ns () -. t0) /. 1e6))
+      f
+  end
+
+(* Bucket-interpolated quantile, same estimate Prometheus's
+   histogram_quantile() computes server-side: find the bucket holding
+   the rank, assume uniform spread inside it. The overflow bucket has
+   no upper bound, so a rank landing there reports the largest finite
+   bound — an underestimate, by construction, never garbage. *)
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile";
+  let counts = histogram_counts h in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else begin
+    let rank = q *. float_of_int total in
+    let nb = Array.length h.bounds in
+    let rec find i cum =
+      let cum' = cum +. float_of_int counts.(i) in
+      if cum' >= rank || i = nb then (i, cum)
+      else find (i + 1) cum'
+    in
+    let i, below = find 0 0.0 in
+    if i >= nb then Some h.bounds.(nb - 1)
+    else begin
+      let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+      let hi = h.bounds.(i) in
+      let in_bucket = float_of_int counts.(i) in
+      if in_bucket <= 0.0 then Some hi
+      else Some (lo +. ((hi -. lo) *. ((rank -. below) /. in_bucket)))
+    end
+  end

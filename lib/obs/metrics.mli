@@ -49,6 +49,10 @@ val value : string -> float option
 (** Lookup by name: counter value, gauge value, or histogram
     observation count. *)
 
+val find_histogram : string -> histogram option
+(** Lookup an already-registered histogram by name (the health
+    report reads quantiles without registering anything). *)
+
 val counters : unit -> (string * int) list
 (** Every registered counter with its current value, sorted by name —
     the monotonicity probe used by the bench self-check. *)
@@ -62,6 +66,18 @@ val summary : unit -> Nsutil.Table.t
 
 val write : string -> unit
 (** {!to_prometheus} to a file. *)
+
+val timed : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall time in milliseconds (recorded
+    even if the thunk raises). While collection is disabled this is
+    exactly the thunk: no clock reads. *)
+
+val quantile : histogram -> float -> float option
+(** Bucket-interpolated quantile estimate (same construction as
+    PromQL's [histogram_quantile]): [quantile h 0.99] is the p99 in
+    the histogram's own unit. [None] when no observations; ranks
+    falling in the overflow bucket clamp to the largest finite
+    bound. Raises [Invalid_argument] outside [0..1]. *)
 
 val reset : unit -> unit
 (** Drop every registration and value (testing hook). Metric handles

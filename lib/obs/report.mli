@@ -1,0 +1,30 @@
+(** The run health report: journal + registry folded into a
+    one-screen, end-of-run summary (rounds/s trend, p50/p99 phase
+    latencies, resilience-event totals).
+
+    The journal — when one exists — is the durable view: it spans
+    kills and resumes, so an interrupted run's history shows up on
+    the next attempt. The registry contributes whatever the current
+    process measured. *)
+
+type journal_stats = {
+  events : int;
+  bad_lines : int;  (** unparseable non-final lines *)
+  truncated_tail : bool;  (** final line unparseable (killed mid-append) *)
+  runs : int;  (** [run_start] events seen *)
+  resumes : int;
+  rounds : int;  (** [round_end] events seen *)
+  ev_counts : (string * int) list;  (** per-type totals, sorted *)
+  round_ts : float array;  (** timestamps of [round_end], in order *)
+  round_wall_ms : float array;  (** wall_ms of [round_end], in order *)
+}
+
+val scan : string -> (journal_stats, string) result
+(** Parse a journal file. A damaged final line (the signature of a
+    killed run) sets [truncated_tail] rather than failing; damaged
+    interior lines are counted in [bad_lines]. [Error] only when the
+    file cannot be read at all. *)
+
+val render : ?journal_path:string -> unit -> string
+(** The report text. Without a journal path (or with an unreadable
+    one) it degrades to registry-only content. *)

@@ -1,6 +1,8 @@
 (* Resident-set sampling from /proc/self/status (Linux). Moved here
    from the bench harness so any layer (bench JSON, --metrics) can
-   report it through one tested helper. *)
+   report it through one tested helper. Off-Linux (or in a container
+   that hides procfs) every probe returns None — no exception, no
+   made-up zero pretending to be a measurement. *)
 
 (* Parse one "Key:   12345 kB" line set: the first line starting with
    [key ^ ":"] yields the concatenation of its digits. *)
@@ -24,8 +26,8 @@ let parse_status_kb ~key text =
       else None)
     lines
 
-let read_status () =
-  match open_in "/proc/self/status" with
+let read_file path =
+  match open_in path with
   | exception Sys_error _ -> None
   | ic ->
       Fun.protect
@@ -39,18 +41,24 @@ let read_status () =
            with End_of_file -> ());
           Some (Buffer.contents buf))
 
-let status_kb key =
-  match read_status () with
-  | None -> 0
-  | Some text -> Option.value ~default:0 (parse_status_kb ~key text)
+let status_kb_of_file ~path ~key =
+  match read_file path with
+  | None -> None
+  | Some text -> parse_status_kb ~key text
 
-let peak_kb () = status_kb "VmHWM"
-let current_kb () = status_kb "VmRSS"
+let status_path = "/proc/self/status"
+
+let peak_kb () = status_kb_of_file ~path:status_path ~key:"VmHWM"
+let current_kb () = status_kb_of_file ~path:status_path ~key:"VmRSS"
 
 let publish () =
-  Metrics.set
-    (Metrics.gauge ~help:"peak resident set size (VmHWM), KiB" "process_peak_rss_kb")
-    (float_of_int (peak_kb ()));
-  Metrics.set
-    (Metrics.gauge ~help:"current resident set size (VmRSS), KiB" "process_rss_kb")
-    (float_of_int (current_kb ()))
+  let peak =
+    Metrics.gauge ~help:"peak resident set size (VmHWM), KiB" "process_peak_rss_kb"
+  and current =
+    Metrics.gauge ~help:"current resident set size (VmRSS), KiB" "process_rss_kb"
+  in
+  (* Gauges are registered either way (the exposition shape does not
+     depend on the platform) but only set from real samples: a
+     missing procfs leaves them at their last value, not a fake 0. *)
+  Option.iter (fun v -> Metrics.set peak (float_of_int v)) (peak_kb ());
+  Option.iter (fun v -> Metrics.set current (float_of_int v)) (current_kb ())

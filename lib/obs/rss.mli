@@ -1,18 +1,24 @@
 (** Resident-set-size sampling (Linux [/proc/self/status]).
 
-    Returns 0 where the proc file is unavailable, so callers can
-    report the value unconditionally. *)
+    Where the proc file is absent (non-Linux, hidden procfs) every
+    probe returns [None] cleanly — no exception and no garbage value;
+    callers decide how to report "unknown". *)
 
-val peak_kb : unit -> int
-(** Peak RSS ([VmHWM]) in KiB; 0 if unknown. *)
+val peak_kb : unit -> int option
+(** Peak RSS ([VmHWM]) in KiB; [None] if unknown. *)
 
-val current_kb : unit -> int
-(** Current RSS ([VmRSS]) in KiB; 0 if unknown. *)
+val current_kb : unit -> int option
+(** Current RSS ([VmRSS]) in KiB; [None] if unknown. *)
 
 val parse_status_kb : key:string -> string -> int option
 (** Extract the KiB figure for [key] (e.g. ["VmHWM"]) from a
     [/proc/<pid>/status]-formatted text. Exposed for unit testing. *)
 
+val status_kb_of_file : path:string -> key:string -> int option
+(** {!parse_status_kb} against an arbitrary status file; [None] when
+    the file cannot be read. The portable-fallback unit test points
+    this at a nonexistent path. *)
+
 val publish : unit -> unit
-(** Record {!peak_kb} and {!current_kb} as the registry gauges
-    [process_peak_rss_kb] / [process_rss_kb]. *)
+(** Register the gauges [process_peak_rss_kb] / [process_rss_kb] and
+    set each one only when its sample is available. *)

@@ -91,21 +91,7 @@ let reset () =
   List.iter (fun b -> b.len <- 0) !registry;
   Mutex.unlock registry_mutex
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Jsonv.escape
 
 (* Chrome trace_event JSON (the "JSON Array Format" wrapped in an
    object), complete events only: nesting is implied by timestamp

@@ -40,6 +40,12 @@ let m_watchdog_cancels =
     (Nsobs.Metrics.counter ~help:"stalled slices cancelled by the watchdog"
        "pool_watchdog_cancel_total")
 
+let m_backoff_ms =
+  lazy
+    (Nsobs.Metrics.histogram ~help:"supervised retry backoff sleeps (ms)"
+       ~buckets:[| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000. |]
+       "pool_backoff_delay_ms")
+
 let slice_span f = Nsobs.Trace.span ~cat:"pool" "pool.slice" f
 
 let workers_of_domain_count c = max 1 (c - 1)
@@ -317,7 +323,18 @@ let backoff_delay sv ~attempt ~index =
 
 let sleep_before_retry sv ~attempt ~index =
   let d = backoff_delay sv ~attempt ~index in
-  if d > 0.0 then Thread.delay d
+  if d > 0.0 then begin
+    if Nsobs.Metrics.enabled () then
+      Nsobs.Metrics.observe (Lazy.force m_backoff_ms) (d *. 1000.0);
+    if Nsobs.Journal.enabled () then
+      Nsobs.Journal.event "pool_backoff"
+        [
+          ("index", Nsobs.Journal.Int index);
+          ("attempt", Nsobs.Journal.Int attempt);
+          ("delay_ms", Nsobs.Journal.Float (d *. 1000.0));
+        ];
+    Thread.delay d
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Watchdog: per-slice-execution heartbeat words, polled by a monitor
@@ -402,7 +419,10 @@ let with_watchdog sv f =
                     if Nsobs.Metrics.enabled () then
                       Nsobs.Metrics.inc (Lazy.force m_watchdog_cancels);
                     Nsobs.Log.warn "pool: watchdog cancelled a stalled slice (> %d ms)"
-                      sv.timeout_ms
+                      sv.timeout_ms;
+                    if Nsobs.Journal.enabled () then
+                      Nsobs.Journal.event "watchdog_fire"
+                        [ ("timeout_ms", Nsobs.Journal.Int sv.timeout_ms) ]
                   end
                 end)
               !reg;
@@ -507,6 +527,13 @@ let map_reduce_supervised sv ~workers ~tasks ~init ~task ~combine =
               Nsobs.Metrics.inc (Lazy.force m_retries);
             Nsobs.Log.warn "pool: retrying slice (task %d, attempt %d): %s"
               index attempt_no error;
+            if Nsobs.Journal.enabled () then
+              Nsobs.Journal.event "pool_retry"
+                [
+                  ("index", Nsobs.Journal.Int index);
+                  ("attempt", Nsobs.Journal.Int attempt_no);
+                  ("error", Nsobs.Journal.Str error);
+                ];
             match sv.on_retry with
             | Some f -> f ~attempt:attempt_no ~index ~error
             | None -> ())
@@ -698,6 +725,13 @@ let map_reduce_dynamic_supervised sv ~workers ~tasks ~grain ~init ~task ~combine
                 Nsobs.Metrics.inc (Lazy.force m_retries);
               Nsobs.Log.warn "pool: retrying chunk (task %d, attempt %d): %s"
                 index attempt_no error;
+              if Nsobs.Journal.enabled () then
+                Nsobs.Journal.event "pool_retry"
+                  [
+                    ("index", Nsobs.Journal.Int index);
+                    ("attempt", Nsobs.Journal.Int attempt_no);
+                    ("error", Nsobs.Journal.Str error);
+                  ];
               match sv.on_retry with
               | Some f -> f ~attempt:attempt_no ~index ~error
               | None -> ())
