@@ -447,8 +447,9 @@ let compare_bench ~fresh_path ~committed_path =
     | Ok j -> j
     | Error e -> die "cannot parse %s: %s" path e
   in
-  let fresh = kernel_ns ~path:fresh_path (parse fresh_path) in
-  let committed = kernel_ns ~path:committed_path (parse committed_path) in
+  let fresh_json = parse fresh_path and committed_json = parse committed_path in
+  let fresh = kernel_ns ~path:fresh_path fresh_json in
+  let committed = kernel_ns ~path:committed_path committed_json in
   let checked = ref 0 and failed = ref [] in
   List.iter
     (fun (name, ns) ->
@@ -463,6 +464,31 @@ let compare_bench ~fresh_path ~committed_path =
     fresh;
   if !checked = 0 then
     die "no kernels in common between %s and %s" fresh_path committed_path;
+  (* Peak-RSS gate: memory regressions (a dense buffer sneaking back
+     into the sweep, a store that stops evicting) do not show up in
+     ns/op, so the high-water mark is gated like a kernel, under its
+     own tolerance. Only meaningful when both runs are the same shape;
+     a smoke run against a committed full-scale file sits far below
+     1.0x and passes trivially. *)
+  let rss_tolerance =
+    match Option.bind (Sys.getenv_opt "SBGP_RSS_TOLERANCE") float_of_string_opt with
+    | Some t when t > 0.0 -> t
+    | _ -> 2.0
+  in
+  let rss_of json =
+    Option.bind (Nsobs.Jsonv.member "peak_rss_kb" json) Nsobs.Jsonv.to_float
+  in
+  (match (rss_of fresh_json, rss_of committed_json) with
+  | Some fresh_kb, Some committed_kb when fresh_kb > 0.0 && committed_kb > 0.0 ->
+      let ratio = fresh_kb /. committed_kb in
+      Printf.printf "compare %-16s %12.0f vs committed %12.0f kb (%.2fx)\n%!"
+        "peak_rss" fresh_kb committed_kb ratio;
+      if ratio > rss_tolerance then begin
+        Printf.eprintf "bench: peak RSS regressed %.2fx (> %.1fx) vs %s\n" ratio
+          rss_tolerance committed_path;
+        exit 1
+      end
+  | _ -> ());
   match !failed with
   | [] ->
       Printf.printf "bench compare: %d kernels within %.1fx of %s\n%!" !checked tolerance
@@ -474,6 +500,109 @@ let compare_bench ~fresh_path ~committed_path =
             committed_path)
         l;
       exit 1
+
+(* ------------------------------------------------------------------ *)
+(* N-scaling series: paper-shape graphs (Params.with_n on the default
+   Cyclops+IXP shape) at growing N, through the binary graph format
+   and — at 36K — the streaming statics store, whose budget keeps the
+   warm store a fraction of the ~23 KiB/destination all-cached
+   footprint. --scale appends the series to the --json suite, so the
+   committed BENCH_engine.json carries the datapoints and --compare
+   gates them; --scale-smoke is the runtest-sized slice (N = 10K,
+   bit-identity across workers and budgets, wall and RSS ceilings). *)
+
+let scale_rounds =
+  match Option.bind (Sys.getenv_opt "SBGP_SCALE_ROUNDS") int_of_string_opt with
+  | Some r when r > 0 -> r
+  | _ -> 2
+
+let scale_seed = 5
+
+let scale_gen n =
+  Topology.Gen.generate
+    { (Topology.Params.with_n Topology.Params.default n) with seed = scale_seed }
+
+let scale_early (built : Topology.Gen.built) =
+  built.cps @ Asgraph.Metrics.top_by_degree built.graph 5
+
+(* One capped engine run at paper shape: [max_rounds = scale_rounds]
+   keeps each datapoint to a fixed number of full sweeps, which is
+   what the per-destination-round ns/op normalizes over. *)
+let scale_engine ?budget_mb ~w g ~early =
+  let cfg = { Core.Config.default with workers = w; max_rounds = scale_rounds } in
+  let statics =
+    match budget_mb with
+    | Some mb ->
+        Bgp.Route_static.create ~budget_bytes:(mb * 1024 * 1024) ~tiebreak:cfg.tiebreak g
+    | None -> Bgp.Route_static.create ~tiebreak:cfg.tiebreak g
+  in
+  let weight = Traffic.Weights.assign g ~cp_fraction:cfg.cp_fraction in
+  let state = Core.State.create g ~early in
+  Core.Engine.run cfg statics ~weight ~state
+
+let scale_identical (a : Core.Engine.result) (b : Core.Engine.result) =
+  a.Core.Engine.rounds = b.Core.Engine.rounds
+  && a.baseline = b.baseline
+  && a.termination = b.termination
+
+let run_scale_smoke ~path =
+  let n = 10_000 in
+  let w2 = max 2 workers in
+  Printf.printf "=== Scale smoke (N = %d paper shape, %d rounds per run) ===\n\n%!" n
+    scale_rounds;
+  let t_all = Unix.gettimeofday () in
+  let built = scale_gen n in
+  let g = built.Topology.Gen.graph in
+  let early = scale_early built in
+  (* Two arms that must not differ in a single float: serial against a
+     roomy budget, parallel against a tight one — one comparison
+     covers both the worker-count and the budget axis of the
+     bit-identity contract. *)
+  let t0 = Unix.gettimeofday () in
+  let a = scale_engine ~budget_mb:512 ~w:1 g ~early in
+  let wall_a = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let b_res = scale_engine ~budget_mb:128 ~w:w2 g ~early in
+  let wall_b = Unix.gettimeofday () -. t0 in
+  let identical = scale_identical a b_res in
+  let wall = Unix.gettimeofday () -. t_all in
+  let rss_kb = Option.value ~default:0 (Nsobs.Rss.peak_kb ()) in
+  let wall_budget =
+    match Option.bind (Sys.getenv_opt "SBGP_SCALE_WALL_S") float_of_string_opt with
+    | Some t when t > 0.0 -> t
+    | _ -> 600.0
+  in
+  let rss_budget_mb =
+    match Option.bind (Sys.getenv_opt "SBGP_SCALE_RSS_MB") int_of_string_opt with
+    | Some m when m > 0 -> m
+    | _ -> 4096
+  in
+  Printf.printf
+    "w1/512MiB: %.1fs; w%d/128MiB: %.1fs; identical: %b; total %.1fs (budget %.0fs); \
+     peak RSS %.1f MiB (ceiling %d MiB)\n%!"
+    wall_a w2 wall_b identical wall wall_budget
+    (float_of_int rss_kb /. 1024.0)
+    rss_budget_mb;
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"sbgp-scale-smoke-v1\",\n  \"n\": %d,\n  \"rounds_cap\": %d,\n\
+    \  \"arms\": [\n\
+    \    {\"workers\": 1, \"statics_mb\": 512, \"wall_s\": %.3f},\n\
+    \    {\"workers\": %d, \"statics_mb\": 128, \"wall_s\": %.3f}\n\
+    \  ],\n\
+    \  \"identical\": %b,\n  \"wall_s\": %.3f,\n  \"peak_rss_kb\": %d\n}\n"
+    n scale_rounds wall_a w2 wall_b identical wall rss_kb;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  if not identical then
+    die "scale smoke: n=%d run diverged across workers 1/%d and budgets 512/128 MiB" n w2;
+  if wall > wall_budget then
+    die "scale smoke: %.1fs exceeds the %.0fs wall budget (SBGP_SCALE_WALL_S)" wall
+      wall_budget;
+  if rss_kb > rss_budget_mb * 1024 then
+    die "scale smoke: peak RSS %.1f MiB exceeds the %d MiB ceiling (SBGP_SCALE_RSS_MB)"
+      (float_of_int rss_kb /. 1024.0)
+      rss_budget_mb
 
 let run_json_bench ~path =
   let n = int_flag "--n" (if smoke then 120 else 1000) in
@@ -860,6 +989,98 @@ let run_json_bench ~path =
   if (not smoke) && overhead > obs_tolerance then
     die "telemetry overhead %.2f%% exceeds %.1f%% budget" (100.0 *. overhead)
       (100.0 *. obs_tolerance);
+  (* --scale: the N-scaling series. Every datapoint lands in the
+     kernels array under a scale_* name (single repetition — these are
+     minutes-scale kernels), so --compare gates them exactly like the
+     fixed-scale rows; the scale section below adds the per-N context
+     (rounds, wall, RSS high-water mark after the run). *)
+  let scale_rows = ref [] in
+  if flag "--scale" then begin
+    Printf.printf "\n=== N-scaling series (paper shape, %d rounds per engine run) ===\n\n%!"
+      scale_rounds;
+    let record_once name ~ops f =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let ns = dt *. 1e9 /. float_of_int (max 1 ops) in
+      Printf.printf "%-24s %10.3f ms/rep %12.1f ns/op  (1 rep)\n%!" name (dt *. 1e3) ns;
+      kernels := (name, ops, 1, dt, ns) :: !kernels;
+      v
+    in
+    let roundtrip sn sg =
+      let tmp = Filename.temp_file "sbgp_scale" ".sbg" in
+      ignore
+        (record_once (Printf.sprintf "scale_save_bin_n%d" sn) ~ops:sn (fun () ->
+             Asgraph.Graph_io.save_bin sg tmp));
+      let loaded =
+        record_once (Printf.sprintf "scale_load_bin_n%d" sn) ~ops:sn (fun () ->
+            Asgraph.Graph_io.load_bin tmp)
+      in
+      Sys.remove tmp;
+      if Asgraph.Graph.n loaded <> sn then
+        die "scale: binary round-trip lost nodes at n=%d" sn
+    in
+    List.iter
+      (fun (sn, budget_mb) ->
+        let built =
+          record_once (Printf.sprintf "scale_gen_n%d" sn) ~ops:sn (fun () -> scale_gen sn)
+        in
+        let sg = built.Topology.Gen.graph in
+        roundtrip sn sg;
+        let early = scale_early built in
+        let t0 = Unix.gettimeofday () in
+        let r = scale_engine ?budget_mb ~w:workers sg ~early in
+        let wall = Unix.gettimeofday () -. t0 in
+        let rr = max 1 (Core.Engine.rounds_run r) in
+        let name = Printf.sprintf "scale_engine_n%d" sn in
+        let ns = wall *. 1e9 /. float_of_int (sn * rr) in
+        Printf.printf "%-24s %10.3f ms/rep %12.1f ns/op  (1 rep)\n%!" name (wall *. 1e3)
+          ns;
+        kernels := (name, sn * rr, 1, wall, ns) :: !kernels;
+        (* Identity slice at the cheapest size: the same destinations
+           under workers 1 and under workers 4 + a budget tight enough
+           to stream must not move a float. The 36K identity run is
+           sbgp_sim's acceptance pass, not repeated here — it would
+           triple the series' dominant datapoint. *)
+        let ident =
+          if sn > 1_000 then None
+          else begin
+            let r1 = scale_engine ~w:1 sg ~early in
+            let r4b = scale_engine ~budget_mb:8 ~w:4 sg ~early in
+            Some (scale_identical r r1 && scale_identical r r4b)
+          end
+        in
+        (match ident with
+        | Some false ->
+            die "scale: n=%d engine run not bit-identical across workers/budgets" sn
+        | _ -> ());
+        scale_rows :=
+          (sn, rr, wall, Option.value ~default:0 (Nsobs.Rss.peak_kb ()), ident)
+          :: !scale_rows)
+      [ (1_000, None); (10_000, None); (36_000, Some 2048) ];
+    (* 100K: the survive-scale datapoint — generate, stream through
+       the binary format, and compute a statics sample (per-destination
+       build cost); a full engine run at 100K is out of a bench's
+       budget. *)
+    let n100 = 100_000 in
+    let built =
+      record_once (Printf.sprintf "scale_gen_n%d" n100) ~ops:n100 (fun () ->
+          scale_gen n100)
+    in
+    let sg = built.Topology.Gen.graph in
+    roundtrip n100 sg;
+    ignore
+      (record_once (Printf.sprintf "scale_statics_n%d" n100) ~ops:8 (fun () ->
+           let sample = ref 0.0 in
+           for d = 0 to 7 do
+             let info = Bgp.Route_static.compute ~tiebreak sg d in
+             sample :=
+               !sample +. float_of_int (Nsutil.I32.get info.Bgp.Route_static.tie_off n100)
+           done;
+           !sample));
+    scale_rows :=
+      (n100, 0, 0.0, Option.value ~default:0 (Nsobs.Rss.peak_kb ()), None) :: !scale_rows
+  end;
   let buf = Buffer.create 2048 in
   let b fmt = Printf.bprintf buf fmt in
   b "{\n";
@@ -891,6 +1112,23 @@ let run_json_bench ~path =
     "  \"budget_differential\": {\"budget_bytes\": %d, \"evictions\": %d, \
      \"identical\": %b},\n"
     budget_bytes bounded.statics_evictions identical;
+  (match List.rev !scale_rows with
+  | [] -> ()
+  | rows ->
+      b "  \"scale\": {\"rounds_cap\": %d, \"series\": [\n" scale_rounds;
+      let nr = List.length rows in
+      List.iteri
+        (fun i (sn, rr, wall, rss_kb, ident) ->
+          b
+            "    {\"n\": %d, \"rounds\": %d, \"wall_s\": %.3f, \"peak_rss_kb_after\": \
+             %d, \"identity_checked\": %s}%s\n"
+            sn rr wall rss_kb
+            (match ident with
+            | None -> "null"
+            | Some v -> string_of_bool v)
+            (if i = nr - 1 then "" else ","))
+        rows;
+      b "  ]},\n");
   b "  \"peak_rss_kb\": %d\n" (Option.value ~default:0 (Nsobs.Rss.peak_kb ()));
   b "}\n";
   let oc = open_out path in
@@ -906,7 +1144,7 @@ let run_json_bench ~path =
         Printf.eprintf "bench: %s is missing required key %s\n" path key;
         exit 1
       end)
-    [
+    ([
       "\"schema\": \"sbgp-bench-v1\"";
       "\"statics_build\"";
       "\"statics_repair\"";
@@ -921,7 +1159,17 @@ let run_json_bench ~path =
       "\"rounds_per_s\"";
       "\"budget_differential\"";
       "\"peak_rss_kb\"";
-    ];
+    ]
+    @
+    if flag "--scale" then
+      [
+        "\"scale\"";
+        "\"scale_gen_n36000\"";
+        "\"scale_engine_n36000\"";
+        "\"scale_load_bin_n100000\"";
+        "\"scale_statics_n100000\"";
+      ]
+    else []);
   if not identical then begin
     prerr_endline "bench: bounded-statics run diverged from the unbounded run";
     exit 1
@@ -942,7 +1190,7 @@ let () =
   Option.iter Nsobs.Control.set_metrics (str_flag "--metrics");
   let t0 = Unix.gettimeofday () in
   (match str_flag "--json" with
-  | Some path -> run_json_bench ~path
+  | Some path -> if flag "--scale-smoke" then run_scale_smoke ~path else run_json_bench ~path
   | None ->
       if not (flag "--bench-only") then run_experiments ();
       if not (flag "--no-bench") then begin

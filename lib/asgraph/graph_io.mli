@@ -19,6 +19,23 @@ val of_string : string -> Graph.t
 val save : Graph.t -> string -> unit
 val load : string -> Graph.t
 
+(** {2 Streaming binary format (.sbg)}
+
+    Fixed-width 32-bit records streamed through the channel buffer —
+    no whole-file intermediate string in either direction, so 100K+
+    node graphs load in one pass at disk speed. The frame is
+    [magic, n, counts, cps, cp edges, peer edges, end marker];
+    truncation and corruption raise {!Bin_error} with the offending
+    path and a description. *)
+
+exception Bin_error of { path : string; message : string }
+
+val save_bin : Graph.t -> string -> unit
+val load_bin : string -> Graph.t
+(** Raise {!Bin_error} on bad magic, counts or node ids out of range,
+    truncation (including mid-record), a wrong end marker, or trailing
+    bytes. *)
+
 (** {2 Importing real CAIDA / Cyclops snapshots} *)
 
 type caida_import = {

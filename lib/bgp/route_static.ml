@@ -18,6 +18,15 @@ type dest_info = {
 let inf = max_int
 let max_path_len = 254
 
+(* Direct element primitives over [I32] Bigarrays, used by every hot
+   loop in this file. The classic (non-flambda) compiler does not
+   inline the [I32] accessors across modules, and the three-stage
+   compute and the repair kernels touch enough int32 elements that
+   out-of-line calls triple their cost; same-unit helpers specialize
+   down to single loads and stores. *)
+let ba_get (a : I32.t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+let ba_set (a : I32.t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
 let c_self = Policy.class_to_char Policy.Self
 let c_cust = Policy.class_to_char Policy.Via_customer
 let c_peer = Policy.class_to_char Policy.Via_peer
@@ -45,31 +54,105 @@ let sort_row tb i members keys len =
     keys.(!b) <- k
   done
 
+(* All scratch the three-stage computation touches, hoisted into a
+   reusable builder: a streaming store computes tens of thousands of
+   records per engine round at 36K+ nodes, and per-call allocation of
+   the O(n) temporaries would make the sweep GC-bound. A builder is
+   single-domain state — the engine keeps one per worker. In transient
+   mode the *output* record also lives in builder-owned buffers (valid
+   only until the builder's next transient compute, and must never be
+   inserted into a store); persistent mode allocates the record fresh
+   and reuses only the scratch. *)
+type builder = {
+  bd_n : int;
+  bd_l1 : int array;
+  bd_bl : int array;
+  bd_queue : int array;  (* stage-1 BFS ring; each node enqueues once *)
+  bd_bq : Nsutil.Bucketq.t;
+  bd_done : Bytes.t;
+  bd_tie_count : int array;
+  bd_rev_count : int array;
+  bd_counts : int array;  (* counting-sort buckets over path lengths *)
+  bd_starts : int array;
+  bd_order_full : int array;
+  mutable bd_members : int array;  (* tie-row sort buffers, grown on demand *)
+  mutable bd_keys : int array;
+  (* Transient-record output buffers. *)
+  bd_cls : Bytes.t;
+  bd_len : Bytes.t;
+  bd_tie_off : I32.t;  (* n + 1 *)
+  bd_tie_rev_off : I32.t;  (* n + 1 *)
+  mutable bd_tie : I32.t;  (* grown on demand *)
+  mutable bd_tie_rev : I32.t;
+  bd_order : I32.t;  (* n *)
+}
+
+let order_buckets = max_path_len + 2
+
+let make_builder n =
+  {
+    bd_n = n;
+    bd_l1 = Array.make n inf;
+    bd_bl = Array.make n inf;
+    bd_queue = Array.make (max 1 n) 0;
+    bd_bq = Nsutil.Bucketq.create ~max_key:(max_path_len + 1);
+    bd_done = Bytes.make n '\000';
+    bd_tie_count = Array.make n 0;
+    bd_rev_count = Array.make n 0;
+    bd_counts = Array.make order_buckets 0;
+    bd_starts = Array.make order_buckets 0;
+    bd_order_full = Array.make n 0;
+    bd_members = [||];
+    bd_keys = [||];
+    bd_cls = Bytes.make n c_unreach;
+    bd_len = Bytes.make n '\000';
+    bd_tie_off = I32.create (n + 1);
+    bd_tie_rev_off = I32.create (n + 1);
+    bd_tie = I32.create 0;
+    bd_tie_rev = I32.create 0;
+    bd_order = I32.create n;
+  }
+
 (* Three-stage Gao-Rexford route computation (Appendix A / [15]):
    customer routes climb provider links from d; peer routes add one
    peering hop onto a customer route; provider routes descend customer
    links from any already-routed node, in ascending length order. The
    adjacency CSR arrays are walked by direct offset-range loops — no
    per-node closures on this path. *)
-let compute ?(tiebreak = Policy.Lowest_id) g d =
+let compute_with ?(tiebreak = Policy.Lowest_id) ?(transient = false) bd g d =
   let n = Graph.n g in
+  if bd.bd_n <> n then
+    invalid_arg
+      (Printf.sprintf "Route_static.compute_with: builder for %d nodes, graph has %d"
+         bd.bd_n n);
   let cust_off = g.Graph.customers.Csr.offsets and cust_dat = g.Graph.customers.Csr.data in
   let prov_off = g.Graph.providers.Csr.offsets and prov_dat = g.Graph.providers.Csr.data in
   let peer_off = g.Graph.peers.Csr.offsets and peer_dat = g.Graph.peers.Csr.data in
-  let l1 = Array.make n inf in
-  let bl = Array.make n inf in
-  let cls = Bytes.make n c_unreach in
+  let l1 = bd.bd_l1 in
+  let bl = bd.bd_bl in
+  Array.fill l1 0 n inf;
+  Array.fill bl 0 n inf;
+  let cls =
+    if transient then begin
+      Bytes.fill bd.bd_cls 0 n c_unreach;
+      bd.bd_cls
+    end
+    else Bytes.make n c_unreach
+  in
   (* Stage 1: customer-route lengths. *)
   l1.(d) <- 0;
-  let queue = Queue.create () in
-  Queue.add d queue;
-  while not (Queue.is_empty queue) do
-    let x = Queue.take queue in
-    for k = prov_off.(x) to prov_off.(x + 1) - 1 do
-      let p = Array.unsafe_get prov_dat k in
+  let queue = bd.bd_queue in
+  queue.(0) <- d;
+  let q_head = ref 0 and q_tail = ref 1 in
+  while !q_head < !q_tail do
+    let x = queue.(!q_head) in
+    incr q_head;
+    for k = ba_get prov_off x to ba_get prov_off (x + 1) - 1 do
+      let p = ba_get prov_dat k in
       if l1.(p) = inf then begin
         l1.(p) <- l1.(x) + 1;
-        Queue.add p queue
+        queue.(!q_tail) <- p;
+        incr q_tail
       end
     done
   done;
@@ -85,8 +168,8 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
   for i = 0 to n - 1 do
     if bl.(i) = inf then begin
       let best = ref inf in
-      for k = peer_off.(i) to peer_off.(i + 1) - 1 do
-        let p = Array.unsafe_get peer_dat k in
+      for k = ba_get peer_off i to ba_get peer_off (i + 1) - 1 do
+        let p = ba_get peer_dat k in
         if l1.(p) < !best then best := l1.(p)
       done;
       if !best < inf then begin
@@ -96,8 +179,10 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
     end
   done;
   (* Stage 3: provider routes, in ascending final length. *)
-  let bq = Nsutil.Bucketq.create ~max_key:(max_path_len + 1) in
-  let done_ = Bytes.make n '\000' in
+  let bq = bd.bd_bq in
+  Nsutil.Bucketq.reset bq;
+  let done_ = bd.bd_done in
+  Bytes.fill done_ 0 n '\000';
   for i = 0 to n - 1 do
     if bl.(i) < inf then Nsutil.Bucketq.push bq ~key:bl.(i) i
   done;
@@ -113,8 +198,8 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
           end;
           let next_key = key + 1 in
           if next_key <= max_path_len then
-            for k = cust_off.(x) to cust_off.(x + 1) - 1 do
-              let c = Array.unsafe_get cust_dat k in
+            for k = ba_get cust_off x to ba_get cust_off (x + 1) - 1 do
+              let c = ba_get cust_dat k in
               if Bytes.get done_ c = '\000' && bl.(c) = inf then
                 Nsutil.Bucketq.push bq ~key:next_key c
             done
@@ -128,38 +213,46 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
     let c = Bytes.unsafe_get cls j in
     c = c_self || c = c_cust
   in
-  let tie_count = Array.make n 0 in
+  let tie_count = bd.bd_tie_count in
+  Array.fill tie_count 0 n 0;
   let count_tie i =
     let want = bl.(i) - 1 in
     let cl = Bytes.unsafe_get cls i in
     let acc = ref 0 in
     if cl = c_cust then
-      for k = cust_off.(i) to cust_off.(i + 1) - 1 do
-        let c = Array.unsafe_get cust_dat k in
+      for k = ba_get cust_off i to ba_get cust_off (i + 1) - 1 do
+        let c = ba_get cust_dat k in
         if bl.(c) = want && exports_customer_route c then incr acc
       done
     else if cl = c_peer then
-      for k = peer_off.(i) to peer_off.(i + 1) - 1 do
-        let p = Array.unsafe_get peer_dat k in
+      for k = ba_get peer_off i to ba_get peer_off (i + 1) - 1 do
+        let p = ba_get peer_dat k in
         if bl.(p) = want && exports_customer_route p then incr acc
       done
     else
-      for k = prov_off.(i) to prov_off.(i + 1) - 1 do
-        if bl.(Array.unsafe_get prov_dat k) = want then incr acc
+      for k = ba_get prov_off i to ba_get prov_off (i + 1) - 1 do
+        if bl.(ba_get prov_dat k) = want then incr acc
       done;
     !acc
   in
   for i = 0 to n - 1 do
     if i <> d && bl.(i) < inf then tie_count.(i) <- count_tie i
   done;
-  let tie_off = I32.create (n + 1) in
+  let tie_off = if transient then bd.bd_tie_off else I32.create (n + 1) in
   let total = ref 0 in
   for i = 0 to n - 1 do
     I32.unsafe_set tie_off i !total;
     total := !total + tie_count.(i)
   done;
   I32.unsafe_set tie_off n !total;
-  let tie = I32.create !total in
+  let tie =
+    if transient then begin
+      if I32.length bd.bd_tie < !total then
+        bd.bd_tie <- I32.create (max !total (2 * I32.length bd.bd_tie));
+      Bigarray.Array1.sub bd.bd_tie 0 !total
+    end
+    else I32.create !total
+  in
   let fill_tie i =
     let want = bl.(i) - 1 in
     let cl = Bytes.unsafe_get cls i in
@@ -169,18 +262,18 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
       incr w
     in
     if cl = c_cust then
-      for k = cust_off.(i) to cust_off.(i + 1) - 1 do
-        let c = Array.unsafe_get cust_dat k in
+      for k = ba_get cust_off i to ba_get cust_off (i + 1) - 1 do
+        let c = ba_get cust_dat k in
         if bl.(c) = want && exports_customer_route c then put c
       done
     else if cl = c_peer then
-      for k = peer_off.(i) to peer_off.(i + 1) - 1 do
-        let p = Array.unsafe_get peer_dat k in
+      for k = ba_get peer_off i to ba_get peer_off (i + 1) - 1 do
+        let p = ba_get peer_dat k in
         if bl.(p) = want && exports_customer_route p then put p
       done
     else
-      for k = prov_off.(i) to prov_off.(i + 1) - 1 do
-        let p = Array.unsafe_get prov_dat k in
+      for k = ba_get prov_off i to ba_get prov_off (i + 1) - 1 do
+        let p = ba_get prov_dat k in
         if bl.(p) = want then put p
       done
   in
@@ -192,8 +285,12 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
      running a key-compare chain per member. *)
   let max_row = Array.fold_left max 0 tie_count in
   if max_row > 1 then begin
-    let members = Array.make max_row 0 in
-    let keys = Array.make max_row 0 in
+    if Array.length bd.bd_members < max_row then begin
+      bd.bd_members <- Array.make (max max_row (2 * Array.length bd.bd_members)) 0;
+      bd.bd_keys <- Array.make (Array.length bd.bd_members) 0
+    end;
+    let members = bd.bd_members in
+    let keys = bd.bd_keys in
     for i = 0 to n - 1 do
       let row = tie_count.(i) in
       if row > 1 then begin
@@ -208,16 +305,37 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
       end
     done
   end;
-  let order_full =
-    Nsutil.Order.by_small_key
-      ~key:(fun i -> if bl.(i) = inf then -1 else bl.(i))
-      ~max_key:max_path_len n
+  (* Stable counting sort by length ({!Nsutil.Order.by_small_key}
+     inlined over the builder's bucket scratch): reachable nodes in
+     ascending (length, id), unreachable ones in the overflow bucket
+     at the end. *)
+  let order_full = bd.bd_order_full in
+  let counts = bd.bd_counts and starts = bd.bd_starts in
+  let bucket i =
+    let v = bl.(i) in
+    if v >= 0 && v <= max_path_len then v else order_buckets - 1
   in
+  Array.fill counts 0 order_buckets 0;
+  for i = 0 to n - 1 do
+    counts.(bucket i) <- counts.(bucket i) + 1
+  done;
+  starts.(0) <- 0;
+  for b = 1 to order_buckets - 1 do
+    starts.(b) <- starts.(b - 1) + counts.(b - 1)
+  done;
+  for i = 0 to n - 1 do
+    let b = bucket i in
+    order_full.(starts.(b)) <- i;
+    starts.(b) <- starts.(b) + 1
+  done;
   (* Trim unreachable nodes (sorted last) off the order. *)
   let reachable_count =
     Array.fold_left (fun acc v -> if v < inf then acc + 1 else acc) 0 bl
   in
-  let order = I32.create reachable_count in
+  let order =
+    if transient then Bigarray.Array1.sub bd.bd_order 0 reachable_count
+    else I32.create reachable_count
+  in
   for k = 0 to reachable_count - 1 do
     I32.unsafe_set order k order_full.(k)
   done;
@@ -227,19 +345,29 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
      parents, so an incremental repair that re-sums one parent's
      subtree walks the same addends in the same order (bit-identical
      floats). *)
-  let rev_count = Array.make n 0 in
+  let rev_count = bd.bd_rev_count in
+  Array.fill rev_count 0 n 0;
   for k = 0 to !total - 1 do
     let j = I32.unsafe_get tie k in
     rev_count.(j) <- rev_count.(j) + 1
   done;
-  let tie_rev_off = I32.create (n + 1) in
+  let tie_rev_off = if transient then bd.bd_tie_rev_off else I32.create (n + 1) in
   let rt = ref 0 in
   for i = 0 to n - 1 do
     I32.unsafe_set tie_rev_off i !rt;
     rt := !rt + rev_count.(i)
   done;
   I32.unsafe_set tie_rev_off n !rt;
-  let tie_rev = I32.create !rt in
+  let tie_rev =
+    if transient then begin
+      (* [!rt = !total]: the reverse CSR is a permutation of the tie
+         CSR's members. *)
+      if I32.length bd.bd_tie_rev < !rt then
+        bd.bd_tie_rev <- I32.create (max !rt (2 * I32.length bd.bd_tie_rev));
+      Bigarray.Array1.sub bd.bd_tie_rev 0 !rt
+    end
+    else I32.create !rt
+  in
   let cursor = rev_count in
   for i = 0 to n - 1 do
     cursor.(i) <- I32.unsafe_get tie_rev_off i
@@ -253,11 +381,37 @@ let compute ?(tiebreak = Policy.Lowest_id) g d =
     done
   done;
   let max_len = Array.fold_left (fun acc v -> if v < inf then max acc v else acc) 0 bl in
-  let len = Bytes.make n '\000' in
+  let len =
+    if transient then begin
+      Bytes.fill bd.bd_len 0 n '\000';
+      bd.bd_len
+    end
+    else Bytes.make n '\000'
+  in
   for i = 0 to n - 1 do
     if bl.(i) < inf then Bytes.set len i (Char.chr bl.(i))
   done;
   { dest = d; cls; len; tie_off; tie; tie_rev_off; tie_rev; order; tb = tiebreak; max_len }
+
+let compute ?tiebreak g d = compute_with ?tiebreak (make_builder (Graph.n g)) g d
+
+(* Deep copy, for promoting a transient record into a store slot. *)
+let info_copy info =
+  let i32_copy (a : I32.t) =
+    let c = I32.create (I32.length a) in
+    I32.blit ~src:a ~src_pos:0 ~dst:c ~dst_pos:0 ~len:(I32.length a);
+    c
+  in
+  {
+    info with
+    cls = Bytes.copy info.cls;
+    len = Bytes.copy info.len;
+    tie_off = i32_copy info.tie_off;
+    tie = i32_copy info.tie;
+    tie_rev_off = i32_copy info.tie_rev_off;
+    tie_rev = i32_copy info.tie_rev;
+    order = i32_copy info.order;
+  }
 
 let class_of info i = Policy.class_of_char (Bytes.get info.cls i)
 
@@ -380,14 +534,6 @@ let kernel_of_env () =
             "sbgp: invalid SBGP_STATICS_KERNEL=%S (expected full|delta); using delta\n%!" s;
           Delta)
 
-(* Direct element primitives for the repair kernels below. The
-   classic (non-flambda) compiler does not inline the [I32] accessors
-   across modules, and repair touches enough int32 elements per entry
-   that the out-of-line calls triple its cost; same-unit helpers
-   specialize down to single loads and stores. *)
-let ba_get (a : I32.t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
-let ba_set (a : I32.t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
-
 (* Bump allocator over large slab chunks. The GC paces major work on
    custom-block bytes, so allocating each migrated entry's arrays as
    its own Bigarray makes a store-wide rebase allocation-dominated —
@@ -479,10 +625,10 @@ let make_repair_ctx g' (delta : Graph.delta) =
     delta.Graph.ops;
   let grown = delta.Graph.grown in
   let prov_off = g'.Graph.providers.Csr.offsets in
-  let cap = prov_off.(n') - prov_off.(base_n) in
+  let cap = ba_get prov_off n' - ba_get prov_off base_n in
   let maxdeg = ref 1 in
   for s = base_n to n' - 1 do
-    maxdeg := max !maxdeg (prov_off.(s + 1) - prov_off.(s))
+    maxdeg := max !maxdeg (ba_get prov_off (s + 1) - ba_get prov_off s)
   done;
   {
     rx_g = g';
@@ -520,13 +666,15 @@ let rx_prepare_rows rx tb =
       let n' = Graph.n g' in
       let prov_off = g'.Graph.providers.Csr.offsets
       and prov_dat = g'.Graph.providers.Csr.data in
-      let pbase = prov_off.(base_n) in
+      let pbase = ba_get prov_off base_n in
       let pdat = rx.rx_pdat in
       for st = base_n to n' - 1 do
-        let lo = prov_off.(st) - pbase in
-        let c = prov_off.(st + 1) - pbase - lo in
+        let lo = ba_get prov_off st - pbase in
+        let c = ba_get prov_off (st + 1) - pbase - lo in
         if c > 0 then begin
-          Array.blit prov_dat (lo + pbase) rx.rx_row_buf 0 c;
+          for k = 0 to c - 1 do
+            rx.rx_row_buf.(k) <- ba_get prov_dat (lo + pbase + k)
+          done;
           if c > 1 then sort_row tb st rx.rx_row_buf rx.rx_key_buf c;
           Array.blit rx.rx_row_buf 0 pdat lo c
         end
@@ -555,7 +703,7 @@ let repair_with_ctx rx info =
     let grown = delta.Graph.grown in
     rx_prepare_rows rx info.tb;
     let prov_off = g'.Graph.providers.Csr.offsets in
-    let pbase = prov_off.(base_n) in
+    let pbase = ba_get prov_off base_n in
     let pdat = rx.rx_pdat in
     (* One pass over the appended stubs fuses three jobs: each stub's
        class/length (min reachable provider + 1 — exactly the key at
@@ -578,7 +726,7 @@ let repair_with_ctx rx info =
     row_off.(0) <- 0;
     let d0 = info.dest in
     for s = base_n to n' - 1 do
-      let klo = prov_off.(s) - pbase and khi = prov_off.(s + 1) - pbase in
+      let klo = ba_get prov_off s - pbase and khi = ba_get prov_off (s + 1) - pbase in
       (* One argmin-collect pass: a strictly shorter provider resets
          the row, an equal one appends — [pdat] rows are pre-sorted, so
          the surviving row is born in stable tiebreak order with no
@@ -1067,6 +1215,62 @@ let get t d =
       insert t d info;
       info
 
+(* The streaming read path for whole-graph sweeps under a budget.
+   Where {!get} evicts to make room — right for random-access reads
+   with locality — a sweep touches every destination once per round,
+   so clock eviction degenerates to churning the entire store every
+   round while serving almost no hits. [stream_get] instead keeps a
+   *stable cached prefix*: a miss recomputes into the caller's builder
+   (transient, zero record allocation) and promotes the record into
+   the store only when it fits the shard's remaining headroom without
+   evicting anything. The cached set therefore converges to whatever
+   the budget holds and stays put; every other destination streams
+   through the builder with no resident footprint at all. Results are
+   bit-identical to {!get} at any budget because {!compute_with} is
+   pure. The returned record is only valid until the builder's next
+   transient compute when it was not promoted — callers must finish
+   with it before their next [stream_get] on the same builder. *)
+let stream_get t bd d =
+  match t.slots.(d) with
+  | Some info ->
+      let shard = shard_of t d in
+      shard.s_hits <- shard.s_hits + 1;
+      Bytes.unsafe_set t.ref_bits d '\001';
+      info
+  | None ->
+      let shard = shard_of t d in
+      shard.s_misses <- shard.s_misses + 1;
+      if shard.budget = max_int then begin
+        let info = compute_with ~tiebreak:t.tiebreak bd t.g d in
+        t.slots.(d) <- Some info;
+        shard.used <- shard.used + info_bytes info;
+        info
+      end
+      else begin
+        let info = compute_with ~tiebreak:t.tiebreak ~transient:true bd t.g d in
+        let size = info_bytes info in
+        if shard.used + size <= shard.budget then begin
+          let promoted = info_copy info in
+          t.slots.(d) <- Some promoted;
+          shard.used <- shard.used + size;
+          Bytes.set t.ref_bits d '\000';
+          promoted
+        end
+        else info
+      end
+
+(* Destinations per dynamically-claimed chunk for a whole-graph sweep
+   over this store: large enough that one worker stays inside one
+   shard stripe for a while (shard counters and clock state then see
+   mostly single-writer traffic, and promoted entries cluster), small
+   enough that dynamic claiming can rebalance shards whose
+   destinations run hot. Floors at the engine's gadget-scale grain. *)
+let batch_grain t ~workers ~tasks =
+  let span =
+    if Array.length t.shards = 0 then tasks else t.shards.(0).hi - t.shards.(0).lo
+  in
+  max 8 (min (max 1 span) (tasks / max 1 (workers * 16)))
+
 let drop_all t =
   Array.fill t.slots 0 (Array.length t.slots) None;
   Bytes.fill t.ref_bits 0 (Bytes.length t.ref_bits) '\000';
@@ -1110,18 +1314,24 @@ let ensure_all ?(workers = 1) t =
     | missing ->
         let miss = Array.of_list missing in
         let tiebreak = t.tiebreak in
-        (* [compute] is pure, so filling the store fans out safely; the
-           slots array itself is only written here, one slot per task. *)
-        let infos =
-          Parallel.Pool.map_array ~workers ~tasks:(Array.length miss) (fun i ->
-              compute ~tiebreak t.g miss.(i))
-        in
+        (* [compute_with] is pure, so filling the store fans out
+           safely; each worker reuses one builder's scratch across its
+           chunk, and the output slots are written one per task. *)
+        let infos = Array.make (Array.length miss) None in
+        ignore
+          (Parallel.Pool.map_reduce_chunked ~workers ~tasks:(Array.length miss) ~grain:8
+             ~init:(fun () -> make_builder n)
+             ~task:(fun bd i -> infos.(i) <- Some (compute_with ~tiebreak bd t.g miss.(i)))
+             ~combine:(fun a _ -> a));
         Array.iteri
           (fun i info ->
-            let d = miss.(i) in
-            let shard = shard_of t d in
-            shard.s_misses <- shard.s_misses + 1;
-            insert t d info)
+            match info with
+            | None -> ()
+            | Some info ->
+                let d = miss.(i) in
+                let shard = shard_of t d in
+                shard.s_misses <- shard.s_misses + 1;
+                insert t d info)
           infos
   end
 (* Under a budget, prefilling would only evict what it just built:
@@ -1374,6 +1584,11 @@ module Dirty = struct
       let in_changed = Bytes.make n '\000' in
       let changed_count = List.length changed in
       List.iter (fun c -> Bytes.set in_changed c '\001') changed;
+      (* Under a byte budget, evicted records stream through a local
+         builder ([get] would compute-and-insert, churning the very
+         budget the caller set); forced lazily — unbounded stores and
+         all-resident scans never build it. *)
+      let bd = lazy (make_builder n) in
       for d = 0 to n - 1 do
         if Bytes.get t.flags d = '\000' then
           if Bytes.get in_changed d = '\001' then Bytes.set t.flags d '\001'
@@ -1386,7 +1601,10 @@ module Dirty = struct
                static preferences, so it stays clean. Scan whichever
                of the changed set and the destination's reachable
                order is smaller. *)
-            let info = get t.statics d in
+            let info =
+              if bounded t.statics then stream_get t.statics (Lazy.force bd) d
+              else get t.statics d
+            in
             let nreach = I32.length info.order in
             let hit =
               if changed_count <= nreach then

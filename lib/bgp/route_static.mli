@@ -46,6 +46,31 @@ val compute : ?tiebreak:Policy.tiebreak -> Asgraph.Graph.t -> int -> dest_info
 (** Static info for one destination; O(V + E). Tie rows are sorted
     under [tiebreak] (default [Lowest_id]). *)
 
+(** {2 Reusable computation scratch} *)
+
+type builder
+(** All O(n) scratch one three-stage computation touches, hoisted so a
+    caller computing many records (a streaming sweep at 36K+ nodes)
+    allocates nothing per destination. Single-domain state: keep one
+    builder per worker, never share one across domains. *)
+
+val make_builder : int -> builder
+(** A builder for [n]-node graphs; {!compute_with} raises
+    [Invalid_argument] on a node-count mismatch. *)
+
+val compute_with :
+  ?tiebreak:Policy.tiebreak ->
+  ?transient:bool ->
+  builder ->
+  Asgraph.Graph.t ->
+  int ->
+  dest_info
+(** {!compute} through a builder's scratch — bit-identical output.
+    With [~transient:true] the record itself also lives in
+    builder-owned buffers: it is only valid until the builder's next
+    transient compute, and must never outlive the builder or be
+    retained (the store's {!stream_get} promotes by deep copy). *)
+
 val class_of : dest_info -> int -> Policy.route_class
 val length_of : dest_info -> int -> int
 (** Path length of the node's best route; raises if unreachable. *)
@@ -164,6 +189,25 @@ val graph : t -> Asgraph.Graph.t
 val get : t -> int -> dest_info
 (** [get t d] returns the info for destination [d], computing it (and
     caching it, budget permitting) on miss. *)
+
+val stream_get : t -> builder -> int -> dest_info
+(** The whole-graph-sweep read path. Hit: same as {!get}. Miss:
+    recompute through the caller's builder; under a budget the record
+    is transient unless it fits the owning shard's remaining headroom
+    without evicting anything, in which case a deep copy is promoted
+    into the store. The cached set thus converges to a stable prefix
+    of the budget instead of churning every round (clock eviction
+    degenerates to 100% turnover when a sweep touches every
+    destination once). A non-promoted return value is only valid until
+    the builder's next transient compute. Bit-identical to {!get} at
+    any budget and worker count ({!compute_with} is pure). *)
+
+val batch_grain : t -> workers:int -> tasks:int -> int
+(** Destinations per dynamically-claimed chunk for a whole-graph sweep
+    over this store: keeps one worker inside one shard stripe long
+    enough that shard state sees mostly single-writer traffic, while
+    leaving enough chunks for dynamic claiming to rebalance. Floors at
+    the gadget-scale grain of 8. *)
 
 val stats : t -> stats
 val bounded : t -> bool

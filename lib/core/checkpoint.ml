@@ -40,7 +40,7 @@ let () =
 (* On-disk layout, all integers big-endian:
 
      magic   "SBGPCKP1"                        8 bytes
-     version u16 (= 2)                         2 bytes
+     version u16 (= 3)                         2 bytes
      kind    u16 (0 = engine, 1 = churn)       2 bytes   (version >= 2)
      digest  config/topology SHA-256          32 bytes
      round   u32                               4 bytes
@@ -48,9 +48,12 @@ let () =
      payload                                   (length)
      footer  SHA-256 of everything above      32 bytes
 
-   Version 1 frames (no kind field) still load, implying an engine
-   record — the version bump is backward-compatible so pre-existing
-   snapshots on disk stay resumable.
+   Version 3 shares version 2's header; the bump marks a payload
+   layout change (the engine's progress record compacted its
+   incremental-cache and oscillation-table serializations), which the
+   framing layer cannot see — payload owners gate on [frame.version].
+   Version 1 frames (no kind field) still parse at this layer,
+   implying an engine record.
 
    The footer authenticates the frame against torn writes and bit
    rot; the digest ties the snapshot to the inputs that produced it.
@@ -98,7 +101,7 @@ let timed hist f =
   else f ()
 
 let magic = "SBGPCKP1"
-let version = 2
+let version = 3
 let digest_len = 32
 
 (* Header length per frame version: v1 has no kind field. *)

@@ -12,9 +12,13 @@
     written to [path ^ ".tmp"] and renamed into place, so a crash
     mid-write never clobbers the previous valid snapshot.
 
-    Frames are written at version 2; version-1 frames (which predate
-    the [kind] field) still load, implying {!Engine} — old snapshots
-    on disk stay resumable.
+    Frames are written at version 3. Older frames still parse at this
+    layer (version-1 frames predate the [kind] field and imply
+    {!Engine}), but the version is reported in the decoded {!frame}
+    and payload owners gate on it: the engine's progress payload
+    changed layout at version 3, so {!Core.Engine.resume} rejects
+    older frames with {!Unsupported_version} rather than unmarshal
+    bytes laid out differently.
 
     The payload is a caller-owned [Marshal] blob. Unmarshaling
     untrusted bytes is unsafe, which is exactly why the checksum and
@@ -31,7 +35,7 @@ val kind_to_string : kind -> string
 type frame = {
   round : int;  (** engine round (or churn shot counter) at write time *)
   kind : kind;
-  version : int;  (** frame version found on disk (1 or 2) *)
+  version : int;  (** frame version found on disk (1, 2 or 3) *)
   payload : string;
 }
 

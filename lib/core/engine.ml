@@ -131,68 +131,75 @@ type result = {
 
 let sec_of bytes i = Bytes.unsafe_get bytes i = '\001'
 
+(* Bit test over the incremental cache's packed secure-route flags
+   ([Incremental.sec_bit], inlined locally: the call would not inline
+   across modules on the non-flambda compiler and this runs per tie
+   element in the flip probes). *)
+let[@inline] bit_get bits i =
+  Char.code (Bytes.unsafe_get bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
 (* Does node [i]'s tiebreak set offer a fully secure route, per the
-   given forest [sec_path] bytes? Direct offset-range scan over the
-   compact tie CSR — this runs per (destination, candidate) pair in
-   the flip probes, so it must not allocate. *)
-let tie_has_secure (info : Route_static.dest_info) sec_path i =
+   bit-packed forest flags [sec_bits]? Direct offset-range scan over
+   the compact tie CSR — this runs per (destination, candidate) pair
+   in the flip probes, so it must not allocate. *)
+let tie_has_secure (info : Route_static.dest_info) sec_bits i =
   let tie_off = info.Route_static.tie_off in
   let tie = info.Route_static.tie in
   let hi = Nsutil.I32.unsafe_get tie_off (i + 1) in
   let rec loop k =
-    k < hi
-    && (Bytes.unsafe_get sec_path (Nsutil.I32.unsafe_get tie k) = '\001'
-       || loop (k + 1))
+    k < hi && (bit_get sec_bits (Nsutil.I32.unsafe_get tie k) || loop (k + 1))
   in
   loop (Nsutil.I32.unsafe_get tie_off i)
 
-(* Destinations per worker slice floor: gadget-sized graphs stay in
-   the calling domain instead of paying spawn overhead per round. *)
-let grain = 8
-
 (* Would flipping candidate [nc] change the routing tree of
    destination [d]? Conservative (may say yes needlessly), never
-   wrongly says no; see the C.4 discussion in the interface.
-   [secure] is the round-start participation and [sec_path] the
-   round-start forest's secure-route flags for [d] (possibly cached
-   from an earlier round). *)
-let flip_changes_dest ~cfg ~g ~secure ~(info : Route_static.dest_info) ~sec_path
-    ~(stubs : Csr.t) ~was_on nc =
-  let d = info.dest in
-  if not was_on then begin
-    let stub_reroutes s =
-      Route_static.reachable info s && tie_has_secure info sec_path s
-    in
-    let d_gets_secured =
-      d = nc || (Graph.is_stub g d && (not (sec_of secure d)) && Csr.mem_row g.providers d nc)
-    in
-    if not (sec_of secure d || d_gets_secured) then false
-    else if d_gets_secured then true
-    else if tie_has_secure info sec_path nc then true
-    else
-      cfg.Config.stub_tiebreak
-      && begin
-           (* [nc]'s stub customers, straight off the CSR row: this
-              scan runs per (destination, candidate) pair, so no boxed
-              lists or closures. *)
-           let off = stubs.Csr.offsets and dat = stubs.Csr.data in
-           let hi = Array.unsafe_get off (nc + 1) in
-           let rec loop k =
-             k < hi
-             && ((let s = Array.unsafe_get dat k in
-                  (not (sec_of secure s)) && stub_reroutes s)
-                || loop (k + 1))
-           in
-           loop (Array.unsafe_get off nc)
-         end
-  end
-  else begin
+   wrongly says no; see the C.4 discussion in the interface. Split in
+   two stages so the statics record — which a byte-budgeted store may
+   have to recompute — is only fetched when the answer actually
+   depends on it: [flip_cheap] decides from the graph, the round-start
+   participation [secure] and the cached forest bits [sec_bits] alone,
+   and returns [`Need_info] only when the tiebreak sets must be
+   consulted. *)
+let flip_cheap ~g ~secure ~sec_bits ~was_on ~d nc =
+  if was_on then begin
     (* Turning off removes only nc's own participation (stub upgrades
        are sticky): routing can change only where nc currently holds
        or offers a fully secure route — including d = nc itself, for
-       which sec_path nc = secure nc = 1. *)
-    sec_of secure d && sec_of sec_path nc
+       which sec_bits nc = secure nc = 1. *)
+    if sec_of secure d && bit_get sec_bits nc then `Admit else `Skip
   end
+  else begin
+    let d_gets_secured =
+      d = nc || (Graph.is_stub g d && (not (sec_of secure d)) && Csr.mem_row g.providers d nc)
+    in
+    if not (sec_of secure d || d_gets_secured) then `Skip
+    else if d_gets_secured then `Admit
+    else `Need_info
+  end
+
+(* The [`Need_info] continuation: does the flip reach [d]'s routing
+   through a tiebreak set — the candidate's own, or (under the stub
+   tiebreak) that of a stub customer the flip newly secures? *)
+let flip_with_info ~cfg ~secure ~(info : Route_static.dest_info) ~sec_bits
+    ~(stubs : Csr.t) nc =
+  tie_has_secure info sec_bits nc
+  || cfg.Config.stub_tiebreak
+     && begin
+          (* [nc]'s stub customers, straight off the CSR row: this
+             scan runs per (destination, candidate) pair, so no boxed
+             lists or closures. *)
+          let off = stubs.Csr.offsets and dat = stubs.Csr.data in
+          let hi = Nsutil.I32.unsafe_get off (nc + 1) in
+          let rec loop k =
+            k < hi
+            && ((let s = Nsutil.I32.unsafe_get dat k in
+                 (not (sec_of secure s))
+                 && Route_static.reachable info s
+                 && tie_has_secure info sec_bits s)
+               || loop (k + 1))
+          in
+          loop (Nsutil.I32.unsafe_get off nc)
+        end
 
 (* The byte-level effect of flipping one candidate: participation
    bytes after the flip and at round start, for exactly the nodes the
@@ -240,13 +247,23 @@ let apply_delta bytes_sec bytes_secp edits =
    the delta kernel one base compute is amortized over every admitted
    candidate probe of that destination; [ws_flip] is the full kernel's
    probe target; [ws_sec]/[ws_secp] are the worker's private
-   participation byte copies the probe deltas are applied to. *)
+   participation byte copies the probe deltas are applied to.
+   [ws_bd] is the worker's statics builder: a byte-budgeted store
+   streams missing records through it ({!Route_static.stream_get})
+   with no per-miss allocation; [ws_rs] the incremental cache's
+   store scratch; [ws_ci]/[ws_c] collect the destination's admitted
+   (candidate, contribution) probes before they are published as one
+   compact row. *)
 type sweep_ws = {
   ws_base : Forest.scratch;
   ws_flip : Forest.scratch;
   ws_rep : Forest.repairer;
   ws_sec : Bytes.t;
   ws_secp : Bytes.t;
+  ws_bd : Route_static.builder;
+  ws_rs : Incremental.scratch;
+  ws_ci : int array;
+  ws_c : float array;
   mutable ws_have_base : int;  (* destination resident in ws_base; -1 = none *)
 }
 
@@ -269,7 +286,10 @@ type snapshot_sink = { s_every : int; s_save : round:int -> payload:string -> un
 type progress = {
   p_round : int;
   p_state : string;
-  p_seen : (int * string) list;  (** oscillation table, round ascending *)
+  p_seen : (int * string) list;
+      (** oscillation table, round ascending ({!State.fp_serialize}
+          fingerprints — the table never needs more than the
+          deployment sets) *)
   p_rounds_rev : round_record list;
   p_recomputed : int;
   p_reused : int;
@@ -282,46 +302,13 @@ type progress = {
           checkpoint time — resuming restores the store (resident
           records, eviction state {e and} hit/miss counters), so a
           resumed run reports statistics byte-identical to an
-          uninterrupted one. [None] only in records converted from
-          version-1 frames. *)
+          uninterrupted one. *)
   p_statics_base : (int * int * int) option;
       (** (hits, misses, evictions) of the store when the original run
           started — the baseline the run's reported statics deltas are
           taken against, which the restored store's counters alone
           cannot recover. *)
 }
-
-(* The version-1 payload layout (pre statics snapshot), kept so frames
-   written before the version bump still resume. [Marshal] encodes the
-   layout, not the field names. *)
-type progress_v1 = {
-  q_round : int;
-  q_state : string;
-  q_seen : (int * string) list;
-  q_rounds_rev : round_record list;
-  q_recomputed : int;
-  q_reused : int;
-  q_baseline : float array;
-  q_initial_secure_as : int;
-  q_initial_secure_isp : int;
-  q_inc : string;
-}
-
-let progress_of_v1 (q : progress_v1) =
-  {
-    p_round = q.q_round;
-    p_state = q.q_state;
-    p_seen = q.q_seen;
-    p_rounds_rev = q.q_rounds_rev;
-    p_recomputed = q.q_recomputed;
-    p_reused = q.q_reused;
-    p_baseline = q.q_baseline;
-    p_initial_secure_as = q.q_initial_secure_as;
-    p_initial_secure_isp = q.q_initial_secure_isp;
-    p_inc = q.q_inc;
-    p_statics = None;
-    p_statics_base = None;
-  }
 
 (* SHA-256 over every input that determines results: config fields
    (except [workers]/[retries]/[flip_kernel]/[statics_kernel], which
@@ -428,23 +415,45 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     done;
     Csr.of_rev_lists acc
   in
+  (* Destination-chunk size for the engine's fan-outs: shard-stripe
+     batches over the statics store (floored at the gadget-scale grain
+     of 8, so tiny graphs stay in the calling domain). *)
+  let grain = Route_static.batch_grain statics ~workers ~tasks:n in
   (* Baseline: utilities before deployment began (empty state). The
      parallel phase computes per-destination addend streams; the
      serial replay in destination order performs the same float
-     additions as a sequential sweep, for any worker count. *)
+     additions as a sequential sweep, for any worker count.
+     Processed in destination blocks so the transient boxed streams
+     of at most one block are live at a time — at paper scale the
+     full per-destination set would dwarf the statics store. *)
   let compute_baseline () =
     let zeros = Bytes.make n '\000' in
-    let pairs = Array.make n ([||], [||]) in
-    ignore
-      (Pool.map_reduce_chunked_supervised sv ~workers ~tasks:n ~grain
-         ~init:(fun () -> Forest.make_scratch n)
-         ~task:(fun scratch d ->
-           let info = Route_static.get statics d in
-           Forest.compute info ~tiebreak ~secure:zeros ~use_secp:zeros ~weight scratch;
-           pairs.(d) <- Utility.contribution_pairs cfg.model g info scratch ~weight)
-         ~combine:(fun a _ -> a));
     let into = Array.make n 0.0 in
-    Array.iter (fun p -> Utility.add_pairs p ~into) pairs;
+    let block = max 1 (min n 4096) in
+    let pairs = Array.make block ([||], [||]) in
+    let lo = ref 0 in
+    while !lo < n do
+      let len = min block (n - !lo) in
+      let base = !lo in
+      ignore
+        (Pool.map_reduce_chunked_supervised sv ~workers ~tasks:len ~grain
+           ~init:(fun () -> (Forest.make_scratch n, Route_static.make_builder n))
+           ~task:(fun ((scratch, bd) as ws) i ->
+             let d = base + i in
+             let info = Route_static.stream_get statics bd d in
+             Forest.compute info ~tiebreak ~secure:zeros ~use_secp:zeros ~weight
+               scratch;
+             pairs.(i) <- Utility.contribution_pairs cfg.model g info scratch ~weight;
+             ignore ws)
+           ~combine:(fun a _ -> a));
+      (* Serial replay in ascending destination order — blocks ascend,
+         so the addition order equals the unblocked serial sweep's. *)
+      for i = 0 to len - 1 do
+        Utility.add_pairs pairs.(i) ~into;
+        pairs.(i) <- ([||], [||])
+      done;
+      lo := !lo + len
+    done;
     into
   in
   (* Per-ISP threshold heterogeneity (Section 8.2 extension). *)
@@ -456,17 +465,20 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
           Float.max 0.0
             (1.0 +. (cfg.theta_jitter *. ((2.0 *. Nsutil.Prng.float rng 1.0) -. 1.0))))
   in
-  (* Oscillation detection: hash-bucketed copies of every visited
-     deployment state, with exact comparison on hash hits. The
+  (* Oscillation detection: hash-bucketed fingerprints (deployment
+     sets only, n/4 bytes each — not full state copies) of every
+     visited state, with exact comparison on hash hits. The
      insertion-order list serializes the table for checkpoints;
      replaying insertions rebuilds identical buckets. *)
-  let seen_states : (int, (int * State.t) list) Hashtbl.t = Hashtbl.create 64 in
+  let seen_states : (int, (int * State.fingerprint) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let seen_order = ref [] in
-  let insert_seen round st =
-    let signature = State.signature st in
+  let insert_seen round fp =
+    let signature = State.fp_signature fp in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
-    Hashtbl.replace seen_states signature ((round, st) :: bucket);
-    seen_order := (round, st) :: !seen_order
+    Hashtbl.replace seen_states signature ((round, fp) :: bucket);
+    seen_order := (round, fp) :: !seen_order
   in
   let inc = Incremental.create statics in
   let recomputed = ref 0 in
@@ -502,11 +514,11 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
         let baseline = Nsobs.Trace.span ~cat:"engine" "engine.baseline" compute_baseline in
         let init_as = State.secure_count state in
         let init_isp = State.secure_isp_count state in
-        insert_seen 0 (State.copy state);
+        insert_seen 0 (State.fingerprint state);
         (baseline, init_as, init_isp, state)
     | Some p ->
         let state = State.restore g p.p_state in
-        List.iter (fun (r, s) -> insert_seen r (State.restore g s)) p.p_seen;
+        List.iter (fun (r, s) -> insert_seen r (State.fp_restore s)) p.p_seen;
         Incremental.restore inc p.p_inc;
         round := p.p_round;
         rounds := p.p_rounds_rev;
@@ -529,10 +541,10 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
   let remember round =
     let signature = State.signature state in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt seen_states signature) in
-    match List.find_opt (fun (_, old) -> State.equal_full old state) bucket with
+    match List.find_opt (fun (_, old) -> State.fp_matches old state) bucket with
     | Some (first_round, _) -> Some first_round
     | None ->
-        insert_seen round (State.copy state);
+        insert_seen round (State.fingerprint state);
         None
   in
   let write_checkpoint () =
@@ -557,7 +569,7 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
         {
           p_round = !round;
           p_state = State.serialize state;
-          p_seen = List.rev_map (fun (r, s) -> (r, State.serialize s)) !seen_order;
+          p_seen = List.rev_map (fun (r, fp) -> (r, State.fp_serialize fp)) !seen_order;
           p_rounds_rev = !rounds;
           p_recomputed = !recomputed;
           p_reused = !reused;
@@ -597,15 +609,6 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
   in
   let termination = ref Max_rounds in
   let continue = ref true in
-  (* Flat (destination × candidate) probe-result buffers, grown on
-     demand and reused across rounds: slot [d * ncand + ci] holds the
-     changed contribution, with a parallel changed-slot flag. The
-     flags are a byte per slot rather than a bitset on purpose —
-     worker domains write disjoint slots concurrently, and distinct
-     byte writes never race, while two bits of one bitset word
-     would. *)
-  let contrib_buf = ref [||] in
-  let changed_buf = ref Bytes.empty in
   while !continue && !round < cfg.max_rounds do
     incr round;
     let round_args =
@@ -659,21 +662,23 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
       Array.map (fun dl -> Array.map (fun (i, _, _) -> i) dl.after) deltas
     in
     let ncand = Array.length candidates_arr in
-    let need = n * ncand in
-    if Array.length !contrib_buf < need then contrib_buf := Array.make need 0.0;
-    if Bytes.length !changed_buf < need then changed_buf := Bytes.make need '\000'
-    else Bytes.fill !changed_buf 0 need '\000';
-    let contrib = !contrib_buf in
-    let changed = !changed_buf in
+    (* Per-destination probe rows: slot [d] holds the destination's
+       admitted (candidate index, changed contribution) pairs, sorted
+       by candidate index (the sweep admits in candidate order).
+       Sparse on purpose — the dense (destination × candidate) buffer
+       this replaces is n × ncand floats, ~1.5 GB at paper scale,
+       while admitted probes are a thin sliver of that. Workers write
+       disjoint slots, one plain assignment per destination. *)
+    let rows : (int array * float array) option array = Array.make n None in
     (* Parallel sweep over destinations: recompute dirty forests
        (updating the cache) and evaluate the candidate flips whose
        routing tree actually changes. Dynamically scheduled — workers
        claim destination chunks off an atomic counter, so a
        destination with many admitted probes delays only the worker
-       that drew it. All sweep outputs are per-(destination[,
-       candidate]) slots and the accumulators are ignored, so the
-       nondeterministic chunk→worker assignment is result-invisible;
-       the serial reduction below stays in destination order. *)
+       that drew it. All sweep outputs are per-destination slots and
+       the accumulators are ignored, so the nondeterministic
+       chunk→worker assignment is result-invisible; the serial
+       reduction below stays in destination order. *)
     let run_sweep () =
     ignore
       (Pool.map_reduce_dynamic_supervised sv ~workers ~tasks:n ~grain
@@ -684,28 +689,58 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
              ws_rep = Forest.make_repairer n;
              ws_sec = Bytes.copy sec0;
              ws_secp = Bytes.copy secp0;
+             ws_bd = Route_static.make_builder n;
+             ws_rs = Incremental.make_scratch inc;
+             ws_ci = Array.make (max 1 ncand) 0;
+             ws_c = Array.make (max 1 ncand) 0.0;
              ws_have_base = -1;
            })
          ~task:(fun ws d ->
-           let info = Route_static.get statics d in
+           (* The statics record is fetched lazily: a clean destination
+              whose probes all resolve from the graph and the cached
+              forest bits never touches the store — which, under a
+              byte budget, means never recomputing an evicted row.
+              [stream_get] may return a transient record (valid until
+              this worker's next fetch, i.e. for the rest of this
+              task), so the fetch must happen at most once per task. *)
+           let info_slot = ref None in
+           let fetch_info () =
+             match !info_slot with
+             | Some info -> info
+             | None ->
+                 let info = Route_static.stream_get statics ws.ws_bd d in
+                 info_slot := Some info;
+                 info
+           in
            let e =
              if Incremental.is_dirty inc d then begin
+               let info = fetch_info () in
                Forest.compute info ~tiebreak ~secure:ws.ws_sec ~use_secp:ws.ws_secp
                  ~weight ws.ws_base;
                ws.ws_have_base <- d;
                let pairs = Utility.contribution_pairs model g info ws.ws_base ~weight in
-               Incremental.store inc d ~sec_path:ws.ws_base.Forest.sec_path ~pairs;
+               Incremental.store inc ~scratch:ws.ws_rs d
+                 ~sec_path:ws.ws_base.Forest.sec_path ~pairs;
                Incremental.entry inc d
              end
              else Incremental.entry inc d
            in
-           let row = d * ncand in
+           let count = ref 0 in
            Array.iteri
              (fun ci nc ->
-               if
-                 flip_changes_dest ~cfg ~g ~secure:sec0 ~info ~sec_path:e.sec_path
-                   ~stubs ~was_on:was_on.(ci) nc
-               then begin
+               let admit =
+                 match
+                   flip_cheap ~g ~secure:sec0 ~sec_bits:e.Incremental.sec_bits
+                     ~was_on:was_on.(ci) ~d nc
+                 with
+                 | `Admit -> true
+                 | `Skip -> false
+                 | `Need_info ->
+                     flip_with_info ~cfg ~secure:sec0 ~info:(fetch_info ())
+                       ~sec_bits:e.Incremental.sec_bits ~stubs nc
+               in
+               if admit then begin
+                 let info = fetch_info () in
                  (* The ladder pins demoted destinations to the full
                     kernel; identical values either way (kernel
                     parity), so a demotion is result-invisible. *)
@@ -745,19 +780,23 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
                        apply_delta ws.ws_sec ws.ws_secp deltas.(ci).before;
                        c
                  in
-                 Array.unsafe_set contrib (row + ci) c;
-                 Bytes.unsafe_set changed (row + ci) '\001'
+                 ws.ws_ci.(!count) <- ci;
+                 ws.ws_c.(!count) <- c;
+                 incr count
                end)
-             candidates_arr)
+             candidates_arr;
+           rows.(d) <-
+             (if !count = 0 then None
+              else Some (Array.sub ws.ws_ci 0 !count, Array.sub ws.ws_c 0 !count)))
          ~combine:(fun a _ -> a))
     in
     (* Sweep rung of the degradation ladder: when supervision fails
        beyond the retry budget and degradation is on, demote the dead
        destinations to the full kernels and re-run the sweep (at most
        twice) instead of crashing. Re-running overwrites the same
-       per-(destination, candidate) slots with the same values —
-       idempotent by construction — so a rescued sweep is bit-identical
-       to an undisturbed one. *)
+       per-destination slots with the same values — idempotent by
+       construction — so a rescued sweep is bit-identical to an
+       undisturbed one. *)
     let rec sweep_ladder attempt =
       try run_sweep () with
       | Pool.Supervision_failed fs when cfg.degrade && attempt < 2 ->
@@ -766,7 +805,7 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
               if f.Pool.index >= 0 && f.Pool.index < n then
                 demote f.Pool.index ("supervision failure: " ^ f.Pool.error))
             fs;
-          Bytes.fill changed 0 need '\000';
+          Array.fill rows 0 n None;
           sweep_ladder (attempt + 1)
     in
     timed m_sweep_ms (fun () ->
@@ -783,20 +822,36 @@ let run_internal ~checkpoint ~sink ~faults ~digest ~resume_from (cfg : Config.t)
     Nsobs.Trace.span ~cat:"engine" "engine.reduce" (fun () ->
     for d = 0 to n - 1 do
       let e = Incremental.entry inc d in
-      Utility.add_pairs e.pairs ~into:utilities;
+      Incremental.add_pairs e ~into:utilities;
       (* Unchanged (destination, candidate) slots take the cached base
-         contribution; same per-destination candidate order as the
-         sweep, so the float additions replay exactly. *)
-      let row = d * ncand in
-      for ci = 0 to ncand - 1 do
-        let nc = Array.unsafe_get candidates_arr ci in
-        let c =
-          if Bytes.unsafe_get changed (row + ci) = '\001' then
-            Array.unsafe_get contrib (row + ci)
-          else Incremental.row_value e (Array.unsafe_get cand_slot ci)
-        in
-        projected.(nc) <- projected.(nc) +. c
-      done
+         contribution; the destination's sparse probe row is sorted by
+         candidate index, so one merge cursor walks it while ci scans
+         all candidates — the same per-destination candidate order as
+         the sweep, and the same float additions as the dense buffer
+         this replaces. *)
+      (match Array.unsafe_get rows d with
+      | None ->
+          for ci = 0 to ncand - 1 do
+            let nc = Array.unsafe_get candidates_arr ci in
+            projected.(nc) <-
+              projected.(nc)
+              +. Incremental.row_value e (Array.unsafe_get cand_slot ci)
+          done
+      | Some (cis, cs) ->
+          let len = Array.length cis in
+          let p = ref 0 in
+          for ci = 0 to ncand - 1 do
+            let nc = Array.unsafe_get candidates_arr ci in
+            let c =
+              if !p < len && Array.unsafe_get cis !p = ci then begin
+                let c = Array.unsafe_get cs !p in
+                incr p;
+                c
+              end
+              else Incremental.row_value e (Array.unsafe_get cand_slot ci)
+            in
+            projected.(nc) <- projected.(nc) +. c
+          done)
     done;
     (* Non-candidates project their current utility. *)
     for i = 0 to n - 1 do
@@ -953,12 +1008,14 @@ let resume ~from ?checkpoint ?sink ?faults (cfg : Config.t) statics ~weight ~sta
          runner, not the engine — reject it with the typed error the
          CLI turns into a hint. *)
       raise (Checkpoint.Error (Checkpoint.Unsupported_kind 1)));
-  let p =
-    if frame.Checkpoint.version >= 2 then
-      (Marshal.from_string frame.Checkpoint.payload 0 : progress)
-    else
-      progress_of_v1 (Marshal.from_string frame.Checkpoint.payload 0 : progress_v1)
-  in
+  (* The progress payload changed layout at frame version 3 (packed
+     incremental-cache entries, fingerprint oscillation table);
+     [Marshal] encodes layout, not meaning, so unmarshaling an older
+     payload under the current types would be memory-unsafe. Reject
+     with the typed error instead. *)
+  if frame.Checkpoint.version < 3 then
+    raise (Checkpoint.Error (Checkpoint.Unsupported_version frame.Checkpoint.version));
+  let p = (Marshal.from_string frame.Checkpoint.payload 0 : progress) in
   if p.p_round <> frame.Checkpoint.round then
     raise (Checkpoint.Error Checkpoint.Corrupt);
   Nsobs.Trace.span ~cat:"engine" "engine.run" (fun () ->

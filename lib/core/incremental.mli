@@ -23,16 +23,29 @@
     of clean entries see values published before the round's fork. *)
 
 type entry = private {
-  sec_path : Bytes.t;  (** the forest's secure-route flag per node *)
-  pairs : int array * float array;
-      (** utility addend stream, {!Utility.contribution_pairs} order *)
-  row : float array;  (** summed contribution per compact ISP slot *)
+  sec_bits : Bytes.t;
+      (** the forest's secure-route flag per node, bit-packed: bit
+          [i land 7] of byte [i lsr 3] is node [i] (read via
+          {!sec_bit}, or inline the shift locally on hot paths) *)
+  pairs_idx : Nsutil.I32.t;
+  pairs_val : Nsutil.F64.t;
+      (** utility addend stream in {!Utility.contribution_pairs}
+          order, unboxed — {!add_pairs} replays it bit-identically *)
+  row_idx : int array;  (** touched compact ISP slots, ascending *)
+  row_val : float array;  (** summed contribution per touched slot *)
 }
 
 type t
 
+type scratch
+(** Per-worker workspace for {!store}'s sparse-row construction. Any
+    number of scratches may be live; one must not be shared between
+    concurrent {!store} calls. *)
+
 val create : Bgp.Route_static.t -> t
 (** Empty cache; every destination starts dirty. *)
+
+val make_scratch : t -> scratch
 
 val begin_round : t -> State.t -> unit
 (** Mark destinations whose forest can change given the state's byte
@@ -57,14 +70,31 @@ val is_dirty : t -> int -> bool
 val dirty_count : t -> int
 
 val store :
-  t -> int -> sec_path:Bytes.t -> pairs:int array * float array -> unit
-(** Record destination [d]'s freshly computed forest ([sec_path] is
-    copied; [pairs] is taken over). Call for every dirty destination
-    each round. *)
+  t ->
+  ?scratch:scratch ->
+  int ->
+  sec_path:Bytes.t ->
+  pairs:int array * float array ->
+  unit
+(** Record destination [d]'s freshly computed forest: [sec_path] is
+    bit-packed, [pairs] copied into unboxed vectors and regrouped into
+    the sparse per-slot row (same additions in the same order as the
+    former dense row, so cached values are bit-identical). Call for
+    every dirty destination each round; pass a per-worker [scratch]
+    on hot paths to avoid an O(#ISP) allocation per call. *)
 
 val entry : t -> int -> entry
 (** The destination's entry. Raises [Invalid_argument] if it was never
     stored (protocol violation). *)
+
+val sec_bit : entry -> int -> bool
+(** Node [i]'s secure-route flag from the entry's packed forest —
+    [sec_path.(i) = '\001'] of the forest that was stored. *)
+
+val add_pairs : entry -> into:float array -> unit
+(** Replay the entry's addend stream: float-for-float the additions
+    {!Utility.add_pairs} would perform on the stream {!store} was
+    given. *)
 
 val snapshot : t -> string
 (** Opaque serialization of the per-destination entries — the cache's
@@ -90,5 +120,7 @@ val isp_slot : t -> int -> int
 
 val row_value : entry -> int -> float
 (** [row_value e s] is the summed contribution in slot [s] ([0.0] for
-    [s < 0]) — [base_contribution t e nc] with the slot lookup
-    hoisted. *)
+    [s < 0] or an untouched slot) — [base_contribution t e nc] with
+    the slot lookup hoisted. A binary search over the entry's touched
+    slots; the old dense row held [0.0] in untouched slots, so the
+    result is unchanged. *)

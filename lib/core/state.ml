@@ -149,6 +149,29 @@ let signature t =
 let equal_full a b =
   Bitset.equal a.full_set b.full_set && Bitset.equal a.simplex_set b.simplex_set
 
+(* Oscillation detection only ever compares the deployment sets
+   ([equal_full]/[signature] above read nothing else), so the
+   per-round table entry can be two bitsets — n/4 bytes — instead of
+   a full [copy] with its participation bytes and mark snapshot
+   (~4n bytes + boxing). At 36K nodes over a few hundred rounds the
+   difference is the whole table fitting in cache vs. megabytes of
+   dead copies. *)
+type fingerprint = { fp_full : Bitset.t; fp_simplex : Bitset.t }
+
+let fingerprint t =
+  { fp_full = Bitset.copy t.full_set; fp_simplex = Bitset.copy t.simplex_set }
+
+let fp_signature fp = (Bitset.hash fp.fp_full * 31) + Bitset.hash fp.fp_simplex
+
+let fp_matches fp t =
+  Bitset.equal fp.fp_full t.full_set && Bitset.equal fp.fp_simplex t.simplex_set
+
+let fp_serialize fp = Marshal.to_string (fp.fp_full, fp.fp_simplex) []
+
+let fp_restore s =
+  let fp_full, fp_simplex = (Marshal.from_string s 0 : Bitset.t * Bitset.t) in
+  { fp_full; fp_simplex }
+
 let secure_bytes t = t.secure
 
 let use_secp_bytes t ~stub_tiebreak =

@@ -60,6 +60,29 @@ val signature : t -> int
 
 val equal_full : t -> t -> bool
 
+type fingerprint
+(** The deployment sets alone (full + simplex bitsets, n/4 bytes) —
+    everything oscillation detection compares, at a fraction of a full
+    {!copy}. *)
+
+val fingerprint : t -> fingerprint
+(** Snapshot the current deployment sets. *)
+
+val fp_signature : fingerprint -> int
+(** Equals {!signature} of the state the fingerprint was taken from. *)
+
+val fp_matches : fingerprint -> t -> bool
+(** Equals {!equal_full} against the state the fingerprint was taken
+    from: do the state's deployment sets match the snapshot? *)
+
+val fp_serialize : fingerprint -> string
+(** Opaque serialization for {!Checkpoint} snapshots. *)
+
+val fp_restore : string -> fingerprint
+(** Inverse of {!fp_serialize}. The bytes must come from
+    [fp_serialize] over the same topology (checkpoint digest checks
+    enforce provenance). *)
+
 val secure_bytes : t -> Bytes.t
 (** Per-node participation flags in the {!Bgp.Forest} encoding. The
     returned buffer is owned by the state and mutated by

@@ -6,6 +6,11 @@ module Forest = Bgp.Forest
 let c_cust = Bgp.Policy.class_to_char Bgp.Policy.Via_customer
 let c_prov = Bgp.Policy.class_to_char Bgp.Policy.Via_provider
 
+(* Same-unit Bigarray accessor: [I32.unsafe_get] does not inline
+   across modules on the non-flambda compiler, and [contribution]'s
+   Incoming case runs per admitted probe. *)
+let[@inline] ba_get (a : I32.t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
 (* Runs once per admitted (destination, candidate) probe — the inner
    loop of the engine sweep — so the [Incoming] case walks the
    customers CSR by direct offset range (same order as
@@ -23,8 +28,8 @@ let contribution model g (info : Route_static.dest_info) (scratch : Forest.scrat
       let next = scratch.Forest.next and sub = scratch.Forest.sub in
       let cls = info.cls in
       let acc = ref 0.0 in
-      for k = Array.unsafe_get off n to Array.unsafe_get off (n + 1) - 1 do
-        let c = Array.unsafe_get dat k in
+      for k = ba_get off n to ba_get off (n + 1) - 1 do
+        let c = ba_get dat k in
         if next.(c) = n && Bytes.unsafe_get cls c = c_prov then
           acc := !acc +. Array.unsafe_get sub c
       done;

@@ -280,6 +280,11 @@ let resume ~from ?checkpoint ?faults params (cfg : Config.t) g0 ~early =
       (* An engine-run snapshot (kind code 0) belongs to
          [Engine.resume]. *)
       raise (Checkpoint.Error (Checkpoint.Unsupported_kind 0)));
+  (* Churn payloads embed mid-epoch engine progress, whose layout
+     changed at frame version 3 — older frames cannot be unmarshaled
+     safely under the current types. *)
+  if frame.Checkpoint.version < 3 then
+    raise (Checkpoint.Error (Checkpoint.Unsupported_version frame.Checkpoint.version));
   let c = (Marshal.from_string frame.Checkpoint.payload 0 : progress) in
   let g = Graph_io.of_string c.c_graph in
   let statics, engine_payload =

@@ -8,33 +8,44 @@ type built = {
   ixp_present : int list;
 }
 
-(* Edge bookkeeping: reject duplicates and conflicting annotations
-   up front so Graph.build never raises. *)
+module Itbl = Hashtbl.Make (Int)
+
+(* Edge bookkeeping: reject duplicates and conflicting annotations up
+   front so Graph.build never raises. Keys pack the unordered pair
+   into one int (min * n + max); at 100K nodes the generator would
+   otherwise spend most of its time polymorphic-hashing boxed pairs. *)
 type edges = {
   mutable cp : (int * int) list;  (* (provider, customer) *)
   mutable peer : (int * int) list;
-  seen : (int * int, unit) Hashtbl.t;
+  seen : unit Itbl.t;
+  e_n : int;
 }
 
-let edges_create () = { cp = []; peer = []; seen = Hashtbl.create 4096 }
+let edges_create ~n = { cp = []; peer = []; seen = Itbl.create 4096; e_n = n }
 
-let key a b = if a < b then (a, b) else (b, a)
+let key e a b = if a < b then (a * e.e_n) + b else (b * e.e_n) + a
 
 let try_add_cp e ~provider ~customer =
-  let k = key provider customer in
-  if provider <> customer && not (Hashtbl.mem e.seen k) then begin
-    Hashtbl.add e.seen k ();
-    e.cp <- (provider, customer) :: e.cp;
-    true
+  if provider <> customer then begin
+    let k = key e provider customer in
+    if not (Itbl.mem e.seen k) then begin
+      Itbl.add e.seen k ();
+      e.cp <- (provider, customer) :: e.cp;
+      true
+    end
+    else false
   end
   else false
 
 let try_add_peer e a b =
-  let k = key a b in
-  if a <> b && not (Hashtbl.mem e.seen k) then begin
-    Hashtbl.add e.seen k ();
-    e.peer <- (a, b) :: e.peer;
-    true
+  if a <> b then begin
+    let k = key e a b in
+    if not (Itbl.mem e.seen k) then begin
+      Itbl.add e.seen k ();
+      e.peer <- (a, b) :: e.peer;
+      true
+    end
+    else false
   end
   else false
 
@@ -56,7 +67,7 @@ let generate (p : Params.t) =
   let n_isp = max (p.tier1 + 1) (int_of_float (p.isp_fraction *. float_of_int p.n)) in
   if n_isp + p.cps >= p.n then invalid_arg "Gen.generate: no room for stubs";
   let rng = Prng.create ~seed:p.seed in
-  let e = edges_create () in
+  let e = edges_create ~n:p.n in
   let cp_lo = n_isp in
   let stub_lo = n_isp + p.cps in
   (* Preferential-attachment pool over transit ISPs: an ISP appears

@@ -43,3 +43,5 @@ let with_n t n =
     ixps = max 1 (int_of_float (float_of_int t.ixps *. scale));
     ixp_members = max 5 (int_of_float (float_of_int t.ixp_members *. scale));
   }
+
+let paper = with_n default 36_000

@@ -32,3 +32,8 @@ val default : t
 val with_n : t -> int -> t
 (** Same shape scaled to a different AS count (IXP count and members
     scale with sqrt N). *)
+
+val paper : t
+(** [with_n default 36_000]: the scale of the paper's empirical
+    Cyclops+IXP snapshot (~36K ASes), the reference point of the
+    N-scaling bench series. *)

@@ -26,3 +26,11 @@ let rec pop t =
   end
 
 let is_empty t = t.size = 0
+
+let reset t =
+  if t.size > 0 then Array.iter Queue.clear t.drain
+  else
+    (* Drained queues are already empty; only the cursor moved. *)
+    ();
+  t.cursor <- 0;
+  t.size <- 0

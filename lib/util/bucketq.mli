@@ -14,3 +14,8 @@ val pop : t -> (int * int) option
 (** Smallest-key element as [(key, value)], FIFO within a key. *)
 
 val is_empty : t -> bool
+
+val reset : t -> unit
+(** Rewind to the freshly-created state (empty, cursor at 0) so the
+    queue can be reused across computations without reallocating its
+    per-key buckets. *)

@@ -1,26 +1,44 @@
-type t = { offsets : int array; data : int array }
+type t = { offsets : I32.t; data : I32.t }
+
+(* The compiler is not flambda: [I32.get] does not inline across the
+   module boundary, so the row loops below go through local Bigarray
+   accessors. *)
+let[@inline] ba_get (a : I32.t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline] ba_set (a : I32.t) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
 
 let pack lists ~reversed =
   let n = Array.length lists in
-  let offsets = Array.make (n + 1) 0 in
+  (* Totals accumulate in the native 63-bit int first; only the final
+     value is width-checked, so a wrapped intermediate can never be
+     stored. Node ids are bounded by the row count and need no per-
+     element check. *)
+  let total = ref 0 in
   for i = 0 to n - 1 do
-    offsets.(i + 1) <- offsets.(i) + List.length lists.(i)
+    total := !total + List.length lists.(i)
   done;
-  let data = Array.make offsets.(n) 0 in
+  I32.check ~context:"Csr.pack: total element count" !total;
+  let offsets = I32.create (n + 1) in
+  ba_set offsets 0 0;
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    off := !off + List.length lists.(i);
+    ba_set offsets (i + 1) !off
+  done;
+  let data = I32.create !total in
   for i = 0 to n - 1 do
     if reversed then begin
-      let k = ref (offsets.(i + 1) - 1) in
+      let k = ref (ba_get offsets (i + 1) - 1) in
       List.iter
         (fun v ->
-          data.(!k) <- v;
+          ba_set data !k v;
           decr k)
         lists.(i)
     end
     else begin
-      let k = ref offsets.(i) in
+      let k = ref (ba_get offsets i) in
       List.iter
         (fun v ->
-          data.(!k) <- v;
+          ba_set data !k v;
           incr k)
         lists.(i)
     end
@@ -30,37 +48,41 @@ let pack lists ~reversed =
 let of_lists lists = pack lists ~reversed:false
 let of_rev_lists lists = pack lists ~reversed:true
 
-let rows t = Array.length t.offsets - 1
-let row_length t i = t.offsets.(i + 1) - t.offsets.(i)
-let get t i k = t.data.(t.offsets.(i) + k)
+let rows t = I32.length t.offsets - 1
+let row_length t i = I32.get t.offsets (i + 1) - I32.get t.offsets i
+let get t i k = I32.get t.data (I32.get t.offsets i + k)
 
 let iter_row t i f =
-  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
-    f t.data.(k)
+  let lo = I32.get t.offsets i and hi = I32.get t.offsets (i + 1) in
+  for k = lo to hi - 1 do
+    f (ba_get t.data k)
   done
 
 let fold_row t i f init =
+  let lo = I32.get t.offsets i and hi = I32.get t.offsets (i + 1) in
   let acc = ref init in
-  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
-    acc := f !acc t.data.(k)
+  for k = lo to hi - 1 do
+    acc := f !acc (ba_get t.data k)
   done;
   !acc
 
 let exists_row t i p =
+  let lo = I32.get t.offsets i and hi = I32.get t.offsets (i + 1) in
   let rec loop k =
-    if k >= t.offsets.(i + 1) then false
-    else if p t.data.(k) then true
+    if k >= hi then false
+    else if p (ba_get t.data k) then true
     else loop (k + 1)
   in
-  loop t.offsets.(i)
+  loop lo
 
 let row_to_list t i =
+  let lo = I32.get t.offsets i and hi = I32.get t.offsets (i + 1) in
   let acc = ref [] in
-  for k = t.offsets.(i + 1) - 1 downto t.offsets.(i) do
-    acc := t.data.(k) :: !acc
+  for k = hi - 1 downto lo do
+    acc := ba_get t.data k :: !acc
   done;
   !acc
 
 let mem_row t i v = exists_row t i (fun x -> x = v)
 
-let total t = Array.length t.data
+let total t = I32.length t.data

@@ -4,9 +4,13 @@
     millions of tiny lists would otherwise fragment the heap. *)
 
 type t = private {
-  offsets : int array;  (** length [n + 1]; row [i] is [data.(offsets.(i)) .. data.(offsets.(i+1) - 1)] *)
-  data : int array;
+  offsets : I32.t;  (** length [n + 1]; row [i] is [data.(offsets.(i)) .. data.(offsets.(i+1) - 1)] *)
+  data : I32.t;
 }
+(** Both arrays live in int32 Bigarrays: half the footprint of boxed
+    [int array]s, invisible to the GC, and shareable across domains —
+    at 100K nodes the adjacency alone is tens of MB. Packing raises
+    [I32.Overflow] if the total element count exceeds 32 bits. *)
 
 val of_lists : int list array -> t
 (** Pack an array of lists; row order is preserved. *)

@@ -1,0 +1,16 @@
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+let length (t : t) = Bigarray.Array1.dim t
+let get (t : t) i = Bigarray.Array1.get t i
+let set (t : t) i v = Bigarray.Array1.set t i v
+let unsafe_get (t : t) i = Bigarray.Array1.unsafe_get t i
+let unsafe_set (t : t) i v = Bigarray.Array1.unsafe_set t i v
+
+let of_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set t i v) a;
+  t
+
+let to_array t = Array.init (length t) (fun i -> unsafe_get t i)
+let byte_size t = 8 * length t

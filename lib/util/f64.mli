@@ -1,0 +1,25 @@
+(** Unboxed float vectors backed by [Bigarray].
+
+    Same footprint as a [float array] but stored outside the OCaml
+    heap: the GC never scans or moves them, which matters when a run
+    caches millions of utility addends across rounds ({!I32} is the
+    int-side twin). Reads/writes do not box on the non-flambda
+    compiler either — [Bigarray.Array1] float access is intrinsic. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Uninitialized storage of the given length. *)
+
+val length : t -> int
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val unsafe_get : t -> int -> float
+val unsafe_set : t -> int -> float -> unit
+
+val of_array : float array -> t
+val to_array : t -> float array
+
+val byte_size : t -> int
+(** Payload bytes: [8 * length]. *)

@@ -1,5 +1,10 @@
 type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+exception Overflow of { context : string; value : int }
+
+let check ~context v =
+  if v <> Int32.to_int (Int32.of_int v) then raise (Overflow { context; value = v })
+
 let create n : t = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n
 
 let[@inline] length (a : t) = Bigarray.Array1.dim a
@@ -16,6 +21,7 @@ let of_array arr =
   let n = Array.length arr in
   let a = create n in
   for i = 0 to n - 1 do
+    check ~context:"I32.of_array" arr.(i);
     set a i arr.(i)
   done;
   a

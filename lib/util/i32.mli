@@ -8,6 +8,18 @@
 
 type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+exception Overflow of { context : string; value : int }
+(** Raised by [check] (and the checked builders that call it) when a
+    value cannot be widened back out of 32 bits — an index or offset
+    total past [Int32.max_int], as a 100K-node CSR row count can
+    produce. Storing such a value via [set] would silently wrap. *)
+
+val check : context:string -> int -> unit
+(** [check ~context v] raises [Overflow] unless [v] survives the
+    int -> int32 -> int round-trip. Call it on offset totals and row
+    counts before they enter an [I32.t]; the hot per-element setters
+    stay unchecked. *)
+
 val create : int -> t
 (** Uninitialized storage of the given length. *)
 

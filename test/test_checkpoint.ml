@@ -94,7 +94,7 @@ let test_frame_roundtrip () =
       | Ok f ->
           check Alcotest.int "round" 42 f.Checkpoint.round;
           check Alcotest.string "payload" payload f.Checkpoint.payload;
-          check Alcotest.int "version" 2 f.Checkpoint.version;
+          check Alcotest.int "version" 3 f.Checkpoint.version;
           check Alcotest.bool "kind" true (f.Checkpoint.kind = Checkpoint.Engine)
       | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
       (* Overwrite with a later snapshot: load sees only the newest. *)
@@ -198,7 +198,7 @@ let test_churn_kind_roundtrip () =
   with_temp (fun path ->
       Checkpoint.write ~kind:Checkpoint.Churn ~path ~digest:digest_a ~round:5 "epochs";
       match Checkpoint.load_exn ~path ~digest:digest_a with
-      | { Checkpoint.kind = Checkpoint.Churn; round = 5; payload = "epochs"; version = 2 }
+      | { Checkpoint.kind = Checkpoint.Churn; round = 5; payload = "epochs"; version = 3 }
         -> ()
       | f ->
           Alcotest.failf "unexpected %s frame (%d, %S)"

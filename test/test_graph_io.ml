@@ -1,0 +1,211 @@
+(* Tests for the graph loaders: the streaming binary (.sbg) format on
+   a 36K-scale fixture (round-trip identity plus every typed error
+   path) and the CAIDA/Cyclops importer (ASN remapping, CP marking,
+   malformed-record accounting). *)
+
+module Graph = Asgraph.Graph
+module As_class = Asgraph.As_class
+module Graph_io = Asgraph.Graph_io
+
+let check = Alcotest.check
+
+(* A 36K-node paper-scale fixture, built directly (no generator run:
+   the point is the serialization path, not topology statistics).
+   Providers all sit below 1000, so nodes >= 1000 have no customers
+   and a few of them can carry the CP marker. *)
+let big_n = 36_000
+
+let big_fixture =
+  lazy
+    (let cp_edges = ref [] in
+     for i = 1 to big_n - 1 do
+       let p1 = i * 7919 mod min i 1000 in
+       cp_edges := (p1, i) :: !cp_edges;
+       if i land 3 = 0 then begin
+         let p2 = i * 104729 mod min i 1000 in
+         if p2 <> p1 then cp_edges := (p2, i) :: !cp_edges
+       end
+     done;
+     (* Peers live in [2000, 3000): both endpoints sit above every
+        provider index, so no pair can also carry a customer-provider
+        annotation. *)
+     let peer_edges = ref [] in
+     for i = 0 to 499 do
+       peer_edges := (2000 + i, 2500 + i) :: !peer_edges
+     done;
+     Graph.build ~n:big_n ~cp_edges:!cp_edges ~peer_edges:!peer_edges
+       ~cps:[ 1000; 1001; 1002; 1003; 1004 ])
+
+let with_tmp f =
+  let path = Filename.temp_file "sbgp_test_graph" ".sbg" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_bin_roundtrip_36k () =
+  let g = Lazy.force big_fixture in
+  with_tmp (fun path ->
+      Graph_io.save_bin g path;
+      let g' = Graph_io.load_bin path in
+      check Alcotest.int "nodes" (Graph.n g) (Graph.n g');
+      check Alcotest.int "cp edges" (Graph.cp_edge_count g) (Graph.cp_edge_count g');
+      check Alcotest.int "peer edges" (Graph.peer_edge_count g) (Graph.peer_edge_count g');
+      check Alcotest.int "cps" (Graph.count_class g As_class.Cp)
+        (Graph.count_class g' As_class.Cp);
+      (* The text serialization is canonical (sorted adjacency), so
+         string equality is structural identity of the whole graph. *)
+      check Alcotest.bool "identical serialization" true
+        (String.equal (Graph_io.to_string g) (Graph_io.to_string g')))
+
+let small () =
+  Graph.build ~n:6
+    ~cp_edges:[ (0, 1); (0, 2); (1, 4); (2, 4); (2, 5) ]
+    ~peer_edges:[ (0, 3); (1, 2) ]
+    ~cps:[ 3 ]
+
+let read_bytes path = In_channel.with_open_bin path In_channel.input_all
+
+let write_bytes path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let expect_bin_error what f =
+  match f () with
+  | (_ : Graph.t) -> Alcotest.failf "%s: expected Bin_error" what
+  | exception Graph_io.Bin_error { path = _; message } ->
+      if message = "" then Alcotest.failf "%s: empty Bin_error message" what
+
+let test_bin_truncated () =
+  let g = small () in
+  with_tmp (fun path ->
+      Graph_io.save_bin g path;
+      let full = read_bytes path in
+      (* Every strict prefix must fail typed, never crash or return a
+         graph: mid-magic, mid-header, mid-edge-record, and the whole
+         file minus the end marker. *)
+      List.iter
+        (fun len ->
+          write_bytes path (String.sub full 0 len);
+          expect_bin_error
+            (Printf.sprintf "prefix of %d bytes" len)
+            (fun () -> Graph_io.load_bin path))
+        [ 0; 4; 8; 10; 20; 30; String.length full - 4; String.length full - 1 ])
+
+let test_bin_bad_magic () =
+  let g = small () in
+  with_tmp (fun path ->
+      Graph_io.save_bin g path;
+      let full = read_bytes path in
+      write_bytes path ("XXGPbin9" ^ String.sub full 8 (String.length full - 8));
+      expect_bin_error "bad magic" (fun () -> Graph_io.load_bin path))
+
+let test_bin_bad_end_marker () =
+  let g = small () in
+  with_tmp (fun path ->
+      Graph_io.save_bin g path;
+      let full = Bytes.of_string (read_bytes path) in
+      Bytes.set full (Bytes.length full - 1) '\xff';
+      write_bytes path (Bytes.to_string full);
+      expect_bin_error "bad end marker" (fun () -> Graph_io.load_bin path))
+
+let test_bin_trailing_bytes () =
+  let g = small () in
+  with_tmp (fun path ->
+      Graph_io.save_bin g path;
+      write_bytes path (read_bytes path ^ "x");
+      expect_bin_error "trailing bytes" (fun () -> Graph_io.load_bin path))
+
+let test_bin_malformed_records () =
+  (* Hand-framed files: the loader must reject out-of-range node ids
+     and negative counts before ever reaching Graph.build. *)
+  let frame ints =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "SBGPbin1";
+    List.iter
+      (fun v ->
+        Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+        Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+        Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+        Buffer.add_char buf (Char.chr (v land 0xff)))
+      ints;
+    Buffer.contents buf
+  in
+  let marker = 0x53424727 in
+  with_tmp (fun path ->
+      (* n=2, one cp edge whose endpoint 5 is out of [0, 2). *)
+      write_bytes path (frame [ 2; 0; 1; 0; 5; 0; marker ]);
+      expect_bin_error "node out of range" (fun () -> Graph_io.load_bin path);
+      (* negative cp-edge count in the header *)
+      write_bytes path (frame [ 2; 0; -1; 0; marker ]);
+      expect_bin_error "negative count" (fun () -> Graph_io.load_bin path);
+      (* structurally valid frame, graph-invalid content: a
+         customer-provider self-cycle via duplicate reversed edges. *)
+      write_bytes path (frame [ 2; 0; 2; 0; 0; 1; 1; 0; marker ]);
+      expect_bin_error "malformed graph" (fun () -> Graph_io.load_bin path))
+
+let caida_snapshot =
+  String.concat "\n"
+    [
+      "# a Cyclops-style snapshot with arbitrary ASNs";
+      "100|200|-1";
+      "200|300|-1";
+      "100|400|0";
+      "7|7|-1";          (* self-loop: skipped *)
+      "100|200|-1";      (* duplicate: folded, not skipped *)
+      "100|400|-1";      (* conflicts with the peer record: skipped *)
+      "abc|def|xyz";     (* malformed fields: skipped *)
+      "1|2";             (* missing relation column: skipped *)
+      "";
+    ]
+
+let test_of_caida () =
+  let imp = Graph_io.of_caida ~cps:[ 300; 999 ] caida_snapshot in
+  (* 100, 200, 300, 400 and the interned self-loop ASN 7. *)
+  check Alcotest.int "nodes" 5 (Graph.n imp.graph);
+  check Alcotest.int "skipped" 4 imp.skipped;
+  check Alcotest.int "cp edges" 2 (Graph.cp_edge_count imp.graph);
+  check Alcotest.int "peer edges" 1 (Graph.peer_edge_count imp.graph);
+  (* Dense remap preserves first-appearance order. *)
+  check Alcotest.(array int) "asn_of_node" [| 100; 200; 300; 400; 7 |] imp.asn_of_node;
+  let node asn = Hashtbl.find imp.node_of_asn asn in
+  check Alcotest.(option string) "provider edge" (Some "customer")
+    (Option.map Graph.rel_to_string (Graph.rel imp.graph (node 100) (node 200)));
+  (* ASN 300 has no customers, so its CP marker sticks; 999 is not in
+     the file and is ignored. *)
+  check Alcotest.string "cp marked" "cp" (As_class.to_string (Graph.klass imp.graph (node 300)));
+  check Alcotest.int "one cp" 1 (Graph.count_class imp.graph As_class.Cp)
+
+let test_of_caida_cp_with_customers () =
+  (* A CP candidate that has customers loses the marker (the node
+     stays), mirroring the paper's Appendix D cleanup. *)
+  let imp = Graph_io.of_caida ~cps:[ 100 ] "100|200|-1\n200|300|-1" in
+  check Alcotest.int "no cps" 0 (Graph.count_class imp.graph As_class.Cp);
+  check Alcotest.int "nodes kept" 3 (Graph.n imp.graph)
+
+let test_load_caida () =
+  let path = Filename.temp_file "sbgp_test_caida" ".asrel" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_bytes path caida_snapshot;
+      let imp = Graph_io.load_caida ~cps:[ 300 ] path in
+      check Alcotest.int "nodes" 5 (Graph.n imp.graph);
+      check Alcotest.int "skipped" 4 imp.skipped)
+
+let () =
+  Alcotest.run "graph_io"
+    [
+      ( "binary",
+        [
+          Alcotest.test_case "36K round-trip identity" `Quick test_bin_roundtrip_36k;
+          Alcotest.test_case "truncated prefixes" `Quick test_bin_truncated;
+          Alcotest.test_case "bad magic" `Quick test_bin_bad_magic;
+          Alcotest.test_case "bad end marker" `Quick test_bin_bad_end_marker;
+          Alcotest.test_case "trailing bytes" `Quick test_bin_trailing_bytes;
+          Alcotest.test_case "malformed records" `Quick test_bin_malformed_records;
+        ] );
+      ( "caida",
+        [
+          Alcotest.test_case "import remaps and accounts" `Quick test_of_caida;
+          Alcotest.test_case "cp with customers unmarked" `Quick
+            test_of_caida_cp_with_customers;
+          Alcotest.test_case "load from file" `Quick test_load_caida;
+        ] );
+    ]

@@ -56,7 +56,10 @@ let test_gitignore_covers_build () =
    JSON, telemetry traces and metrics dumps — must be ignored, never
    tracked: they differ per machine and per run. *)
 let generated_patterns =
-  [ "ckpt.*"; "bench_smoke.json"; "*.prom"; "*.trace.json" ]
+  [
+    "ckpt.*"; "bench_smoke.json"; "*.prom"; "*.trace.json"; "*.jsonl"; "*.sbg";
+    "scale_smoke.json";
+  ]
 
 let test_gitignore_covers_generated_artifacts () =
   match find_root (Sys.getcwd ()) with
@@ -87,7 +90,7 @@ let test_no_tracked_generated_artifacts () =
       match
         git_lines root
           "ls-files -- 'ckpt.*' '*.prom' '*.trace.json' 'bench_smoke.json' \
-           '*.bench'"
+           '*.bench' '*.jsonl' '*.sbg' 'scale_smoke.json'"
       with
       | None -> ()
       | Some files ->

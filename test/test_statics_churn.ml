@@ -362,7 +362,7 @@ let test_note_churn_protocol () =
      on the churned graph. *)
   let incremental = Array.make nn 0.0 in
   for d = 0 to nn - 1 do
-    Core.Utility.add_pairs (Core.Incremental.entry inc d).pairs ~into:incremental
+    Core.Incremental.add_pairs (Core.Incremental.entry inc d) ~into:incremental
   done;
   check
     Alcotest.(array (float 1e-9))
